@@ -1,0 +1,18 @@
+//! # sane-align
+//!
+//! The SANE paper's DB task (Section IV-D / Table VIII): cross-lingual
+//! entity alignment between two knowledge-base views.
+//!
+//! Provides the GCN-Align-style GNN alignment pipeline (shared GNN
+//! weights + margin ranking over seed links, evaluated with Hits@K), a
+//! JAPE-like translational baseline, and the SANE architecture search
+//! restricted to the task's protocol (2 layers, node aggregators only).
+
+mod metrics;
+mod pipeline;
+
+pub use metrics::{hits_at_k, hits_both_directions};
+pub use pipeline::{
+    sane_align_search, train_gnn_align, train_jape_like, AlignOutcome, AlignSearchConfig,
+    AlignTask, AlignTrainConfig, HITS_KS,
+};

@@ -1,0 +1,105 @@
+//! Alignment evaluation: Hits@K (the metric of the paper's Table VIII).
+
+use sane_autodiff::Matrix;
+
+/// L1 (Manhattan) distance between two embedding rows.
+#[inline]
+fn l1(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// Hits@K from `source` entities to `target` entities: for each pair
+/// `(s, t)`, the rank of `t` among all target rows by L1 distance from
+/// `source[s]`; Hits@K is the fraction of pairs ranked within `K`.
+///
+/// Returns one value per requested `k`, in percent (as Table VIII reports).
+///
+/// # Panics
+/// Panics if dimensions disagree or `pairs` is empty.
+pub fn hits_at_k(
+    source: &Matrix,
+    target: &Matrix,
+    pairs: &[(u32, u32)],
+    ks: &[usize],
+) -> Vec<f64> {
+    assert!(!pairs.is_empty(), "hits_at_k over no pairs");
+    assert_eq!(source.cols(), target.cols(), "embedding dims differ");
+    let mut hits = vec![0usize; ks.len()];
+    for &(s, t) in pairs {
+        let srow = source.row(s as usize);
+        let d_true = l1(srow, target.row(t as usize));
+        // Rank = 1 + candidates at or below the true distance (pessimistic
+        // tie handling: a collapsed embedding where everything ties must
+        // not score Hits@1 = 100%).
+        let mut closer = 0usize;
+        for cand in 0..target.rows() {
+            if cand != t as usize && l1(srow, target.row(cand)) <= d_true {
+                closer += 1;
+            }
+        }
+        let rank = closer + 1;
+        for (i, &k) in ks.iter().enumerate() {
+            if rank <= k {
+                hits[i] += 1;
+            }
+        }
+    }
+    hits.iter().map(|&h| 100.0 * h as f64 / pairs.len() as f64).collect()
+}
+
+/// Hits@K in both directions: `(source→target, target→source)`.
+pub fn hits_both_directions(
+    emb1: &Matrix,
+    emb2: &Matrix,
+    pairs: &[(u32, u32)],
+    ks: &[usize],
+) -> (Vec<f64>, Vec<f64>) {
+    let forward = hits_at_k(emb1, emb2, pairs, ks);
+    let reversed: Vec<(u32, u32)> = pairs.iter().map(|&(a, b)| (b, a)).collect();
+    let backward = hits_at_k(emb2, emb1, &reversed, ks);
+    (forward, backward)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_embeddings_hit_at_one() {
+        let emb = Matrix::from_fn(5, 3, |r, c| (r * 3 + c) as f32);
+        let pairs: Vec<(u32, u32)> = (0..5).map(|i| (i, i)).collect();
+        let hits = hits_at_k(&emb, &emb, &pairs, &[1, 10]);
+        assert_eq!(hits, vec![100.0, 100.0]);
+    }
+
+    #[test]
+    fn hits_is_monotone_in_k() {
+        let src = Matrix::from_fn(10, 4, |r, c| ((r * 7 + c * 3) % 5) as f32);
+        let dst = Matrix::from_fn(10, 4, |r, c| ((r * 5 + c * 2) % 7) as f32);
+        let pairs: Vec<(u32, u32)> = (0..10).map(|i| (i, i)).collect();
+        let hits = hits_at_k(&src, &dst, &pairs, &[1, 3, 10]);
+        assert!(hits[0] <= hits[1] && hits[1] <= hits[2]);
+        assert_eq!(hits[2], 100.0, "k = all targets must hit");
+    }
+
+    #[test]
+    fn shuffled_truth_scores_below_perfect() {
+        let emb = Matrix::from_fn(6, 2, |r, c| (r + c) as f32);
+        // Deliberately mis-aligned pairs.
+        let pairs: Vec<(u32, u32)> = (0..6).map(|i| (i, (i + 3) % 6)).collect();
+        let hits = hits_at_k(&emb, &emb, &pairs, &[1]);
+        assert!(hits[0] < 100.0);
+    }
+
+    #[test]
+    fn both_directions_shapes() {
+        let a = Matrix::from_fn(4, 2, |r, _| r as f32);
+        let b = Matrix::from_fn(4, 2, |r, _| r as f32 + 0.1);
+        let pairs: Vec<(u32, u32)> = (0..4).map(|i| (i, i)).collect();
+        let (f, r) = hits_both_directions(&a, &b, &pairs, &[1, 2]);
+        assert_eq!(f.len(), 2);
+        assert_eq!(r.len(), 2);
+        assert_eq!(f[0], 100.0);
+        assert_eq!(r[0], 100.0);
+    }
+}

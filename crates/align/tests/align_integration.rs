@@ -1,0 +1,89 @@
+//! Integration tests for the DB-task pipelines: the Table VIII ordering
+//! (message passing > translational baseline) and protocol invariants.
+
+use sane_align::{
+    sane_align_search, train_gnn_align, train_jape_like, AlignSearchConfig, AlignTask,
+    AlignTrainConfig,
+};
+use sane_data::AlignmentConfig;
+use sane_gnn::{Architecture, NodeAggKind};
+
+fn task() -> AlignTask {
+    AlignTask::new(AlignmentConfig::dbp15k().scaled(0.025).generate())
+}
+
+fn cfg() -> AlignTrainConfig {
+    AlignTrainConfig { embed_dim: 24, epochs: 40, eval_every: 5, seed: 1, ..Default::default() }
+}
+
+/// Table VIII's core ordering: GNN alignment beats the translational
+/// baseline on structure-dominated synthetic KBs.
+#[test]
+fn gcn_align_beats_jape_like() {
+    let t = task();
+    let c = cfg();
+    let jape = train_jape_like(&t, &c);
+    let gcn = train_gnn_align(&t, &Architecture::uniform(NodeAggKind::Gcn, 2, None), &c);
+    assert!(
+        gcn.forward[0] > jape.forward[0],
+        "GCN-Align Hits@1 {} should beat JAPE {}",
+        gcn.forward[0],
+        jape.forward[0]
+    );
+}
+
+/// Hits must be monotone in K in both directions for every method.
+#[test]
+fn hits_monotone_for_all_methods() {
+    let t = task();
+    let c = cfg();
+    for out in [
+        train_jape_like(&t, &c),
+        train_gnn_align(&t, &Architecture::uniform(NodeAggKind::SageMean, 2, None), &c),
+    ] {
+        for hits in [&out.forward, &out.backward] {
+            assert!(hits[0] <= hits[1] + 1e-9 && hits[1] <= hits[2] + 1e-9, "{hits:?}");
+        }
+    }
+}
+
+/// The searched architecture performs at least comparably to plain GCN
+/// (the paper's claim is strictly better; on tiny synthetic graphs we
+/// accept a small tolerance).
+#[test]
+fn searched_combination_is_competitive() {
+    let t = task();
+    let c = cfg();
+    // Paper protocol: run the search with several seeds and keep the best
+    // candidate by validation Hits@1.
+    let mut best: Option<(f64, sane_align::AlignOutcome)> = None;
+    for seed in 1..=2u64 {
+        let arch = sane_align_search(
+            &t,
+            &AlignSearchConfig { epochs: 25, hidden: 24, seed, ..Default::default() },
+        );
+        let out = train_gnn_align(&t, &arch, &c);
+        if best.as_ref().map(|(b, _)| out.val_hits1 > *b).unwrap_or(true) {
+            best = Some((out.val_hits1, out));
+        }
+    }
+    let (_, sane) = best.expect("two searches ran");
+    let gcn = train_gnn_align(&t, &Architecture::uniform(NodeAggKind::Gcn, 2, None), &c);
+    assert!(
+        sane.forward[1] >= gcn.forward[1] - 12.0,
+        "searched Hits@10 {} far below GCN-Align {}",
+        sane.forward[1],
+        gcn.forward[1]
+    );
+}
+
+/// The whole alignment pipeline is deterministic given seeds.
+#[test]
+fn alignment_determinism() {
+    let run = || {
+        let t = task();
+        let out = train_gnn_align(&t, &Architecture::uniform(NodeAggKind::Gcn, 2, None), &cfg());
+        (out.val_hits1, out.forward.clone(), out.backward.clone())
+    };
+    assert_eq!(run(), run());
+}

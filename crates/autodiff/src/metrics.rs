@@ -1,0 +1,122 @@
+//! Evaluation metrics (non-differentiable): classification accuracy and
+//! micro-F1, the two metrics of the paper's Table VI.
+
+use crate::matrix::Matrix;
+
+/// Index of the largest entry in a row (ties go to the first).
+pub fn argmax_row(row: &[f32]) -> usize {
+    let mut best = 0;
+    for (i, &v) in row.iter().enumerate() {
+        if v > row[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Multiclass accuracy of `logits` against integer `labels`, over `rows`.
+///
+/// # Panics
+/// Panics if `rows` is empty or indices are out of bounds.
+pub fn accuracy(logits: &Matrix, labels: &[u32], rows: &[u32]) -> f64 {
+    assert!(!rows.is_empty(), "accuracy over an empty row subset");
+    assert_eq!(labels.len(), logits.rows(), "labels must cover all rows");
+    let mut correct = 0usize;
+    for &r in rows {
+        let r = r as usize;
+        if argmax_row(logits.row(r)) == labels[r] as usize {
+            correct += 1;
+        }
+    }
+    correct as f64 / rows.len() as f64
+}
+
+/// Micro-averaged F1 for multi-label prediction: `logits > 0` (i.e.
+/// sigmoid > 0.5) counts as a positive prediction.
+pub fn micro_f1(logits: &Matrix, targets: &Matrix, rows: &[u32]) -> f64 {
+    assert!(!rows.is_empty(), "micro_f1 over an empty row subset");
+    assert_eq!(logits.shape(), targets.shape(), "shape mismatch");
+    let (mut tp, mut fp, mut fnn) = (0u64, 0u64, 0u64);
+    for &r in rows {
+        let r = r as usize;
+        for (&x, &t) in logits.row(r).iter().zip(targets.row(r)) {
+            let pred = x > 0.0;
+            let truth = t > 0.5;
+            match (pred, truth) {
+                (true, true) => tp += 1,
+                (true, false) => fp += 1,
+                (false, true) => fnn += 1,
+                (false, false) => {}
+            }
+        }
+    }
+    if tp == 0 {
+        return 0.0;
+    }
+    let precision = tp as f64 / (tp + fp) as f64;
+    let recall = tp as f64 / (tp + fnn) as f64;
+    2.0 * precision * recall / (precision + recall)
+}
+
+/// Mean and sample standard deviation of a slice (paper tables report both).
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    if values.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var =
+        values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (values.len() - 1) as f64;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_argmax_matches() {
+        let logits = Matrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0]);
+        let labels = vec![0u32, 1, 1];
+        assert_eq!(accuracy(&logits, &labels, &[0, 1, 2]), 2.0 / 3.0);
+        assert_eq!(accuracy(&logits, &labels, &[0, 1]), 1.0);
+    }
+
+    #[test]
+    fn micro_f1_perfect_prediction() {
+        let targets = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        let logits = Matrix::from_vec(2, 2, vec![5.0, -5.0, -5.0, 5.0]);
+        assert!((micro_f1(&logits, &targets, &[0, 1]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn micro_f1_no_true_positives_is_zero() {
+        let targets = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        let logits = Matrix::from_vec(1, 2, vec![-1.0, -1.0]);
+        assert_eq!(micro_f1(&logits, &targets, &[0]), 0.0);
+    }
+
+    #[test]
+    fn micro_f1_mixed_case() {
+        // tp=1, fp=1, fn=1 => p=0.5, r=0.5 => f1=0.5
+        let targets = Matrix::from_vec(1, 3, vec![1.0, 0.0, 1.0]);
+        let logits = Matrix::from_vec(1, 3, vec![1.0, 1.0, -1.0]);
+        assert!((micro_f1(&logits, &targets, &[0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-12);
+        assert!((s - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+        assert_eq!(mean_std(&[3.0]), (3.0, 0.0));
+    }
+
+    #[test]
+    fn argmax_ties_to_first() {
+        assert_eq!(argmax_row(&[1.0, 1.0, 0.5]), 0);
+    }
+}

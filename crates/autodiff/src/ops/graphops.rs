@@ -1,0 +1,446 @@
+//! Graph-structured tape ops: row gathering, segment reductions and the
+//! per-destination edge softmax that powers every attention aggregator.
+//!
+//! All segment ops assume the edge dimension is grouped: edges into the
+//! same destination node occupy a contiguous range described by
+//! [`Segments`]. The graph crate produces edge lists in exactly this order.
+
+use std::sync::Arc;
+
+use crate::matrix::Matrix;
+use crate::tape::{Op, Tape, Tensor};
+
+/// Boundaries of contiguous segments over a length-`n` axis.
+///
+/// `offsets` has `num_segments + 1` entries; segment `s` covers
+/// `offsets[s]..offsets[s + 1]`. Empty segments are allowed.
+#[derive(Clone, Debug)]
+pub struct Segments {
+    offsets: Vec<usize>,
+}
+
+impl Segments {
+    /// # Panics
+    /// Panics if `offsets` is empty or not monotonically non-decreasing.
+    pub fn new(offsets: Vec<usize>) -> Self {
+        assert!(!offsets.is_empty(), "segments need at least one offset");
+        assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "segment offsets must be sorted");
+        Self { offsets }
+    }
+
+    /// Builds segments from per-segment lengths.
+    pub fn from_lengths(lengths: &[usize]) -> Self {
+        let mut offsets = Vec::with_capacity(lengths.len() + 1);
+        offsets.push(0);
+        let mut acc = 0;
+        for &l in lengths {
+            acc += l;
+            offsets.push(acc);
+        }
+        Self { offsets }
+    }
+
+    pub fn num_segments(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of elements covered.
+    pub fn total_len(&self) -> usize {
+        *self.offsets.last().expect("non-empty by construction")
+    }
+
+    #[inline]
+    pub fn range(&self, s: usize) -> std::ops::Range<usize> {
+        self.offsets[s]..self.offsets[s + 1]
+    }
+
+    #[inline]
+    pub fn len_of(&self, s: usize) -> usize {
+        self.offsets[s + 1] - self.offsets[s]
+    }
+}
+
+/// Gathers rows of the input according to a fixed index list.
+struct GatherRowsOp {
+    idx: Arc<Vec<u32>>,
+}
+impl Op for GatherRowsOp {
+    fn backward(&self, _out: &Matrix, grad: &Matrix, inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
+        let (rows, cols) = inputs[0].shape();
+        let mut g = Matrix::zeros(rows, cols);
+        for (o, &i) in self.idx.iter().enumerate() {
+            let grow = grad.row(o);
+            let target = g.row_mut(i as usize);
+            for (t, &v) in target.iter_mut().zip(grow) {
+                *t += v;
+            }
+        }
+        vec![Some(g)]
+    }
+    fn name(&self) -> &'static str {
+        "gather_rows"
+    }
+}
+
+struct SegmentSumOp {
+    segs: Arc<Segments>,
+}
+impl Op for SegmentSumOp {
+    fn backward(&self, _out: &Matrix, grad: &Matrix, inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
+        let (rows, cols) = inputs[0].shape();
+        let mut g = Matrix::zeros(rows, cols);
+        for s in 0..self.segs.num_segments() {
+            let grow = grad.row(s).to_vec();
+            for e in self.segs.range(s) {
+                g.row_mut(e).copy_from_slice(&grow);
+            }
+        }
+        vec![Some(g)]
+    }
+    fn name(&self) -> &'static str {
+        "segment_sum"
+    }
+}
+
+struct SegmentMeanOp {
+    segs: Arc<Segments>,
+}
+impl Op for SegmentMeanOp {
+    fn backward(&self, _out: &Matrix, grad: &Matrix, inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
+        let (rows, cols) = inputs[0].shape();
+        let mut g = Matrix::zeros(rows, cols);
+        for s in 0..self.segs.num_segments() {
+            let n = self.segs.len_of(s);
+            if n == 0 {
+                continue;
+            }
+            let scale = 1.0 / n as f32;
+            let grow: Vec<f32> = grad.row(s).iter().map(|v| v * scale).collect();
+            for e in self.segs.range(s) {
+                g.row_mut(e).copy_from_slice(&grow);
+            }
+        }
+        vec![Some(g)]
+    }
+    fn name(&self) -> &'static str {
+        "segment_mean"
+    }
+}
+
+struct SegmentMaxOp {
+    /// Winning element index per `(segment, column)`, `u32::MAX` for empty segments.
+    winners: Arc<Vec<u32>>,
+}
+impl Op for SegmentMaxOp {
+    fn backward(&self, out: &Matrix, grad: &Matrix, inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
+        let (rows, cols) = inputs[0].shape();
+        let mut g = Matrix::zeros(rows, cols);
+        for s in 0..out.rows() {
+            for c in 0..cols {
+                let w = self.winners[s * cols + c];
+                if w != u32::MAX {
+                    g.set(w as usize, c, g.get(w as usize, c) + grad.get(s, c));
+                }
+            }
+        }
+        vec![Some(g)]
+    }
+    fn name(&self) -> &'static str {
+        "segment_max"
+    }
+}
+
+/// Softmax within each segment of an `n x 1` score column.
+struct SegmentSoftmaxOp {
+    segs: Arc<Segments>,
+}
+impl Op for SegmentSoftmaxOp {
+    fn backward(&self, out: &Matrix, grad: &Matrix, _inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
+        let mut g = Matrix::zeros(out.rows(), 1);
+        for s in 0..self.segs.num_segments() {
+            let range = self.segs.range(s);
+            let dot: f32 = range.clone().map(|e| out.get(e, 0) * grad.get(e, 0)).sum();
+            for e in range {
+                let p = out.get(e, 0);
+                g.set(e, 0, p * (grad.get(e, 0) - dot));
+            }
+        }
+        vec![Some(g)]
+    }
+    fn name(&self) -> &'static str {
+        "segment_softmax"
+    }
+}
+
+/// Scales row `i` of an `n x c` tensor by the scalar `w[i]` of an `n x 1`
+/// tensor (attention weighting of gathered neighbor features).
+struct MulColBroadcastOp;
+impl Op for MulColBroadcastOp {
+    fn backward(&self, _out: &Matrix, grad: &Matrix, inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
+        let (rows, cols) = inputs[0].shape();
+        let mut ga = Matrix::zeros(rows, cols);
+        let mut gw = Matrix::zeros(rows, 1);
+        for r in 0..rows {
+            let w = inputs[1].get(r, 0);
+            let arow = inputs[0].row(r);
+            let grow = grad.row(r);
+            let garow = ga.row_mut(r);
+            let mut acc = 0.0;
+            for ((ga, &g), &a) in garow.iter_mut().zip(grow).zip(arow) {
+                *ga = g * w;
+                acc += g * a;
+            }
+            gw.set(r, 0, acc);
+        }
+        vec![Some(ga), Some(gw)]
+    }
+    fn name(&self) -> &'static str {
+        "mul_col_broadcast"
+    }
+}
+
+impl Tape {
+    /// Gathers rows of `a` by index (e.g. source-node features per edge).
+    pub fn gather_rows(&mut self, a: Tensor, idx: &Arc<Vec<u32>>) -> Tensor {
+        let rows = self.value(a).rows();
+        assert!(
+            idx.iter().all(|&i| (i as usize) < rows),
+            "gather_rows index out of bounds (source has {rows} rows)"
+        );
+        let out = self.value(a).gather_rows(idx);
+        self.push_op(out, Box::new(GatherRowsOp { idx: Arc::clone(idx) }), vec![a])
+    }
+
+    fn check_segments(&self, a: Tensor, segs: &Segments, what: &str) {
+        assert_eq!(
+            self.value(a).rows(),
+            segs.total_len(),
+            "{what}: tensor has {} rows but segments cover {}",
+            self.value(a).rows(),
+            segs.total_len()
+        );
+    }
+
+    /// Per-segment row sums: `total_len x c -> num_segments x c`.
+    pub fn segment_sum(&mut self, a: Tensor, segs: &Arc<Segments>) -> Tensor {
+        self.check_segments(a, segs, "segment_sum");
+        let cols = self.value(a).cols();
+        let mut out = Matrix::zeros(segs.num_segments(), cols);
+        for s in 0..segs.num_segments() {
+            for e in segs.range(s) {
+                let src = self.value(a).row(e).to_vec();
+                for (o, v) in out.row_mut(s).iter_mut().zip(src) {
+                    *o += v;
+                }
+            }
+        }
+        self.push_op(out, Box::new(SegmentSumOp { segs: Arc::clone(segs) }), vec![a])
+    }
+
+    /// Per-segment row means (empty segments yield zero rows).
+    pub fn segment_mean(&mut self, a: Tensor, segs: &Arc<Segments>) -> Tensor {
+        self.check_segments(a, segs, "segment_mean");
+        let cols = self.value(a).cols();
+        let mut out = Matrix::zeros(segs.num_segments(), cols);
+        for s in 0..segs.num_segments() {
+            let n = segs.len_of(s);
+            if n == 0 {
+                continue;
+            }
+            for e in segs.range(s) {
+                let src = self.value(a).row(e).to_vec();
+                for (o, v) in out.row_mut(s).iter_mut().zip(src) {
+                    *o += v;
+                }
+            }
+            let scale = 1.0 / n as f32;
+            for o in out.row_mut(s) {
+                *o *= scale;
+            }
+        }
+        self.push_op(out, Box::new(SegmentMeanOp { segs: Arc::clone(segs) }), vec![a])
+    }
+
+    /// Per-segment elementwise max (empty segments yield zero rows).
+    pub fn segment_max(&mut self, a: Tensor, segs: &Arc<Segments>) -> Tensor {
+        self.check_segments(a, segs, "segment_max");
+        let cols = self.value(a).cols();
+        let nseg = segs.num_segments();
+        let mut out = Matrix::zeros(nseg, cols);
+        let mut winners = vec![u32::MAX; nseg * cols];
+        for s in 0..nseg {
+            if segs.len_of(s) == 0 {
+                continue;
+            }
+            for c in 0..cols {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_e = u32::MAX;
+                for e in segs.range(s) {
+                    let v = self.value(a).get(e, c);
+                    if v > best {
+                        best = v;
+                        best_e = e as u32;
+                    }
+                }
+                out.set(s, c, best);
+                winners[s * cols + c] = best_e;
+            }
+        }
+        self.push_op(out, Box::new(SegmentMaxOp { winners: Arc::new(winners) }), vec![a])
+    }
+
+    /// Numerically-stable softmax over each segment of an `n x 1` score
+    /// column — the attention normalisation over each node's in-edges.
+    pub fn segment_softmax(&mut self, scores: Tensor, segs: &Arc<Segments>) -> Tensor {
+        self.check_segments(scores, segs, "segment_softmax");
+        assert_eq!(self.value(scores).cols(), 1, "segment_softmax expects an n x 1 score column");
+        let mut out = self.value(scores).clone();
+        for s in 0..segs.num_segments() {
+            let range = segs.range(s);
+            if range.is_empty() {
+                continue;
+            }
+            let max = range.clone().map(|e| out.get(e, 0)).fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for e in range.clone() {
+                let v = (out.get(e, 0) - max).exp();
+                out.set(e, 0, v);
+                sum += v;
+            }
+            for e in range {
+                out.set(e, 0, out.get(e, 0) / sum);
+            }
+        }
+        self.push_op(out, Box::new(SegmentSoftmaxOp { segs: Arc::clone(segs) }), vec![scores])
+    }
+
+    /// Row-wise scaling of an `n x c` tensor by an `n x 1` weight column.
+    pub fn mul_col_broadcast(&mut self, a: Tensor, w: Tensor) -> Tensor {
+        let rows = self.value(a).rows();
+        assert_eq!(self.value(w).shape(), (rows, 1), "weights must be {rows} x 1");
+        let mut out = self.value(a).clone();
+        for r in 0..rows {
+            let wv = self.value(w).get(r, 0);
+            for o in out.row_mut(r) {
+                *o *= wv;
+            }
+        }
+        self.push_op(out, Box::new(MulColBroadcastOp), vec![a, w])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::VarStore;
+
+    fn segs(lengths: &[usize]) -> Arc<Segments> {
+        Arc::new(Segments::from_lengths(lengths))
+    }
+
+    #[test]
+    fn segments_from_lengths() {
+        let s = Segments::from_lengths(&[2, 0, 3]);
+        assert_eq!(s.num_segments(), 3);
+        assert_eq!(s.total_len(), 5);
+        assert_eq!(s.range(0), 0..2);
+        assert_eq!(s.range(1), 2..2);
+        assert_eq!(s.range(2), 2..5);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn segments_reject_unsorted() {
+        let _ = Segments::new(vec![0, 3, 1]);
+    }
+
+    #[test]
+    fn gather_rows_backward_scatter_adds() {
+        let mut store = VarStore::new();
+        let a = store.add("a", Matrix::from_vec(2, 1, vec![1.0, 2.0]));
+        let mut tape = Tape::new(0);
+        let ta = tape.param(&store, a);
+        let idx = Arc::new(vec![0u32, 0, 1]);
+        let g = tape.gather_rows(ta, &idx);
+        assert_eq!(tape.value(g).data(), &[1.0, 1.0, 2.0]);
+        let loss = tape.sum_all(g);
+        let grads = tape.backward(loss);
+        // Row 0 gathered twice => gradient 2.
+        assert_eq!(grads.get(a).unwrap().data(), &[2.0, 1.0]);
+    }
+
+    #[test]
+    fn segment_sum_and_mean_values() {
+        let mut tape = Tape::new(0);
+        let x = tape.constant(Matrix::from_vec(5, 1, vec![1.0, 2.0, 3.0, 4.0, 5.0]));
+        let s = segs(&[2, 0, 3]);
+        let sum = tape.segment_sum(x, &s);
+        assert_eq!(tape.value(sum).data(), &[3.0, 0.0, 12.0]);
+        let mean = tape.segment_mean(x, &s);
+        assert_eq!(tape.value(mean).data(), &[1.5, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn segment_mean_grad_is_uniform_within_segment() {
+        let mut store = VarStore::new();
+        let a = store.add("a", Matrix::from_vec(4, 1, vec![1.0, 2.0, 3.0, 4.0]));
+        let mut tape = Tape::new(0);
+        let ta = tape.param(&store, a);
+        let s = segs(&[4]);
+        let m = tape.segment_mean(ta, &s);
+        let loss = tape.sum_all(m);
+        let g = tape.backward(loss);
+        assert!(g.get(a).unwrap().data().iter().all(|&v| (v - 0.25).abs() < 1e-6));
+    }
+
+    #[test]
+    fn segment_max_values_and_grad() {
+        let mut store = VarStore::new();
+        let a = store.add("a", Matrix::from_vec(4, 2, vec![1.0, 9.0, 5.0, 2.0, 0.0, 0.0, -1.0, 3.0]));
+        let mut tape = Tape::new(0);
+        let ta = tape.param(&store, a);
+        let s = segs(&[2, 2]);
+        let m = tape.segment_max(ta, &s);
+        assert_eq!(tape.value(m).data(), &[5.0, 9.0, 0.0, 3.0]);
+        let loss = tape.sum_all(m);
+        let g = tape.backward(loss);
+        assert_eq!(g.get(a).unwrap().data(), &[0.0, 1.0, 1.0, 0.0, 1.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn segment_softmax_sums_to_one_per_segment() {
+        let mut tape = Tape::new(0);
+        let x = tape.constant(Matrix::from_vec(5, 1, vec![10.0, 20.0, -5.0, 0.0, 5.0]));
+        let s = segs(&[2, 3]);
+        let p = tape.segment_softmax(x, &s);
+        let v = tape.value(p);
+        assert!((v.get(0, 0) + v.get(1, 0) - 1.0).abs() < 1e-5);
+        assert!((v.get(2, 0) + v.get(3, 0) + v.get(4, 0) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn segment_softmax_handles_extreme_scores() {
+        let mut tape = Tape::new(0);
+        let x = tape.constant(Matrix::from_vec(2, 1, vec![1000.0, -1000.0]));
+        let s = segs(&[2]);
+        let p = tape.segment_softmax(x, &s);
+        assert!(!tape.value(p).has_non_finite());
+        assert!((tape.value(p).get(0, 0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mul_col_broadcast_grads() {
+        let mut store = VarStore::new();
+        let a = store.add("a", Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let w = store.add("w", Matrix::from_vec(2, 1, vec![10.0, 20.0]));
+        let mut tape = Tape::new(0);
+        let ta = tape.param(&store, a);
+        let tw = tape.param(&store, w);
+        let y = tape.mul_col_broadcast(ta, tw);
+        assert_eq!(tape.value(y).data(), &[10.0, 20.0, 60.0, 80.0]);
+        let loss = tape.sum_all(y);
+        let g = tape.backward(loss);
+        assert_eq!(g.get(a).unwrap().data(), &[10.0, 10.0, 20.0, 20.0]);
+        assert_eq!(g.get(w).unwrap().data(), &[3.0, 7.0]);
+    }
+}

@@ -1,0 +1,453 @@
+//! Linear-algebra tape ops: dense/sparse products, bias, concat/slice,
+//! reductions and row-wise softmaxes.
+
+use std::sync::Arc;
+
+use crate::matrix::Matrix;
+use crate::sparse::Csr;
+use crate::tape::{Op, Tape, Tensor};
+
+struct MatMulOp;
+impl Op for MatMulOp {
+    fn backward(&self, _out: &Matrix, grad: &Matrix, inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
+        // C = A·B  =>  dA = dC·Bᵀ, dB = Aᵀ·dC
+        let ga = grad.matmul_a_bt(inputs[1]);
+        let gb = inputs[0].matmul_at_b(grad);
+        vec![Some(ga), Some(gb)]
+    }
+    fn name(&self) -> &'static str {
+        "matmul"
+    }
+}
+
+struct SpmmOp {
+    sparse: Arc<Csr>,
+}
+impl Op for SpmmOp {
+    fn backward(&self, _out: &Matrix, grad: &Matrix, _inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
+        // C = S·B  =>  dB = Sᵀ·dC (S is a constant operator).
+        vec![Some(self.sparse.t().spmm(grad))]
+    }
+    fn name(&self) -> &'static str {
+        "spmm"
+    }
+}
+
+struct AddBiasOp;
+impl Op for AddBiasOp {
+    fn backward(&self, _out: &Matrix, grad: &Matrix, _inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
+        vec![Some(grad.clone()), Some(grad.col_sums())]
+    }
+    fn name(&self) -> &'static str {
+        "add_bias"
+    }
+}
+
+struct ConcatColsOp {
+    widths: Vec<usize>,
+}
+impl Op for ConcatColsOp {
+    fn backward(&self, _out: &Matrix, grad: &Matrix, inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
+        let rows = grad.rows();
+        let mut grads = Vec::with_capacity(inputs.len());
+        let mut offset = 0;
+        for &w in &self.widths {
+            let mut g = Matrix::zeros(rows, w);
+            for r in 0..rows {
+                g.row_mut(r).copy_from_slice(&grad.row(r)[offset..offset + w]);
+            }
+            offset += w;
+            grads.push(Some(g));
+        }
+        grads
+    }
+    fn name(&self) -> &'static str {
+        "concat_cols"
+    }
+}
+
+struct SliceColsOp {
+    start: usize,
+    end: usize,
+}
+impl Op for SliceColsOp {
+    fn backward(&self, _out: &Matrix, grad: &Matrix, inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
+        let (rows, cols) = inputs[0].shape();
+        let mut g = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            g.row_mut(r)[self.start..self.end].copy_from_slice(grad.row(r));
+        }
+        vec![Some(g)]
+    }
+    fn name(&self) -> &'static str {
+        "slice_cols"
+    }
+}
+
+struct RowSumOp;
+impl Op for RowSumOp {
+    fn backward(&self, _out: &Matrix, grad: &Matrix, inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
+        let (rows, cols) = inputs[0].shape();
+        let mut g = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            let gv = grad.get(r, 0);
+            g.row_mut(r).fill(gv);
+        }
+        vec![Some(g)]
+    }
+    fn name(&self) -> &'static str {
+        "row_sum"
+    }
+}
+
+struct SumAllOp;
+impl Op for SumAllOp {
+    fn backward(&self, _out: &Matrix, grad: &Matrix, inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
+        let (rows, cols) = inputs[0].shape();
+        vec![Some(Matrix::full(rows, cols, grad.as_scalar()))]
+    }
+    fn name(&self) -> &'static str {
+        "sum_all"
+    }
+}
+
+struct MeanAllOp;
+impl Op for MeanAllOp {
+    fn backward(&self, _out: &Matrix, grad: &Matrix, inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
+        let (rows, cols) = inputs[0].shape();
+        let n = (rows * cols) as f32;
+        vec![Some(Matrix::full(rows, cols, grad.as_scalar() / n))]
+    }
+    fn name(&self) -> &'static str {
+        "mean_all"
+    }
+}
+
+struct SoftmaxRowsOp;
+impl Op for SoftmaxRowsOp {
+    fn backward(&self, out: &Matrix, grad: &Matrix, _inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
+        // dX[r] = P[r] ⊙ (dY[r] - <dY[r], P[r]>)
+        let mut g = Matrix::zeros(out.rows(), out.cols());
+        for r in 0..out.rows() {
+            let p = out.row(r);
+            let dy = grad.row(r);
+            let dot: f32 = p.iter().zip(dy).map(|(p, d)| p * d).sum();
+            for ((g, &p), &d) in g.row_mut(r).iter_mut().zip(p).zip(dy) {
+                *g = p * (d - dot);
+            }
+        }
+        vec![Some(g)]
+    }
+    fn name(&self) -> &'static str {
+        "softmax_rows"
+    }
+}
+
+struct LogSoftmaxRowsOp;
+impl Op for LogSoftmaxRowsOp {
+    fn backward(&self, out: &Matrix, grad: &Matrix, _inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
+        // dX[r] = dY[r] - exp(out[r]) * sum(dY[r])
+        let mut g = Matrix::zeros(out.rows(), out.cols());
+        for r in 0..out.rows() {
+            let sum: f32 = grad.row(r).iter().sum();
+            for ((g, &o), &d) in g.row_mut(r).iter_mut().zip(out.row(r)).zip(grad.row(r)) {
+                *g = d - o.exp() * sum;
+            }
+        }
+        vec![Some(g)]
+    }
+    fn name(&self) -> &'static str {
+        "log_softmax_rows"
+    }
+}
+
+/// Elementwise max over `k` same-shaped tensors; the winner index per
+/// element is saved at forward time.
+struct MaxStackOp {
+    winners: Arc<Vec<u8>>,
+}
+impl Op for MaxStackOp {
+    fn backward(&self, _out: &Matrix, grad: &Matrix, inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
+        let shape = inputs[0].shape();
+        let mut grads: Vec<Matrix> = (0..inputs.len()).map(|_| Matrix::zeros(shape.0, shape.1)).collect();
+        for (i, (&w, &g)) in self.winners.iter().zip(grad.data()).enumerate() {
+            grads[w as usize].data_mut()[i] = g;
+        }
+        grads.into_iter().map(Some).collect()
+    }
+    fn name(&self) -> &'static str {
+        "max_stack"
+    }
+}
+
+/// Numerically-stable row softmax into a fresh matrix.
+pub(crate) fn softmax_rows_value(x: &Matrix) -> Matrix {
+    let mut out = x.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+impl Tape {
+    /// Dense product `a · b`.
+    pub fn matmul(&mut self, a: Tensor, b: Tensor) -> Tensor {
+        let out = self.value(a).matmul(self.value(b));
+        self.push_op(out, Box::new(MatMulOp), vec![a, b])
+    }
+
+    /// Sparse·dense product with a constant sparse operator (e.g. the
+    /// normalised adjacency of GCN).
+    pub fn spmm(&mut self, sparse: &Arc<Csr>, b: Tensor) -> Tensor {
+        let out = sparse.spmm(self.value(b));
+        self.push_op(out, Box::new(SpmmOp { sparse: Arc::clone(sparse) }), vec![b])
+    }
+
+    /// Adds a `1 x c` bias row to every row of an `n x c` tensor.
+    pub fn add_bias(&mut self, a: Tensor, bias: Tensor) -> Tensor {
+        let (rows, cols) = self.value(a).shape();
+        assert_eq!(self.value(bias).shape(), (1, cols), "bias must be 1x{cols}");
+        let mut out = self.value(a).clone();
+        let b = self.value(bias).row(0).to_vec();
+        for r in 0..rows {
+            for (o, &bv) in out.row_mut(r).iter_mut().zip(&b) {
+                *o += bv;
+            }
+        }
+        self.push_op(out, Box::new(AddBiasOp), vec![a, bias])
+    }
+
+    /// Horizontal concatenation of tensors that share a row count.
+    pub fn concat_cols(&mut self, parts: &[Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "concat_cols needs at least one tensor");
+        let rows = self.value(parts[0]).rows();
+        let widths: Vec<usize> = parts
+            .iter()
+            .map(|&t| {
+                assert_eq!(self.value(t).rows(), rows, "concat_cols row mismatch");
+                self.value(t).cols()
+            })
+            .collect();
+        let total: usize = widths.iter().sum();
+        let mut out = Matrix::zeros(rows, total);
+        for r in 0..rows {
+            let mut offset = 0;
+            for (&t, &w) in parts.iter().zip(&widths) {
+                out.row_mut(r)[offset..offset + w].copy_from_slice(self.value(t).row(r));
+                offset += w;
+            }
+        }
+        self.push_op(out, Box::new(ConcatColsOp { widths }), parts.to_vec())
+    }
+
+    /// Column slice `a[:, start..end]`.
+    pub fn slice_cols(&mut self, a: Tensor, start: usize, end: usize) -> Tensor {
+        let (rows, cols) = self.value(a).shape();
+        assert!(start < end && end <= cols, "slice_cols {start}..{end} out of 0..{cols}");
+        let mut out = Matrix::zeros(rows, end - start);
+        for r in 0..rows {
+            out.row_mut(r).copy_from_slice(&self.value(a).row(r)[start..end]);
+        }
+        self.push_op(out, Box::new(SliceColsOp { start, end }), vec![a])
+    }
+
+    /// Row sums: `n x c -> n x 1`.
+    pub fn row_sum(&mut self, a: Tensor) -> Tensor {
+        let out = self.value(a).row_sums();
+        self.push_op(out, Box::new(RowSumOp), vec![a])
+    }
+
+    /// Sum of all elements as a `1 x 1` tensor.
+    pub fn sum_all(&mut self, a: Tensor) -> Tensor {
+        let out = Matrix::scalar(self.value(a).sum());
+        self.push_op(out, Box::new(SumAllOp), vec![a])
+    }
+
+    /// Mean of all elements as a `1 x 1` tensor.
+    pub fn mean_all(&mut self, a: Tensor) -> Tensor {
+        let out = Matrix::scalar(self.value(a).mean());
+        self.push_op(out, Box::new(MeanAllOp), vec![a])
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax_rows(&mut self, a: Tensor) -> Tensor {
+        let out = softmax_rows_value(self.value(a));
+        self.push_op(out, Box::new(SoftmaxRowsOp), vec![a])
+    }
+
+    /// Row-wise log-softmax (numerically stable).
+    pub fn log_softmax_rows(&mut self, a: Tensor) -> Tensor {
+        let mut out = self.value(a).clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let lse = max + row.iter().map(|v| (v - max).exp()).sum::<f32>().ln();
+            for v in row.iter_mut() {
+                *v -= lse;
+            }
+        }
+        self.push_op(out, Box::new(LogSoftmaxRowsOp), vec![a])
+    }
+
+    /// Elementwise maximum over same-shaped tensors (the MAX layer
+    /// aggregator of JK-Networks). Ties go to the earliest tensor.
+    pub fn max_stack(&mut self, parts: &[Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "max_stack needs at least one tensor");
+        let shape = self.value(parts[0]).shape();
+        for &t in parts {
+            assert_eq!(self.value(t).shape(), shape, "max_stack shape mismatch");
+        }
+        assert!(parts.len() <= u8::MAX as usize, "max_stack supports at most 255 tensors");
+        let mut out = self.value(parts[0]).clone();
+        let mut winners = vec![0u8; out.len()];
+        for (k, &t) in parts.iter().enumerate().skip(1) {
+            for (i, (&v, o)) in self.value(t).data().iter().zip(out.clone().data()).enumerate() {
+                if v > *o {
+                    out.data_mut()[i] = v;
+                    winners[i] = k as u8;
+                }
+            }
+        }
+        self.push_op(out, Box::new(MaxStackOp { winners: Arc::new(winners) }), parts.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::VarStore;
+
+    #[test]
+    fn matmul_grads_match_formula() {
+        let mut store = VarStore::new();
+        let a = store.add("a", Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let b = store.add("b", Matrix::from_vec(2, 1, vec![5.0, 6.0]));
+        let mut tape = Tape::new(0);
+        let ta = tape.param(&store, a);
+        let tb = tape.param(&store, b);
+        let c = tape.matmul(ta, tb);
+        let loss = tape.sum_all(c);
+        let g = tape.backward(loss);
+        // dA = 1·Bᵀ broadcast over rows; dB = Aᵀ·1
+        assert_eq!(g.get(a).unwrap().data(), &[5.0, 6.0, 5.0, 6.0]);
+        assert_eq!(g.get(b).unwrap().data(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn spmm_grads_use_transpose() {
+        let s = Arc::new(Csr::from_coo(2, 3, &[(0, 0, 2.0), (1, 2, 3.0)]));
+        let mut store = VarStore::new();
+        let b = store.add("b", Matrix::full(3, 1, 1.0));
+        let mut tape = Tape::new(0);
+        let tb = tape.param(&store, b);
+        let c = tape.spmm(&s, tb);
+        assert_eq!(tape.value(c).data(), &[2.0, 3.0]);
+        let loss = tape.sum_all(c);
+        let g = tape.backward(loss);
+        assert_eq!(g.get(b).unwrap().data(), &[2.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn add_bias_grad_is_col_sum() {
+        let mut store = VarStore::new();
+        let b = store.add("bias", Matrix::zeros(1, 2));
+        let mut tape = Tape::new(0);
+        let x = tape.constant(Matrix::zeros(3, 2));
+        let tb = tape.param(&store, b);
+        let y = tape.add_bias(x, tb);
+        let loss = tape.sum_all(y);
+        let g = tape.backward(loss);
+        assert_eq!(g.get(b).unwrap().data(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn concat_and_slice_roundtrip_grads() {
+        let mut store = VarStore::new();
+        let a = store.add("a", Matrix::from_vec(2, 1, vec![1.0, 2.0]));
+        let b = store.add("b", Matrix::from_vec(2, 2, vec![3.0, 4.0, 5.0, 6.0]));
+        let mut tape = Tape::new(0);
+        let ta = tape.param(&store, a);
+        let tb = tape.param(&store, b);
+        let cat = tape.concat_cols(&[ta, tb]);
+        assert_eq!(tape.value(cat).row(0), &[1.0, 3.0, 4.0]);
+        // Only keep the middle column => gradient reaches b's first column only.
+        let mid = tape.slice_cols(cat, 1, 2);
+        let loss = tape.sum_all(mid);
+        let g = tape.backward(loss);
+        assert!(g.get(a).unwrap().data().iter().all(|&v| v == 0.0));
+        assert_eq!(g.get(b).unwrap().data(), &[1.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn softmax_rows_is_simplex() {
+        let mut tape = Tape::new(0);
+        let x = tape.constant(Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -10.0, 0.0, 10.0]));
+        let p = tape.softmax_rows(x);
+        for r in 0..2 {
+            let sum: f32 = tape.value(p).row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            assert!(tape.value(p).row(r).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn log_softmax_matches_softmax_log() {
+        let mut tape = Tape::new(0);
+        let x = tape.constant(Matrix::from_vec(1, 3, vec![0.5, -1.0, 2.0]));
+        let ls = tape.log_softmax_rows(x);
+        let p = tape.softmax_rows(x);
+        for (l, p) in tape.value(ls).data().iter().zip(tape.value(p).data()) {
+            assert!((l - p.ln()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn max_stack_routes_gradient_to_winner() {
+        let mut store = VarStore::new();
+        let a = store.add("a", Matrix::from_vec(1, 2, vec![1.0, 5.0]));
+        let b = store.add("b", Matrix::from_vec(1, 2, vec![3.0, 2.0]));
+        let mut tape = Tape::new(0);
+        let ta = tape.param(&store, a);
+        let tb = tape.param(&store, b);
+        let m = tape.max_stack(&[ta, tb]);
+        assert_eq!(tape.value(m).data(), &[3.0, 5.0]);
+        let loss = tape.sum_all(m);
+        let g = tape.backward(loss);
+        assert_eq!(g.get(a).unwrap().data(), &[0.0, 1.0]);
+        assert_eq!(g.get(b).unwrap().data(), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn mean_all_grad_is_uniform() {
+        let mut store = VarStore::new();
+        let a = store.add("a", Matrix::full(2, 2, 3.0));
+        let mut tape = Tape::new(0);
+        let ta = tape.param(&store, a);
+        let m = tape.mean_all(ta);
+        assert_eq!(tape.value(m).as_scalar(), 3.0);
+        let g = tape.backward(m);
+        assert!(g.get(a).unwrap().data().iter().all(|&v| (v - 0.25).abs() < 1e-6));
+    }
+
+    #[test]
+    fn row_sum_shapes_and_grad() {
+        let mut store = VarStore::new();
+        let a = store.add("a", Matrix::from_vec(2, 3, vec![1.0; 6]));
+        let mut tape = Tape::new(0);
+        let ta = tape.param(&store, a);
+        let rs = tape.row_sum(ta);
+        assert_eq!(tape.value(rs).shape(), (2, 1));
+        let loss = tape.sum_all(rs);
+        let g = tape.backward(loss);
+        assert!(g.get(a).unwrap().data().iter().all(|&v| v == 1.0));
+    }
+}

@@ -1,0 +1,258 @@
+//! CSR sparse matrices used for neighborhood aggregation (`A_norm · H`).
+//!
+//! Aggregators such as GCN multiply a fixed sparse operator (the normalised
+//! adjacency) into a dense feature matrix every layer. The operator never
+//! changes during training, so [`Csr`] eagerly caches its transpose — the
+//! backward pass of `S·B` needs `Sᵀ·dC`.
+
+use crate::matrix::Matrix;
+
+/// Compressed-sparse-row `f32` matrix.
+#[derive(Clone, Debug)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f32>,
+    /// Transposed copy, built once at construction for backward passes.
+    /// `None` only while the transpose itself is being constructed.
+    transpose: Option<Box<Csr>>,
+}
+
+impl Csr {
+    /// Builds a CSR matrix from COO triplets. Duplicate entries are summed.
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds.
+    pub fn from_coo(rows: usize, cols: usize, triplets: &[(u32, u32, f32)]) -> Self {
+        for &(r, c, _) in triplets {
+            assert!((r as usize) < rows && (c as usize) < cols, "coo entry ({r},{c}) out of bounds for {rows}x{cols}");
+        }
+        let mut sorted: Vec<(u32, u32, f32)> = triplets.to_vec();
+        sorted.sort_unstable_by_key(|&(r, c, _)| (r, c));
+
+        let mut indptr = vec![0usize; rows + 1];
+        let mut indices = Vec::with_capacity(sorted.len());
+        let mut values: Vec<f32> = Vec::with_capacity(sorted.len());
+        for &(r, c, v) in &sorted {
+            if let (Some(&last_c), true) = (indices.last(), indptr[r as usize + 1] > 0) {
+                // Merge duplicates within the current row.
+                if indptr[r as usize + 1] == indices.len() && last_c == c {
+                    *values.last_mut().expect("values parallel to indices") += v;
+                    continue;
+                }
+            }
+            indices.push(c);
+            values.push(v);
+            indptr[r as usize + 1] = indices.len();
+        }
+        // Rows with no entries inherit the previous offset.
+        for r in 1..=rows {
+            if indptr[r] == 0 {
+                indptr[r] = indptr[r - 1];
+            }
+        }
+        let mut me = Self { rows, cols, indptr, indices, values, transpose: None };
+        me.transpose = Some(Box::new(me.build_transpose()));
+        me
+    }
+
+    /// Builds directly from CSR arrays (used by the transpose constructor and
+    /// by graph code that already holds CSR adjacency).
+    ///
+    /// # Panics
+    /// Panics if the arrays are inconsistent.
+    pub fn from_csr_parts(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Self {
+        assert_eq!(indptr.len(), rows + 1, "indptr length");
+        assert_eq!(indices.len(), values.len(), "indices/values length");
+        assert_eq!(*indptr.last().unwrap_or(&0), indices.len(), "indptr terminator");
+        assert!(indices.iter().all(|&c| (c as usize) < cols), "column index out of bounds");
+        let mut me = Self { rows, cols, indptr, indices, values, transpose: None };
+        me.transpose = Some(Box::new(me.build_transpose()));
+        me
+    }
+
+    fn build_transpose(&self) -> Csr {
+        let nnz = self.values.len();
+        let mut indptr = vec![0usize; self.cols + 1];
+        for &c in &self.indices {
+            indptr[c as usize + 1] += 1;
+        }
+        for i in 1..=self.cols {
+            indptr[i] += indptr[i - 1];
+        }
+        let mut indices = vec![0u32; nnz];
+        let mut values = vec![0.0f32; nnz];
+        let mut cursor = indptr.clone();
+        for r in 0..self.rows {
+            for k in self.indptr[r]..self.indptr[r + 1] {
+                let c = self.indices[k] as usize;
+                let pos = cursor[c];
+                indices[pos] = r as u32;
+                values[pos] = self.values[k];
+                cursor[c] += 1;
+            }
+        }
+        Csr { rows: self.cols, cols: self.rows, indptr, indices, values, transpose: None }
+    }
+
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    #[inline]
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    #[inline]
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    #[inline]
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// `(column indices, values)` of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> (&[u32], &[f32]) {
+        let (s, e) = (self.indptr[r], self.indptr[r + 1]);
+        (&self.indices[s..e], &self.values[s..e])
+    }
+
+    /// The cached transpose.
+    pub fn t(&self) -> &Csr {
+        self.transpose.as_deref().expect("transpose is built at construction")
+    }
+
+    /// Sparse·dense product `self · dense`.
+    ///
+    /// # Panics
+    /// Panics on an inner-dimension mismatch.
+    pub fn spmm(&self, dense: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols,
+            dense.rows(),
+            "spmm dimension mismatch: {}x{} * {}x{}",
+            self.rows,
+            self.cols,
+            dense.rows(),
+            dense.cols()
+        );
+        let n = dense.cols();
+        let mut out = Matrix::zeros(self.rows, n);
+        for r in 0..self.rows {
+            let orow = out.row_mut(r);
+            for k in self.indptr[r]..self.indptr[r + 1] {
+                let c = self.indices[k] as usize;
+                let v = self.values[k];
+                let drow = dense.row(c);
+                for (o, &d) in orow.iter_mut().zip(drow) {
+                    *o += v * d;
+                }
+            }
+        }
+        out
+    }
+
+    /// Dense representation (tests / tiny graphs only).
+    pub fn to_dense(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                out.set(r, c as usize, out.get(r, c as usize) + v);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        // [[1, 0, 2],
+        //  [0, 0, 0],
+        //  [3, 4, 0]]
+        Csr::from_coo(3, 3, &[(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)])
+    }
+
+    #[test]
+    fn from_coo_layout() {
+        let m = sample();
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.indptr(), &[0, 2, 2, 4]);
+        assert_eq!(m.row(0), (&[0u32, 2][..], &[1.0f32, 2.0][..]));
+        assert_eq!(m.row(1).0.len(), 0);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let m = Csr::from_coo(2, 2, &[(0, 1, 1.0), (0, 1, 2.5)]);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.row(0).1, &[3.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn from_coo_rejects_out_of_bounds() {
+        let _ = Csr::from_coo(2, 2, &[(0, 5, 1.0)]);
+    }
+
+    #[test]
+    fn transpose_matches_dense() {
+        let m = sample();
+        assert_eq!(m.t().to_dense(), m.to_dense().transpose());
+    }
+
+    #[test]
+    fn spmm_matches_dense_matmul() {
+        let m = sample();
+        let d = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.spmm(&d), m.to_dense().matmul(&d));
+    }
+
+    #[test]
+    fn empty_rows_are_fine() {
+        let m = Csr::from_coo(4, 4, &[(3, 3, 1.0)]);
+        let d = Matrix::full(4, 1, 2.0);
+        let out = m.spmm(&d);
+        assert_eq!(out.data(), &[0.0, 0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn from_csr_parts_roundtrip() {
+        let m = sample();
+        let m2 = Csr::from_csr_parts(
+            m.rows(),
+            m.cols(),
+            m.indptr().to_vec(),
+            m.indices().to_vec(),
+            m.values().to_vec(),
+        );
+        assert_eq!(m2.to_dense(), m.to_dense());
+    }
+}

@@ -1,0 +1,473 @@
+//! Define-by-run reverse-mode automatic differentiation.
+//!
+//! A [`Tape`] records one forward computation as a Wengert list. Values are
+//! computed eagerly when an op is recorded, so every op can stash whatever
+//! forward byproducts its backward pass needs (dropout masks, arg-max
+//! indices, softmax outputs). [`Tape::backward`] then runs a single reverse
+//! sweep and returns the gradient of a scalar output with respect to every
+//! [`Param`] that participated.
+//!
+//! Parameters live outside the tape in a [`VarStore`], so the tape can be
+//! rebuilt cheaply every training step (the idiom used by all GNN models in
+//! this workspace).
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::matrix::Matrix;
+
+/// Handle to a node on a [`Tape`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Tensor(pub(crate) usize);
+
+/// Handle to a trainable parameter in a [`VarStore`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    /// Index of this parameter inside its store.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// One differentiable operation.
+///
+/// Implementations receive the forward output, the incoming gradient and the
+/// forward values of their inputs, and return one optional gradient per
+/// input (in the same order the inputs were wired on the tape).
+pub(crate) trait Op: Send + Sync {
+    fn backward(&self, out: &Matrix, grad: &Matrix, inputs: &[&Matrix]) -> Vec<Option<Matrix>>;
+
+    /// Human-readable name for error messages.
+    fn name(&self) -> &'static str;
+}
+
+/// Leaf op for constants / external inputs: no gradient flows past it.
+struct InputOp;
+impl Op for InputOp {
+    fn backward(&self, _: &Matrix, _: &Matrix, _: &[&Matrix]) -> Vec<Option<Matrix>> {
+        Vec::new()
+    }
+    fn name(&self) -> &'static str {
+        "input"
+    }
+}
+
+/// Leaf op for trainable parameters; the backward driver routes the
+/// accumulated gradient into [`Gradients`].
+struct ParamOp;
+impl Op for ParamOp {
+    fn backward(&self, _: &Matrix, _: &Matrix, _: &[&Matrix]) -> Vec<Option<Matrix>> {
+        Vec::new()
+    }
+    fn name(&self) -> &'static str {
+        "param"
+    }
+}
+
+struct Node {
+    value: Arc<Matrix>,
+    op: Box<dyn Op>,
+    inputs: Vec<Tensor>,
+    /// `Some` when this node is a parameter leaf.
+    param: Option<ParamId>,
+}
+
+/// A single forward computation, recorded for reverse-mode differentiation.
+pub struct Tape {
+    nodes: Vec<Node>,
+    rng: StdRng,
+}
+
+impl Tape {
+    /// Creates an empty tape. `seed` drives stochastic ops (dropout).
+    pub fn new(seed: u64) -> Self {
+        Self { nodes: Vec::with_capacity(256), rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    pub(crate) fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Records a constant (no gradient) from a shared matrix.
+    ///
+    /// Use this for large fixed inputs — node features, adjacency-derived
+    /// data — so each training step shares one allocation.
+    pub fn input(&mut self, value: Arc<Matrix>) -> Tensor {
+        self.push(value, Box::new(InputOp), Vec::new(), None)
+    }
+
+    /// Records a constant (no gradient), taking ownership of the matrix.
+    pub fn constant(&mut self, value: Matrix) -> Tensor {
+        self.input(Arc::new(value))
+    }
+
+    /// Records a `1 x 1` constant.
+    pub fn scalar(&mut self, value: f32) -> Tensor {
+        self.constant(Matrix::scalar(value))
+    }
+
+    /// Records a trainable parameter from `store`.
+    pub fn param(&mut self, store: &VarStore, id: ParamId) -> Tensor {
+        let value = store.value_arc(id);
+        self.push(value, Box::new(ParamOp), Vec::new(), Some(id))
+    }
+
+    /// The forward value of `t`.
+    pub fn value(&self, t: Tensor) -> &Matrix {
+        &self.nodes[t.0].value
+    }
+
+    /// Shared handle to the forward value of `t`.
+    pub fn value_arc(&self, t: Tensor) -> Arc<Matrix> {
+        Arc::clone(&self.nodes[t.0].value)
+    }
+
+    pub(crate) fn push(
+        &mut self,
+        value: Arc<Matrix>,
+        op: Box<dyn Op>,
+        inputs: Vec<Tensor>,
+        param: Option<ParamId>,
+    ) -> Tensor {
+        debug_assert!(inputs.iter().all(|t| t.0 < self.nodes.len()), "op wired to future tensor");
+        self.nodes.push(Node { value, op, inputs, param });
+        Tensor(self.nodes.len() - 1)
+    }
+
+    pub(crate) fn push_op(&mut self, value: Matrix, op: Box<dyn Op>, inputs: Vec<Tensor>) -> Tensor {
+        self.push(Arc::new(value), op, inputs, None)
+    }
+
+    /// Reverse sweep from `output`, which must be scalar (`1 x 1`).
+    ///
+    /// Returns the gradients of all parameters reachable from `output`.
+    ///
+    /// # Panics
+    /// Panics if `output` is not `1 x 1`.
+    pub fn backward(&self, output: Tensor) -> Gradients {
+        assert_eq!(
+            self.value(output).shape(),
+            (1, 1),
+            "backward requires a scalar output, got {:?}",
+            self.value(output).shape()
+        );
+        self.backward_seeded(output, Matrix::scalar(1.0))
+    }
+
+    /// Reverse sweep with an explicit seed gradient (same shape as `output`).
+    pub fn backward_seeded(&self, output: Tensor, seed: Matrix) -> Gradients {
+        assert_eq!(seed.shape(), self.value(output).shape(), "seed gradient shape mismatch");
+        let mut grads: Vec<Option<Matrix>> = (0..self.nodes.len()).map(|_| None).collect();
+        grads[output.0] = Some(seed);
+        let mut result = Gradients::default();
+
+        for i in (0..self.nodes.len()).rev() {
+            let Some(grad) = grads[i].take() else { continue };
+            let node = &self.nodes[i];
+            if let Some(pid) = node.param {
+                result.accumulate(pid, grad);
+                continue;
+            }
+            if node.inputs.is_empty() {
+                continue;
+            }
+            let input_vals: Vec<&Matrix> = node.inputs.iter().map(|t| self.value(*t)).collect();
+            let input_grads = node.op.backward(&node.value, &grad, &input_vals);
+            assert_eq!(
+                input_grads.len(),
+                node.inputs.len(),
+                "op `{}` returned {} gradients for {} inputs",
+                node.op.name(),
+                input_grads.len(),
+                node.inputs.len()
+            );
+            for (t, g) in node.inputs.iter().zip(input_grads) {
+                let Some(g) = g else { continue };
+                debug_assert_eq!(
+                    g.shape(),
+                    self.value(*t).shape(),
+                    "op `{}` produced a gradient of the wrong shape",
+                    node.op.name()
+                );
+                match &mut grads[t.0] {
+                    Some(acc) => acc.add_assign(&g),
+                    slot @ None => *slot = Some(g),
+                }
+            }
+        }
+        result
+    }
+}
+
+/// Gradients of one backward sweep, keyed by [`ParamId`].
+#[derive(Default)]
+pub struct Gradients {
+    slots: Vec<Option<Matrix>>,
+}
+
+impl Gradients {
+    fn accumulate(&mut self, id: ParamId, grad: Matrix) {
+        if self.slots.len() <= id.0 {
+            self.slots.resize_with(id.0 + 1, || None);
+        }
+        match &mut self.slots[id.0] {
+            Some(acc) => acc.add_assign(&grad),
+            slot @ None => *slot = Some(grad),
+        }
+    }
+
+    /// Gradient for `id`, if the parameter participated in the computation.
+    pub fn get(&self, id: ParamId) -> Option<&Matrix> {
+        self.slots.get(id.0).and_then(|s| s.as_ref())
+    }
+
+    /// Merges another gradient set into this one (summing overlaps).
+    pub fn merge(&mut self, other: Gradients) {
+        for (i, slot) in other.slots.into_iter().enumerate() {
+            if let Some(g) = slot {
+                self.accumulate(ParamId(i), g);
+            }
+        }
+    }
+
+    /// Adds `scale * other` into this gradient set (missing slots on either
+    /// side are treated as zero). Used by the second-order bi-level update.
+    pub fn add_scaled(&mut self, other: &Gradients, scale: f32) {
+        for (id, g) in other.iter() {
+            let mut scaled = g.clone();
+            scaled.scale_inplace(scale);
+            self.accumulate(id, scaled);
+        }
+    }
+
+    /// Joint L2 norm restricted to the given parameters.
+    pub fn l2_norm_subset(&self, ids: &[ParamId]) -> f32 {
+        let mut sq = 0.0f32;
+        for &id in ids {
+            if let Some(g) = self.get(id) {
+                sq += g.data().iter().map(|v| v * v).sum::<f32>();
+            }
+        }
+        sq.sqrt()
+    }
+
+    /// Global gradient-norm clipping: scales all gradients so the joint
+    /// L2 norm does not exceed `max_norm`. Returns the pre-clip norm.
+    pub fn clip_global_norm(&mut self, max_norm: f32) -> f32 {
+        let mut sq = 0.0f32;
+        for slot in self.slots.iter().flatten() {
+            sq += slot.data().iter().map(|v| v * v).sum::<f32>();
+        }
+        let norm = sq.sqrt();
+        if norm > max_norm && norm > 0.0 {
+            let s = max_norm / norm;
+            for slot in self.slots.iter_mut().flatten() {
+                slot.scale_inplace(s);
+            }
+        }
+        norm
+    }
+
+    /// True if no parameter received a gradient.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(|s| s.is_none())
+    }
+
+    /// Iterates over `(id, grad)` pairs that received gradients.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Matrix)> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| s.as_ref().map(|g| (ParamId(i), g)))
+    }
+}
+
+struct Slot {
+    value: Arc<Matrix>,
+    name: String,
+}
+
+/// Storage for trainable parameters, shared across training steps.
+///
+/// Values are held behind `Arc` so recording a parameter on a tape is a
+/// reference-count bump, not a copy; optimizers mutate through
+/// [`Arc::make_mut`] once the step's tapes are dropped.
+#[derive(Default)]
+pub struct VarStore {
+    slots: Vec<Slot>,
+}
+
+impl VarStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter with an initial value. Names are for debugging
+    /// and need not be unique.
+    pub fn add(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
+        self.slots.push(Slot { value: Arc::new(value), name: name.into() });
+        ParamId(self.slots.len() - 1)
+    }
+
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.slots[id.0].name
+    }
+
+    pub fn value(&self, id: ParamId) -> &Matrix {
+        &self.slots[id.0].value
+    }
+
+    pub(crate) fn value_arc(&self, id: ParamId) -> Arc<Matrix> {
+        Arc::clone(&self.slots[id.0].value)
+    }
+
+    /// Mutable access to a parameter's value (clones on write if a tape still
+    /// holds the value).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Matrix {
+        Arc::make_mut(&mut self.slots[id.0].value)
+    }
+
+    /// Replaces a parameter's value (shape may change; used when re-deriving
+    /// architectures with different hidden sizes is *not* desired — prefer a
+    /// fresh store for that).
+    pub fn set(&mut self, id: ParamId, value: Matrix) {
+        self.slots[id.0].value = Arc::new(value);
+    }
+
+    /// All parameter ids, in registration order.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> + '_ {
+        (0..self.slots.len()).map(ParamId)
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.slots.iter().map(|s| s.value.len()).sum()
+    }
+
+    /// Deep snapshot of every parameter value (for retrain-from-best logic).
+    pub fn snapshot(&self) -> Vec<Matrix> {
+        self.slots.iter().map(|s| (*s.value).clone()).collect()
+    }
+
+    /// Restores a snapshot taken with [`VarStore::snapshot`].
+    ///
+    /// # Panics
+    /// Panics if the snapshot does not match the store's layout.
+    pub fn restore(&mut self, snapshot: &[Matrix]) {
+        assert_eq!(snapshot.len(), self.slots.len(), "snapshot/store length mismatch");
+        for (slot, value) in self.slots.iter_mut().zip(snapshot) {
+            assert_eq!(slot.value.shape(), value.shape(), "snapshot shape mismatch for {}", slot.name);
+            slot.value = Arc::new(value.clone());
+        }
+    }
+
+    /// Re-initialises every parameter with `f(name, current) -> new`.
+    pub fn reinit(&mut self, mut f: impl FnMut(&str, &Matrix) -> Matrix) {
+        for slot in &mut self.slots {
+            let new = f(&slot.name, &slot.value);
+            assert_eq!(new.shape(), slot.value.shape(), "reinit changed shape of {}", slot.name);
+            slot.value = Arc::new(new);
+        }
+    }
+}
+
+/// Fills a matrix with i.i.d. uniform values in `[-bound, bound]`.
+pub fn uniform_init(rows: usize, cols: usize, bound: f32, rng: &mut StdRng) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-bound..=bound))
+}
+
+/// Glorot/Xavier uniform initialisation for a `rows x cols` weight.
+pub fn glorot_init(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+    let bound = (6.0 / (rows + cols) as f32).sqrt();
+    uniform_init(rows, cols, bound, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_value_roundtrip() {
+        let mut tape = Tape::new(0);
+        let t = tape.constant(Matrix::scalar(3.0));
+        assert_eq!(tape.value(t).as_scalar(), 3.0);
+    }
+
+    #[test]
+    fn param_gradient_of_identity() {
+        let mut store = VarStore::new();
+        let p = store.add("w", Matrix::scalar(2.0));
+        let mut tape = Tape::new(0);
+        let t = tape.param(&store, p);
+        let grads = tape.backward(t);
+        assert_eq!(grads.get(p).unwrap().as_scalar(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar output")]
+    fn backward_rejects_non_scalar() {
+        let mut tape = Tape::new(0);
+        let t = tape.constant(Matrix::zeros(2, 2));
+        let _ = tape.backward(t);
+    }
+
+    #[test]
+    fn gradients_merge_sums_overlaps() {
+        let mut a = Gradients::default();
+        a.accumulate(ParamId(0), Matrix::scalar(1.0));
+        let mut b = Gradients::default();
+        b.accumulate(ParamId(0), Matrix::scalar(2.0));
+        b.accumulate(ParamId(2), Matrix::scalar(5.0));
+        a.merge(b);
+        assert_eq!(a.get(ParamId(0)).unwrap().as_scalar(), 3.0);
+        assert_eq!(a.get(ParamId(2)).unwrap().as_scalar(), 5.0);
+        assert!(a.get(ParamId(1)).is_none());
+    }
+
+    #[test]
+    fn clip_global_norm_scales_down() {
+        let mut g = Gradients::default();
+        g.accumulate(ParamId(0), Matrix::from_vec(1, 2, vec![3.0, 4.0]));
+        let norm = g.clip_global_norm(1.0);
+        assert!((norm - 5.0).abs() < 1e-6);
+        let clipped = g.get(ParamId(0)).unwrap();
+        assert!((clipped.frob_norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn varstore_snapshot_restore() {
+        let mut store = VarStore::new();
+        let p = store.add("w", Matrix::scalar(1.0));
+        let snap = store.snapshot();
+        store.value_mut(p).data_mut()[0] = 9.0;
+        store.restore(&snap);
+        assert_eq!(store.value(p).as_scalar(), 1.0);
+    }
+
+    #[test]
+    fn glorot_bound_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = glorot_init(30, 50, &mut rng);
+        let bound = (6.0 / 80.0f32).sqrt();
+        assert!(w.max_abs() <= bound + 1e-6);
+        assert!(w.max_abs() > bound * 0.5, "suspiciously small init");
+    }
+}

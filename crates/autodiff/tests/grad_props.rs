@@ -1,0 +1,235 @@
+//! Property-based gradient verification: every differentiable op's
+//! analytic backward pass is checked against central finite differences on
+//! random shapes and values.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sane_autodiff::gradcheck::check_gradient;
+use sane_autodiff::{uniform_init, Csr, Matrix, Segments, Tape, Tensor, VarStore};
+
+const TOL: f32 = 0.02;
+
+fn input(seed: u64, rows: usize, cols: usize) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    uniform_init(rows, cols, 0.9, &mut rng)
+}
+
+/// Runs a gradient check on a fresh store holding a single `rows x cols`
+/// parameter fed through `f`.
+fn check(
+    seed: u64,
+    rows: usize,
+    cols: usize,
+    f: impl FnMut(&mut Tape, &VarStore, Tensor) -> Tensor,
+) -> f32 {
+    let mut store = VarStore::new();
+    let p = store.add("x", input(seed, rows, cols));
+    check_gradient(&mut store, p, 1e-2, f).max_rel_err
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    #[test]
+    fn elementwise_chain_grads(seed in 0u64..10_000, rows in 1usize..5, cols in 1usize..6) {
+        let err = check(seed, rows, cols, |t, _, x| {
+            let a = t.tanh(x);
+            let b = t.sigmoid(a);
+            let c = t.mul(a, b);
+            let d = t.scale(c, 1.5);
+            let e = t.add_scalar(d, 0.3);
+            t.mean_all(e)
+        });
+        prop_assert!(err < TOL, "rel err {err}");
+    }
+
+    #[test]
+    fn smooth_activations_grads(seed in 0u64..10_000, n in 1usize..8) {
+        // elu/tanh/sigmoid are smooth; relu/leaky/abs have kinks that the
+        // random draw avoids with high probability at |x| >= 0.05.
+        let err = check(seed, 2, n, |t, _, x| {
+            let shifted = t.add_scalar(x, 2.0); // keep relu away from the kink
+            let a = t.relu(shifted);
+            let b = t.elu(a);
+            let c = t.leaky_relu(b, 0.2);
+            t.sum_all(c)
+        });
+        prop_assert!(err < TOL, "rel err {err}");
+    }
+
+    #[test]
+    fn matmul_grads(seed in 0u64..10_000, m in 1usize..5, k in 1usize..5, n in 1usize..5) {
+        let other = input(seed ^ 1, k, n);
+        let err = check(seed, m, k, move |t, _, x| {
+            let b = t.constant(other.clone());
+            let c = t.matmul(x, b);
+            t.mean_all(c)
+        });
+        prop_assert!(err < TOL, "rel err {err}");
+    }
+
+    #[test]
+    fn matmul_rhs_grads(seed in 0u64..10_000, m in 1usize..5, k in 1usize..5, n in 1usize..5) {
+        let other = input(seed ^ 2, m, k);
+        let err = check(seed, k, n, move |t, _, x| {
+            let a = t.constant(other.clone());
+            let c = t.matmul(a, x);
+            t.mean_all(c)
+        });
+        prop_assert!(err < TOL, "rel err {err}");
+    }
+
+    #[test]
+    fn spmm_grads(seed in 0u64..10_000, n in 2usize..6, d in 1usize..4) {
+        let sparse = Arc::new(Csr::from_coo(
+            n,
+            n,
+            &(0..n).map(|i| (i as u32, ((i + 1) % n) as u32, 0.5 + i as f32 * 0.1)).collect::<Vec<_>>(),
+        ));
+        let err = check(seed, n, d, move |t, _, x| {
+            let c = t.spmm(&sparse, x);
+            t.sum_all(c)
+        });
+        prop_assert!(err < TOL, "rel err {err}");
+    }
+
+    #[test]
+    fn softmax_rows_grads(seed in 0u64..10_000, rows in 1usize..4, cols in 2usize..6) {
+        let probe = input(seed ^ 3, rows, cols);
+        let err = check(seed, rows, cols, move |t, _, x| {
+            let p = t.softmax_rows(x);
+            // Weighted probe makes the gradient non-degenerate.
+            let w = t.constant(probe.clone());
+            let m = t.mul(p, w);
+            t.sum_all(m)
+        });
+        prop_assert!(err < TOL, "rel err {err}");
+    }
+
+    #[test]
+    fn log_softmax_grads(seed in 0u64..10_000, cols in 2usize..6) {
+        let probe = input(seed ^ 4, 2, cols);
+        let err = check(seed, 2, cols, move |t, _, x| {
+            let p = t.log_softmax_rows(x);
+            let w = t.constant(probe.clone());
+            let m = t.mul(p, w);
+            t.mean_all(m)
+        });
+        prop_assert!(err < TOL, "rel err {err}");
+    }
+
+    #[test]
+    fn concat_slice_grads(seed in 0u64..10_000, rows in 1usize..4, a in 1usize..4, b in 1usize..4) {
+        let right = input(seed ^ 5, rows, b);
+        let err = check(seed, rows, a, move |t, _, x| {
+            let r = t.constant(right.clone());
+            let cat = t.concat_cols(&[x, r]);
+            let sl = t.slice_cols(cat, 0, a + b.min(1));
+            t.sum_all(sl)
+        });
+        prop_assert!(err < TOL, "rel err {err}");
+    }
+
+    #[test]
+    fn gather_segment_grads(seed in 0u64..10_000, d in 1usize..4) {
+        // 3 nodes, messages: [0,1 -> seg0], [1,2,0 -> seg1], [2 -> seg2]
+        let idx = Arc::new(vec![0u32, 1, 1, 2, 0, 2]);
+        let segs = Arc::new(Segments::from_lengths(&[2, 3, 1]));
+        let err = check(seed, 3, d, move |t, _, x| {
+            let g = t.gather_rows(x, &idx);
+            let s = t.segment_sum(g, &segs);
+            let m = t.segment_mean(g, &segs);
+            let combined = t.add(s, m);
+            t.mean_all(combined)
+        });
+        prop_assert!(err < TOL, "rel err {err}");
+    }
+
+    #[test]
+    fn segment_softmax_attention_grads(seed in 0u64..10_000) {
+        // Full attention pattern: scores -> segment softmax -> weighted sum.
+        let idx = Arc::new(vec![0u32, 1, 1, 2, 0]);
+        let segs = Arc::new(Segments::from_lengths(&[2, 2, 1]));
+        let feats = input(seed ^ 6, 3, 3);
+        let err = check(seed, 3, 1, move |t, _, x| {
+            let scores = t.gather_rows(x, &idx);
+            let alpha = t.segment_softmax(scores, &segs);
+            let f = t.constant(feats.clone());
+            let msgs = t.gather_rows(f, &idx);
+            let weighted = t.mul_col_broadcast(msgs, alpha);
+            let out = t.segment_sum(weighted, &segs);
+            t.mean_all(out)
+        });
+        prop_assert!(err < TOL, "rel err {err}");
+    }
+
+    #[test]
+    fn mul_col_broadcast_weight_grads(seed in 0u64..10_000, rows in 1usize..5, cols in 1usize..4) {
+        let feats = input(seed ^ 7, rows, cols);
+        let err = check(seed, rows, 1, move |t, _, x| {
+            let f = t.constant(feats.clone());
+            let w = t.mul_col_broadcast(f, x);
+            t.sum_all(w)
+        });
+        prop_assert!(err < TOL, "rel err {err}");
+    }
+
+    #[test]
+    fn cross_entropy_grads(seed in 0u64..10_000, n in 2usize..5, c in 2usize..5) {
+        let labels = Arc::new((0..n as u32).map(|i| i % c as u32).collect::<Vec<_>>());
+        let rows = Arc::new((0..n as u32).collect::<Vec<_>>());
+        let err = check(seed, n, c, move |t, _, x| t.cross_entropy(x, &labels, &rows));
+        prop_assert!(err < TOL, "rel err {err}");
+    }
+
+    #[test]
+    fn bce_grads(seed in 0u64..10_000, n in 1usize..4, c in 1usize..5) {
+        let targets = Arc::new(Matrix::from_fn(n, c, |r, cc| ((r + cc) % 2) as f32));
+        let rows = Arc::new((0..n as u32).collect::<Vec<_>>());
+        let err = check(seed, n, c, move |t, _, x| t.bce_with_logits(x, &targets, &rows));
+        prop_assert!(err < TOL, "rel err {err}");
+    }
+
+    #[test]
+    fn add_bias_and_scalar_tensor_grads(seed in 0u64..10_000, rows in 1usize..5, cols in 1usize..4) {
+        let base = input(seed ^ 8, rows, cols);
+        // Gradient w.r.t. the bias row.
+        let err = check(seed, 1, cols, move |t, _, x| {
+            let b = t.constant(base.clone());
+            let y = t.add_bias(b, x);
+            t.mean_all(y)
+        });
+        prop_assert!(err < TOL, "rel err {err}");
+        // Gradient w.r.t. a 1x1 gate.
+        let base2 = input(seed ^ 9, rows, cols);
+        let err = check(seed ^ 10, 1, 1, move |t, _, x| {
+            let b = t.constant(base2.clone());
+            let y = t.mul_scalar_tensor(b, x);
+            t.sum_all(y)
+        });
+        prop_assert!(err < TOL, "rel err {err}");
+    }
+
+    #[test]
+    fn max_stack_and_segment_max_grads(seed in 0u64..10_000, cols in 1usize..4) {
+        // Kinked ops: pick inputs with distinct values so perturbation
+        // does not flip the argmax.
+        // Spaced by 10 and straddling the input range, so some positions
+        // are won by the parameter and none flip under ±0.01 perturbation.
+        let other = Matrix::from_fn(3, cols, |r, c| (r * cols + c) as f32 * 10.0 - 15.0);
+        let err = check(seed, 3, cols, move |t, _, x| {
+            let o = t.constant(other.clone());
+            let m = t.max_stack(&[x, o]);
+            let idx = Arc::new(vec![0u32, 1, 2, 0]);
+            let segs = Arc::new(Segments::from_lengths(&[2, 2]));
+            let g = t.gather_rows(m, &idx);
+            let s = t.segment_max(g, &segs);
+            t.sum_all(s)
+        });
+        prop_assert!(err < TOL, "rel err {err}");
+    }
+}

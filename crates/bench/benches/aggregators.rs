@@ -1,0 +1,84 @@
+//! Criterion benchmarks: one forward pass per node aggregator of `O_n`
+//! (plus the layer aggregators), on a mid-size synthetic citation graph.
+//! These expose the per-op cost asymmetry behind the paper's search-cost
+//! numbers: attention aggregators dominate the supernet step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sane_autodiff::{uniform_init, Tape, VarStore};
+use sane_data::CitationConfig;
+use sane_gnn::{build_aggregator, GraphContext, LayerAggKind, LayerAggregator, NodeAggKind};
+
+fn bench_node_aggregators(c: &mut Criterion) {
+    let ds = CitationConfig::cora().scaled(0.3).generate();
+    let ctx = GraphContext::new(&ds.graph);
+    let n = ds.graph.num_nodes();
+    let mut rng = StdRng::seed_from_u64(0);
+    let x = uniform_init(n, 64, 1.0, &mut rng);
+
+    let mut group = c.benchmark_group("node_aggregator_forward");
+    for kind in NodeAggKind::ALL {
+        let mut store = VarStore::new();
+        let agg = build_aggregator(kind, &mut store, &mut rng, 64, 64, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &(), |bch, _| {
+            bch.iter(|| {
+                let mut tape = Tape::new(0);
+                let xt = tape.constant(x.clone());
+                std::hint::black_box(agg.forward(&mut tape, &store, &ctx, xt))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_node_aggregator_backward(c: &mut Criterion) {
+    let ds = CitationConfig::cora().scaled(0.2).generate();
+    let ctx = GraphContext::new(&ds.graph);
+    let n = ds.graph.num_nodes();
+    let mut rng = StdRng::seed_from_u64(1);
+    let x = uniform_init(n, 32, 1.0, &mut rng);
+
+    let mut group = c.benchmark_group("node_aggregator_fwd_bwd");
+    for kind in [NodeAggKind::Gcn, NodeAggKind::Gat, NodeAggKind::Gin, NodeAggKind::GeniePath] {
+        let mut store = VarStore::new();
+        let agg = build_aggregator(kind, &mut store, &mut rng, 32, 32, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &(), |bch, _| {
+            bch.iter(|| {
+                let mut tape = Tape::new(0);
+                let xt = tape.constant(x.clone());
+                let out = agg.forward(&mut tape, &store, &ctx, xt);
+                let loss = tape.mean_all(out);
+                std::hint::black_box(tape.backward(loss))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_layer_aggregators(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let layers: Vec<_> = (0..3).map(|_| uniform_init(800, 32, 1.0, &mut rng)).collect();
+
+    let mut group = c.benchmark_group("layer_aggregator_forward");
+    for kind in LayerAggKind::ALL {
+        let mut store = VarStore::new();
+        let agg = LayerAggregator::new(kind, &mut store, &mut rng, 32);
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &(), |bch, _| {
+            bch.iter(|| {
+                let mut tape = Tape::new(0);
+                let ts: Vec<_> = layers.iter().map(|l| tape.constant(l.clone())).collect();
+                std::hint::black_box(agg.forward(&mut tape, &store, &ts))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = aggregators;
+    config = Criterion::default().sample_size(15);
+    targets = bench_node_aggregators, bench_node_aggregator_backward, bench_layer_aggregators
+);
+criterion_main!(aggregators);

@@ -1,0 +1,87 @@
+//! Criterion micro-benchmarks for the hot autodiff kernels: dense GEMM,
+//! sparse·dense aggregation, edge softmax and gather/segment reductions.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sane_autodiff::{uniform_init, Csr, Segments, Tape};
+use sane_graph::{generators, MessageLayout};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    let mut rng = StdRng::seed_from_u64(0);
+    for &(m, k, n) in &[(128usize, 128usize, 128usize), (512, 256, 64), (1024, 64, 64)] {
+        let a = uniform_init(m, k, 1.0, &mut rng);
+        let b = uniform_init(k, n, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{m}x{k}x{n}")), &(), |bch, _| {
+            bch.iter(|| std::hint::black_box(a.matmul(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmm");
+    let mut rng = StdRng::seed_from_u64(1);
+    for &(n, deg, d) in &[(1000usize, 5usize, 64usize), (5000, 10, 32)] {
+        let g = generators::gnm(n, n * deg / 2, &mut rng);
+        let triplets: Vec<(u32, u32, f32)> =
+            g.edges().flat_map(|(u, v)| [(u, v, 1.0), (v, u, 1.0)]).collect();
+        let s = Csr::from_coo(n, n, &triplets);
+        let h = uniform_init(n, d, 1.0, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_deg{deg}_d{d}")),
+            &(),
+            |bch, _| bch.iter(|| std::hint::black_box(s.spmm(&h))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_edge_softmax(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edge_softmax");
+    let mut rng = StdRng::seed_from_u64(2);
+    for &(n, deg) in &[(1000usize, 8usize), (4000, 16)] {
+        let g = generators::gnm(n, n * deg / 2, &mut rng);
+        let layout = MessageLayout::build(&g);
+        let e = layout.num_messages();
+        let scores = uniform_init(e, 1, 1.0, &mut rng);
+        let segs: Arc<Segments> = Arc::clone(&layout.segments);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}_e{e}")), &(), |bch, _| {
+            bch.iter(|| {
+                let mut tape = Tape::new(0);
+                let s = tape.constant(scores.clone());
+                std::hint::black_box(tape.segment_softmax(s, &segs))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_gather_segment_sum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gather_segment_sum");
+    let mut rng = StdRng::seed_from_u64(3);
+    let n = 2000;
+    let g = generators::gnm(n, n * 6, &mut rng);
+    let layout = MessageLayout::build(&g);
+    let h = uniform_init(n, 32, 1.0, &mut rng);
+    group.bench_function("n2000_d32", |bch| {
+        bch.iter(|| {
+            let mut tape = Tape::new(0);
+            let ht = tape.constant(h.clone());
+            let gathered = tape.gather_rows(ht, &layout.src);
+            std::hint::black_box(tape.segment_sum(gathered, &layout.segments))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matmul, bench_spmm, bench_edge_softmax, bench_gather_segment_sum
+);
+criterion_main!(kernels);

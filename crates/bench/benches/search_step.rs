@@ -1,0 +1,74 @@
+//! Criterion benchmarks of the search-cost units behind Table VII:
+//! one SANE bi-level supernet epoch vs one full candidate training of the
+//! trial-and-error searchers. SANE pays `T` supernet epochs total; the
+//! baselines pay `samples x full-training` — the measured per-unit ratio
+//! explains the orders-of-magnitude gap in the table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sane_core::prelude::*;
+use sane_core::search::darts::node_task_of;
+use sane_core::supernet::{Supernet, SupernetConfig};
+use sane_data::CitationConfig;
+use sane_gnn::Architecture;
+
+use std::sync::Arc;
+
+use rand::SeedableRng;
+use sane_autodiff::optim::Adam;
+use sane_autodiff::{Tape, VarStore};
+
+fn bench_supernet_epoch(c: &mut Criterion) {
+    let task = Task::node(CitationConfig::cora().scaled(0.15).generate());
+    let t = node_task_of(&task).expect("node task");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let mut store = VarStore::new();
+    let net = Supernet::new(
+        SupernetConfig { k: 3, hidden: 32, dropout: 0.0, ..Default::default() },
+        task.feature_dim(),
+        task.num_outputs(),
+        &mut store,
+        &mut rng,
+    );
+    let mut opt_w = Adam::new(5e-3, 1e-4);
+    let mut opt_a = Adam::new(3e-3, 1e-3);
+
+    c.bench_function("supernet_bilevel_epoch", |b| {
+        b.iter(|| {
+            // α step on validation loss.
+            let mut tape = Tape::new(1);
+            let x = tape.input(Arc::clone(&t.data.features));
+            let logits = net.forward_mixed(&mut tape, &store, &t.ctx, x, true);
+            let loss = tape.cross_entropy(logits, &t.data.labels, &t.data.val);
+            let grads = tape.backward(loss);
+            opt_a.step_subset(&mut store, &grads, net.alpha_params());
+            // w step on training loss.
+            let mut tape = Tape::new(2);
+            let x = tape.input(Arc::clone(&t.data.features));
+            let logits = net.forward_mixed(&mut tape, &store, &t.ctx, x, true);
+            let loss = tape.cross_entropy(logits, &t.data.labels, &t.data.train);
+            let grads = tape.backward(loss);
+            opt_w.step_subset(&mut store, &grads, net.weight_params());
+        })
+    });
+}
+
+fn bench_candidate_training(c: &mut Criterion) {
+    let task = Task::node(CitationConfig::cora().scaled(0.15).generate());
+    let arch = Architecture::uniform(NodeAggKind::Gat, 3, Some(LayerAggKind::Concat));
+    let hyper = ModelHyper { hidden: 32, ..ModelHyper::default() };
+    let cfg = TrainConfig { epochs: 30, patience: 0, ..TrainConfig::default() };
+
+    let mut group = c.benchmark_group("candidate_full_training");
+    group.sample_size(10);
+    group.bench_function("gat_jk_30_epochs", |b| {
+        b.iter(|| std::hint::black_box(train_architecture(&task, &arch, &hyper, &cfg)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = search_step;
+    config = Criterion::default().sample_size(10);
+    targets = bench_supernet_epoch, bench_candidate_training
+);
+criterion_main!(search_step);

@@ -1,0 +1,73 @@
+//! Figure 2: the architectures searched by SANE on each dataset, rendered
+//! as text diagrams.
+//!
+//! Run: `cargo run -p sane-bench --release --bin fig2 [--quick|--paper-scale]`
+
+use sane_bench::{benchmark_tasks, HarnessArgs, ResultTable};
+use sane_core::prelude::*;
+use sane_core::supernet::SupernetConfig;
+use sane_gnn::{AggChoice, Architecture, SkipOp};
+
+/// Renders an architecture as an ASCII pipeline diagram in the style of
+/// the paper's Figure 2.
+fn render(arch: &Architecture) -> String {
+    let mut out = String::from("input");
+    for (i, agg) in arch.node_aggs.iter().enumerate() {
+        let name = match agg {
+            AggChoice::Standard(k) => k.name().to_string(),
+            other => format!("{other}"),
+        };
+        out.push_str(&format!(" -> [{name}]"));
+        if arch.skips[i] == SkipOp::Identity {
+            out.push_str(" --skip--> agg");
+        }
+    }
+    if let Some(la) = arch.layer_agg {
+        out.push_str(&format!(" => [{}] -> output", la.name()));
+    } else {
+        out.push_str(" -> output");
+    }
+    out
+}
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let tasks = benchmark_tasks(&args);
+    assert!(!tasks.is_empty(), "dataset filter matched nothing");
+    let mut table =
+        ResultTable::new(format!("Figure 2 — searched architectures (preset: {})", args.scale.name), vec!["architecture".into()]);
+
+    for (name, task) in &tasks {
+        eprintln!("== searching on {name} ==");
+        // Follow the paper: run the search with 5 different seeds, keep the
+        // best of the top-1 architectures by validation after retraining.
+        let mut best: Option<(f64, Architecture)> = None;
+        for s in 0..3u64 {
+            let cfg = SaneSearchConfig {
+                supernet: SupernetConfig { k: 3, hidden: 32, dropout: 0.5, ..Default::default() },
+                epochs: args.scale.search_epochs,
+                seed: args.scale.seed.wrapping_add(s),
+                ..Default::default()
+            };
+            let out = sane_search(task, &cfg);
+            let eval = train_architecture(
+                task,
+                &out.arch,
+                &ModelHyper { hidden: 32, ..ModelHyper::default() },
+                &TrainConfig {
+                    epochs: args.scale.train_epochs,
+                    seed: args.scale.seed,
+                    ..TrainConfig::default()
+                },
+            );
+            if best.as_ref().map(|(b, _)| eval.val_metric > *b).unwrap_or(true) {
+                best = Some((eval.val_metric, out.arch));
+            }
+        }
+        let (val, arch) = best.expect("at least one search ran");
+        println!("{name} (val {:.4}):\n  {}\n", val, render(&arch));
+        table.set(name, "architecture", render(&arch));
+    }
+
+    table.emit(&args.out_dir, "fig2");
+}

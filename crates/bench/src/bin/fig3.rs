@@ -1,0 +1,80 @@
+//! Figure 3: test accuracy vs search time (log10 seconds) for Random,
+//! Bayesian, GraphNAS and SANE. Emits one series per method per dataset.
+//!
+//! Run: `cargo run -p sane-bench --release --bin fig3 [--quick|--paper-scale]`
+
+use serde::Serialize;
+
+use sane_bench::runners::{run_bayesian, run_graphnas_sane_space, run_random};
+use sane_bench::{benchmark_tasks, HarnessArgs};
+use sane_core::prelude::*;
+use sane_core::supernet::SupernetConfig;
+
+#[derive(Serialize)]
+struct Series {
+    dataset: String,
+    method: String,
+    /// `(seconds, test metric of the best-so-far candidate)` points.
+    points: Vec<(f64, f64)>,
+}
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let tasks = benchmark_tasks(&args);
+    assert!(!tasks.is_empty(), "dataset filter matched nothing");
+    let mut all_series: Vec<Series> = Vec::new();
+
+    for (name, task) in &tasks {
+        eprintln!("== {name}: trial-and-error searchers ==");
+        for result in [
+            run_random(task, &args.scale),
+            run_bayesian(task, &args.scale),
+            run_graphnas_sane_space(task, &args.scale, false),
+        ] {
+            let trace = result.trace.as_ref().expect("oracle searchers record traces");
+            all_series.push(Series {
+                dataset: name.clone(),
+                method: result.name.clone(),
+                points: trace.points.iter().map(|p| (p.seconds, p.test_at_best)).collect(),
+            });
+        }
+
+        eprintln!("== {name}: SANE trajectory (checkpointed derivations) ==");
+        let checkpoint_every = (args.scale.search_epochs / 5).max(1);
+        let cfg = SaneSearchConfig {
+            supernet: SupernetConfig { k: 3, hidden: 32, dropout: 0.5, ..Default::default() },
+            epochs: args.scale.search_epochs,
+            checkpoint_every,
+            seed: args.scale.seed,
+            ..Default::default()
+        };
+        let out = sane_search(task, &cfg);
+        let hyper = ModelHyper { hidden: 32, ..ModelHyper::default() };
+        let train = TrainConfig {
+            epochs: args.scale.train_epochs,
+            seed: args.scale.seed,
+            ..TrainConfig::default()
+        };
+        let points: Vec<(f64, f64)> = out
+            .checkpoints
+            .iter()
+            .map(|(secs, arch)| (*secs, train_architecture(task, arch, &hyper, &train).test_metric))
+            .collect();
+        all_series.push(Series { dataset: name.clone(), method: "SANE".into(), points });
+    }
+
+    // Plot-ready text output: log10 time vs test metric.
+    for s in &all_series {
+        println!("\n# {} / {}", s.dataset, s.method);
+        println!("log10(seconds)\ttest_metric");
+        for (secs, metric) in &s.points {
+            println!("{:.3}\t{:.4}", secs.max(1e-3).log10(), metric);
+        }
+    }
+
+    std::fs::create_dir_all(&args.out_dir).expect("create results dir");
+    let path = args.out_dir.join("fig3.json");
+    std::fs::write(&path, serde_json::to_string_pretty(&all_series).expect("serialise"))
+        .expect("write fig3.json");
+    println!("\n[saved {}]", path.display());
+}

@@ -1,0 +1,32 @@
+//! Figure 4a: the influence of the differentiable search — test accuracy
+//! as the ε random-explore probability varies over {0, 0.2, 0.5, 0.9, 1.0}
+//! (ε = 0 is Algorithm 1; ε = 1 is random search with weight sharing).
+//!
+//! Run: `cargo run -p sane-bench --release --bin fig4a [--quick|--paper-scale]`
+
+use sane_bench::runners::run_sane;
+use sane_bench::{benchmark_tasks, Cell, HarnessArgs, ResultTable};
+
+/// The ε grid of Section IV-E1.
+const EPSILONS: [f64; 5] = [0.0, 0.2, 0.5, 0.9, 1.0];
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let tasks = benchmark_tasks(&args);
+    assert!(!tasks.is_empty(), "dataset filter matched nothing");
+    let columns: Vec<String> = EPSILONS.iter().map(|e| format!("eps={e}")).collect();
+    let mut table = ResultTable::new(
+        format!("Figure 4a — test accuracy vs ε (preset: {})", args.scale.name),
+        columns,
+    );
+
+    for (name, task) in &tasks {
+        for &eps in &EPSILONS {
+            eprintln!("== {name}, ε = {eps} ==");
+            let result = run_sane(task, &args.scale, eps, 3);
+            table.set(name, &format!("eps={eps}"), Cell::from_runs(&result.runs));
+        }
+    }
+
+    table.emit(&args.out_dir, "fig4a");
+}

@@ -1,0 +1,31 @@
+//! Figure 4b: the influence of the layer count K — test accuracy of the
+//! SANE-searched architecture as K varies over 1..=6.
+//!
+//! Run: `cargo run -p sane-bench --release --bin fig4b [--quick|--paper-scale]`
+
+use sane_bench::runners::run_sane;
+use sane_bench::{benchmark_tasks, Cell, HarnessArgs, ResultTable};
+
+/// The K grid of Section IV-E2.
+const KS: [usize; 6] = [1, 2, 3, 4, 5, 6];
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let tasks = benchmark_tasks(&args);
+    assert!(!tasks.is_empty(), "dataset filter matched nothing");
+    let columns: Vec<String> = KS.iter().map(|k| format!("K={k}")).collect();
+    let mut table = ResultTable::new(
+        format!("Figure 4b — test accuracy vs K (preset: {})", args.scale.name),
+        columns,
+    );
+
+    for (name, task) in &tasks {
+        for &k in &KS {
+            eprintln!("== {name}, K = {k} ==");
+            let result = run_sane(task, &args.scale, 0.0, k);
+            table.set(name, &format!("K={k}"), Cell::from_runs(&result.runs));
+        }
+    }
+
+    table.emit(&args.out_dir, "fig4b");
+}

@@ -1,0 +1,96 @@
+//! Internal timing probe: breaks one candidate-training step into stages
+//! so performance regressions in the hot path are attributable. Not part
+//! of the paper reproduction; used during development.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sane_autodiff::optim::Adam;
+use sane_autodiff::{Tape, VarStore};
+use sane_core::prelude::*;
+use sane_core::search::darts::node_task_of;
+use sane_data::CitationConfig;
+use sane_gnn::GnnModel;
+
+fn timed<T>(label: &str, iters: usize, mut f: impl FnMut() -> T) {
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let total = start.elapsed().as_secs_f64();
+    println!("{label:<40} {:>10.3} ms/iter ({iters} iters)", total * 1e3 / iters as f64);
+}
+
+fn main() {
+    let ds = CitationConfig::cora().scaled(0.02).generate();
+    println!("graph: {} nodes, {} edges, F={}", ds.graph.num_nodes(), ds.graph.num_edges(), ds.feature_dim());
+    let task = Task::node(ds);
+    let t = node_task_of(&task).unwrap();
+
+    let arch = Architecture::uniform(NodeAggKind::Gat, 3, Some(LayerAggKind::Lstm));
+    let hyper = ModelHyper { hidden: 32, ..ModelHyper::default() };
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut store = VarStore::new();
+    let model = GnnModel::new(arch.clone(), task.feature_dim(), task.num_outputs(), hyper.clone(), &mut store, &mut rng);
+    let mut opt = Adam::new(5e-3, 1e-4);
+
+    timed("forward only (eval mode)", 50, || {
+        let mut tape = Tape::new(0);
+        let x = tape.input(Arc::clone(&t.data.features));
+        model.forward(&mut tape, &store, &t.ctx, x, false)
+    });
+
+    timed("forward (train mode, dropout)", 50, || {
+        let mut tape = Tape::new(1);
+        let x = tape.input(Arc::clone(&t.data.features));
+        model.forward(&mut tape, &store, &t.ctx, x, true)
+    });
+
+    timed("forward + loss + backward", 50, || {
+        let mut tape = Tape::new(1);
+        let x = tape.input(Arc::clone(&t.data.features));
+        let logits = model.forward(&mut tape, &store, &t.ctx, x, true);
+        let loss = tape.cross_entropy(logits, &t.data.labels, &t.data.train);
+        tape.backward(loss)
+    });
+
+    timed("full training step (incl. Adam)", 50, || {
+        let mut tape = Tape::new(1);
+        let x = tape.input(Arc::clone(&t.data.features));
+        let logits = model.forward(&mut tape, &store, &t.ctx, x, true);
+        let loss = tape.cross_entropy(logits, &t.data.labels, &t.data.train);
+        let mut grads = tape.backward(loss);
+        grads.clip_global_norm(5.0);
+        opt.step(&mut store, &grads);
+    });
+
+    timed("train_architecture (full budget)", 3, || {
+        train_architecture(
+            &task,
+            &arch,
+            &hyper,
+            &TrainConfig { epochs: 25, patience: 0, ..TrainConfig::default() },
+        )
+    });
+
+    // Supernet step.
+    let mut store2 = VarStore::new();
+    let mut rng2 = StdRng::seed_from_u64(1);
+    let net = sane_core::supernet::Supernet::new(
+        SupernetConfig { k: 3, hidden: 32, ..Default::default() },
+        task.feature_dim(),
+        task.num_outputs(),
+        &mut store2,
+        &mut rng2,
+    );
+    timed("supernet mixed forward+backward", 20, || {
+        let mut tape = Tape::new(2);
+        let x = tape.input(Arc::clone(&t.data.features));
+        let logits = net.forward_mixed(&mut tape, &store2, &t.ctx, x, true);
+        let loss = tape.cross_entropy(logits, &t.data.labels, &t.data.train);
+        tape.backward(loss)
+    });
+}

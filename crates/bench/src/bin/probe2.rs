@@ -1,0 +1,37 @@
+//! Internal probe: inspect what SANE derives on the lean PPI task and how
+//! the derived architecture retrains. Development aid, not a paper exhibit.
+
+use sane_bench::{benchmark_tasks, HarnessArgs};
+use sane_core::prelude::*;
+use sane_core::supernet::SupernetConfig;
+
+fn main() {
+    let mut args = HarnessArgs::parse(std::env::args().skip(1));
+    args.datasets = Some(vec!["ppi".into()]);
+    args.scale.data_scale = 0.05;
+    let (_, task) = benchmark_tasks(&args).remove(0);
+
+    let cfg = SaneSearchConfig {
+        supernet: SupernetConfig { k: 3, hidden: 32, dropout: 0.5, ..Default::default() },
+        epochs: 25,
+        seed: args.scale.seed,
+        ..Default::default()
+    };
+    let out = sane_search(&task, &cfg);
+    println!("derived: {}", out.arch.describe());
+    println!("alpha node[0]: {:?}", out.alphas.node[0]);
+    println!("alpha layer: {:?}", out.alphas.layer);
+
+    let hyper = ModelHyper { hidden: 32, ..ModelHyper::default() };
+    for epochs in [40usize, 80] {
+        let t = TrainConfig { epochs, seed: 7, ..TrainConfig::default() };
+        let r = train_architecture(&task, &out.arch, &hyper, &t);
+        println!("retrain {epochs} epochs: val {:.3} test {:.3} ran {}", r.val_metric, r.test_metric, r.epochs_run);
+    }
+
+    // Compare: a GAT-JK reference on the same task/config.
+    let reference = Architecture::uniform(NodeAggKind::Gat, 3, Some(LayerAggKind::Lstm));
+    let t = TrainConfig { epochs: 40, seed: 7, ..TrainConfig::default() };
+    let r = train_architecture(&task, &reference, &hyper, &t);
+    println!("reference GAT-JK(LSTM): val {:.3} test {:.3}", r.val_metric, r.test_metric);
+}

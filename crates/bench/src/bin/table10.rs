@@ -1,0 +1,31 @@
+//! Table X: the failure of searching for universal (MLP) aggregators —
+//! Random and Bayesian over the MLP space (w ∈ {8,16,32,64}, d ∈ {1,2,3})
+//! versus SANE over its aggregator space.
+//!
+//! Run: `cargo run -p sane-bench --release --bin table10 [--quick|--paper-scale]`
+
+use sane_bench::runners::{run_mlp_search, run_sane};
+use sane_bench::{benchmark_tasks, Cell, HarnessArgs, ResultTable};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let tasks = benchmark_tasks(&args);
+    assert!(!tasks.is_empty(), "dataset filter matched nothing");
+    let columns: Vec<String> = vec!["Random (MLP)".into(), "Bayesian (MLP)".into(), "SANE".into()];
+    let mut table = ResultTable::new(
+        format!("Table X — searching MLP aggregators vs SANE (preset: {})", args.scale.name),
+        columns,
+    );
+
+    for (name, task) in &tasks {
+        eprintln!("== {name} ==");
+        let random = run_mlp_search(task, &args.scale, false);
+        let bayes = run_mlp_search(task, &args.scale, true);
+        let sane = run_sane(task, &args.scale, 0.0, 3);
+        table.set(name, "Random (MLP)", Cell::from_runs(&random.runs));
+        table.set(name, "Bayesian (MLP)", Cell::from_runs(&bayes.runs));
+        table.set(name, "SANE", Cell::from_runs(&sane.runs));
+    }
+
+    table.emit(&args.out_dir, "table10");
+}

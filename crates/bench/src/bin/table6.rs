@@ -1,0 +1,45 @@
+//! Table VI: performance comparison on transductive (accuracy) and
+//! inductive (micro-F1) tasks — 11 human-designed baselines, 4 NAS
+//! baselines and SANE on Cora / CiteSeer / PubMed / PPI stand-ins.
+//!
+//! Run: `cargo run -p sane-bench --release --bin table6 [--quick|--paper-scale] [--dataset cora]`
+
+use sane_bench::runners::{
+    human_baselines, run_bayesian, run_graphnas_sane_space, run_random, run_sane,
+};
+use sane_bench::{benchmark_tasks, Cell, HarnessArgs, ResultTable};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let tasks = benchmark_tasks(&args);
+    assert!(!tasks.is_empty(), "dataset filter matched nothing");
+    let columns: Vec<String> = tasks.iter().map(|(n, _)| n.clone()).collect();
+    let mut table = ResultTable::new(
+        format!("Table VI — accuracy / micro-F1 (preset: {})", args.scale.name),
+        columns,
+    );
+    let mut archs = ResultTable::new("Searched / selected architectures", vec!["arch".into()]);
+
+    for (name, task) in &tasks {
+        eprintln!("== {name}: human-designed baselines ==");
+        for result in human_baselines(task, &args.scale) {
+            table.set(&result.name, name, Cell::from_runs(&result.runs));
+        }
+        eprintln!("== {name}: NAS baselines ==");
+        for result in [
+            run_random(task, &args.scale),
+            run_bayesian(task, &args.scale),
+            run_graphnas_sane_space(task, &args.scale, false),
+            run_graphnas_sane_space(task, &args.scale, true),
+            run_sane(task, &args.scale, 0.0, 3),
+        ] {
+            table.set(&result.name, name, Cell::from_runs(&result.runs));
+            if let Some(arch) = &result.arch {
+                archs.set(&format!("{} / {}", result.name, name), "arch", arch);
+            }
+        }
+    }
+
+    table.emit(&args.out_dir, "table6");
+    archs.emit(&args.out_dir, "table6_architectures");
+}

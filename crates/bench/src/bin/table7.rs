@@ -1,0 +1,37 @@
+//! Table VII: search wall-clock (seconds) of Random, Bayesian, GraphNAS
+//! and SANE on the four benchmark datasets. The paper's headline here is
+//! the *orders-of-magnitude* gap between one-shot SANE and the
+//! trial-and-error searchers.
+//!
+//! Run: `cargo run -p sane-bench --release --bin table7 [--quick|--paper-scale]`
+
+use sane_bench::runners::{run_bayesian, run_graphnas_sane_space, run_random, run_sane};
+use sane_bench::{benchmark_tasks, HarnessArgs, ResultTable};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let tasks = benchmark_tasks(&args);
+    assert!(!tasks.is_empty(), "dataset filter matched nothing");
+    let columns: Vec<String> = tasks.iter().map(|(n, _)| n.clone()).collect();
+    let mut table = ResultTable::new(
+        format!(
+            "Table VII — search time in seconds ({} candidates / {} supernet epochs, preset: {})",
+            args.scale.nas_samples, args.scale.search_epochs, args.scale.name
+        ),
+        columns,
+    );
+
+    for (name, task) in &tasks {
+        eprintln!("== {name} ==");
+        for result in [
+            run_random(task, &args.scale),
+            run_bayesian(task, &args.scale),
+            run_graphnas_sane_space(task, &args.scale, false),
+            run_sane(task, &args.scale, 0.0, 3),
+        ] {
+            table.set(&result.name, name, format!("{:.1}", result.search_seconds));
+        }
+    }
+
+    table.emit(&args.out_dir, "table7");
+}

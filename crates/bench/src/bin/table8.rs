@@ -1,0 +1,70 @@
+//! Table VIII: the DB task — cross-lingual entity alignment, Hits@{1,10,50}
+//! in both directions for JAPE, GCN-Align and SANE (searched node-aggregator
+//! combination, 2 layers, no layer aggregator).
+//!
+//! Run: `cargo run -p sane-bench --release --bin table8 [--quick|--paper-scale]`
+
+use sane_align::{
+    sane_align_search, train_gnn_align, train_jape_like, AlignSearchConfig, AlignTask,
+    AlignTrainConfig, HITS_KS,
+};
+use sane_bench::{HarnessArgs, ResultTable};
+use sane_data::AlignmentConfig;
+use sane_gnn::{Architecture, NodeAggKind};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let scale = &args.scale;
+    let data = AlignmentConfig::dbp15k().scaled(scale.data_scale).with_seed(scale.seed).generate();
+    eprintln!(
+        "dataset: {} entities, {}/{} edges",
+        data.graph1.num_nodes(),
+        data.graph1.num_edges(),
+        data.graph2.num_edges()
+    );
+    let task = AlignTask::new(data);
+    let train_cfg = AlignTrainConfig {
+        embed_dim: 64,
+        epochs: scale.train_epochs,
+        seed: scale.seed,
+        ..Default::default()
+    };
+
+    let columns: Vec<String> = ["ZH->EN", "EN->ZH"]
+        .iter()
+        .flat_map(|d| HITS_KS.iter().map(move |k| format!("{d} @{k}")))
+        .collect();
+    let mut table = ResultTable::new(
+        format!("Table VIII — entity alignment Hits@K (%) (preset: {})", scale.name),
+        columns,
+    );
+    let set_row = |table: &mut ResultTable, name: &str, out: &sane_align::AlignOutcome| {
+        for (i, k) in HITS_KS.iter().enumerate() {
+            table.set(name, &format!("ZH->EN @{k}"), format!("{:.2}", out.forward[i]));
+            table.set(name, &format!("EN->ZH @{k}"), format!("{:.2}", out.backward[i]));
+        }
+    };
+
+    eprintln!("== JAPE-like baseline ==");
+    let jape = train_jape_like(&task, &train_cfg);
+    set_row(&mut table, "JAPE", &jape);
+
+    eprintln!("== GCN-Align ==");
+    let gcn_arch = Architecture::uniform(NodeAggKind::Gcn, 2, None);
+    let gcn = train_gnn_align(&task, &gcn_arch, &train_cfg);
+    set_row(&mut table, "GCN-Align", &gcn);
+
+    eprintln!("== SANE (searching node-aggregator combination) ==");
+    let search_cfg = AlignSearchConfig {
+        epochs: scale.search_epochs,
+        seed: scale.seed,
+        ..Default::default()
+    };
+    let arch = sane_align_search(&task, &search_cfg);
+    eprintln!("searched architecture: {}", arch.describe());
+    let sane = train_gnn_align(&task, &arch, &train_cfg);
+    set_row(&mut table, "SANE", &sane);
+
+    table.emit(&args.out_dir, "table8");
+    println!("SANE searched architecture: {}", arch.describe());
+}

@@ -1,0 +1,45 @@
+//! Table IX: the efficacy of the SANE search space — GraphNAS and
+//! GraphNAS-WS run over their own space versus over SANE's space with the
+//! same evaluation budget.
+//!
+//! Run: `cargo run -p sane-bench --release --bin table9 [--quick|--paper-scale]`
+
+use sane_bench::runners::{run_graphnas_own_space, run_graphnas_sane_space};
+use sane_bench::{benchmark_tasks, Cell, HarnessArgs, ResultTable};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let tasks = benchmark_tasks(&args);
+    assert!(!tasks.is_empty(), "dataset filter matched nothing");
+    let columns: Vec<String> = tasks.iter().map(|(n, _)| n.clone()).collect();
+    let mut table = ResultTable::new(
+        format!(
+            "Table IX — GraphNAS over its own space vs the SANE space ({} evaluations, preset: {})",
+            args.scale.nas_samples, args.scale.name
+        ),
+        columns,
+    );
+
+    for (name, task) in &tasks {
+        eprintln!("== {name} ==");
+        let rows = [
+            run_graphnas_own_space(task, &args.scale, false),
+            run_graphnas_own_space(task, &args.scale, true),
+            {
+                let mut r = run_graphnas_sane_space(task, &args.scale, false);
+                r.name = "GraphNAS (SANE space)".into();
+                r
+            },
+            {
+                let mut r = run_graphnas_sane_space(task, &args.scale, true);
+                r.name = "GraphNAS-WS (SANE space)".into();
+                r
+            },
+        ];
+        for result in rows {
+            table.set(&result.name, name, Cell::from_runs(&result.runs));
+        }
+    }
+
+    table.emit(&args.out_dir, "table9");
+}

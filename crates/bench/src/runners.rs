@@ -1,0 +1,326 @@
+//! Shared experiment runners used by the table/figure binaries.
+
+use sane_core::hyper::{fine_tune, FineTuneConfig};
+use sane_core::search::graphnas::{train_graphnas_spec, GraphNasSharedPool};
+use sane_core::search::{
+    random_search, reinforce_search, sane_search, tpe_search, GenomeOracle, RandomSearchConfig,
+    ReinforceConfig, SaneSearchConfig, SearchTrace, TpeConfig, WsEvaluator,
+};
+use sane_core::space::{GraphNasSpace, MlpSpace, SaneSpace};
+use sane_core::supernet::SupernetConfig;
+use sane_core::train::{repeated_test_metrics, train_architecture, Task, TrainConfig};
+use sane_gnn::{Activation, Architecture, LayerAggKind, ModelHyper, NodeAggKind};
+
+use crate::BenchScale;
+
+/// The outcome of one method on one dataset.
+#[derive(Clone, Debug)]
+pub struct MethodResult {
+    /// Method name (row label).
+    pub name: String,
+    /// Per-repeat test metrics.
+    pub runs: Vec<f64>,
+    /// Search wall-clock (0 for human-designed baselines).
+    pub search_seconds: f64,
+    /// Best-so-far trajectory, when the method records one.
+    pub trace: Option<SearchTrace>,
+    /// Description of the selected architecture.
+    pub arch: Option<String>,
+}
+
+fn train_cfg(scale: &BenchScale) -> TrainConfig {
+    TrainConfig {
+        epochs: scale.train_epochs,
+        patience: 10,
+        eval_every: 2,
+        seed: scale.seed,
+        ..TrainConfig::default()
+    }
+}
+
+fn search_hyper() -> ModelHyper {
+    // The paper searches with hidden = 32 "for the sake of computational
+    // resource" (Appendix C); candidates are evaluated the same way.
+    ModelHyper { hidden: 32, heads: 1, dropout: 0.5, ..ModelHyper::default() }
+}
+
+/// Retrains an architecture with fine-tuned hyper-parameters and returns
+/// the per-repeat test metrics (the paper's evaluation protocol).
+pub fn finetune_and_repeat(
+    task: &Task,
+    arch: &Architecture,
+    scale: &BenchScale,
+) -> (Vec<f64>, ModelHyper) {
+    let ft = fine_tune(
+        task,
+        arch,
+        &FineTuneConfig {
+            iterations: scale.finetune_iters,
+            epochs: scale.train_epochs,
+            seed: scale.seed,
+        },
+    );
+    let runs = repeated_test_metrics(task, arch, &ft.hyper, &ft.train, scale.repeats);
+    (runs, ft.hyper)
+}
+
+/// The eleven human-designed baseline rows of Table VI.
+///
+/// Groups with variants (GraphSAGE's three aggregators, GAT's five score
+/// functions) are resolved as the paper does: the best variant on
+/// validation is selected, then retrained `repeats` times.
+pub fn human_baselines(task: &Task, scale: &BenchScale) -> Vec<MethodResult> {
+    let jk = if task.is_multilabel() { LayerAggKind::Lstm } else { LayerAggKind::Concat };
+    // Layer counts and activations follow the paper's Table XIII.
+    let groups: Vec<(&str, Vec<NodeAggKind>, usize, Activation)> = vec![
+        ("GCN", vec![NodeAggKind::Gcn], 3, Activation::Elu),
+        (
+            "GraphSAGE",
+            vec![NodeAggKind::SageSum, NodeAggKind::SageMean, NodeAggKind::SageMax],
+            2,
+            Activation::Relu,
+        ),
+        ("GAT", vec![NodeAggKind::Gat, NodeAggKind::GatSym, NodeAggKind::GatCos], 3, Activation::Relu),
+        ("GIN", vec![NodeAggKind::Gin], 3, Activation::Relu),
+        ("GeniePath", vec![NodeAggKind::GeniePath], 3, Activation::Tanh),
+    ];
+    let cfg = train_cfg(scale);
+    let mut results = Vec::new();
+    for (name, variants, k, activation) in groups {
+        let hyper = ModelHyper { activation, ..search_hyper() };
+        for (suffix, layer_agg) in [("", None), ("-JK", Some(jk))] {
+            // Pick the best variant by validation, then repeat it.
+            let mut best: Option<(f64, NodeAggKind)> = None;
+            for &v in &variants {
+                let arch = Architecture::uniform(v, k, layer_agg);
+                let out = train_architecture(task, &arch, &hyper, &cfg);
+                if best.map(|(b, _)| out.val_metric > b).unwrap_or(true) {
+                    best = Some((out.val_metric, v));
+                }
+            }
+            let (_, winner) = best.expect("non-empty variant group");
+            let arch = Architecture::uniform(winner, k, layer_agg);
+            let runs = repeated_test_metrics(task, &arch, &hyper, &cfg, scale.repeats);
+            results.push(MethodResult {
+                name: format!("{name}{suffix}"),
+                runs,
+                search_seconds: 0.0,
+                trace: None,
+                arch: Some(arch.describe()),
+            });
+        }
+    }
+    // LGCN has no -JK variant in the paper.
+    let hyper = search_hyper();
+    let lgcn = Architecture::uniform(sane_gnn::AggChoice::Cnn, 3, None);
+    let runs = repeated_test_metrics(task, &lgcn, &hyper, &cfg, scale.repeats);
+    results.push(MethodResult {
+        name: "LGCN".into(),
+        runs,
+        search_seconds: 0.0,
+        trace: None,
+        arch: Some(lgcn.describe()),
+    });
+    results
+}
+
+fn finish_oracle_search(
+    task: &Task,
+    scale: &BenchScale,
+    name: &str,
+    genome: Vec<usize>,
+    trace: SearchTrace,
+    space: &SaneSpace,
+) -> MethodResult {
+    let arch = space.decode(&genome);
+    let (runs, _) = finetune_and_repeat(task, &arch, scale);
+    MethodResult {
+        name: name.into(),
+        runs,
+        search_seconds: trace.total_seconds(),
+        trace: Some(trace),
+        arch: Some(arch.describe()),
+    }
+}
+
+/// Random search over the SANE space (Table VI row "Random").
+pub fn run_random(task: &Task, scale: &BenchScale) -> MethodResult {
+    let space = SaneSpace::paper();
+    let cat = space.space();
+    let cfg = train_cfg(scale);
+    let hyper = search_hyper();
+    let mut oracle =
+        GenomeOracle::new(|g: &[usize]| train_architecture(task, &space.decode(g), &hyper, &cfg));
+    random_search(
+        &cat,
+        &mut oracle,
+        &RandomSearchConfig { samples: scale.nas_samples, seed: scale.seed },
+    );
+    let (genome, _, trace) = oracle.finish();
+    finish_oracle_search(task, scale, "Random", genome, trace, &space)
+}
+
+/// TPE search over the SANE space (Table VI row "Bayesian").
+pub fn run_bayesian(task: &Task, scale: &BenchScale) -> MethodResult {
+    let space = SaneSpace::paper();
+    let cat = space.space();
+    let cfg = train_cfg(scale);
+    let hyper = search_hyper();
+    let mut oracle =
+        GenomeOracle::new(|g: &[usize]| train_architecture(task, &space.decode(g), &hyper, &cfg));
+    tpe_search(
+        &cat,
+        &mut oracle,
+        &TpeConfig {
+            samples: scale.nas_samples,
+            warmup: (scale.nas_samples / 4).max(3),
+            seed: scale.seed,
+            ..TpeConfig::default()
+        },
+    );
+    let (genome, _, trace) = oracle.finish();
+    finish_oracle_search(task, scale, "Bayesian", genome, trace, &space)
+}
+
+/// GraphNAS over the SANE space, with or without weight sharing
+/// (Table VI rows "GraphNAS" / "GraphNAS-WS" and Table IX's SANE-space rows).
+pub fn run_graphnas_sane_space(task: &Task, scale: &BenchScale, weight_sharing: bool) -> MethodResult {
+    let space = SaneSpace::paper();
+    let cat = space.space();
+    let rl = ReinforceConfig {
+        episodes: scale.nas_samples,
+        final_samples: (scale.nas_samples / 4).clamp(2, 10),
+        seed: scale.seed,
+        ..ReinforceConfig::default()
+    };
+    let name = if weight_sharing { "GraphNAS-WS" } else { "GraphNAS" };
+    let (genome, trace) = if weight_sharing {
+        let mut ws = WsEvaluator::new(
+            task.clone(),
+            SupernetConfig { k: space.k, hidden: 32, dropout: 0.5, ..Default::default() },
+            5e-3,
+            1e-4,
+            scale.ws_steps,
+            scale.seed,
+        );
+        let mut oracle = GenomeOracle::new(|g: &[usize]| ws.evaluate(g));
+        reinforce_search(&cat, &mut oracle, &rl);
+        let (genome, _, trace) = oracle.finish();
+        (genome, trace)
+    } else {
+        let cfg = train_cfg(scale);
+        let hyper = search_hyper();
+        let mut oracle = GenomeOracle::new(|g: &[usize]| {
+            train_architecture(task, &space.decode(g), &hyper, &cfg)
+        });
+        reinforce_search(&cat, &mut oracle, &rl);
+        let (genome, _, trace) = oracle.finish();
+        (genome, trace)
+    };
+    finish_oracle_search(task, scale, name, genome, trace, &space)
+}
+
+/// GraphNAS over its *own* space (Table IX's first two rows).
+pub fn run_graphnas_own_space(task: &Task, scale: &BenchScale, weight_sharing: bool) -> MethodResult {
+    let space = GraphNasSpace { k: 3 };
+    let cat = space.space();
+    let rl = ReinforceConfig {
+        episodes: scale.nas_samples,
+        final_samples: (scale.nas_samples / 4).clamp(2, 10),
+        seed: scale.seed,
+        ..ReinforceConfig::default()
+    };
+    let name =
+        if weight_sharing { "GraphNAS-WS (own space)" } else { "GraphNAS (own space)" };
+    let (genome, trace) = if weight_sharing {
+        let mut pool =
+            GraphNasSharedPool::new(task.clone(), space.k, 5e-3, 1e-4, scale.ws_steps, scale.seed);
+        let mut oracle = GenomeOracle::new(|g: &[usize]| pool.evaluate(&space.decode(g)));
+        reinforce_search(&cat, &mut oracle, &rl);
+        let (genome, _, trace) = oracle.finish();
+        (genome, trace)
+    } else {
+        let cfg = train_cfg(scale);
+        let mut oracle =
+            GenomeOracle::new(|g: &[usize]| train_graphnas_spec(task, &space.decode(g), &cfg));
+        reinforce_search(&cat, &mut oracle, &rl);
+        let (genome, _, trace) = oracle.finish();
+        (genome, trace)
+    };
+    // Retrain the selected spec from scratch `repeats` times.
+    let spec = space.decode(&genome);
+    let cfg = train_cfg(scale);
+    let runs: Vec<f64> = (0..scale.repeats)
+        .map(|r| {
+            let run_cfg = TrainConfig { seed: scale.seed.wrapping_add(500 + r as u64), ..cfg.clone() };
+            train_graphnas_spec(task, &spec, &run_cfg).test_metric
+        })
+        .collect();
+    MethodResult {
+        name: name.into(),
+        runs,
+        search_seconds: trace.total_seconds(),
+        trace: Some(trace),
+        arch: Some(format!("{spec:?}")),
+    }
+}
+
+/// The SANE differentiable search (optionally with ε-explore or a custom
+/// layer count K).
+pub fn run_sane(task: &Task, scale: &BenchScale, epsilon: f64, k: usize) -> MethodResult {
+    let cfg = SaneSearchConfig {
+        supernet: SupernetConfig { k, hidden: 32, dropout: 0.5, ..Default::default() },
+        epochs: scale.search_epochs,
+        epsilon,
+        seed: scale.seed,
+        ..Default::default()
+    };
+    let out = sane_search(task, &cfg);
+    let (runs, _) = finetune_and_repeat(task, &out.arch, scale);
+    MethodResult {
+        name: "SANE".into(),
+        runs,
+        search_seconds: out.wall_seconds,
+        trace: None,
+        arch: Some(out.arch.describe()),
+    }
+}
+
+/// Random or TPE search over the Table X MLP-aggregator space.
+pub fn run_mlp_search(task: &Task, scale: &BenchScale, bayesian: bool) -> MethodResult {
+    let space = MlpSpace { k: 3 };
+    let cat = space.space();
+    let cfg = train_cfg(scale);
+    let hyper = search_hyper();
+    let mut oracle =
+        GenomeOracle::new(|g: &[usize]| train_architecture(task, &space.decode(g), &hyper, &cfg));
+    if bayesian {
+        tpe_search(
+            &cat,
+            &mut oracle,
+            &TpeConfig {
+                samples: scale.nas_samples,
+                warmup: (scale.nas_samples / 4).max(3),
+                seed: scale.seed,
+                ..TpeConfig::default()
+            },
+        );
+    } else {
+        random_search(
+            &cat,
+            &mut oracle,
+            &RandomSearchConfig { samples: scale.nas_samples, seed: scale.seed },
+        );
+    }
+    let (genome, _, trace) = oracle.finish();
+    let arch = space.decode(&genome);
+    let cfg = train_cfg(scale);
+    let runs = repeated_test_metrics(task, &arch, &hyper, &cfg, scale.repeats);
+    MethodResult {
+        name: if bayesian { "Bayesian (MLP)" } else { "Random (MLP)" }.into(),
+        runs,
+        search_seconds: trace.total_seconds(),
+        trace: Some(trace),
+        arch: Some(arch.describe()),
+    }
+}

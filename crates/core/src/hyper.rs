@@ -1,0 +1,128 @@
+//! Hyper-parameter fine-tuning of a derived architecture — the hyperopt
+//! stage the paper applies after every search (Appendix C / Table XII).
+//!
+//! The tuned knobs mirror Table XII: attention heads, hidden embedding
+//! size, learning rate, L2 norm and dropout. The tuner is the same TPE
+//! implementation used by the "Bayesian" baseline, run over a categorical
+//! grid.
+
+use sane_gnn::{Activation, Architecture, ModelHyper};
+
+use crate::search::oracle::GenomeOracle;
+use crate::search::tpe::{tpe_search, TpeConfig};
+use crate::space::CategoricalSpace;
+use crate::train::{train_architecture, Task, TrainConfig, TrainOutcome};
+
+/// Hidden sizes explored by the tuner.
+pub const TUNE_HIDDEN: [usize; 3] = [16, 32, 64];
+/// Attention-head counts explored by the tuner.
+pub const TUNE_HEADS: [usize; 3] = [1, 2, 4];
+/// Learning rates explored by the tuner.
+pub const TUNE_LR: [f32; 4] = [1e-3, 3e-3, 5e-3, 1e-2];
+/// L2 weight-decay values explored by the tuner.
+pub const TUNE_WD: [f32; 3] = [0.0, 1e-4, 5e-4];
+/// Dropout rates explored by the tuner.
+pub const TUNE_DROPOUT: [f32; 3] = [0.2, 0.5, 0.6];
+
+/// Fine-tuning budget.
+#[derive(Clone, Debug)]
+pub struct FineTuneConfig {
+    /// TPE iterations (paper: 50 hyperopt iterations).
+    pub iterations: usize,
+    /// Training epochs per trial.
+    pub epochs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FineTuneConfig {
+    fn default() -> Self {
+        Self { iterations: 20, epochs: 80, seed: 0 }
+    }
+}
+
+/// The tuner's outcome.
+#[derive(Clone, Debug)]
+pub struct FineTuneResult {
+    /// Best model hyper-parameters found.
+    pub hyper: ModelHyper,
+    /// Matching training configuration.
+    pub train: TrainConfig,
+    /// Outcome of the best trial.
+    pub outcome: TrainOutcome,
+}
+
+fn decode(genome: &[usize], epochs: usize, seed: u64) -> (ModelHyper, TrainConfig) {
+    let hyper = ModelHyper {
+        hidden: TUNE_HIDDEN[genome[0]],
+        heads: TUNE_HEADS[genome[1]],
+        dropout: TUNE_DROPOUT[genome[4]],
+        activation: Activation::Relu,
+    };
+    let train = TrainConfig {
+        epochs,
+        lr: TUNE_LR[genome[2]],
+        weight_decay: TUNE_WD[genome[3]],
+        patience: 8,
+        eval_every: 2,
+        seed,
+    };
+    (hyper, train)
+}
+
+/// Tunes hyper-parameters for `arch` on `task` with TPE.
+pub fn fine_tune(task: &Task, arch: &Architecture, cfg: &FineTuneConfig) -> FineTuneResult {
+    let space = CategoricalSpace::new(vec![
+        TUNE_HIDDEN.len(),
+        TUNE_HEADS.len(),
+        TUNE_LR.len(),
+        TUNE_WD.len(),
+        TUNE_DROPOUT.len(),
+    ]);
+    let mut oracle = GenomeOracle::new(|genome: &[usize]| {
+        let (hyper, train) = decode(genome, cfg.epochs, cfg.seed);
+        train_architecture(task, arch, &hyper, &train)
+    });
+    tpe_search(
+        &space,
+        &mut oracle,
+        &TpeConfig {
+            samples: cfg.iterations,
+            warmup: (cfg.iterations / 3).max(4),
+            seed: cfg.seed,
+            ..TpeConfig::default()
+        },
+    );
+    let (genome, outcome, _) = oracle.finish();
+    let (hyper, train) = decode(&genome, cfg.epochs, cfg.seed);
+    FineTuneResult { hyper, train, outcome }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sane_data::CitationConfig;
+    use sane_gnn::NodeAggKind;
+
+    #[test]
+    fn fine_tune_returns_grid_values() {
+        let task = Task::node(CitationConfig::cora().scaled(0.02).generate());
+        let arch = Architecture::uniform(NodeAggKind::Gcn, 2, None);
+        let cfg = FineTuneConfig { iterations: 5, epochs: 8, seed: 1 };
+        let result = fine_tune(&task, &arch, &cfg);
+        assert!(TUNE_HIDDEN.contains(&result.hyper.hidden));
+        assert!(TUNE_HEADS.contains(&result.hyper.heads));
+        assert!(TUNE_LR.contains(&result.train.lr));
+        assert!(result.outcome.val_metric > 0.0);
+    }
+
+    #[test]
+    fn heads_always_divide_hidden() {
+        // Every grid combination must be constructible (GAT requirement).
+        for &h in &TUNE_HIDDEN {
+            for &heads in &TUNE_HEADS {
+                assert_eq!(h % heads, 0, "heads {heads} must divide hidden {h}");
+            }
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! GraphNAS-style models: per-layer `(aggregator, activation, hidden)`
+//! choices (Table IX's "own search space" of GraphNAS / Auto-GNN).
+//!
+//! Two evaluation backends exist:
+//!
+//! * [`GraphNasModel`] — a discrete model trained from scratch (the plain
+//!   GraphNAS trial-and-error evaluator);
+//! * [`GraphNasSharedPool`] — an ENAS-style shared-weight pool where every
+//!   `(layer, aggregator)` pair is instantiated once at the maximum width
+//!   and sampled widths are realised by column slicing + zero padding
+//!   (the GraphNAS-WS evaluator).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sane_autodiff::optim::Adam;
+use sane_autodiff::{Matrix, Tape, Tensor, VarStore};
+use sane_gnn::{build_aggregator, GraphContext, Linear, NodeAggregator};
+
+use crate::search::ws::ws_train_steps;
+use crate::space::{GraphNasSpec, GRAPHNAS_AGGS, GRAPHNAS_HIDDEN};
+use crate::train::{NodeModel, Task, TrainOutcome};
+
+/// Dropout used by GraphNAS-style models (fixed; the space already mixes
+/// in enough hyper-parameters).
+const GRAPHNAS_DROPOUT: f32 = 0.5;
+
+/// A discrete GraphNAS architecture, built layer by layer with per-layer
+/// hidden widths and activations.
+pub struct GraphNasModel {
+    layers: Vec<(Box<dyn NodeAggregator>, sane_gnn::Activation)>,
+    classifier: Linear,
+}
+
+impl GraphNasModel {
+    /// Builds the model for `spec`, registering parameters in `store`.
+    pub fn new(
+        spec: &GraphNasSpec,
+        in_dim: usize,
+        num_outputs: usize,
+        store: &mut VarStore,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert!(!spec.layers.is_empty(), "GraphNAS spec needs at least one layer");
+        let mut layers = Vec::with_capacity(spec.layers.len());
+        let mut prev = in_dim;
+        for l in &spec.layers {
+            let agg = build_aggregator(l.agg, store, rng, prev, l.hidden, 1);
+            layers.push((agg, l.act));
+            prev = l.hidden;
+        }
+        let classifier = Linear::new(store, rng, "graphnas.classifier", prev, num_outputs);
+        Self { layers, classifier }
+    }
+}
+
+impl NodeModel for GraphNasModel {
+    fn forward(
+        &self,
+        tape: &mut Tape,
+        store: &VarStore,
+        ctx: &GraphContext,
+        features: Tensor,
+        training: bool,
+    ) -> Tensor {
+        let dropout = if training { GRAPHNAS_DROPOUT } else { 0.0 };
+        let mut h = features;
+        for (agg, act) in &self.layers {
+            h = tape.dropout(h, dropout);
+            h = agg.forward(tape, store, ctx, h);
+            h = act.apply(tape, h);
+        }
+        self.classifier.forward(tape, store, h)
+    }
+}
+
+/// Trains a GraphNAS spec from scratch (the non-WS evaluator).
+pub fn train_graphnas_spec(
+    task: &Task,
+    spec: &GraphNasSpec,
+    cfg: &crate::train::TrainConfig,
+) -> TrainOutcome {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut store = VarStore::new();
+    let model = GraphNasModel::new(spec, task.feature_dim(), task.num_outputs(), &mut store, &mut rng);
+    crate::train::train_model(task, &model, &mut store, cfg)
+}
+
+/// The maximum width used by the shared pool (the largest hidden size in
+/// the GraphNAS space).
+fn max_width() -> usize {
+    *GRAPHNAS_HIDDEN.iter().max().expect("non-empty")
+}
+
+/// ENAS-style shared-weight pool over the GraphNAS space.
+///
+/// Every `(layer, aggregator kind)` pair is built once at `max_width`;
+/// evaluating a spec slices each layer's output down to the sampled width
+/// and zero-pads it back so the next layer's shared weights always see the
+/// same input dimensionality.
+pub struct GraphNasSharedPool {
+    task: Task,
+    aggs: Vec<Vec<Box<dyn NodeAggregator>>>,
+    classifier: Linear,
+    store: VarStore,
+    opt: Adam,
+    /// Optimisation steps per candidate evaluation.
+    pub steps_per_eval: usize,
+    seed: u64,
+    evals: u64,
+}
+
+/// A view of the pool restricted to one spec (implements [`NodeModel`]).
+/// Borrows only the shared-op fields so the store and optimizer stay free
+/// for mutation during training steps.
+struct PoolView<'a> {
+    aggs: &'a [Vec<Box<dyn NodeAggregator>>],
+    classifier: &'a Linear,
+    spec: &'a GraphNasSpec,
+}
+
+impl NodeModel for PoolView<'_> {
+    fn forward(
+        &self,
+        tape: &mut Tape,
+        store: &VarStore,
+        ctx: &GraphContext,
+        features: Tensor,
+        training: bool,
+    ) -> Tensor {
+        let dropout = if training { GRAPHNAS_DROPOUT } else { 0.0 };
+        let wmax = max_width();
+        let n = tape.value(features).rows();
+        let mut h = features;
+        for (l, layer) in self.spec.layers.iter().enumerate() {
+            let agg_idx = GRAPHNAS_AGGS
+                .iter()
+                .position(|&k| k == layer.agg)
+                .expect("spec aggregator belongs to the GraphNAS space");
+            let h_in = tape.dropout(h, dropout);
+            let full = self.aggs[l][agg_idx].forward(tape, store, ctx, h_in);
+            let act_input =
+                if layer.hidden < wmax { tape.slice_cols(full, 0, layer.hidden) } else { full };
+            let activated = layer.act.apply(tape, act_input);
+            h = if layer.hidden < wmax {
+                let pad = tape.constant(Matrix::zeros(n, wmax - layer.hidden));
+                tape.concat_cols(&[activated, pad])
+            } else {
+                activated
+            };
+        }
+        self.classifier.forward(tape, store, h)
+    }
+}
+
+impl GraphNasSharedPool {
+    /// Builds the pool for a `k`-layer GraphNAS space on `task`.
+    pub fn new(task: Task, k: usize, lr: f32, weight_decay: f32, steps_per_eval: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = VarStore::new();
+        let wmax = max_width();
+        let mut aggs = Vec::with_capacity(k);
+        for l in 0..k {
+            let layer_in = if l == 0 { task.feature_dim() } else { wmax };
+            aggs.push(
+                GRAPHNAS_AGGS
+                    .iter()
+                    .map(|&kind| build_aggregator(kind, &mut store, &mut rng, layer_in, wmax, 1))
+                    .collect::<Vec<_>>(),
+            );
+        }
+        let classifier = Linear::new(&mut store, &mut rng, "pool.classifier", wmax, task.num_outputs());
+        Self {
+            task,
+            aggs,
+            classifier,
+            store,
+            opt: Adam::new(lr, weight_decay),
+            steps_per_eval,
+            seed,
+            evals: 0,
+        }
+    }
+
+    /// Weight-sharing evaluation of one spec.
+    pub fn evaluate(&mut self, spec: &GraphNasSpec) -> TrainOutcome {
+        assert_eq!(spec.layers.len(), self.aggs.len(), "spec depth mismatch");
+        self.evals += 1;
+        let seed = self.seed.wrapping_mul(131).wrapping_add(self.evals);
+        let view = PoolView { aggs: &self.aggs, classifier: &self.classifier, spec };
+        ws_train_steps(&self.task, &view, &mut self.store, &mut self.opt, self.steps_per_eval, seed);
+        let (val, test) = super::ws::eval_metrics(&self.task, &view, &self.store);
+        TrainOutcome { val_metric: val, test_metric: test, epochs_run: self.steps_per_eval }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{GraphNasLayer, GraphNasSpace};
+    use crate::train::TrainConfig;
+    use sane_data::CitationConfig;
+    use sane_gnn::{Activation, NodeAggKind};
+
+    fn tiny_task() -> Task {
+        Task::node(CitationConfig::cora().scaled(0.02).generate())
+    }
+
+    fn spec() -> GraphNasSpec {
+        GraphNasSpec {
+            layers: vec![
+                GraphNasLayer { agg: NodeAggKind::Gcn, act: Activation::Relu, hidden: 16 },
+                GraphNasLayer { agg: NodeAggKind::Gat, act: Activation::Elu, hidden: 8 },
+            ],
+        }
+    }
+
+    #[test]
+    fn discrete_model_trains() {
+        let task = tiny_task();
+        let cfg = TrainConfig { epochs: 25, patience: 0, ..TrainConfig::default() };
+        let out = train_graphnas_spec(&task, &spec(), &cfg);
+        assert!(out.val_metric > 0.25, "val {}", out.val_metric);
+    }
+
+    #[test]
+    fn decode_and_train_random_specs() {
+        let task = tiny_task();
+        let space = GraphNasSpace { k: 2 };
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = TrainConfig { epochs: 4, ..TrainConfig::default() };
+        for _ in 0..3 {
+            let genome = space.space().sample(&mut rng);
+            let spec = space.decode(&genome);
+            let out = train_graphnas_spec(&task, &spec, &cfg);
+            assert!((0.0..=1.0).contains(&out.val_metric));
+        }
+    }
+
+    #[test]
+    fn shared_pool_evaluates_varied_widths() {
+        let task = tiny_task();
+        let mut pool = GraphNasSharedPool::new(task, 2, 5e-3, 1e-4, 2, 0);
+        for hidden in [8usize, 32, 64] {
+            let s = GraphNasSpec {
+                layers: vec![
+                    GraphNasLayer { agg: NodeAggKind::SageMean, act: Activation::Relu, hidden },
+                    GraphNasLayer { agg: NodeAggKind::Gcn, act: Activation::Tanh, hidden: 16 },
+                ],
+            };
+            let out = pool.evaluate(&s);
+            assert!((0.0..=1.0).contains(&out.val_metric), "hidden {hidden}");
+        }
+    }
+
+    #[test]
+    fn shared_pool_improves_with_repeated_training() {
+        let task = tiny_task();
+        let mut pool = GraphNasSharedPool::new(task, 2, 5e-3, 1e-4, 4, 1);
+        let s = spec();
+        let first = pool.evaluate(&s).val_metric;
+        for _ in 0..10 {
+            pool.evaluate(&s);
+        }
+        let later = pool.evaluate(&s).val_metric;
+        assert!(later >= first, "{first} -> {later}");
+    }
+}

@@ -1,0 +1,178 @@
+//! Tree-structured Parzen estimator (Bergstra et al. 2011) over
+//! categorical spaces — the paper's "Bayesian" baseline (hyperopt).
+//!
+//! For purely categorical dimensions the Parzen estimators reduce to
+//! smoothed categorical distributions: observations are split into a
+//! "good" set (top `gamma` quantile by score) and a "bad" set, per-dimension
+//! counts give `l(x)` and `g(x)`, and candidates drawn from `l` are ranked
+//! by the expected-improvement proxy `l(x) / g(x)`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::search::oracle::GenomeOracle;
+use crate::space::CategoricalSpace;
+
+/// TPE settings.
+#[derive(Clone, Debug)]
+pub struct TpeConfig {
+    /// Total evaluations (paper: 200).
+    pub samples: usize,
+    /// Uniform random warm-up evaluations before the model kicks in.
+    pub warmup: usize,
+    /// Quantile separating good from bad observations.
+    pub gamma: f64,
+    /// Candidates drawn from `l(x)` per iteration.
+    pub candidates: usize,
+    /// Laplace smoothing added to every category count.
+    pub smoothing: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TpeConfig {
+    fn default() -> Self {
+        Self { samples: 200, warmup: 20, gamma: 0.25, candidates: 24, smoothing: 1.0, seed: 0 }
+    }
+}
+
+/// Per-dimension smoothed categorical distribution.
+struct Parzen {
+    probs: Vec<Vec<f64>>,
+}
+
+impl Parzen {
+    fn fit(space: &CategoricalSpace, observations: &[&Vec<usize>], smoothing: f64) -> Self {
+        let probs = space
+            .dims
+            .iter()
+            .enumerate()
+            .map(|(d, &card)| {
+                let mut counts = vec![smoothing; card];
+                for obs in observations {
+                    counts[obs[d]] += 1.0;
+                }
+                let total: f64 = counts.iter().sum();
+                counts.into_iter().map(|c| c / total).collect()
+            })
+            .collect();
+        Self { probs }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> Vec<usize> {
+        self.probs
+            .iter()
+            .map(|p| {
+                let mut u: f64 = rng.gen();
+                for (i, &pi) in p.iter().enumerate() {
+                    if u < pi {
+                        return i;
+                    }
+                    u -= pi;
+                }
+                p.len() - 1
+            })
+            .collect()
+    }
+
+    fn log_prob(&self, genome: &[usize]) -> f64 {
+        self.probs.iter().zip(genome).map(|(p, &g)| p[g].ln()).sum()
+    }
+}
+
+/// Runs TPE through the oracle.
+pub fn tpe_search(space: &CategoricalSpace, oracle: &mut GenomeOracle<'_>, cfg: &TpeConfig) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut history: Vec<(Vec<usize>, f64)> = Vec::with_capacity(cfg.samples);
+
+    for step in 0..cfg.samples {
+        let genome = if step < cfg.warmup || history.len() < 4 {
+            space.sample(&mut rng)
+        } else {
+            // Split observations by score quantile.
+            let mut sorted: Vec<&(Vec<usize>, f64)> = history.iter().collect();
+            sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
+            let n_good = ((sorted.len() as f64 * cfg.gamma).ceil() as usize).clamp(1, sorted.len() - 1);
+            let good: Vec<&Vec<usize>> = sorted[..n_good].iter().map(|(g, _)| g).collect();
+            let bad: Vec<&Vec<usize>> = sorted[n_good..].iter().map(|(g, _)| g).collect();
+            let l = Parzen::fit(space, &good, cfg.smoothing);
+            let g = Parzen::fit(space, &bad, cfg.smoothing);
+            // Draw candidates from l, rank by l/g.
+            let mut best_candidate = l.sample(&mut rng);
+            let mut best_score = l.log_prob(&best_candidate) - g.log_prob(&best_candidate);
+            for _ in 1..cfg.candidates {
+                let c = l.sample(&mut rng);
+                let s = l.log_prob(&c) - g.log_prob(&c);
+                if s > best_score {
+                    best_score = s;
+                    best_candidate = c;
+                }
+            }
+            best_candidate
+        };
+        let val = oracle.evaluate(&genome);
+        history.push((genome, val));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::TrainOutcome;
+
+    /// A separable objective: score = Σ matches with a hidden target.
+    fn run_tpe(samples: usize, seed: u64) -> f64 {
+        let space = CategoricalSpace::new(vec![6; 6]);
+        let target = [1usize, 4, 2, 0, 5, 3];
+        let mut oracle = GenomeOracle::new(|g: &[usize]| {
+            let score = g.iter().zip(&target).filter(|(a, b)| a == b).count() as f64;
+            TrainOutcome { val_metric: score, test_metric: score, epochs_run: 1 }
+        });
+        tpe_search(
+            &space,
+            &mut oracle,
+            &TpeConfig { samples, warmup: 10, seed, ..TpeConfig::default() },
+        );
+        oracle.best().unwrap().1.val_metric
+    }
+
+    #[test]
+    fn tpe_beats_random_on_separable_objective() {
+        // With 6^6 = 46,656 configurations and 80 samples, random search
+        // rarely exceeds 4/6 matches; TPE should consistently reach ≥ 5.
+        let best = run_tpe(80, 3);
+        assert!(best >= 5.0, "tpe best {best}");
+    }
+
+    #[test]
+    fn tpe_is_deterministic_by_seed() {
+        assert_eq!(run_tpe(40, 11), run_tpe(40, 11));
+    }
+
+    #[test]
+    fn parzen_fit_is_a_distribution() {
+        let space = CategoricalSpace::new(vec![3, 2]);
+        let obs1 = vec![0usize, 1];
+        let obs2 = vec![2usize, 1];
+        let obs = vec![&obs1, &obs2];
+        let p = Parzen::fit(&space, &obs, 0.5);
+        for dim in &p.probs {
+            let s: f64 = dim.iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+            assert!(dim.iter().all(|&v| v > 0.0));
+        }
+        // Observed categories get more mass than unobserved.
+        assert!(p.probs[0][0] > p.probs[0][1]);
+    }
+
+    #[test]
+    fn parzen_sampling_respects_probs() {
+        let space = CategoricalSpace::new(vec![2]);
+        let heavy = vec![0usize];
+        let obs = vec![&heavy, &heavy, &heavy, &heavy];
+        let p = Parzen::fit(&space, &obs, 0.1);
+        let mut rng = StdRng::seed_from_u64(0);
+        let zeros = (0..200).filter(|_| p.sample(&mut rng)[0] == 0).count();
+        assert!(zeros > 150, "sampled zero {zeros}/200 times");
+    }
+}

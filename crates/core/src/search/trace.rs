@@ -1,0 +1,73 @@
+//! Search-progress traces: the (time, best-so-far) curves behind the
+//! paper's Figure 3.
+
+use serde::{Deserialize, Serialize};
+
+/// One point on a search trajectory.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TracePoint {
+    /// Wall-clock seconds since the search started.
+    pub seconds: f64,
+    /// Candidate evaluations performed so far.
+    pub evaluations: usize,
+    /// Best validation metric so far.
+    pub best_val: f64,
+    /// Test metric of the best-validation candidate so far.
+    pub test_at_best: f64,
+}
+
+/// A full search trajectory.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SearchTrace {
+    /// Points in chronological order.
+    pub points: Vec<TracePoint>,
+}
+
+impl SearchTrace {
+    /// Appends a point; keeps `best_val` monotone by construction of the
+    /// callers (asserted in debug builds).
+    pub fn push(&mut self, point: TracePoint) {
+        if let Some(last) = self.points.last() {
+            debug_assert!(point.best_val >= last.best_val - 1e-12, "best_val must be monotone");
+            debug_assert!(point.seconds >= last.seconds - 1e-9, "time must be monotone");
+        }
+        self.points.push(point);
+    }
+
+    /// The final best validation metric.
+    pub fn final_best_val(&self) -> f64 {
+        self.points.last().map(|p| p.best_val).unwrap_or(f64::NEG_INFINITY)
+    }
+
+    /// The test metric associated with the final best candidate.
+    pub fn final_test(&self) -> f64 {
+        self.points.last().map(|p| p.test_at_best).unwrap_or(0.0)
+    }
+
+    /// Total search wall-clock.
+    pub fn total_seconds(&self) -> f64 {
+        self.points.last().map(|p| p.seconds).unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_accumulates_and_reports() {
+        let mut t = SearchTrace::default();
+        t.push(TracePoint { seconds: 1.0, evaluations: 1, best_val: 0.5, test_at_best: 0.4 });
+        t.push(TracePoint { seconds: 2.0, evaluations: 2, best_val: 0.7, test_at_best: 0.65 });
+        assert_eq!(t.final_best_val(), 0.7);
+        assert_eq!(t.final_test(), 0.65);
+        assert_eq!(t.total_seconds(), 2.0);
+    }
+
+    #[test]
+    fn empty_trace_defaults() {
+        let t = SearchTrace::default();
+        assert_eq!(t.final_test(), 0.0);
+        assert!(t.final_best_val().is_infinite());
+    }
+}

@@ -1,0 +1,134 @@
+//! Consistency tests between the supernet and the discrete model class:
+//! the continuous relaxation must honestly represent the discrete space.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sane_autodiff::{Matrix, Tape, VarStore};
+use sane_core::space::SaneSpace;
+use sane_core::supernet::{SampledPath, Supernet, SupernetConfig};
+use sane_gnn::{AggChoice, GraphContext, LayerAggKind, NodeAggKind, SkipOp};
+use sane_graph::Graph;
+
+fn setup(k: usize) -> (GraphContext, Supernet, VarStore, Matrix) {
+    let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (1, 4)]);
+    let ctx = GraphContext::new(&g);
+    let mut store = VarStore::new();
+    let mut rng = StdRng::seed_from_u64(42);
+    let cfg = SupernetConfig { k, hidden: 8, dropout: 0.0, ..Default::default() };
+    let net = Supernet::new(cfg, 4, 3, &mut store, &mut rng);
+    let x = Matrix::from_fn(6, 4, |r, c| ((r * 4 + c) as f32 * 0.37).sin());
+    (ctx, net, store, x)
+}
+
+/// When α puts (almost) all mass on one path, the mixed forward converges
+/// to the sampled forward of that path (up to the layer-agg projection,
+/// which both modes share).
+#[test]
+fn saturated_alpha_matches_sampled_path() {
+    let (ctx, net, mut store, x) = setup(2);
+    let path = SampledPath { node: vec![3, 0], skip: vec![0, 0], layer: 1 };
+
+    // Saturate every α at the path's choices.
+    let alpha_ids: Vec<_> = net.alpha_params().to_vec();
+    // Layout: k node alphas, k skip alphas, 1 layer alpha.
+    for (l, &id) in alpha_ids.iter().take(2).enumerate() {
+        let mut m = Matrix::zeros(1, 11);
+        m.set(0, path.node[l], 60.0);
+        store.set(id, m);
+    }
+    for (l, &id) in alpha_ids.iter().skip(2).take(2).enumerate() {
+        let mut m = Matrix::zeros(1, 2);
+        m.set(0, path.skip[l], 60.0);
+        store.set(id, m);
+    }
+    let mut m = Matrix::zeros(1, 3);
+    m.set(0, path.layer, 60.0);
+    store.set(alpha_ids[4], m);
+
+    let mut t1 = Tape::new(0);
+    let xt = t1.constant(x.clone());
+    let mixed = net.forward_mixed(&mut t1, &store, &ctx, xt, false);
+
+    let mut t2 = Tape::new(0);
+    let xt2 = t2.constant(x);
+    let sampled = net.forward_sampled(&mut t2, &store, &ctx, xt2, false, &path);
+
+    for (a, b) in t1.value(mixed).data().iter().zip(t2.value(sampled).data()) {
+        assert!((a - b).abs() < 1e-3, "mixed {a} vs sampled {b}");
+    }
+    // And the derivation matches the saturated path.
+    let arch = net.derive(&store);
+    assert_eq!(arch, net.path_architecture(&path));
+}
+
+/// Every genome of the discrete space corresponds to a runnable supernet
+/// path and decodes to the same architecture via both routes.
+#[test]
+fn genome_path_architecture_agreement() {
+    let (ctx, net, store, x) = setup(3);
+    let space = SaneSpace { k: 3 };
+    let cat = space.space();
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..25 {
+        let genome = cat.sample(&mut rng);
+        let path = SampledPath {
+            node: genome[..3].to_vec(),
+            skip: genome[3..6].to_vec(),
+            layer: genome[6],
+        };
+        assert_eq!(space.decode(&genome), net.path_architecture(&path));
+
+        let mut tape = Tape::new(0);
+        let xt = tape.constant(x.clone());
+        let out = net.forward_sampled(&mut tape, &store, &ctx, xt, false, &path);
+        assert_eq!(tape.value(out).shape(), (6, 3));
+        assert!(!tape.value(out).has_non_finite());
+    }
+}
+
+/// Derivation covers the whole operation sets: forcing the α arg-max onto
+/// every option yields every option back.
+#[test]
+fn derive_reaches_every_operation() {
+    let (_, net, mut store, _) = setup(2);
+    let alpha_ids: Vec<_> = net.alpha_params().to_vec();
+    for (i, kind) in NodeAggKind::ALL.iter().enumerate() {
+        let mut m = Matrix::zeros(1, 11);
+        m.set(0, i, 9.0);
+        store.set(alpha_ids[0], m);
+        let arch = net.derive(&store);
+        assert_eq!(arch.node_aggs[0], AggChoice::Standard(*kind));
+    }
+    for (i, skip) in SkipOp::ALL.iter().enumerate() {
+        let mut m = Matrix::zeros(1, 2);
+        m.set(0, i, 9.0);
+        store.set(alpha_ids[2], m);
+        assert_eq!(net.derive(&store).skips[0], *skip);
+    }
+    for (i, la) in LayerAggKind::ALL.iter().enumerate() {
+        let mut m = Matrix::zeros(1, 3);
+        m.set(0, i, 9.0);
+        store.set(alpha_ids[4], m);
+        assert_eq!(net.derive(&store).layer_agg, Some(*la));
+    }
+}
+
+/// The mixed forward is differentiable end-to-end: a single backward pass
+/// reaches every α and every operation weight (no dead branches).
+#[test]
+fn mixed_forward_reaches_all_parameters() {
+    let (ctx, net, store, x) = setup(2);
+    let mut tape = Tape::new(0);
+    let xt = tape.constant(x);
+    let out = net.forward_mixed(&mut tape, &store, &ctx, xt, false);
+    let loss = tape.mean_all(out);
+    let grads = tape.backward(loss);
+    let mut missing = Vec::new();
+    for &p in net.alpha_params().iter().chain(net.weight_params()) {
+        if grads.get(p).is_none() {
+            missing.push(store.name(p).to_string());
+        }
+    }
+    assert!(missing.is_empty(), "dead parameters in the supernet: {missing:?}");
+}

@@ -1,0 +1,278 @@
+//! Synthetic citation networks — the stand-ins for Cora, CiteSeer and
+//! PubMed.
+//!
+//! Real citation benchmarks pair a homophilous graph with sparse,
+//! class-correlated bag-of-words features. The generator reproduces both
+//! properties: the graph is an SBM tuned to hit the paper's node/edge
+//! counts and a target edge homophily, and features are binary bags of
+//! words drawn from class topics.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sane_autodiff::Matrix;
+use sane_graph::generators::sbm;
+
+use crate::splits::stratified_split;
+use crate::task::NodeDataset;
+
+/// Configuration of a synthetic citation dataset.
+#[derive(Clone, Debug)]
+pub struct CitationConfig {
+    /// Dataset name.
+    pub name: String,
+    /// Number of nodes `N`.
+    pub num_nodes: usize,
+    /// Number of classes `C`.
+    pub num_classes: usize,
+    /// Bag-of-words feature dimension `F`.
+    pub feature_dim: usize,
+    /// Target undirected edge count `E`.
+    pub target_edges: usize,
+    /// Target edge homophily (fraction of within-class edges).
+    pub homophily: f64,
+    /// Words drawn per document.
+    pub words_per_doc: usize,
+    /// Probability a word is drawn from the node's class topic rather than
+    /// the global vocabulary.
+    pub topic_sharpness: f64,
+    /// Master seed (graph, features and splits all derive from it).
+    pub seed: u64,
+}
+
+impl CitationConfig {
+    /// Cora-like preset: N=2708, E≈5278, F=1433, C=7 (Table IV).
+    pub fn cora() -> Self {
+        Self {
+            name: "cora-syn".into(),
+            num_nodes: 2708,
+            num_classes: 7,
+            feature_dim: 1433,
+            target_edges: 5278,
+            homophily: 0.81,
+            words_per_doc: 18,
+            topic_sharpness: 0.85,
+            seed: 0xC08A,
+        }
+    }
+
+    /// CiteSeer-like preset: N=3327, E≈4552, F=3703, C=6 (Table IV).
+    pub fn citeseer() -> Self {
+        Self {
+            name: "citeseer-syn".into(),
+            num_nodes: 3327,
+            num_classes: 6,
+            feature_dim: 3703,
+            target_edges: 4552,
+            homophily: 0.74,
+            words_per_doc: 32,
+            topic_sharpness: 0.8,
+            seed: 0xC17E,
+        }
+    }
+
+    /// PubMed-like preset: N=19717, E≈44324, F=500, C=3 (Table IV).
+    pub fn pubmed() -> Self {
+        Self {
+            name: "pubmed-syn".into(),
+            num_nodes: 19717,
+            num_classes: 3,
+            feature_dim: 500,
+            target_edges: 44324,
+            homophily: 0.8,
+            words_per_doc: 50,
+            topic_sharpness: 0.75,
+            seed: 0x9B3D,
+        }
+    }
+
+    /// Shrinks node / edge / feature counts by `factor` (for fast benches
+    /// and CI), keeping class count, homophily and density character.
+    ///
+    /// # Panics
+    /// Panics if `factor` is not in `(0, 1]`.
+    pub fn scaled(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0 && factor <= 1.0, "scale factor must be in (0, 1]");
+        let min_nodes = self.num_classes * 8;
+        self.num_nodes = ((self.num_nodes as f64 * factor) as usize).max(min_nodes);
+        self.target_edges = ((self.target_edges as f64 * factor) as usize).max(self.num_nodes);
+        self.feature_dim = ((self.feature_dim as f64 * factor) as usize).max(32);
+        self.words_per_doc = self.words_per_doc.min(self.feature_dim / 2).max(4);
+        self
+    }
+
+    /// Returns a copy with a different seed (for repeated runs).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Class sizes with mild imbalance (real citation classes are uneven).
+    fn class_sizes(&self) -> Vec<usize> {
+        let c = self.num_classes;
+        let weights: Vec<f64> = (0..c).map(|i| 1.0 + 0.35 * ((i as f64) * 1.7).sin()).collect();
+        let total: f64 = weights.iter().sum();
+        let mut sizes: Vec<usize> =
+            weights.iter().map(|w| (self.num_nodes as f64 * w / total) as usize).collect();
+        let assigned: usize = sizes.iter().sum();
+        sizes[0] += self.num_nodes - assigned;
+        sizes
+    }
+
+    /// Derives SBM probabilities hitting `target_edges` and `homophily`.
+    fn sbm_probs(&self, sizes: &[usize]) -> Vec<Vec<f64>> {
+        let c = sizes.len();
+        let within_pairs: f64 = sizes.iter().map(|&s| (s * s.saturating_sub(1) / 2) as f64).sum();
+        let mut cross_pairs = 0.0;
+        for i in 0..c {
+            for j in (i + 1)..c {
+                cross_pairs += (sizes[i] * sizes[j]) as f64;
+            }
+        }
+        let e = self.target_edges as f64;
+        let p_in = (self.homophily * e / within_pairs).min(1.0);
+        let p_out = if cross_pairs > 0.0 {
+            ((1.0 - self.homophily) * e / cross_pairs).min(1.0)
+        } else {
+            0.0
+        };
+        (0..c).map(|i| (0..c).map(|j| if i == j { p_in } else { p_out }).collect()).collect()
+    }
+
+    /// Generates the dataset.
+    pub fn generate(&self) -> NodeDataset {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let sizes = self.class_sizes();
+        let probs = self.sbm_probs(&sizes);
+        let (graph, labels) = sbm(&sizes, &probs, &mut rng);
+
+        // Topic model: each word's home class is fixed; a document of class
+        // c draws from c's words with probability `topic_sharpness`.
+        let f = self.feature_dim;
+        let c = self.num_classes;
+        let mut features = Matrix::zeros(self.num_nodes, f);
+        let class_words: Vec<Vec<usize>> = (0..c)
+            .map(|cls| (0..f).filter(|w| w % c == cls).collect::<Vec<_>>())
+            .collect();
+        for node in 0..self.num_nodes {
+            let cls = labels[node] as usize;
+            for _ in 0..self.words_per_doc {
+                let word = if rng.gen_bool(self.topic_sharpness) {
+                    class_words[cls][rng.gen_range(0..class_words[cls].len())]
+                } else {
+                    rng.gen_range(0..f)
+                };
+                features.set(node, word, 1.0);
+            }
+        }
+
+        let (train, val, test) = stratified_split(&labels, 0.6, 0.2, &mut rng);
+        let ds = NodeDataset {
+            name: self.name.clone(),
+            graph,
+            features: Arc::new(features),
+            labels: Arc::new(labels),
+            num_classes: c,
+            train: Arc::new(train),
+            val: Arc::new(val),
+            test: Arc::new(test),
+        };
+        ds.validate();
+        ds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_cora_matches_protocol() {
+        let ds = CitationConfig::cora().scaled(0.1).generate();
+        ds.validate();
+        assert_eq!(ds.num_classes, 7);
+        // 60/20/20 split.
+        let n = ds.graph.num_nodes() as f64;
+        assert!((ds.train.len() as f64 / n - 0.6).abs() < 0.03);
+        assert!((ds.val.len() as f64 / n - 0.2).abs() < 0.03);
+    }
+
+    #[test]
+    fn graph_is_homophilous() {
+        let cfg = CitationConfig::cora().scaled(0.2);
+        let ds = cfg.generate();
+        let h = ds.graph.edge_homophily(&ds.labels);
+        assert!(h > 0.6, "homophily {h} too low");
+    }
+
+    #[test]
+    fn edge_count_tracks_target() {
+        let cfg = CitationConfig::cora().scaled(0.25);
+        let ds = cfg.clone().generate();
+        let e = ds.graph.num_edges() as f64;
+        assert!(
+            (e - cfg.target_edges as f64).abs() < 0.3 * cfg.target_edges as f64,
+            "edges {e} vs target {}",
+            cfg.target_edges
+        );
+    }
+
+    #[test]
+    fn features_are_class_correlated() {
+        let ds = CitationConfig::citeseer().scaled(0.1).generate();
+        // Mean within-class feature dot product should exceed cross-class.
+        let mut same = 0.0f64;
+        let mut cross = 0.0f64;
+        let (mut n_same, mut n_cross) = (0, 0);
+        for i in (0..ds.graph.num_nodes()).step_by(7) {
+            for j in (i + 1..ds.graph.num_nodes()).step_by(13) {
+                let dot: f32 = ds
+                    .features
+                    .row(i)
+                    .iter()
+                    .zip(ds.features.row(j))
+                    .map(|(a, b)| a * b)
+                    .sum();
+                if ds.labels[i] == ds.labels[j] {
+                    same += dot as f64;
+                    n_same += 1;
+                } else {
+                    cross += dot as f64;
+                    n_cross += 1;
+                }
+            }
+        }
+        assert!(same / n_same as f64 > 1.5 * (cross / n_cross as f64).max(1e-9));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = CitationConfig::cora().scaled(0.05).generate();
+        let b = CitationConfig::cora().scaled(0.05).generate();
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.features.data(), b.features.data());
+        assert_eq!(a.train, b.train);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = CitationConfig::cora().scaled(0.05).generate();
+        let b = CitationConfig::cora().scaled(0.05).with_seed(99).generate();
+        assert_ne!(a.features.data(), b.features.data());
+    }
+
+    #[test]
+    fn paper_scale_presets_have_table4_statistics() {
+        for (cfg, n, f, c) in [
+            (CitationConfig::cora(), 2708, 1433, 7),
+            (CitationConfig::citeseer(), 3327, 3703, 6),
+            (CitationConfig::pubmed(), 19717, 500, 3),
+        ] {
+            assert_eq!(cfg.num_nodes, n);
+            assert_eq!(cfg.feature_dim, f);
+            assert_eq!(cfg.num_classes, c);
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Synthetic whole-graph classification dataset — the substrate for the
+//! paper's stated future-work direction (Section V: "explore beyond node
+//! classification … e.g., the whole graph classification. In these cases,
+//! different graph pooling methods can be searched").
+//!
+//! Classes are topology families whose discrimination genuinely requires
+//! aggregating structure (node features alone are degree histograms):
+//!
+//! * class 0 — Erdős–Rényi (homogeneous degrees, no hubs),
+//! * class 1 — Barabási–Albert (heavy-tailed degrees, hubs),
+//! * class 2 — two planted communities (modular structure).
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sane_autodiff::Matrix;
+use sane_graph::generators::{gnm, planted_partition, preferential_attachment};
+use sane_graph::Graph;
+
+use crate::splits::stratified_split;
+
+/// One labelled graph of a graph-classification dataset.
+#[derive(Clone)]
+pub struct LabelledWholeGraph {
+    /// The graph.
+    pub graph: Graph,
+    /// `n x F` node features (bucketised degree + noise).
+    pub features: Arc<Matrix>,
+    /// Graph-level class.
+    pub label: u32,
+}
+
+/// A whole-graph classification dataset with graph-level splits.
+#[derive(Clone)]
+pub struct GraphClsDataset {
+    /// Dataset name.
+    pub name: String,
+    /// All graphs.
+    pub graphs: Vec<LabelledWholeGraph>,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Feature dimension.
+    pub feature_dim: usize,
+    /// Indices of training graphs.
+    pub train: Vec<usize>,
+    /// Indices of validation graphs.
+    pub val: Vec<usize>,
+    /// Indices of test graphs.
+    pub test: Vec<usize>,
+}
+
+impl GraphClsDataset {
+    /// Sanity checks.
+    ///
+    /// # Panics
+    /// Panics when an invariant is violated.
+    pub fn validate(&self) {
+        assert!(!self.graphs.is_empty(), "dataset has no graphs");
+        for (i, g) in self.graphs.iter().enumerate() {
+            assert_eq!(g.features.rows(), g.graph.num_nodes(), "graph {i} features mismatch");
+            assert_eq!(g.features.cols(), self.feature_dim, "graph {i} feature dim");
+            assert!((g.label as usize) < self.num_classes, "graph {i} label out of range");
+        }
+        let total = self.train.len() + self.val.len() + self.test.len();
+        assert_eq!(total, self.graphs.len(), "splits must cover every graph");
+        let mut seen = vec![false; self.graphs.len()];
+        for &i in self.train.iter().chain(&self.val).chain(&self.test) {
+            assert!(i < self.graphs.len() && !seen[i], "bad split index {i}");
+            seen[i] = true;
+        }
+    }
+}
+
+/// Configuration of the topology-family dataset.
+#[derive(Clone, Debug)]
+pub struct GraphClsConfig {
+    /// Dataset name.
+    pub name: String,
+    /// Graphs per class.
+    pub graphs_per_class: usize,
+    /// Minimum nodes per graph.
+    pub min_nodes: usize,
+    /// Maximum nodes per graph.
+    pub max_nodes: usize,
+    /// Feature dimension (degree buckets).
+    pub feature_dim: usize,
+    /// Average degree target.
+    pub avg_degree: f64,
+    /// Feature noise (probability of a flipped bucket).
+    pub noise: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl GraphClsConfig {
+    /// A laptop-scale default: 3 classes x 60 graphs of 20–40 nodes.
+    pub fn topology() -> Self {
+        Self {
+            name: "topology-syn".into(),
+            graphs_per_class: 60,
+            min_nodes: 20,
+            max_nodes: 40,
+            feature_dim: 16,
+            avg_degree: 4.0,
+            noise: 0.05,
+            seed: 0x96C5,
+        }
+    }
+
+    /// Scales the number of graphs by `factor`.
+    ///
+    /// # Panics
+    /// Panics if `factor` is not in `(0, 1]`.
+    pub fn scaled(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0 && factor <= 1.0, "scale factor must be in (0, 1]");
+        self.graphs_per_class = ((self.graphs_per_class as f64 * factor) as usize).max(6);
+        self
+    }
+
+    /// Returns a copy with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn degree_features(&self, graph: &Graph, rng: &mut StdRng) -> Matrix {
+        let n = graph.num_nodes();
+        let f = self.feature_dim;
+        let mut features = Matrix::zeros(n, f);
+        for v in 0..n {
+            // Log-bucketised degree: separates hubs from homogeneous nodes
+            // without leaking the class label directly.
+            let deg = graph.degree(v) as f64;
+            let bucket = ((deg + 1.0).log2() * 2.0) as usize;
+            let bucket = bucket.min(f - 1);
+            features.set(v, bucket, 1.0);
+            if rng.gen_bool(self.noise) {
+                let flip = rng.gen_range(0..f);
+                features.set(v, flip, 1.0);
+            }
+        }
+        features
+    }
+
+    /// Generates the dataset (60/20/20 graph split, stratified by class).
+    pub fn generate(&self) -> GraphClsDataset {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let num_classes = 3usize;
+        let mut graphs = Vec::with_capacity(num_classes * self.graphs_per_class);
+        let mut labels = Vec::with_capacity(num_classes * self.graphs_per_class);
+        for class in 0..num_classes as u32 {
+            for _ in 0..self.graphs_per_class {
+                let n = rng.gen_range(self.min_nodes..=self.max_nodes);
+                let m = (n as f64 * self.avg_degree / 2.0) as usize;
+                let graph = match class {
+                    0 => gnm(n, m, &mut rng),
+                    1 => {
+                        let attach = (self.avg_degree / 2.0).round().max(1.0) as usize;
+                        preferential_attachment(n, attach.min(n - 1), &mut rng)
+                    }
+                    _ => {
+                        let block = (n / 2).max(2);
+                        let pairs_in = (block * (block - 1)) as f64; // two blocks
+                        let p_in = (0.8 * m as f64 / pairs_in).min(1.0);
+                        let p_out = (0.4 * m as f64 / (block * block) as f64).min(1.0);
+                        let (g, _) = planted_partition(2, block, p_in, p_out, &mut rng);
+                        g
+                    }
+                };
+                let features = self.degree_features(&graph, &mut rng);
+                graphs.push(LabelledWholeGraph { graph, features: Arc::new(features), label: class });
+                labels.push(class);
+            }
+        }
+        let (train, val, test) = stratified_split(&labels, 0.6, 0.2, &mut rng);
+        let ds = GraphClsDataset {
+            name: self.name.clone(),
+            graphs,
+            num_classes,
+            feature_dim: self.feature_dim,
+            train: train.into_iter().map(|i| i as usize).collect(),
+            val: val.into_iter().map(|i| i as usize).collect(),
+            test: test.into_iter().map(|i| i as usize).collect(),
+        };
+        ds.validate();
+        ds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> GraphClsDataset {
+        GraphClsConfig::topology().scaled(0.15).generate()
+    }
+
+    #[test]
+    fn dataset_shape_and_splits() {
+        let ds = small();
+        ds.validate();
+        assert_eq!(ds.num_classes, 3);
+        assert_eq!(ds.graphs.len(), 3 * 9);
+        let total = ds.train.len() + ds.val.len() + ds.test.len();
+        assert_eq!(total, ds.graphs.len());
+    }
+
+    #[test]
+    fn classes_have_distinct_topology_statistics() {
+        let ds = GraphClsConfig::topology().scaled(0.3).generate();
+        let avg_max_degree = |class: u32| -> f64 {
+            let items: Vec<&LabelledWholeGraph> =
+                ds.graphs.iter().filter(|g| g.label == class).collect();
+            items.iter().map(|g| g.graph.max_degree() as f64).sum::<f64>() / items.len() as f64
+        };
+        // BA graphs (class 1) have clearly larger hubs than ER (class 0).
+        assert!(
+            avg_max_degree(1) > avg_max_degree(0) + 1.0,
+            "BA {} vs ER {}",
+            avg_max_degree(1),
+            avg_max_degree(0)
+        );
+    }
+
+    #[test]
+    fn determinism() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.graphs[3].features.data(), b.graphs[3].features.data());
+        assert_eq!(
+            a.graphs[7].graph.edges().collect::<Vec<_>>(),
+            b.graphs[7].graph.edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn every_split_contains_every_class() {
+        let ds = small();
+        for (name, split) in [("train", &ds.train), ("val", &ds.val), ("test", &ds.test)] {
+            let mut present = vec![false; ds.num_classes];
+            for &i in split.iter() {
+                present[ds.graphs[i].label as usize] = true;
+            }
+            assert!(present.iter().all(|&p| p), "{name} misses a class");
+        }
+    }
+}

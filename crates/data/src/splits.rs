@@ -1,0 +1,108 @@
+//! Train/validation/test split helpers.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// Stratified node split: every class is split `train_frac / val_frac /
+/// rest` independently, so class balance is preserved in each partition
+/// (the paper splits 60/20/20 per graph).
+///
+/// Returns `(train, val, test)` node id lists.
+///
+/// # Panics
+/// Panics if the fractions are negative or sum above 1.
+pub fn stratified_split(
+    labels: &[u32],
+    train_frac: f64,
+    val_frac: f64,
+    rng: &mut StdRng,
+) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+    assert!(train_frac >= 0.0 && val_frac >= 0.0, "fractions must be non-negative");
+    assert!(train_frac + val_frac <= 1.0 + 1e-9, "train + val fractions exceed 1");
+    let num_classes = labels.iter().map(|&l| l as usize + 1).max().unwrap_or(0);
+    let mut by_class: Vec<Vec<u32>> = vec![Vec::new(); num_classes];
+    for (i, &l) in labels.iter().enumerate() {
+        by_class[l as usize].push(i as u32);
+    }
+    let (mut train, mut val, mut test) = (Vec::new(), Vec::new(), Vec::new());
+    for members in &mut by_class {
+        members.shuffle(rng);
+        let n = members.len();
+        let n_train = (n as f64 * train_frac).round() as usize;
+        let n_val = ((n as f64 * val_frac).round() as usize).min(n - n_train);
+        train.extend_from_slice(&members[..n_train]);
+        val.extend_from_slice(&members[n_train..n_train + n_val]);
+        test.extend_from_slice(&members[n_train + n_val..]);
+    }
+    train.sort_unstable();
+    val.sort_unstable();
+    test.sort_unstable();
+    (train, val, test)
+}
+
+/// Plain random split of `n` items into three parts.
+pub fn random_split(
+    n: usize,
+    train_frac: f64,
+    val_frac: f64,
+    rng: &mut StdRng,
+) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+    let mut ids: Vec<u32> = (0..n as u32).collect();
+    ids.shuffle(rng);
+    let n_train = (n as f64 * train_frac).round() as usize;
+    let n_val = ((n as f64 * val_frac).round() as usize).min(n - n_train);
+    let test = ids.split_off(n_train + n_val);
+    let val = ids.split_off(n_train);
+    (ids, val, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stratified_split_covers_all_nodes() {
+        let labels: Vec<u32> = (0..100).map(|i| (i % 4) as u32).collect();
+        let mut rng = StdRng::seed_from_u64(0);
+        let (tr, va, te) = stratified_split(&labels, 0.6, 0.2, &mut rng);
+        assert_eq!(tr.len() + va.len() + te.len(), 100);
+        let mut all: Vec<u32> = tr.iter().chain(&va).chain(&te).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 100);
+    }
+
+    #[test]
+    fn stratified_split_preserves_class_balance() {
+        let labels: Vec<u32> = (0..200).map(|i| (i % 2) as u32).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (tr, _, _) = stratified_split(&labels, 0.5, 0.25, &mut rng);
+        let class0 = tr.iter().filter(|&&i| labels[i as usize] == 0).count();
+        assert_eq!(class0, tr.len() - class0, "train set should be class balanced");
+    }
+
+    #[test]
+    fn split_fractions_are_respected() {
+        let labels = vec![0u32; 1000];
+        let mut rng = StdRng::seed_from_u64(2);
+        let (tr, va, te) = stratified_split(&labels, 0.6, 0.2, &mut rng);
+        assert_eq!(tr.len(), 600);
+        assert_eq!(va.len(), 200);
+        assert_eq!(te.len(), 200);
+    }
+
+    #[test]
+    fn random_split_deterministic_by_seed() {
+        let mut r1 = StdRng::seed_from_u64(3);
+        let mut r2 = StdRng::seed_from_u64(3);
+        assert_eq!(random_split(50, 0.5, 0.3, &mut r1), random_split(50, 0.5, 0.3, &mut r2));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed 1")]
+    fn rejects_bad_fractions() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = stratified_split(&[0, 1], 0.9, 0.5, &mut rng);
+    }
+}

@@ -1,0 +1,222 @@
+//! Dataset containers for the paper's three task families.
+
+use std::sync::Arc;
+
+use sane_autodiff::Matrix;
+use sane_graph::Graph;
+
+/// A transductive node-classification dataset: one graph, one feature
+/// matrix, integer labels, and train/val/test node splits (60/20/20 in the
+/// paper's protocol).
+#[derive(Clone)]
+pub struct NodeDataset {
+    /// Dataset name (e.g. `cora-syn`).
+    pub name: String,
+    /// The graph.
+    pub graph: Graph,
+    /// `n x F` node features.
+    pub features: Arc<Matrix>,
+    /// Integer class label per node.
+    pub labels: Arc<Vec<u32>>,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Training node ids.
+    pub train: Arc<Vec<u32>>,
+    /// Validation node ids.
+    pub val: Arc<Vec<u32>>,
+    /// Test node ids.
+    pub test: Arc<Vec<u32>>,
+}
+
+impl NodeDataset {
+    /// Feature dimension.
+    pub fn feature_dim(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Sanity checks (sizes, label range, split disjointness).
+    ///
+    /// # Panics
+    /// Panics when an invariant is violated.
+    pub fn validate(&self) {
+        let n = self.graph.num_nodes();
+        assert_eq!(self.features.rows(), n, "features/nodes mismatch");
+        assert_eq!(self.labels.len(), n, "labels/nodes mismatch");
+        assert!(
+            self.labels.iter().all(|&l| (l as usize) < self.num_classes),
+            "label out of range"
+        );
+        let total = self.train.len() + self.val.len() + self.test.len();
+        assert_eq!(total, n, "splits must cover every node exactly once");
+        let mut seen = vec![false; n];
+        for idx in self.train.iter().chain(self.val.iter()).chain(self.test.iter()) {
+            let i = *idx as usize;
+            assert!(i < n, "split index out of bounds");
+            assert!(!seen[i], "node {i} appears in two splits");
+            seen[i] = true;
+        }
+    }
+}
+
+/// One graph of a multi-graph (inductive) dataset with multi-label targets.
+#[derive(Clone)]
+pub struct LabelledGraph {
+    /// The graph.
+    pub graph: Graph,
+    /// `n x F` node features.
+    pub features: Arc<Matrix>,
+    /// `n x L` binary label matrix.
+    pub targets: Arc<Matrix>,
+}
+
+impl LabelledGraph {
+    /// All node ids of this graph (inductive training uses every node).
+    pub fn all_nodes(&self) -> Arc<Vec<u32>> {
+        Arc::new((0..self.graph.num_nodes() as u32).collect())
+    }
+}
+
+/// An inductive multi-graph dataset (the PPI protocol: disjoint graph sets
+/// for train / validation / test).
+#[derive(Clone)]
+pub struct MultiGraphDataset {
+    /// Dataset name (e.g. `ppi-syn`).
+    pub name: String,
+    /// All graphs.
+    pub graphs: Vec<LabelledGraph>,
+    /// Indices of training graphs.
+    pub train_graphs: Vec<usize>,
+    /// Indices of validation graphs.
+    pub val_graphs: Vec<usize>,
+    /// Indices of test graphs.
+    pub test_graphs: Vec<usize>,
+    /// Number of labels `L`.
+    pub num_labels: usize,
+}
+
+impl MultiGraphDataset {
+    /// Feature dimension (identical across graphs).
+    pub fn feature_dim(&self) -> usize {
+        self.graphs[0].features.cols()
+    }
+
+    /// Total node count across all graphs.
+    pub fn total_nodes(&self) -> usize {
+        self.graphs.iter().map(|g| g.graph.num_nodes()).sum()
+    }
+
+    /// Total undirected edge count across all graphs.
+    pub fn total_edges(&self) -> usize {
+        self.graphs.iter().map(|g| g.graph.num_edges()).sum()
+    }
+
+    /// Sanity checks.
+    ///
+    /// # Panics
+    /// Panics when an invariant is violated.
+    pub fn validate(&self) {
+        assert!(!self.graphs.is_empty(), "dataset has no graphs");
+        let f = self.feature_dim();
+        for (i, g) in self.graphs.iter().enumerate() {
+            assert_eq!(g.features.rows(), g.graph.num_nodes(), "graph {i} features mismatch");
+            assert_eq!(g.features.cols(), f, "graph {i} feature dim mismatch");
+            assert_eq!(g.targets.shape(), (g.graph.num_nodes(), self.num_labels));
+            assert!(
+                g.targets.data().iter().all(|&v| v == 0.0 || v == 1.0),
+                "targets must be binary"
+            );
+        }
+        let total = self.train_graphs.len() + self.val_graphs.len() + self.test_graphs.len();
+        assert_eq!(total, self.graphs.len(), "graph splits must cover every graph");
+        let mut seen = vec![false; self.graphs.len()];
+        for &i in
+            self.train_graphs.iter().chain(self.val_graphs.iter()).chain(self.test_graphs.iter())
+        {
+            assert!(i < self.graphs.len() && !seen[i], "bad graph split");
+            seen[i] = true;
+        }
+    }
+}
+
+/// A cross-lingual entity-alignment dataset (the DB task): two structural
+/// views of a shared entity space with seed alignment links.
+#[derive(Clone)]
+pub struct AlignmentDataset {
+    /// Dataset name (e.g. `dbp15k-syn`).
+    pub name: String,
+    /// First knowledge graph (e.g. "ZH").
+    pub graph1: Graph,
+    /// Second knowledge graph (e.g. "EN").
+    pub graph2: Graph,
+    /// Features of graph 1 nodes.
+    pub features1: Arc<Matrix>,
+    /// Features of graph 2 nodes.
+    pub features2: Arc<Matrix>,
+    /// Seed alignment pairs for training `(node in g1, node in g2)`.
+    pub train_pairs: Vec<(u32, u32)>,
+    /// Validation pairs.
+    pub val_pairs: Vec<(u32, u32)>,
+    /// Test pairs.
+    pub test_pairs: Vec<(u32, u32)>,
+}
+
+impl AlignmentDataset {
+    /// Total number of alignment links.
+    pub fn total_pairs(&self) -> usize {
+        self.train_pairs.len() + self.val_pairs.len() + self.test_pairs.len()
+    }
+
+    /// Sanity checks.
+    ///
+    /// # Panics
+    /// Panics when an invariant is violated.
+    pub fn validate(&self) {
+        assert_eq!(self.features1.rows(), self.graph1.num_nodes());
+        assert_eq!(self.features2.rows(), self.graph2.num_nodes());
+        assert_eq!(self.features1.cols(), self.features2.cols(), "views must share feature dim");
+        for &(a, b) in
+            self.train_pairs.iter().chain(self.val_pairs.iter()).chain(self.test_pairs.iter())
+        {
+            assert!((a as usize) < self.graph1.num_nodes(), "pair out of bounds in g1");
+            assert!((b as usize) < self.graph2.num_nodes(), "pair out of bounds in g2");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_dataset_validate_catches_overlap() {
+        let graph = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let ds = NodeDataset {
+            name: "t".into(),
+            graph,
+            features: Arc::new(Matrix::zeros(3, 2)),
+            labels: Arc::new(vec![0, 1, 0]),
+            num_classes: 2,
+            train: Arc::new(vec![0, 1]),
+            val: Arc::new(vec![1]),
+            test: Arc::new(vec![2]),
+        };
+        let result = std::panic::catch_unwind(|| ds.validate());
+        assert!(result.is_err(), "overlapping splits must be rejected");
+    }
+
+    #[test]
+    fn node_dataset_validate_ok() {
+        let graph = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let ds = NodeDataset {
+            name: "t".into(),
+            graph,
+            features: Arc::new(Matrix::zeros(3, 2)),
+            labels: Arc::new(vec![0, 1, 0]),
+            num_classes: 2,
+            train: Arc::new(vec![0]),
+            val: Arc::new(vec![1]),
+            test: Arc::new(vec![2]),
+        };
+        ds.validate();
+    }
+}

@@ -1,0 +1,96 @@
+//! Property and protocol tests for the synthetic dataset generators.
+
+use proptest::prelude::*;
+
+use sane_data::{AlignmentConfig, CitationConfig, PpiConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Citation splits follow the 60/20/20 protocol at any scale/seed.
+    #[test]
+    fn citation_split_protocol(scale in 0.02f64..0.1, seed in 0u64..1_000) {
+        let ds = CitationConfig::citeseer().scaled(scale).with_seed(seed).generate();
+        ds.validate();
+        let n = ds.graph.num_nodes() as f64;
+        prop_assert!((ds.train.len() as f64 / n - 0.6).abs() < 0.05);
+        prop_assert!((ds.val.len() as f64 / n - 0.2).abs() < 0.05);
+        prop_assert!((ds.test.len() as f64 / n - 0.2).abs() < 0.05);
+    }
+
+    /// Every class appears in every split (stratification).
+    #[test]
+    fn citation_splits_are_stratified(seed in 0u64..1_000) {
+        let ds = CitationConfig::cora().scaled(0.05).with_seed(seed).generate();
+        for (name, split) in [("train", &ds.train), ("val", &ds.val), ("test", &ds.test)] {
+            let mut present = vec![false; ds.num_classes];
+            for &i in split.iter() {
+                present[ds.labels[i as usize] as usize] = true;
+            }
+            prop_assert!(present.iter().all(|&p| p), "{name} split misses a class");
+        }
+    }
+
+    /// PPI graph splits are disjoint and features have a usable scale.
+    #[test]
+    fn ppi_protocol(seed in 0u64..1_000) {
+        let ds = PpiConfig { num_graphs: 6, ..PpiConfig::ppi().scaled(0.03) }
+            .with_seed(seed)
+            .generate();
+        ds.validate();
+        // Train graphs must not appear in val/test.
+        for &t in &ds.train_graphs {
+            prop_assert!(!ds.val_graphs.contains(&t));
+            prop_assert!(!ds.test_graphs.contains(&t));
+        }
+        // Feature magnitudes are O(1) (centroids are unit-normal).
+        let f = &ds.graphs[0].features;
+        prop_assert!(f.max_abs() < 20.0);
+        prop_assert!(f.frob_norm() > 0.0);
+    }
+
+    /// Alignment pair splits partition the full identity alignment.
+    #[test]
+    fn alignment_pairs_partition(seed in 0u64..1_000) {
+        let ds = AlignmentConfig::dbp15k().scaled(0.02).with_seed(seed).generate();
+        ds.validate();
+        let mut seen = vec![false; ds.graph1.num_nodes()];
+        for &(a, b) in
+            ds.train_pairs.iter().chain(ds.val_pairs.iter()).chain(ds.test_pairs.iter())
+        {
+            prop_assert_eq!(a, b, "synthetic truth is the identity");
+            prop_assert!(!seen[a as usize], "entity {} in two splits", a);
+            seen[a as usize] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s), "some entity missing from all splits");
+    }
+}
+
+/// The paper-scale presets match Table IV / V statistics.
+#[test]
+fn paper_scale_statistics() {
+    let cora = CitationConfig::cora();
+    assert_eq!((cora.num_nodes, cora.feature_dim, cora.num_classes), (2708, 1433, 7));
+    let cs = CitationConfig::citeseer();
+    assert_eq!((cs.num_nodes, cs.feature_dim, cs.num_classes), (3327, 3703, 6));
+    let pm = CitationConfig::pubmed();
+    assert_eq!((pm.num_nodes, pm.feature_dim, pm.num_classes), (19717, 500, 3));
+    let ppi = PpiConfig::ppi();
+    assert_eq!((ppi.num_graphs, ppi.feature_dim, ppi.num_labels), (24, 121, 50));
+    let al = AlignmentConfig::dbp15k();
+    assert_eq!(al.num_entities, 15_000);
+    assert!((al.train_frac, al.val_frac) == (0.3, 0.1));
+}
+
+/// Edge counts at paper scale land near Table IV (generated graphs are
+/// random, so allow a loose band).
+#[test]
+fn cora_paper_scale_edge_count() {
+    // Generating full Cora is cheap (~5k edges); PubMed is skipped here to
+    // keep the test fast.
+    let ds = CitationConfig::cora().generate();
+    let e = ds.graph.num_edges() as f64;
+    assert!((e - 5278.0).abs() < 0.15 * 5278.0, "edges {e}");
+    assert_eq!(ds.graph.num_nodes(), 2708);
+    assert_eq!(ds.feature_dim(), 1433);
+}

@@ -1,0 +1,135 @@
+//! GeniePath aggregator (Liu et al. 2019): an attentive *breadth* step
+//! (GAT-style, `tanh` scores) followed by a gated *depth* step that decides
+//! how much of the newly aggregated signal enters the node's memory.
+//!
+//! The original GeniePath threads an LSTM memory across layers. Inside
+//! SANE's per-layer search space each layer is an independent op, so —
+//! like the official SANE/GraphNAS implementations — the memory cell is
+//! derived from the layer input (`C_prev = h · W_mem`), which preserves the
+//! defining breadth-then-gated-depth structure within a single layer.
+
+use rand::rngs::StdRng;
+
+use sane_autodiff::{glorot_init, ParamId, Tape, Tensor, VarStore};
+
+use crate::agg::{Linear, NodeAggregator};
+use crate::context::GraphContext;
+
+/// GeniePath adaptive-receptive-path aggregator.
+pub struct GeniePathAggregator {
+    /// Breadth: projection and tanh-scored attention.
+    w: ParamId,
+    a_src: ParamId,
+    a_dst: ParamId,
+    /// Depth: gates over the aggregated signal.
+    gate_i: Linear,
+    gate_f: Linear,
+    gate_o: Linear,
+    cell: Linear,
+    mem: Linear,
+    out_dim: usize,
+}
+
+impl GeniePathAggregator {
+    pub fn new(store: &mut VarStore, rng: &mut StdRng, in_dim: usize, out_dim: usize) -> Self {
+        Self {
+            w: store.add("geniepath.w", glorot_init(in_dim, out_dim, rng)),
+            a_src: store.add("geniepath.a_src", glorot_init(out_dim, 1, rng)),
+            a_dst: store.add("geniepath.a_dst", glorot_init(out_dim, 1, rng)),
+            gate_i: Linear::new(store, rng, "geniepath.i", out_dim, out_dim),
+            gate_f: Linear::new(store, rng, "geniepath.f", out_dim, out_dim),
+            gate_o: Linear::new(store, rng, "geniepath.o", out_dim, out_dim),
+            cell: Linear::new(store, rng, "geniepath.c", out_dim, out_dim),
+            mem: Linear::new(store, rng, "geniepath.mem", in_dim, out_dim),
+            out_dim,
+        }
+    }
+}
+
+impl NodeAggregator for GeniePathAggregator {
+    fn forward(&self, tape: &mut Tape, store: &VarStore, ctx: &GraphContext, h: Tensor) -> Tensor {
+        let layout = &ctx.layout;
+        // --- Breadth: tanh-scored attention over Ñ(v). ---
+        let w = tape.param(store, self.w);
+        let wh = tape.matmul(h, w);
+        let a_src = tape.param(store, self.a_src);
+        let a_dst = tape.param(store, self.a_dst);
+        let s_src = tape.matmul(wh, a_src);
+        let s_dst = tape.matmul(wh, a_dst);
+        let e_src = tape.gather_rows(s_src, &layout.src);
+        let e_dst = tape.gather_rows(s_dst, &layout.dst);
+        let raw = tape.add(e_src, e_dst);
+        let scores = tape.tanh(raw);
+        let alpha = tape.segment_softmax(scores, &layout.segments);
+        let messages = tape.gather_rows(wh, &layout.src);
+        let weighted = tape.mul_col_broadcast(messages, alpha);
+        let agg = tape.segment_sum(weighted, &layout.segments);
+        let breadth = tape.tanh(agg);
+
+        // --- Depth: LSTM-style gating with memory derived from the input. ---
+        let iz = self.gate_i.forward(tape, store, breadth);
+        let i = tape.sigmoid(iz);
+        let fz = self.gate_f.forward(tape, store, breadth);
+        let f = tape.sigmoid(fz);
+        let oz = self.gate_o.forward(tape, store, breadth);
+        let o = tape.sigmoid(oz);
+        let cz = self.cell.forward(tape, store, breadth);
+        let c_tilde = tape.tanh(cz);
+        let c_prev = self.mem.forward(tape, store, h);
+        let keep = tape.mul(f, c_prev);
+        let write = tape.mul(i, c_tilde);
+        let c = tape.add(keep, write);
+        let c_act = tape.tanh(c);
+        tape.mul(o, c_act)
+    }
+
+    fn params(&self) -> Vec<ParamId> {
+        let mut p = vec![self.w, self.a_src, self.a_dst];
+        for l in [&self.gate_i, &self.gate_f, &self.gate_o, &self.cell, &self.mem] {
+            p.extend(l.params());
+        }
+        p
+    }
+
+    fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sane_autodiff::Matrix;
+    use sane_graph::Graph;
+
+    #[test]
+    fn output_is_bounded_by_gating() {
+        // o * tanh(c) with o in (0,1) and tanh in (-1,1) keeps outputs in (-1,1).
+        let ctx = GraphContext::new(&Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]));
+        let mut store = VarStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let agg = GeniePathAggregator::new(&mut store, &mut rng, 4, 6);
+        let mut tape = Tape::new(0);
+        let h = tape.constant(Matrix::from_fn(5, 4, |r, c| (r as f32 - c as f32) * 10.0));
+        let out = agg.forward(&mut tape, &store, &ctx, h);
+        assert!(tape.value(out).max_abs() < 1.0);
+        assert!(!tape.value(out).has_non_finite());
+    }
+
+    #[test]
+    fn all_params_receive_gradients() {
+        let ctx = GraphContext::new(&Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]));
+        let mut store = VarStore::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let agg = GeniePathAggregator::new(&mut store, &mut rng, 3, 4);
+        let mut tape = Tape::new(0);
+        let h = tape.constant(Matrix::from_fn(4, 3, |r, c| ((r + c) as f32).cos()));
+        let out = agg.forward(&mut tape, &store, &ctx, h);
+        let loss = tape.mean_all(out);
+        let grads = tape.backward(loss);
+        for p in agg.params() {
+            assert!(grads.get(p).is_some(), "missing gradient for {}", store.name(p));
+        }
+    }
+}

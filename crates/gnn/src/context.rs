@@ -1,0 +1,88 @@
+//! Precomputed per-graph state shared by every aggregator.
+
+use std::sync::Arc;
+
+use sane_autodiff::{Csr, Matrix};
+use sane_graph::{norm, Graph, MessageLayout};
+
+/// Everything an aggregator needs about one graph, computed once.
+///
+/// Holding the normalised operators and the message layout here means a
+/// training loop that rebuilds its tape every step never re-derives graph
+/// structure.
+#[derive(Clone)]
+pub struct GraphContext {
+    num_nodes: usize,
+    /// `D̃^{-1/2} Ã D̃^{-1/2}` for GCN aggregation.
+    pub gcn: Arc<Csr>,
+    /// `D̃^{-1} Ã` for mean aggregation.
+    pub mean: Arc<Csr>,
+    /// `Ã` for sum aggregation.
+    pub sum: Arc<Csr>,
+    /// `A` (no self-loops) for GIN's neighbor sum.
+    pub sum_no_self: Arc<Csr>,
+    /// Edge-grouped view of `Ñ(v)` for attention / set aggregators.
+    pub layout: MessageLayout,
+}
+
+impl GraphContext {
+    /// Builds all operators for `graph`.
+    pub fn new(graph: &Graph) -> Self {
+        Self {
+            num_nodes: graph.num_nodes(),
+            gcn: norm::gcn_norm(graph),
+            mean: norm::mean_norm(graph),
+            sum: norm::sum_adj(graph),
+            sum_no_self: norm::sum_adj_no_self(graph),
+            layout: MessageLayout::build(graph),
+        }
+    }
+
+    /// Number of nodes in the underlying graph.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Checks a feature matrix covers this graph.
+    ///
+    /// # Panics
+    /// Panics if `features.rows() != num_nodes`.
+    pub fn check_features(&self, features: &Matrix) {
+        assert_eq!(
+            features.rows(),
+            self.num_nodes,
+            "feature matrix has {} rows for a {}-node graph",
+            features.rows(),
+            self.num_nodes
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_builds_consistent_operators() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let ctx = GraphContext::new(&g);
+        assert_eq!(ctx.num_nodes(), 4);
+        assert_eq!(ctx.gcn.rows(), 4);
+        assert_eq!(ctx.layout.num_nodes(), 4);
+        // sum = sum_no_self + I
+        let d1 = ctx.sum.to_dense();
+        let d2 = ctx.sum_no_self.to_dense();
+        for v in 0..4 {
+            assert_eq!(d1.get(v, v), 1.0);
+            assert_eq!(d2.get(v, v), 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "feature matrix")]
+    fn check_features_rejects_wrong_rows() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        let ctx = GraphContext::new(&g);
+        ctx.check_features(&Matrix::zeros(5, 2));
+    }
+}

@@ -1,0 +1,183 @@
+//! Whole-graph classification model: a SANE architecture for the node
+//! embeddings followed by a searchable pooling readout and a classifier.
+
+use rand::rngs::StdRng;
+
+use sane_autodiff::{ParamId, Tape, Tensor, VarStore};
+
+use crate::agg::{build_aggregator, CnnAggregator, Linear, MlpAggregator, NodeAggregator};
+use crate::context::GraphContext;
+use crate::layer_agg::LayerAggregator;
+use crate::model::{AggChoice, Architecture, ModelHyper};
+use crate::pooling::{GraphPooling, PoolingKind};
+
+/// A GNN for graph-level prediction.
+///
+/// Shares the architecture genotype with [`crate::GnnModel`]; the
+/// difference is the readout: node embeddings are pooled to one row per
+/// graph before classification, and the forward pass is per-graph (the
+/// training loop batches graphs by summing their losses on one tape).
+pub struct GraphClsModel {
+    arch: Architecture,
+    hyper: ModelHyper,
+    aggs: Vec<Box<dyn NodeAggregator>>,
+    layer_agg: Option<LayerAggregator>,
+    pooling: GraphPooling,
+    classifier: Linear,
+}
+
+impl GraphClsModel {
+    /// Builds the model, registering all parameters in `store`.
+    ///
+    /// # Panics
+    /// Panics if the architecture is inconsistent.
+    pub fn new(
+        arch: Architecture,
+        pooling_kind: PoolingKind,
+        in_dim: usize,
+        num_classes: usize,
+        hyper: ModelHyper,
+        store: &mut VarStore,
+        rng: &mut StdRng,
+    ) -> Self {
+        arch.validate();
+        let k = arch.depth();
+        let mut aggs: Vec<Box<dyn NodeAggregator>> = Vec::with_capacity(k);
+        for (l, choice) in arch.node_aggs.iter().enumerate() {
+            let layer_in = if l == 0 { in_dim } else { hyper.hidden };
+            aggs.push(match *choice {
+                AggChoice::Standard(kind) => {
+                    build_aggregator(kind, store, rng, layer_in, hyper.hidden, hyper.heads)
+                }
+                AggChoice::Cnn => Box::new(CnnAggregator::new(store, rng, layer_in, hyper.hidden)),
+                AggChoice::Mlp(w, d) => {
+                    Box::new(MlpAggregator::new(store, rng, layer_in, hyper.hidden, w, d))
+                }
+            });
+        }
+        let layer_agg =
+            arch.layer_agg.map(|kind| LayerAggregator::new(kind, store, rng, hyper.hidden));
+        let rep_dim = match &layer_agg {
+            Some(la) => la.out_dim(k),
+            None => hyper.hidden,
+        };
+        let pooling = GraphPooling::new(pooling_kind, store, rng, rep_dim);
+        let classifier = Linear::new(store, rng, "graph_classifier", rep_dim, num_classes);
+        Self { arch, hyper, aggs, layer_agg, pooling, classifier }
+    }
+
+    /// The architecture genotype.
+    pub fn architecture(&self) -> &Architecture {
+        &self.arch
+    }
+
+    /// The pooling readout in use.
+    pub fn pooling_kind(&self) -> PoolingKind {
+        self.pooling.kind()
+    }
+
+    /// All parameters of the model.
+    pub fn params(&self) -> Vec<ParamId> {
+        let mut p: Vec<ParamId> = self.aggs.iter().flat_map(|a| a.params()).collect();
+        if let Some(la) = &self.layer_agg {
+            p.extend(la.params());
+        }
+        p.extend(self.pooling.params());
+        p.extend(self.classifier.params());
+        p
+    }
+
+    /// Logits (`1 x num_classes`) for one graph.
+    pub fn forward(
+        &self,
+        tape: &mut Tape,
+        store: &VarStore,
+        ctx: &GraphContext,
+        features: Tensor,
+        training: bool,
+    ) -> Tensor {
+        let dropout = if training { self.hyper.dropout } else { 0.0 };
+        let mut h = features;
+        let mut layer_outputs = Vec::with_capacity(self.aggs.len());
+        for agg in &self.aggs {
+            h = tape.dropout(h, dropout);
+            h = agg.forward(tape, store, ctx, h);
+            h = self.hyper.activation.apply(tape, h);
+            layer_outputs.push(h);
+        }
+        let rep = match &self.layer_agg {
+            Some(la) => {
+                let contributions: Vec<Tensor> = layer_outputs
+                    .iter()
+                    .zip(&self.arch.skips)
+                    .map(|(&t, skip)| skip.apply(tape, t))
+                    .collect();
+                la.forward(tape, store, &contributions)
+            }
+            None => *layer_outputs.last().expect("at least one layer"),
+        };
+        let pooled = self.pooling.forward(tape, store, rep);
+        let pooled = tape.dropout(pooled, dropout);
+        self.classifier.forward(tape, store, pooled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LayerAggKind, NodeAggKind};
+    use rand::SeedableRng;
+    use sane_autodiff::Matrix;
+    use sane_graph::Graph;
+
+    fn run(pooling: PoolingKind, layer_agg: Option<LayerAggKind>) -> Matrix {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let ctx = GraphContext::new(&g);
+        let mut store = VarStore::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let arch = Architecture::uniform(NodeAggKind::Gcn, 2, layer_agg);
+        let hyper = ModelHyper { hidden: 8, dropout: 0.0, ..ModelHyper::default() };
+        let model = GraphClsModel::new(arch, pooling, 4, 3, hyper, &mut store, &mut rng);
+        let mut tape = Tape::new(0);
+        let x = tape.constant(Matrix::from_fn(6, 4, |r, c| ((r + c) as f32).sin()));
+        let logits = model.forward(&mut tape, &store, &ctx, x, false);
+        tape.value(logits).clone()
+    }
+
+    #[test]
+    fn every_pooling_yields_graph_logits() {
+        for pooling in PoolingKind::ALL {
+            let out = run(pooling, None);
+            assert_eq!(out.shape(), (1, 3), "{pooling}");
+            assert!(!out.has_non_finite(), "{pooling}");
+        }
+    }
+
+    #[test]
+    fn pooling_composes_with_layer_aggregators() {
+        for la in [LayerAggKind::Concat, LayerAggKind::Max, LayerAggKind::Lstm] {
+            let out = run(PoolingKind::Attention, Some(la));
+            assert_eq!(out.shape(), (1, 3), "{la}");
+        }
+    }
+
+    #[test]
+    fn all_params_reachable() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let ctx = GraphContext::new(&g);
+        let mut store = VarStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let arch = Architecture::uniform(NodeAggKind::Gat, 2, Some(LayerAggKind::Max));
+        let hyper = ModelHyper { hidden: 4, dropout: 0.0, ..ModelHyper::default() };
+        let model =
+            GraphClsModel::new(arch, PoolingKind::Attention, 3, 2, hyper, &mut store, &mut rng);
+        let mut tape = Tape::new(0);
+        let x = tape.constant(Matrix::from_fn(5, 3, |r, c| (r * 3 + c) as f32 * 0.2));
+        let logits = model.forward(&mut tape, &store, &ctx, x, false);
+        let loss = tape.mean_all(logits);
+        let grads = tape.backward(loss);
+        for p in model.params() {
+            assert!(grads.get(p).is_some(), "missing gradient for {}", store.name(p));
+        }
+    }
+}

@@ -1,0 +1,373 @@
+//! Discrete GNN models: a K-layer message-passing network assembled from a
+//! genotype of node aggregators, skip ops and an optional layer aggregator.
+//!
+//! This is the model class that (a) implements every human-designed
+//! baseline of the paper's Table VI and (b) retrains the architectures
+//! derived by the SANE search.
+
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+use sane_autodiff::{ParamId, Tape, Tensor, VarStore};
+
+use crate::agg::{build_aggregator, CnnAggregator, Linear, MlpAggregator, NodeAggKind, NodeAggregator};
+use crate::context::GraphContext;
+use crate::layer_agg::{LayerAggKind, LayerAggregator, SkipOp};
+
+/// Nonlinearity applied after each GNN layer.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Rectified linear unit.
+    Relu,
+    /// Exponential linear unit.
+    Elu,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Activation {
+    /// Applies the activation on the tape.
+    pub fn apply(self, tape: &mut Tape, x: Tensor) -> Tensor {
+        match self {
+            Activation::Relu => tape.relu(x),
+            Activation::Elu => tape.elu(x),
+            Activation::Tanh => tape.tanh(x),
+        }
+    }
+}
+
+/// One layer's aggregator choice. The SANE search space only uses
+/// [`AggChoice::Standard`]; `Cnn` builds the LGCN baseline and `Mlp` the
+/// Table X ablation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggChoice {
+    /// One of the 11 aggregators of `O_n`.
+    Standard(NodeAggKind),
+    /// LGCN-style ranked-CNN aggregator.
+    Cnn,
+    /// Sum-then-MLP universal aggregator with `(width, depth)`.
+    Mlp(usize, usize),
+}
+
+impl From<NodeAggKind> for AggChoice {
+    fn from(k: NodeAggKind) -> Self {
+        AggChoice::Standard(k)
+    }
+}
+
+impl std::fmt::Display for AggChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AggChoice::Standard(k) => write!(f, "{k}"),
+            AggChoice::Cnn => write!(f, "CNN"),
+            AggChoice::Mlp(w, d) => write!(f, "MLP(w={w},d={d})"),
+        }
+    }
+}
+
+/// A complete architecture genotype: what the SANE search derives and what
+/// Figure 2 of the paper visualises.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Architecture {
+    /// Node aggregator per layer (length `K`).
+    pub node_aggs: Vec<AggChoice>,
+    /// Skip op per layer into the layer aggregator (length `K`).
+    pub skips: Vec<SkipOp>,
+    /// Layer aggregator; `None` means "plain" (use the last layer only),
+    /// as in the paper's DB-task configuration.
+    pub layer_agg: Option<LayerAggKind>,
+}
+
+impl Architecture {
+    /// A uniform architecture: the same aggregator at every layer, all
+    /// skips identity. This emulates the human-designed baselines
+    /// (`layer_agg: None` for the plain model, `Some(..)` for `-JK`).
+    pub fn uniform(kind: impl Into<AggChoice>, k: usize, layer_agg: Option<LayerAggKind>) -> Self {
+        let choice = kind.into();
+        Self {
+            node_aggs: vec![choice; k],
+            skips: vec![SkipOp::Identity; k],
+            layer_agg,
+        }
+    }
+
+    /// Number of GNN layers.
+    pub fn depth(&self) -> usize {
+        self.node_aggs.len()
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    /// Panics if the skip list length differs from the aggregator list.
+    pub fn validate(&self) {
+        assert_eq!(
+            self.node_aggs.len(),
+            self.skips.len(),
+            "architecture has {} aggregators but {} skips",
+            self.node_aggs.len(),
+            self.skips.len()
+        );
+        assert!(!self.node_aggs.is_empty(), "architecture needs at least one layer");
+    }
+
+    /// Compact human-readable description (Figure 2 style).
+    pub fn describe(&self) -> String {
+        let aggs: Vec<String> = self.node_aggs.iter().map(|a| a.to_string()).collect();
+        let skips: Vec<&str> = self.skips.iter().map(|s| s.name()).collect();
+        let la = self.layer_agg.map(|l| l.name()).unwrap_or("NONE");
+        format!("aggs=[{}] skips=[{}] layer_agg={}", aggs.join(", "), skips.join(", "), la)
+    }
+}
+
+/// Hyper-parameters of a concrete model instance (the values the paper
+/// fine-tunes with hyperopt, Table XII).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ModelHyper {
+    /// Hidden embedding size.
+    pub hidden: usize,
+    /// Attention heads for the GAT family.
+    pub heads: usize,
+    /// Dropout rate on layer inputs.
+    pub dropout: f32,
+    /// Post-layer activation.
+    pub activation: Activation,
+}
+
+impl Default for ModelHyper {
+    fn default() -> Self {
+        Self { hidden: 32, heads: 1, dropout: 0.5, activation: Activation::Relu }
+    }
+}
+
+/// A built K-layer GNN with its classifier head.
+pub struct GnnModel {
+    arch: Architecture,
+    hyper: ModelHyper,
+    aggs: Vec<Box<dyn NodeAggregator>>,
+    layer_agg: Option<LayerAggregator>,
+    classifier: Linear,
+}
+
+impl GnnModel {
+    /// Builds the model, registering all parameters in `store`.
+    ///
+    /// # Panics
+    /// Panics if the architecture is inconsistent (see
+    /// [`Architecture::validate`]).
+    pub fn new(
+        arch: Architecture,
+        in_dim: usize,
+        num_classes: usize,
+        hyper: ModelHyper,
+        store: &mut VarStore,
+        rng: &mut StdRng,
+    ) -> Self {
+        arch.validate();
+        let k = arch.depth();
+        let mut aggs: Vec<Box<dyn NodeAggregator>> = Vec::with_capacity(k);
+        for (l, choice) in arch.node_aggs.iter().enumerate() {
+            let layer_in = if l == 0 { in_dim } else { hyper.hidden };
+            aggs.push(match *choice {
+                AggChoice::Standard(kind) => {
+                    build_aggregator(kind, store, rng, layer_in, hyper.hidden, hyper.heads)
+                }
+                AggChoice::Cnn => Box::new(CnnAggregator::new(store, rng, layer_in, hyper.hidden)),
+                AggChoice::Mlp(w, d) => {
+                    Box::new(MlpAggregator::new(store, rng, layer_in, hyper.hidden, w, d))
+                }
+            });
+        }
+        let layer_agg =
+            arch.layer_agg.map(|kind| LayerAggregator::new(kind, store, rng, hyper.hidden));
+        let rep_dim = match &layer_agg {
+            Some(la) => la.out_dim(k),
+            None => hyper.hidden,
+        };
+        let classifier = Linear::new(store, rng, "classifier", rep_dim, num_classes);
+        Self { arch, hyper, aggs, layer_agg, classifier }
+    }
+
+    /// The architecture genotype.
+    pub fn architecture(&self) -> &Architecture {
+        &self.arch
+    }
+
+    /// The hyper-parameters this instance was built with.
+    pub fn hyper(&self) -> &ModelHyper {
+        &self.hyper
+    }
+
+    /// All parameters of the model.
+    pub fn params(&self) -> Vec<ParamId> {
+        let mut p: Vec<ParamId> = self.aggs.iter().flat_map(|a| a.params()).collect();
+        if let Some(la) = &self.layer_agg {
+            p.extend(la.params());
+        }
+        p.extend(self.classifier.params());
+        p
+    }
+
+    /// Computes logits (`n x num_classes`). `training` enables dropout.
+    pub fn forward(
+        &self,
+        tape: &mut Tape,
+        store: &VarStore,
+        ctx: &GraphContext,
+        features: Tensor,
+        training: bool,
+    ) -> Tensor {
+        let dropout = if training { self.hyper.dropout } else { 0.0 };
+        let mut h = features;
+        let mut layer_outputs = Vec::with_capacity(self.aggs.len());
+        for agg in &self.aggs {
+            h = tape.dropout(h, dropout);
+            h = agg.forward(tape, store, ctx, h);
+            h = self.hyper.activation.apply(tape, h);
+            layer_outputs.push(h);
+        }
+        let rep = match &self.layer_agg {
+            Some(la) => {
+                let contributions: Vec<Tensor> = layer_outputs
+                    .iter()
+                    .zip(&self.arch.skips)
+                    .map(|(&t, skip)| skip.apply(tape, t))
+                    .collect();
+                la.forward(tape, store, &contributions)
+            }
+            None => *layer_outputs.last().expect("at least one layer"),
+        };
+        let rep = tape.dropout(rep, dropout);
+        self.classifier.forward(tape, store, rep)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sane_autodiff::Matrix;
+    use sane_graph::Graph;
+
+    fn ctx() -> GraphContext {
+        GraphContext::new(&Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]))
+    }
+
+    fn forward_shape(arch: Architecture) -> (usize, usize) {
+        let ctx = ctx();
+        let mut store = VarStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = GnnModel::new(arch, 6, 3, ModelHyper::default(), &mut store, &mut rng);
+        let mut tape = Tape::new(0);
+        let x = tape.constant(Matrix::from_fn(5, 6, |r, c| ((r * 6 + c) as f32).sin()));
+        let logits = model.forward(&mut tape, &store, &ctx, x, false);
+        tape.value(logits).shape()
+    }
+
+    #[test]
+    fn plain_model_outputs_class_logits() {
+        let arch = Architecture::uniform(NodeAggKind::Gcn, 3, None);
+        assert_eq!(forward_shape(arch), (5, 3));
+    }
+
+    #[test]
+    fn jk_variants_output_class_logits() {
+        for la in LayerAggKind::ALL {
+            let arch = Architecture::uniform(NodeAggKind::SageMean, 3, Some(la));
+            assert_eq!(forward_shape(arch), (5, 3), "{la}");
+        }
+    }
+
+    #[test]
+    fn mixed_architecture_builds() {
+        let arch = Architecture {
+            node_aggs: vec![
+                AggChoice::Standard(NodeAggKind::Gat),
+                AggChoice::Standard(NodeAggKind::Gin),
+                AggChoice::Standard(NodeAggKind::GeniePath),
+            ],
+            skips: vec![SkipOp::Identity, SkipOp::Zero, SkipOp::Identity],
+            layer_agg: Some(LayerAggKind::Concat),
+        };
+        assert_eq!(forward_shape(arch), (5, 3));
+    }
+
+    #[test]
+    fn zero_skip_removes_layer_contribution() {
+        // With CONCAT, zeroing a skip zeroes that block of the representation.
+        let ctx = ctx();
+        let mut store = VarStore::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let arch = Architecture {
+            node_aggs: vec![AggChoice::Standard(NodeAggKind::Gcn); 2],
+            skips: vec![SkipOp::Zero, SkipOp::Identity],
+            layer_agg: Some(LayerAggKind::Concat),
+        };
+        let model = GnnModel::new(arch, 4, 2, ModelHyper::default(), &mut store, &mut rng);
+        // Re-run forward with the classifier weights probing the first block:
+        // instead, verify via the layer aggregator input by checking logits
+        // differ when we flip the skip.
+        let mut tape = Tape::new(0);
+        let x = tape.constant(Matrix::from_fn(5, 4, |r, c| (r + c) as f32 * 0.25));
+        let l1 = model.forward(&mut tape, &store, &ctx, x, false);
+        let arch2 = Architecture {
+            node_aggs: vec![AggChoice::Standard(NodeAggKind::Gcn); 2],
+            skips: vec![SkipOp::Identity, SkipOp::Identity],
+            layer_agg: Some(LayerAggKind::Concat),
+        };
+        let mut store2 = VarStore::new();
+        let mut rng2 = StdRng::seed_from_u64(3);
+        let model2 = GnnModel::new(arch2, 4, 2, ModelHyper::default(), &mut store2, &mut rng2);
+        let mut tape2 = Tape::new(0);
+        let x2 = tape2.constant(Matrix::from_fn(5, 4, |r, c| (r + c) as f32 * 0.25));
+        let l2 = model2.forward(&mut tape2, &store2, &ctx, x2, false);
+        // Same seeds => same weights; the only difference is the skip.
+        assert_ne!(tape.value(l1), tape2.value(l2));
+    }
+
+    #[test]
+    fn lgcn_and_mlp_choices_build() {
+        let arch = Architecture {
+            node_aggs: vec![AggChoice::Cnn, AggChoice::Mlp(16, 2)],
+            skips: vec![SkipOp::Identity; 2],
+            layer_agg: None,
+        };
+        assert_eq!(forward_shape(arch), (5, 3));
+    }
+
+    #[test]
+    fn training_mode_uses_dropout() {
+        let ctx = ctx();
+        let mut store = VarStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let arch = Architecture::uniform(NodeAggKind::SageSum, 2, None);
+        let model = GnnModel::new(arch, 4, 2, ModelHyper::default(), &mut store, &mut rng);
+        let mut t1 = Tape::new(1);
+        let x1 = t1.constant(Matrix::full(5, 4, 1.0));
+        let a = model.forward(&mut t1, &store, &ctx, x1, true);
+        let mut t2 = Tape::new(2);
+        let x2 = t2.constant(Matrix::full(5, 4, 1.0));
+        let b = model.forward(&mut t2, &store, &ctx, x2, true);
+        // Different dropout seeds => different outputs.
+        assert_ne!(t1.value(a), t2.value(b));
+    }
+
+    #[test]
+    fn describe_mentions_all_parts() {
+        let arch = Architecture::uniform(NodeAggKind::Gat, 2, Some(LayerAggKind::Max));
+        let s = arch.describe();
+        assert!(s.contains("GAT") && s.contains("MAX") && s.contains("IDENTITY"));
+    }
+
+    #[test]
+    fn genotype_serde_roundtrip() {
+        let arch = Architecture {
+            node_aggs: vec![AggChoice::Standard(NodeAggKind::GatCos), AggChoice::Mlp(8, 1)],
+            skips: vec![SkipOp::Zero, SkipOp::Identity],
+            layer_agg: Some(LayerAggKind::Lstm),
+        };
+        let json = serde_json::to_string(&arch).unwrap();
+        let back: Architecture = serde_json::from_str(&json).unwrap();
+        assert_eq!(arch, back);
+    }
+}

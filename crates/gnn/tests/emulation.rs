@@ -1,0 +1,167 @@
+//! Table II emulation tests: every human-designed baseline the paper lists
+//! is a point of the SANE search space, and the built models behave like
+//! their defining equations on hand-checkable graphs.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sane_autodiff::{Matrix, Tape, VarStore};
+use sane_gnn::{
+    Activation, AggChoice, Architecture, GnnModel, GraphContext, LayerAggKind, ModelHyper,
+    NodeAggKind, SkipOp,
+};
+use sane_graph::Graph;
+
+fn ctx() -> GraphContext {
+    GraphContext::new(&Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]))
+}
+
+fn forward(arch: Architecture, seed: u64) -> Matrix {
+    let ctx = ctx();
+    let mut store = VarStore::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let hyper = ModelHyper { hidden: 6, heads: 1, dropout: 0.0, activation: Activation::Relu };
+    let model = GnnModel::new(arch, 4, 3, hyper, &mut store, &mut rng);
+    let mut tape = Tape::new(0);
+    let x = tape.constant(Matrix::from_fn(5, 4, |r, c| ((r * 4 + c) as f32 * 0.7).sin()));
+    let logits = model.forward(&mut tape, &store, &ctx, x, false);
+    tape.value(logits).clone()
+}
+
+/// Every Table II row (and its `-JK` variant) builds and runs.
+#[test]
+fn every_table2_model_is_expressible() {
+    let rows: Vec<(&str, Vec<NodeAggKind>)> = vec![
+        ("GCN", vec![NodeAggKind::Gcn]),
+        ("SAGE", vec![NodeAggKind::SageSum, NodeAggKind::SageMean, NodeAggKind::SageMax]),
+        (
+            "GAT",
+            vec![
+                NodeAggKind::Gat,
+                NodeAggKind::GatSym,
+                NodeAggKind::GatCos,
+                NodeAggKind::GatLinear,
+                NodeAggKind::GatGenLinear,
+            ],
+        ),
+        ("GIN", vec![NodeAggKind::Gin]),
+        ("GeniePath", vec![NodeAggKind::GeniePath]),
+    ];
+    for (family, kinds) in rows {
+        for kind in kinds {
+            for layer_agg in [None, Some(LayerAggKind::Concat), Some(LayerAggKind::Max), Some(LayerAggKind::Lstm)] {
+                let out = forward(Architecture::uniform(kind, 3, layer_agg), 5);
+                assert_eq!(out.shape(), (5, 3), "{family}/{kind}/{layer_agg:?}");
+                assert!(!out.has_non_finite(), "{family}/{kind}/{layer_agg:?}");
+            }
+        }
+    }
+    // LGCN (CNN aggregator, outside O_n — emulated via AggChoice::Cnn).
+    let out = forward(Architecture::uniform(AggChoice::Cnn, 3, None), 5);
+    assert_eq!(out.shape(), (5, 3));
+}
+
+/// A JK model with all-ZERO skips and CONCAT feeds pure zeros to the
+/// classifier: logits reduce to the (row-constant) classifier bias.
+#[test]
+fn all_zero_skips_collapse_to_bias() {
+    let arch = Architecture {
+        node_aggs: vec![AggChoice::Standard(NodeAggKind::Gcn); 2],
+        skips: vec![SkipOp::Zero; 2],
+        layer_agg: Some(LayerAggKind::Concat),
+    };
+    let out = forward(arch, 9);
+    let first = out.row(0).to_vec();
+    for r in 1..out.rows() {
+        assert_eq!(out.row(r), &first[..], "row {r} differs — zero skips leaked signal");
+    }
+}
+
+/// Changing only the skip pattern changes the function (skips matter).
+#[test]
+fn skip_pattern_changes_output() {
+    let base = Architecture {
+        node_aggs: vec![AggChoice::Standard(NodeAggKind::SageMean); 2],
+        skips: vec![SkipOp::Identity, SkipOp::Identity],
+        layer_agg: Some(LayerAggKind::Max),
+    };
+    let variant = Architecture { skips: vec![SkipOp::Zero, SkipOp::Identity], ..base.clone() };
+    assert_ne!(forward(base, 3), forward(variant, 3));
+}
+
+/// Changing only the layer aggregator changes the function.
+#[test]
+fn layer_aggregator_changes_output() {
+    let with = |la: LayerAggKind| {
+        forward(Architecture::uniform(NodeAggKind::SageSum, 2, Some(la)), 4)
+    };
+    // CONCAT vs MAX classifier shapes differ internally, but both output
+    // (5, 3); their values must differ.
+    assert_ne!(with(LayerAggKind::Concat), with(LayerAggKind::Max));
+    assert_ne!(with(LayerAggKind::Max), with(LayerAggKind::Lstm));
+}
+
+/// Multi-head GAT models build for every head count that divides hidden.
+#[test]
+fn gat_head_counts() {
+    let ctx = ctx();
+    for heads in [1usize, 2, 3, 6] {
+        let mut store = VarStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let hyper = ModelHyper { hidden: 6, heads, dropout: 0.0, activation: Activation::Elu };
+        let model = GnnModel::new(
+            Architecture::uniform(NodeAggKind::Gat, 2, None),
+            4,
+            2,
+            hyper,
+            &mut store,
+            &mut rng,
+        );
+        let mut tape = Tape::new(0);
+        let x = tape.constant(Matrix::from_fn(5, 4, |r, c| (r + c) as f32 * 0.1));
+        let out = model.forward(&mut tape, &store, &ctx, x, false);
+        assert_eq!(tape.value(out).shape(), (5, 2), "heads={heads}");
+    }
+}
+
+/// Deeper-than-searched architectures (K up to 6, Fig. 4b) still build.
+#[test]
+fn deep_architectures_up_to_k6() {
+    for k in 1..=6 {
+        let out = forward(Architecture::uniform(NodeAggKind::Gcn, k, Some(LayerAggKind::Max)), 2);
+        assert_eq!(out.shape(), (5, 3), "K={k}");
+        assert!(!out.has_non_finite(), "K={k}");
+    }
+}
+
+/// All parameters of a mixed architecture receive gradients through a full
+/// model forward + loss.
+#[test]
+fn full_model_gradient_coverage() {
+    let ctx = ctx();
+    let mut store = VarStore::new();
+    let mut rng = StdRng::seed_from_u64(1);
+    let arch = Architecture {
+        node_aggs: vec![
+            AggChoice::Standard(NodeAggKind::GatGenLinear),
+            AggChoice::Standard(NodeAggKind::Gin),
+            AggChoice::Standard(NodeAggKind::GeniePath),
+        ],
+        skips: vec![SkipOp::Identity; 3],
+        layer_agg: Some(LayerAggKind::Lstm),
+    };
+    let hyper = ModelHyper { hidden: 4, heads: 1, dropout: 0.0, activation: Activation::Tanh };
+    let model = GnnModel::new(arch, 3, 2, hyper, &mut store, &mut rng);
+    let mut tape = Tape::new(0);
+    let x = tape.constant(Matrix::from_fn(5, 3, |r, c| ((r + 2 * c) as f32).cos()));
+    let logits = model.forward(&mut tape, &store, &ctx, x, false);
+    let loss = tape.mean_all(logits);
+    let grads = tape.backward(loss);
+    let missing: Vec<String> = model
+        .params()
+        .iter()
+        .filter(|&&p| grads.get(p).is_none())
+        .map(|&p| store.name(p).to_string())
+        .collect();
+    assert!(missing.is_empty(), "params without gradients: {missing:?}");
+}

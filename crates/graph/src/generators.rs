@@ -1,0 +1,209 @@
+//! Random-graph generators used to synthesise the paper's datasets.
+//!
+//! All generators are deterministic given an RNG and run in
+//! `O(nodes + edges)` expected time — the SBM avoids the naive `O(n²)`
+//! pair scan by drawing the edge *count* per block pair from a binomial and
+//! then sampling that many endpoints.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand_distr::{Binomial, Distribution};
+
+use crate::graph::Graph;
+
+/// Stochastic block model: nodes are partitioned into `block_sizes.len()`
+/// blocks; an edge between blocks `i` and `j` appears with probability
+/// `p[i][j]` (symmetric).
+///
+/// Returns the graph and each node's block id.
+///
+/// # Panics
+/// Panics if the probability matrix is not square of matching size or
+/// contains values outside `[0, 1]`.
+pub fn sbm(block_sizes: &[usize], p: &[Vec<f64>], rng: &mut StdRng) -> (Graph, Vec<u32>) {
+    let k = block_sizes.len();
+    assert_eq!(p.len(), k, "probability matrix must be {k}x{k}");
+    for row in p {
+        assert_eq!(row.len(), k, "probability matrix must be {k}x{k}");
+        assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)), "probabilities in [0,1]");
+    }
+    let n: usize = block_sizes.iter().sum();
+    let mut block_of = Vec::with_capacity(n);
+    let mut starts = Vec::with_capacity(k);
+    let mut offset = 0usize;
+    for (b, &size) in block_sizes.iter().enumerate() {
+        starts.push(offset);
+        block_of.extend(std::iter::repeat(b as u32).take(size));
+        offset += size;
+    }
+
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for i in 0..k {
+        for j in i..k {
+            let prob = p[i][j];
+            if prob <= 0.0 {
+                continue;
+            }
+            let pairs = if i == j {
+                block_sizes[i] * block_sizes[i].saturating_sub(1) / 2
+            } else {
+                block_sizes[i] * block_sizes[j]
+            };
+            if pairs == 0 {
+                continue;
+            }
+            let count = Binomial::new(pairs as u64, prob).expect("valid binomial").sample(rng);
+            for _ in 0..count {
+                let (u, v) = if i == j {
+                    // Uniform unordered pair within the block.
+                    let a = rng.gen_range(0..block_sizes[i]);
+                    let mut b = rng.gen_range(0..block_sizes[i] - 1);
+                    if b >= a {
+                        b += 1;
+                    }
+                    (starts[i] + a, starts[i] + b)
+                } else {
+                    (starts[i] + rng.gen_range(0..block_sizes[i]), starts[j] + rng.gen_range(0..block_sizes[j]))
+                };
+                edges.push((u as u32, v as u32));
+            }
+        }
+    }
+    (Graph::from_edges(n, &edges), block_of)
+}
+
+/// Planted-partition convenience wrapper: `k` equal blocks of size
+/// `block_size`, within-block probability `p_in`, across-block `p_out`.
+pub fn planted_partition(
+    k: usize,
+    block_size: usize,
+    p_in: f64,
+    p_out: f64,
+    rng: &mut StdRng,
+) -> (Graph, Vec<u32>) {
+    let sizes = vec![block_size; k];
+    let p: Vec<Vec<f64>> =
+        (0..k).map(|i| (0..k).map(|j| if i == j { p_in } else { p_out }).collect()).collect();
+    sbm(&sizes, &p, rng)
+}
+
+/// Erdős–Rényi `G(n, m)`: exactly `m` distinct uniform edges (best effort —
+/// fewer if `m` exceeds the number of possible edges).
+pub fn gnm(n: usize, m: usize, rng: &mut StdRng) -> Graph {
+    let max_edges = n * n.saturating_sub(1) / 2;
+    let m = m.min(max_edges);
+    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+    let mut edges = Vec::with_capacity(m);
+    let mut attempts = 0usize;
+    while edges.len() < m && attempts < m * 50 {
+        attempts += 1;
+        let u = rng.gen_range(0..n) as u32;
+        let v = rng.gen_range(0..n) as u32;
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if seen.insert(key) {
+            edges.push(key);
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// Barabási–Albert preferential attachment: each new node attaches to `m`
+/// existing nodes with probability proportional to degree.
+///
+/// # Panics
+/// Panics if `n <= m` or `m == 0`.
+pub fn preferential_attachment(n: usize, m: usize, rng: &mut StdRng) -> Graph {
+    assert!(m > 0 && n > m, "need n > m >= 1");
+    // Repeated-endpoint list makes degree-proportional sampling O(1).
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * m);
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n * m);
+    // Seed: a star over the first m+1 nodes.
+    for v in 0..m {
+        edges.push((m as u32, v as u32));
+        endpoints.push(m as u32);
+        endpoints.push(v as u32);
+    }
+    for v in (m + 1)..n {
+        // A Vec keeps insertion order deterministic (HashSet iteration
+        // order would leak randomness into the endpoint list).
+        let mut targets: Vec<u32> = Vec::with_capacity(m);
+        while targets.len() < m {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            edges.push((v as u32, t));
+            endpoints.push(v as u32);
+            endpoints.push(t);
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn planted_partition_is_homophilous() {
+        let (g, labels) = planted_partition(4, 100, 0.08, 0.005, &mut rng(1));
+        assert_eq!(g.num_nodes(), 400);
+        assert!(g.num_edges() > 500, "got {} edges", g.num_edges());
+        let h = g.edge_homophily(&labels);
+        assert!(h > 0.6, "homophily {h} unexpectedly low");
+    }
+
+    #[test]
+    fn sbm_edge_count_tracks_expectation() {
+        let (g, _) = planted_partition(2, 200, 0.05, 0.01, &mut rng(2));
+        // Expected: 2 * C(200,2)*0.05 + 200*200*0.01 = 2*995 + 400 = 2390.
+        let e = g.num_edges() as f64;
+        assert!((e - 2390.0).abs() < 2390.0 * 0.25, "edge count {e}");
+    }
+
+    #[test]
+    fn sbm_determinism() {
+        let (g1, l1) = planted_partition(3, 50, 0.1, 0.01, &mut rng(7));
+        let (g2, l2) = planted_partition(3, 50, 0.1, 0.01, &mut rng(7));
+        assert_eq!(l1, l2);
+        assert_eq!(g1.num_edges(), g2.num_edges());
+        assert_eq!(g1.edges().collect::<Vec<_>>(), g2.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn gnm_hits_target_edge_count() {
+        let g = gnm(100, 300, &mut rng(3));
+        assert_eq!(g.num_edges(), 300);
+    }
+
+    #[test]
+    fn gnm_caps_at_complete_graph() {
+        let g = gnm(5, 100, &mut rng(4));
+        assert_eq!(g.num_edges(), 10);
+    }
+
+    #[test]
+    fn preferential_attachment_degree_skew() {
+        let g = preferential_attachment(500, 2, &mut rng(5));
+        assert_eq!(g.num_nodes(), 500);
+        // A BA graph should have a hub much larger than the average degree.
+        assert!(g.max_degree() as f64 > 4.0 * g.avg_degree());
+        assert_eq!(g.num_isolated(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need n > m")]
+    fn preferential_attachment_rejects_bad_params() {
+        let _ = preferential_attachment(3, 5, &mut rng(6));
+    }
+}

@@ -1,0 +1,184 @@
+//! Undirected simple-graph storage in CSR form.
+
+use serde::{Deserialize, Serialize};
+
+/// An undirected simple graph over nodes `0..n`.
+///
+/// Adjacency is stored CSR-style with every undirected edge appearing in
+/// both endpoint's neighbor lists. Self-loops are *not* stored here — the
+/// paper's `Ñ(v) = {v} ∪ N(v)` augmentation is applied by the message-
+/// passing layout and the normalised-operator builders, so the raw graph
+/// stays a simple graph.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Graph {
+    n: usize,
+    indptr: Vec<usize>,
+    neighbors: Vec<u32>,
+}
+
+impl Graph {
+    /// Builds a graph from undirected edges. Duplicate edges and self-loops
+    /// in the input are dropped.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is `>= n`.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for &(u, v) in edges {
+            assert!((u as usize) < n && (v as usize) < n, "edge ({u},{v}) out of bounds for n={n}");
+            if u == v {
+                continue;
+            }
+            adj[u as usize].push(v);
+            adj[v as usize].push(u);
+        }
+        let mut indptr = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::new();
+        indptr.push(0);
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+            neighbors.extend_from_slice(list);
+            indptr.push(neighbors.len());
+        }
+        Self { n, indptr, neighbors }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Sorted neighbor list of `v` (no self-loop).
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.neighbors[self.indptr[v]..self.indptr[v + 1]]
+    }
+
+    /// Degree of `v` (self-loops excluded).
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.indptr[v + 1] - self.indptr[v]
+    }
+
+    /// True if the undirected edge `{u, v}` exists.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.neighbors(u).binary_search(&(v as u32)).is_ok()
+    }
+
+    /// Iterates each undirected edge once, as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.n).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .filter(move |&&v| (u as u32) < v)
+                .map(move |&v| (u as u32, v))
+        })
+    }
+
+    /// Average degree.
+    pub fn avg_degree(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.neighbors.len() as f64 / self.n as f64
+        }
+    }
+
+    /// Maximum degree.
+    pub fn max_degree(&self) -> usize {
+        (0..self.n).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Number of isolated nodes (degree zero).
+    pub fn num_isolated(&self) -> usize {
+        (0..self.n).filter(|&v| self.degree(v) == 0).count()
+    }
+
+    /// Fraction of edges whose endpoints share a label (edge homophily).
+    ///
+    /// # Panics
+    /// Panics if `labels.len() != n`.
+    pub fn edge_homophily(&self, labels: &[u32]) -> f64 {
+        assert_eq!(labels.len(), self.n, "labels must cover every node");
+        let mut same = 0usize;
+        let mut total = 0usize;
+        for (u, v) in self.edges() {
+            total += 1;
+            if labels[u as usize] == labels[v as usize] {
+                same += 1;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            same as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_tail() -> Graph {
+        // 0-1, 1-2, 2-0, 2-3
+        Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)])
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(2), 3);
+        assert_eq!(g.degree(3), 1);
+    }
+
+    #[test]
+    fn duplicates_and_self_loops_dropped() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 0), (0, 0), (1, 2), (1, 2)]);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn has_edge_symmetry() {
+        let g = triangle_plus_tail();
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn edges_iterate_once() {
+        let g = triangle_plus_tail();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn homophily() {
+        let g = triangle_plus_tail();
+        // labels: 0,0,1,1 — same-label edges: (0,1) and (2,3) => 2/4
+        assert_eq!(g.edge_homophily(&[0, 0, 1, 1]), 0.5);
+    }
+
+    #[test]
+    fn isolated_nodes_counted() {
+        let g = Graph::from_edges(5, &[(0, 1)]);
+        assert_eq!(g.num_isolated(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn rejects_out_of_bounds_edge() {
+        let _ = Graph::from_edges(2, &[(0, 5)]);
+    }
+}

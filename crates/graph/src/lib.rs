@@ -1,0 +1,21 @@
+//! # sane-graph
+//!
+//! Graph storage, message-passing layouts, normalised aggregation operators
+//! and random-graph generators — the graph substrate of the SANE
+//! (ICDE 2021) reproduction.
+//!
+//! * [`Graph`] — undirected simple graph in CSR form.
+//! * [`MessageLayout`] — the per-destination edge grouping consumed by
+//!   attention/set aggregators.
+//! * [`norm`] — fixed sparse operators (`GCN`, mean, sum) for spmm-style
+//!   aggregation.
+//! * [`generators`] — SBM / planted partition, Erdős–Rényi, preferential
+//!   attachment.
+
+pub mod generators;
+mod graph;
+mod layout;
+pub mod norm;
+
+pub use graph::Graph;
+pub use layout::MessageLayout;

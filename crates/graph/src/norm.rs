@@ -1,0 +1,125 @@
+//! Normalised sparse aggregation operators.
+//!
+//! These build the fixed `N x N` CSR operators that the spmm-style
+//! aggregators multiply into the feature matrix each layer:
+//!
+//! * [`gcn_norm`] — `D̃^{-1/2} (A + I) D̃^{-1/2}` (Kipf & Welling).
+//! * [`mean_norm`] — `D̃^{-1} (A + I)` (SAGE-MEAN over `Ñ(v)`).
+//! * [`sum_adj`] — `A + I` (SAGE-SUM / the summation inside GIN).
+
+use std::sync::Arc;
+
+use sane_autodiff::Csr;
+
+use crate::graph::Graph;
+
+fn self_loop_triplets(graph: &Graph) -> Vec<(u32, u32, f32)> {
+    let n = graph.num_nodes();
+    let mut t = Vec::with_capacity(n + 2 * graph.num_edges());
+    for v in 0..n {
+        t.push((v as u32, v as u32, 1.0));
+        for &u in graph.neighbors(v) {
+            t.push((v as u32, u, 1.0));
+        }
+    }
+    t
+}
+
+/// Symmetric GCN normalisation `D̃^{-1/2} Ã D̃^{-1/2}` with `Ã = A + I`.
+pub fn gcn_norm(graph: &Graph) -> Arc<Csr> {
+    let n = graph.num_nodes();
+    let deg: Vec<f32> = (0..n).map(|v| (graph.degree(v) + 1) as f32).collect();
+    let mut triplets = self_loop_triplets(graph);
+    for (r, c, v) in &mut triplets {
+        *v = 1.0 / (deg[*r as usize].sqrt() * deg[*c as usize].sqrt());
+    }
+    Arc::new(Csr::from_coo(n, n, &triplets))
+}
+
+/// Row-stochastic mean operator `D̃^{-1} Ã`.
+pub fn mean_norm(graph: &Graph) -> Arc<Csr> {
+    let n = graph.num_nodes();
+    let deg: Vec<f32> = (0..n).map(|v| (graph.degree(v) + 1) as f32).collect();
+    let mut triplets = self_loop_triplets(graph);
+    for (r, _, v) in &mut triplets {
+        *v = 1.0 / deg[*r as usize];
+    }
+    Arc::new(Csr::from_coo(n, n, &triplets))
+}
+
+/// Unnormalised `Ã = A + I` (sum aggregation over `Ñ(v)`).
+pub fn sum_adj(graph: &Graph) -> Arc<Csr> {
+    let n = graph.num_nodes();
+    Arc::new(Csr::from_coo(n, n, &self_loop_triplets(graph)))
+}
+
+/// Neighbor-only sum `A` (no self-loop) — GIN aggregates `Σ_{u ∈ N(v)}`
+/// separately from the `(1 + ε) h_v` term.
+pub fn sum_adj_no_self(graph: &Graph) -> Arc<Csr> {
+    let n = graph.num_nodes();
+    let mut t = Vec::with_capacity(2 * graph.num_edges());
+    for v in 0..n {
+        for &u in graph.neighbors(v) {
+            t.push((v as u32, u, 1.0));
+        }
+    }
+    Arc::new(Csr::from_coo(n, n, &t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> Graph {
+        Graph::from_edges(3, &[(0, 1), (1, 2)])
+    }
+
+    #[test]
+    fn gcn_norm_rows() {
+        let a = gcn_norm(&path3());
+        let d = a.to_dense();
+        // Node 0: deg̃ = 2; node 1: deg̃ = 3.
+        assert!((d.get(0, 0) - 0.5).abs() < 1e-6);
+        assert!((d.get(0, 1) - 1.0 / (2.0f32 * 3.0).sqrt()).abs() < 1e-6);
+        assert!((d.get(1, 1) - 1.0 / 3.0).abs() < 1e-6);
+        assert_eq!(d.get(0, 2), 0.0);
+    }
+
+    #[test]
+    fn gcn_norm_is_symmetric() {
+        let a = gcn_norm(&path3());
+        let d = a.to_dense();
+        assert_eq!(d.transpose(), d);
+    }
+
+    #[test]
+    fn mean_norm_rows_sum_to_one() {
+        let a = mean_norm(&path3());
+        let d = a.to_dense();
+        for r in 0..3 {
+            let sum: f32 = d.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sum_adj_has_self_loops() {
+        let a = sum_adj(&path3());
+        let d = a.to_dense();
+        for v in 0..3 {
+            assert_eq!(d.get(v, v), 1.0);
+        }
+        assert_eq!(d.get(0, 1), 1.0);
+        assert_eq!(d.get(0, 2), 0.0);
+    }
+
+    #[test]
+    fn sum_adj_no_self_excludes_diagonal() {
+        let a = sum_adj_no_self(&path3());
+        let d = a.to_dense();
+        for v in 0..3 {
+            assert_eq!(d.get(v, v), 0.0);
+        }
+        assert_eq!(d.get(1, 0), 1.0);
+    }
+}

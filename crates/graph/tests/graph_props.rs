@@ -1,0 +1,107 @@
+//! Property-based tests on graph-substrate invariants.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sane_graph::{generators, norm, Graph, MessageLayout};
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..12, prop::collection::vec((0u8..12, 0u8..12), 0..30)).prop_map(|(n, raw)| {
+        let edges: Vec<(u32, u32)> =
+            raw.iter().map(|&(a, b)| ((a as usize % n) as u32, (b as usize % n) as u32)).collect();
+        Graph::from_edges(n, &edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Building a graph from its own edge list is the identity.
+    #[test]
+    fn from_edges_is_idempotent(g in arb_graph()) {
+        let edges: Vec<(u32, u32)> = g.edges().collect();
+        let rebuilt = Graph::from_edges(g.num_nodes(), &edges);
+        prop_assert_eq!(rebuilt.edges().collect::<Vec<_>>(), edges);
+        prop_assert_eq!(rebuilt.num_edges(), g.num_edges());
+    }
+
+    /// The handshake lemma: degree sum equals twice the edge count.
+    #[test]
+    fn handshake_lemma(g in arb_graph()) {
+        let degree_sum: usize = (0..g.num_nodes()).map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.num_edges());
+    }
+
+    /// Adjacency is symmetric.
+    #[test]
+    fn adjacency_symmetry(g in arb_graph()) {
+        for u in 0..g.num_nodes() {
+            for &v in g.neighbors(u) {
+                prop_assert!(g.has_edge(v as usize, u), "missing reverse edge {v}->{u}");
+            }
+        }
+    }
+
+    /// The message layout covers exactly Ñ(v) for every node.
+    #[test]
+    fn message_layout_matches_closed_neighborhood(g in arb_graph()) {
+        let l = MessageLayout::build(&g);
+        prop_assert_eq!(l.num_messages(), g.num_nodes() + 2 * g.num_edges());
+        for v in 0..g.num_nodes() {
+            let range = l.segments.range(v);
+            let mut sources: Vec<u32> = l.src[range].to_vec();
+            sources.sort_unstable();
+            let mut expected: Vec<u32> = g.neighbors(v).to_vec();
+            expected.push(v as u32);
+            expected.sort_unstable();
+            prop_assert_eq!(sources, expected, "node {}", v);
+        }
+    }
+
+    /// GCN normalisation is symmetric and row sums of the mean operator
+    /// are exactly one.
+    #[test]
+    fn normalised_operators_invariants(g in arb_graph()) {
+        let gcn = norm::gcn_norm(&g).to_dense();
+        prop_assert_eq!(gcn.transpose(), gcn.clone());
+
+        let mean = norm::mean_norm(&g).to_dense();
+        for r in 0..g.num_nodes() {
+            let sum: f32 = mean.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-5, "row {r} sums to {sum}");
+        }
+
+        // sum = sum_no_self + I.
+        let with = norm::sum_adj(&g).to_dense();
+        let without = norm::sum_adj_no_self(&g).to_dense();
+        for v in 0..g.num_nodes() {
+            prop_assert_eq!(with.get(v, v), 1.0);
+            prop_assert_eq!(without.get(v, v), 0.0);
+        }
+    }
+
+    /// Generators are deterministic in their seed.
+    #[test]
+    fn generators_deterministic(seed in 0u64..10_000) {
+        let g1 = generators::gnm(30, 60, &mut StdRng::seed_from_u64(seed));
+        let g2 = generators::gnm(30, 60, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(g1.edges().collect::<Vec<_>>(), g2.edges().collect::<Vec<_>>());
+
+        let p1 = generators::preferential_attachment(40, 2, &mut StdRng::seed_from_u64(seed));
+        let p2 = generators::preferential_attachment(40, 2, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(p1.edges().collect::<Vec<_>>(), p2.edges().collect::<Vec<_>>());
+    }
+
+    /// SBM respects block sizes and never produces out-of-range labels.
+    #[test]
+    fn sbm_label_invariants(k in 1usize..5, size in 3usize..20, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (g, labels) = generators::planted_partition(k, size, 0.2, 0.05, &mut rng);
+        prop_assert_eq!(g.num_nodes(), k * size);
+        prop_assert_eq!(labels.len(), k * size);
+        for b in 0..k as u32 {
+            prop_assert_eq!(labels.iter().filter(|&&l| l == b).count(), size);
+        }
+    }
+}

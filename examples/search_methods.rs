@@ -1,0 +1,119 @@
+//! Compare every search algorithm in the crate on one dataset: Random,
+//! Bayesian (TPE), regularized Evolution, GraphNAS-style REINFORCE and the
+//! SANE differentiable search — all over the same 11³·2³·3 space.
+//!
+//! Run: `cargo run --release --example search_methods`
+
+use std::time::Instant;
+
+use sane::core::prelude::*;
+use sane::data::CitationConfig;
+
+fn main() {
+    let task = Task::node(CitationConfig::cora().scaled(0.08).generate());
+    let space = SaneSpace::paper();
+    let cat = space.space();
+    println!("search space: {} architectures\n", cat.size());
+
+    let hyper = ModelHyper { hidden: 32, ..ModelHyper::default() };
+    let cfg = TrainConfig { epochs: 50, seed: 0, ..TrainConfig::default() };
+    let budget = 12;
+
+    let mut rows: Vec<(String, f64, f64, String)> = Vec::new();
+
+    // The four trial-and-error searchers share one oracle construction.
+    type Driver<'a> = Box<dyn FnOnce(&mut GenomeOracle<'_>) + 'a>;
+    let searchers: Vec<(&str, Driver)> = vec![
+        (
+            "Random",
+            Box::new(move |o: &mut GenomeOracle<'_>| {
+                random_search(
+                    &SaneSpace::paper().space(),
+                    o,
+                    &RandomSearchConfig { samples: budget, seed: 1 },
+                )
+            }),
+        ),
+        (
+            "Bayesian (TPE)",
+            Box::new(move |o: &mut GenomeOracle<'_>| {
+                tpe_search(
+                    &SaneSpace::paper().space(),
+                    o,
+                    &TpeConfig { samples: budget, warmup: 4, seed: 1, ..TpeConfig::default() },
+                )
+            }),
+        ),
+        (
+            "Evolution",
+            Box::new(move |o: &mut GenomeOracle<'_>| {
+                evolution_search(
+                    &SaneSpace::paper().space(),
+                    o,
+                    &EvolutionConfig {
+                        evaluations: budget,
+                        population: 6,
+                        tournament: 3,
+                        seed: 1,
+                    },
+                )
+            }),
+        ),
+        (
+            "REINFORCE",
+            Box::new(move |o: &mut GenomeOracle<'_>| {
+                reinforce_search(
+                    &SaneSpace::paper().space(),
+                    o,
+                    &ReinforceConfig {
+                        episodes: budget,
+                        final_samples: 3,
+                        seed: 1,
+                        ..ReinforceConfig::default()
+                    },
+                )
+            }),
+        ),
+    ];
+
+    for (name, drive) in searchers {
+        let start = Instant::now();
+        let mut oracle = GenomeOracle::new(|g: &[usize]| {
+            train_architecture(&task, &space.decode(g), &hyper, &cfg)
+        });
+        drive(&mut oracle);
+        let (genome, outcome, _) = oracle.finish();
+        rows.push((
+            name.to_string(),
+            outcome.test_metric,
+            start.elapsed().as_secs_f64(),
+            space.decode(&genome).describe(),
+        ));
+    }
+
+    // The differentiable search trains one supernet instead of `budget`
+    // separate models.
+    let start = Instant::now();
+    let found = sane_search(
+        &task,
+        &SaneSearchConfig {
+            supernet: SupernetConfig { k: 3, hidden: 32, ..Default::default() },
+            epochs: 50,
+            seed: 1,
+            ..Default::default()
+        },
+    );
+    let outcome = train_architecture(&task, &found.arch, &hyper, &cfg);
+    rows.push((
+        "SANE (differentiable)".into(),
+        outcome.test_metric,
+        start.elapsed().as_secs_f64(),
+        found.arch.describe(),
+    ));
+
+    println!("{:<22} {:>9} {:>10}   architecture", "method", "test acc", "search s");
+    println!("{}", "-".repeat(100));
+    for (name, acc, secs, arch) in &rows {
+        println!("{name:<22} {acc:>9.4} {secs:>10.1}   {arch}");
+    }
+}

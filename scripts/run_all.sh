@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the SANE paper.
+#
+#   scripts/run_all.sh            # laptop budget (~45 min on 2 cores)
+#   BUDGET=paper scripts/run_all.sh   # full paper protocol (hours)
+#
+# Individual exhibits can always be run directly, e.g.
+#   cargo run -p sane-bench --release --bin table6 -- --paper-scale
+set -euo pipefail
+
+OUT="${1:-results}"
+BIN=target/release
+LOGS="$OUT/logs"
+mkdir -p "$LOGS"
+
+if [ "${BUDGET:-laptop}" = paper ]; then
+  COMMON=(--paper-scale)
+  LEAN=(--paper-scale)
+else
+  # Laptop budget: 5% dataset scale, trimmed candidate counts.
+  COMMON=(--scale 0.05 --samples 12 --search-epochs 30 --train-epochs 50 --repeats 3)
+  LEAN=(--scale 0.05 --samples 10 --search-epochs 25 --train-epochs 40 --repeats 1)
+fi
+
+run() {
+  local name="$1"; shift
+  echo "=== $name: $* ==="
+  local start=$SECONDS
+  "$BIN/$name" "$@" 2>&1 | tee "$LOGS/$name.log"
+  echo "--- $name finished in $((SECONDS - start)) s ---"
+}
+
+# Timing-sensitive exhibits first (run with an otherwise idle machine).
+run table7 "${LEAN[@]}" --out "$OUT"
+run fig3   "${LEAN[@]}" --dataset cora --dataset ppi --out "$OUT"
+
+# The centerpiece comparison.
+run table6 "${COMMON[@]}" --out "$OUT"
+
+# DB task.
+run table8 "${COMMON[@]}" --out "$OUT"
+
+# Search-space and aggregator ablations.
+run table9  "${LEAN[@]}" --repeats 2 --out "$OUT"
+run table10 "${LEAN[@]}" --repeats 2 --out "$OUT"
+
+# Searched architectures and the remaining ablations.
+run fig2  "${LEAN[@]}" --out "$OUT"
+run fig4a "${LEAN[@]}" --repeats 2 --dataset cora --dataset citeseer --out "$OUT"
+run fig4b "${LEAN[@]}" --repeats 2 --dataset cora --out "$OUT"
+
+echo "All exhibits done; JSON in $OUT/, logs in $LOGS/."

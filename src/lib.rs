@@ -1,0 +1,48 @@
+//! # sane
+//!
+//! A from-scratch Rust reproduction of **SANE — Search to Aggregate
+//! NEighborhood for Graph Neural Network** (Zhao, Yao & Tu, ICDE 2021):
+//! differentiable neural architecture search for GNNs, including every
+//! substrate the paper depends on (tensor/autodiff engine, graph storage,
+//! the 11-aggregator model zoo, synthetic datasets, NAS baselines and the
+//! entity-alignment DB task).
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`autodiff`] — tensors, tape-based reverse-mode AD, optimizers.
+//! * [`graph`] — CSR graphs, message-passing layouts, generators.
+//! * [`data`] — synthetic Cora/CiteSeer/PubMed/PPI/DBP15K stand-ins.
+//! * [`gnn`] — node/layer aggregators and the discrete GNN model.
+//! * [`core`] — the SANE supernet, Algorithm 1 and the NAS baselines.
+//! * [`align`] — the cross-lingual entity-alignment task.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use sane::core::prelude::*;
+//! use sane::data::CitationConfig;
+//!
+//! // Tiny synthetic citation graph + a short budget so this doc test runs
+//! // in seconds; scale both up for real experiments.
+//! let task = Task::node(CitationConfig::cora().scaled(0.02).generate());
+//! let cfg = SaneSearchConfig {
+//!     supernet: SupernetConfig { k: 2, hidden: 8, ..Default::default() },
+//!     epochs: 5,
+//!     ..Default::default()
+//! };
+//! let found = sane_search(&task, &cfg);
+//! let outcome = train_architecture(
+//!     &task,
+//!     &found.arch,
+//!     &ModelHyper::default(),
+//!     &TrainConfig { epochs: 20, ..TrainConfig::default() },
+//! );
+//! println!("{} -> test {:.3}", found.arch.describe(), outcome.test_metric);
+//! ```
+
+pub use sane_align as align;
+pub use sane_autodiff as autodiff;
+pub use sane_core as core;
+pub use sane_data as data;
+pub use sane_gnn as gnn;
+pub use sane_graph as graph;

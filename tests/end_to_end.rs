@@ -1,0 +1,168 @@
+//! End-to-end integration tests spanning the whole workspace: dataset
+//! generation → search → derivation → retraining.
+
+use sane::core::prelude::*;
+use sane::data::{CitationConfig, PpiConfig};
+
+fn tiny_citation_task() -> Task {
+    Task::node(CitationConfig::cora().scaled(0.03).with_seed(11).generate())
+}
+
+fn search_cfg(epochs: usize) -> SaneSearchConfig {
+    SaneSearchConfig {
+        supernet: SupernetConfig { k: 2, hidden: 8, dropout: 0.2, ..Default::default() },
+        epochs,
+        seed: 3,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn sane_pipeline_search_derive_retrain() {
+    let task = tiny_citation_task();
+    let found = sane_search(&task, &search_cfg(20));
+    found.arch.validate();
+
+    let hyper = ModelHyper { hidden: 16, ..ModelHyper::default() };
+    let cfg = TrainConfig { epochs: 50, seed: 3, ..TrainConfig::default() };
+    let out = train_architecture(&task, &found.arch, &hyper, &cfg);
+    // 7-class problem, random baseline ~0.14; the searched architecture
+    // must clearly learn.
+    assert!(out.test_metric > 0.35, "searched arch test metric {}", out.test_metric);
+}
+
+#[test]
+fn searched_architecture_is_at_least_competitive_with_average_random() {
+    let task = tiny_citation_task();
+    let hyper = ModelHyper { hidden: 16, ..ModelHyper::default() };
+    let cfg = TrainConfig { epochs: 40, seed: 5, ..TrainConfig::default() };
+
+    let found = sane_search(&task, &search_cfg(25));
+    let sane_val = train_architecture(&task, &found.arch, &hyper, &cfg).val_metric;
+
+    // Average validation accuracy of a handful of random architectures.
+    let space = SaneSpace { k: 2 };
+    let mut rng = sane::core::supernet::seeded_rng(17);
+    let mut vals = Vec::new();
+    for _ in 0..4 {
+        let genome = space.space().sample(&mut rng);
+        let arch = space.decode(&genome);
+        vals.push(train_architecture(&task, &arch, &hyper, &cfg).val_metric);
+    }
+    let avg: f64 = vals.iter().sum::<f64>() / vals.len() as f64;
+    assert!(
+        sane_val >= avg - 0.08,
+        "SANE val {sane_val} should not be far below random-arch average {avg}"
+    );
+}
+
+#[test]
+fn all_searchers_return_valid_sane_architectures() {
+    let task = tiny_citation_task();
+    let space = SaneSpace { k: 2 };
+    let cat = space.space();
+    let hyper = ModelHyper { hidden: 8, ..ModelHyper::default() };
+    let cfg = TrainConfig { epochs: 10, seed: 0, ..TrainConfig::default() };
+
+    type Driver = Box<dyn Fn(&mut GenomeOracle<'_>)>;
+    let searchers: Vec<(&str, Driver)> = vec![
+        (
+            "random",
+            Box::new(|o: &mut GenomeOracle<'_>| {
+                random_search(
+                    &SaneSpace { k: 2 }.space(),
+                    o,
+                    &RandomSearchConfig { samples: 5, seed: 1 },
+                )
+            }),
+        ),
+        (
+            "tpe",
+            Box::new(|o: &mut GenomeOracle<'_>| {
+                tpe_search(
+                    &SaneSpace { k: 2 }.space(),
+                    o,
+                    &TpeConfig { samples: 6, warmup: 3, seed: 1, ..TpeConfig::default() },
+                )
+            }),
+        ),
+        (
+            "reinforce",
+            Box::new(|o: &mut GenomeOracle<'_>| {
+                reinforce_search(
+                    &SaneSpace { k: 2 }.space(),
+                    o,
+                    &ReinforceConfig { episodes: 5, final_samples: 2, seed: 1, ..ReinforceConfig::default() },
+                )
+            }),
+        ),
+    ];
+
+    for (name, run) in searchers {
+        let mut oracle = GenomeOracle::new(|g: &[usize]| {
+            cat.check(g);
+            train_architecture(&task, &space.decode(g), &hyper, &cfg)
+        });
+        run(&mut oracle);
+        let (genome, outcome, trace) = oracle.finish();
+        let arch = space.decode(&genome);
+        arch.validate();
+        assert!(outcome.val_metric > 0.0, "{name} best val metric");
+        // Trace must be chronologically and monotonically sane.
+        let points = &trace.points;
+        assert!(!points.is_empty(), "{name} recorded no trace");
+        for w in points.windows(2) {
+            assert!(w[0].seconds <= w[1].seconds, "{name} time not monotone");
+            assert!(w[0].best_val <= w[1].best_val + 1e-12, "{name} best not monotone");
+        }
+    }
+}
+
+#[test]
+fn weight_sharing_oracle_runs_on_inductive_task() {
+    let data = PpiConfig { num_graphs: 4, ..PpiConfig::ppi().scaled(0.02) }.generate();
+    let task = Task::multi(data);
+    let mut ws = WsEvaluator::new(
+        task,
+        SupernetConfig { k: 2, hidden: 8, dropout: 0.0, ..Default::default() },
+        5e-3,
+        1e-4,
+        2,
+        0,
+    );
+    let out = ws.evaluate(&[0, 1, 0, 1, 2]);
+    assert!((0.0..=1.0).contains(&out.val_metric));
+    assert!((0.0..=1.0).contains(&out.test_metric));
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let run = || {
+        let task = tiny_citation_task();
+        let found = sane_search(&task, &search_cfg(8));
+        let hyper = ModelHyper { hidden: 8, ..ModelHyper::default() };
+        let cfg = TrainConfig { epochs: 10, seed: 1, ..TrainConfig::default() };
+        let out = train_architecture(&task, &found.arch, &hyper, &cfg);
+        (found.arch.describe(), out.val_metric, out.test_metric)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn fine_tune_improves_or_matches_default_hyper() {
+    let task = tiny_citation_task();
+    let arch = Architecture::uniform(NodeAggKind::Gcn, 2, Some(LayerAggKind::Concat));
+    let default_out = train_architecture(
+        &task,
+        &arch,
+        &ModelHyper::default(),
+        &TrainConfig { epochs: 30, seed: 0, ..TrainConfig::default() },
+    );
+    let tuned = fine_tune(&task, &arch, &FineTuneConfig { iterations: 6, epochs: 30, seed: 0 });
+    assert!(
+        tuned.outcome.val_metric >= default_out.val_metric - 0.05,
+        "tuned {} vs default {}",
+        tuned.outcome.val_metric,
+        default_out.val_metric
+    );
+}

@@ -1,0 +1,153 @@
+//! Property-based tests on cross-crate invariants: gradient correctness of
+//! composite GNN computations, permutation equivariance of aggregators,
+//! and simplex/monotonicity invariants.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sane::autodiff::gradcheck::check_gradient;
+use sane::autodiff::{Matrix, Tape, VarStore};
+use sane::gnn::{build_aggregator, GraphContext, NodeAggKind};
+use sane::graph::Graph;
+
+/// Small random connected-ish graph from a proptest edge list.
+fn graph_from(edges: &[(u8, u8)], n: usize) -> Graph {
+    let list: Vec<(u32, u32)> =
+        edges.iter().map(|&(a, b)| ((a as usize % n) as u32, (b as usize % n) as u32)).collect();
+    Graph::from_edges(n, &list)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// The analytic gradient of a full aggregator forward pass (through
+    /// attention, segment softmax and all) matches finite differences.
+    #[test]
+    fn aggregator_gradients_match_finite_differences(
+        edges in prop::collection::vec((0u8..5, 0u8..5), 3..8),
+        kind_idx in 0usize..NodeAggKind::ALL.len(),
+        seed in 0u64..1000,
+    ) {
+        let n = 5;
+        let graph = graph_from(&edges, n);
+        let ctx = GraphContext::new(&graph);
+        let kind = NodeAggKind::ALL[kind_idx];
+
+        let mut store = VarStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let agg = build_aggregator(kind, &mut store, &mut rng, 3, 4, 1);
+        // Check the gradient w.r.t. a parameter-ised *input* so the whole
+        // op chain (attention scores, segment softmax, gating, ...) is
+        // exercised in one sweep; the aggregator's own weights stay fixed.
+        let mut rng2 = StdRng::seed_from_u64(seed ^ 0xABCD);
+        let x0 = sane::autodiff::uniform_init(n, 3, 0.8, &mut rng2);
+        let xp = store.add("x", x0);
+        let report = check_gradient(&mut store, xp, 1e-2, |tape, store, x| {
+            let out = agg.forward(tape, store, &ctx, x);
+            tape.mean_all(out)
+        });
+        prop_assert!(report.max_rel_err < 0.05,
+            "{kind}: rel err {} (analytic {}, numeric {})",
+            report.max_rel_err, report.analytic, report.numeric);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// SUM / MEAN / MAX aggregation is equivariant under node relabeling:
+    /// permuting the nodes (and edges, and features) permutes the output.
+    #[test]
+    fn spmm_aggregators_are_permutation_equivariant(
+        edges in prop::collection::vec((0u8..6, 0u8..6), 4..10),
+        seed in 0u64..500,
+    ) {
+        let n = 6;
+        let graph = graph_from(&edges, n);
+        // A rotation permutation.
+        let perm: Vec<usize> = (0..n).map(|i| (i + 2) % n).collect();
+        let permuted_edges: Vec<(u32, u32)> = graph
+            .edges()
+            .map(|(u, v)| (perm[u as usize] as u32, perm[v as usize] as u32))
+            .collect();
+        let graph_p = Graph::from_edges(n, &permuted_edges);
+
+        let ctx = GraphContext::new(&graph);
+        let ctx_p = GraphContext::new(&graph_p);
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = sane::autodiff::uniform_init(n, 3, 1.0, &mut rng);
+        let mut x_p = Matrix::zeros(n, 3);
+        for i in 0..n {
+            x_p.row_mut(perm[i]).copy_from_slice(x.row(i));
+        }
+
+        for kind in [NodeAggKind::SageSum, NodeAggKind::SageMean, NodeAggKind::Gcn] {
+            let mut store = VarStore::new();
+            let mut arng = StdRng::seed_from_u64(seed ^ 7);
+            let agg = build_aggregator(kind, &mut store, &mut arng, 3, 2, 1);
+
+            let mut t1 = Tape::new(0);
+            let xt = t1.constant(x.clone());
+            let out = agg.forward(&mut t1, &store, &ctx, xt);
+
+            let mut t2 = Tape::new(0);
+            let xt_p = t2.constant(x_p.clone());
+            let out_p = agg.forward(&mut t2, &store, &ctx_p, xt_p);
+
+            for i in 0..n {
+                let a = t1.value(out).row(i);
+                let b = t2.value(out_p).row(perm[i]);
+                for (x, y) in a.iter().zip(b) {
+                    prop_assert!((x - y).abs() < 1e-4,
+                        "{kind}: node {i} output changed under relabeling: {x} vs {y}");
+                }
+            }
+        }
+    }
+
+    /// Softmaxed supernet mixture weights always form a simplex.
+    #[test]
+    fn supernet_alpha_snapshot_is_simplex(seed in 0u64..200) {
+        use sane::core::supernet::{Supernet, SupernetConfig};
+        let mut store = VarStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = Supernet::new(
+            SupernetConfig { k: 2, hidden: 4, ..Default::default() },
+            3,
+            2,
+            &mut store,
+            &mut rng,
+        );
+        let snap = net.alpha_snapshot(&store);
+        for row in snap.node.iter().chain(snap.skip.iter()).chain(std::iter::once(&snap.layer)) {
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    /// Hits@K is monotone in K for any embeddings.
+    #[test]
+    fn hits_at_k_monotone(seed in 0u64..200, n in 4usize..12) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let e1 = sane::autodiff::uniform_init(n, 4, 1.0, &mut rng);
+        let e2 = sane::autodiff::uniform_init(n, 4, 1.0, &mut rng);
+        let pairs: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, i)).collect();
+        let hits = sane::align::hits_at_k(&e1, &e2, &pairs, &[1, 3, n]);
+        prop_assert!(hits[0] <= hits[1] && hits[1] <= hits[2]);
+        prop_assert!((hits[2] - 100.0).abs() < 1e-9, "K = n must always hit");
+    }
+
+    /// Dataset generation invariants hold for arbitrary scales and seeds.
+    #[test]
+    fn citation_generator_invariants(scale in 0.02f64..0.08, seed in 0u64..100) {
+        use sane::data::CitationConfig;
+        let ds = CitationConfig::cora().scaled(scale).with_seed(seed).generate();
+        ds.validate(); // panics on violation
+        // Homophily must materially exceed the random baseline of 1/C.
+        let h = ds.graph.edge_homophily(&ds.labels);
+        prop_assert!(h > 1.5 / ds.num_classes as f64, "homophily {h}");
+    }
+}
