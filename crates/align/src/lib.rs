@@ -8,6 +8,8 @@
 //! JAPE-like translational baseline, and the SANE architecture search
 //! restricted to the task's protocol (2 layers, node aggregators only).
 
+#![forbid(unsafe_code)]
+
 mod metrics;
 mod pipeline;
 

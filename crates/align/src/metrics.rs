@@ -16,12 +16,7 @@ fn l1(a: &[f32], b: &[f32]) -> f32 {
 ///
 /// # Panics
 /// Panics if dimensions disagree or `pairs` is empty.
-pub fn hits_at_k(
-    source: &Matrix,
-    target: &Matrix,
-    pairs: &[(u32, u32)],
-    ks: &[usize],
-) -> Vec<f64> {
+pub fn hits_at_k(source: &Matrix, target: &Matrix, pairs: &[(u32, u32)], ks: &[usize]) -> Vec<f64> {
     assert!(!pairs.is_empty(), "hits_at_k over no pairs");
     assert_eq!(source.cols(), target.cols(), "embedding dims differ");
     let mut hits = vec![0usize; ks.len()];

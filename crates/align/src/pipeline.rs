@@ -152,8 +152,13 @@ fn margin_loss(
 
 /// An embedding producer: given a tape, yields the two embedding tables.
 trait Embedder {
-    fn embed(&self, tape: &mut Tape, store: &VarStore, task: &AlignTask, training: bool)
-        -> (Tensor, Tensor);
+    fn embed(
+        &self,
+        tape: &mut Tape,
+        store: &VarStore,
+        task: &AlignTask,
+        training: bool,
+    ) -> (Tensor, Tensor);
 }
 
 /// Shared-weight GNN embedder (GCN-Align generalised to any architecture).
@@ -196,6 +201,10 @@ impl Embedder for TableEmbedder {
     }
 }
 
+/// An optional extra loss term added to the margin objective each epoch
+/// (used by the refinement stage).
+type ExtraLoss<'a> = &'a mut dyn FnMut(&mut Tape, Tensor, Tensor, &mut StdRng) -> Tensor;
+
 /// Shared training loop: margin loss on train pairs, Hits@1 model selection
 /// on validation pairs, Table VIII Hits on test pairs at the best epoch.
 fn run_alignment(
@@ -203,7 +212,7 @@ fn run_alignment(
     embedder: &dyn Embedder,
     store: &mut VarStore,
     cfg: &AlignTrainConfig,
-    mut extra_loss: Option<&mut dyn FnMut(&mut Tape, Tensor, Tensor, &mut StdRng) -> Tensor>,
+    mut extra_loss: Option<ExtraLoss<'_>>,
 ) -> AlignOutcome {
     let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(77));
     let mut opt = Adam::new(cfg.lr, cfg.weight_decay);
@@ -233,8 +242,12 @@ fn run_alignment(
         if epoch % cfg.eval_every == 0 || epoch + 1 == cfg.epochs {
             let mut eval = Tape::new(0);
             let (e1, e2) = embedder.embed(&mut eval, store, task, false);
-            let hits =
-                crate::metrics::hits_at_k(eval.value(e1), eval.value(e2), &task.data.val_pairs, &[1]);
+            let hits = crate::metrics::hits_at_k(
+                eval.value(e1),
+                eval.value(e2),
+                &task.data.val_pairs,
+                &[1],
+            );
             if hits[0] > best_val {
                 best_val = hits[0];
                 best_snapshot = store.snapshot();
@@ -261,7 +274,8 @@ pub fn train_gnn_align(
     assert_eq!(arch.layer_agg, None, "the DB task removes the layer aggregator (Section IV-D)");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut store = VarStore::new();
-    let hyper = ModelHyper { hidden: cfg.embed_dim, heads: 1, dropout: 0.2, ..ModelHyper::default() };
+    let hyper =
+        ModelHyper { hidden: cfg.embed_dim, heads: 1, dropout: 0.2, ..ModelHyper::default() };
     let model = GnnModel::new(
         arch.clone(),
         task.data.features1.cols(),
@@ -339,7 +353,16 @@ pub struct AlignSearchConfig {
 
 impl Default for AlignSearchConfig {
     fn default() -> Self {
-        Self { k: 2, hidden: 32, epochs: 60, lr_w: 5e-3, lr_alpha: 3e-3, margin: 3.0, neg_samples: 2, seed: 0 }
+        Self {
+            k: 2,
+            hidden: 32,
+            epochs: 60,
+            lr_w: 5e-3,
+            lr_alpha: 3e-3,
+            margin: 3.0,
+            neg_samples: 2,
+            seed: 0,
+        }
     }
 }
 
@@ -360,11 +383,11 @@ pub fn sane_align_search(task: &AlignTask, cfg: &AlignSearchConfig) -> Architect
     let mut opt_alpha = Adam::new(cfg.lr_alpha, 1e-3);
 
     let step = |store: &mut VarStore,
-                    opt: &mut Adam,
-                    params: &[ParamId],
-                    pairs: &[(u32, u32)],
-                    rng: &mut StdRng,
-                    seed: u64| {
+                opt: &mut Adam,
+                params: &[ParamId],
+                pairs: &[(u32, u32)],
+                rng: &mut StdRng,
+                seed: u64| {
         let mut tape = Tape::new(seed);
         let x1 = tape.input(Arc::clone(&task.data.features1));
         let x2 = tape.input(Arc::clone(&task.data.features2));
@@ -378,8 +401,22 @@ pub fn sane_align_search(task: &AlignTask, cfg: &AlignSearchConfig) -> Architect
 
     for epoch in 0..cfg.epochs {
         let seed = cfg.seed.wrapping_add(epoch as u64);
-        step(&mut store, &mut opt_alpha, net.alpha_params(), &task.data.val_pairs, &mut rng, seed << 1);
-        step(&mut store, &mut opt_w, net.weight_params(), &task.data.train_pairs, &mut rng, (seed << 1) | 1);
+        step(
+            &mut store,
+            &mut opt_alpha,
+            net.alpha_params(),
+            &task.data.val_pairs,
+            &mut rng,
+            seed << 1,
+        );
+        step(
+            &mut store,
+            &mut opt_w,
+            net.weight_params(),
+            &task.data.train_pairs,
+            &mut rng,
+            (seed << 1) | 1,
+        );
     }
     net.derive(&store)
 }

@@ -1,0 +1,570 @@
+//! Static analysis of recorded tapes.
+//!
+//! A [`Tape`] is a Wengert list: a flat, already-scheduled dataflow graph
+//! with eagerly computed forward values. That makes it cheap to *audit*
+//! without running backward — every op declares its input arity and a
+//! shape-transfer function ([`Op::arity`] / [`Op::infer_shape`]), and the
+//! auditor replays those declarations against what was actually recorded.
+//!
+//! [`Tape::audit`] runs five passes and collects everything it finds into a
+//! [`TapeReport`]:
+//!
+//! 1. **Arity check** — each node's recorded input count matches its op's
+//!    declared [`Arity`].
+//! 2. **Shape consistency** — each node's recorded output shape matches the
+//!    shape its op infers from its recorded input shapes, and the input
+//!    shapes themselves satisfy the op's contract (e.g. `matmul` inner
+//!    dimensions agree).
+//! 3. **Reachability** — a reverse walk from the loss node flags recorded
+//!    compute that can never receive gradient (dead compute) and parameter
+//!    leaves the loss does not depend on (dead parameters, the classic
+//!    silently-frozen-weight bug).
+//! 4. **Fan accounting** — counts fan-out per node; nodes consumed more than
+//!    once are gradient *accumulation points* (their backward contributions
+//!    are summed), which is where reordering or missed contributions would
+//!    bite. Summary statistics land in [`FanStats`].
+//! 5. **Non-finite scan** — forward values are scanned for `NaN`/`±inf`;
+//!    only *origins* (non-finite nodes whose inputs are all finite) are
+//!    reported, with op-name provenance, so one overflow does not drown the
+//!    report in downstream noise. [`Tape::audit_with_gradients`] extends the
+//!    scan to a [`Gradients`] set, naming offending parameters via the
+//!    [`VarStore`].
+//!
+//! The report is `Display`-able and is what the training and search loops
+//! emit behind their `audit_every` debug flags.
+//!
+//! [`Op::arity`]: crate::tape::Op::arity
+//! [`Op::infer_shape`]: crate::tape::Op::infer_shape
+
+use crate::tape::{Gradients, Tape, Tensor, VarStore};
+
+/// Declared number of inputs an op consumes from the tape.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Arity {
+    /// Exactly `n` inputs.
+    Exact(usize),
+    /// `n` or more inputs (variadic ops such as `concat_cols`).
+    AtLeast(usize),
+}
+
+impl Arity {
+    /// Whether a recorded input count satisfies this declaration.
+    pub fn accepts(self, n: usize) -> bool {
+        match self {
+            Arity::Exact(k) => n == k,
+            Arity::AtLeast(k) => n >= k,
+        }
+    }
+}
+
+impl std::fmt::Display for Arity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Arity::Exact(k) => write!(f, "exactly {k}"),
+            Arity::AtLeast(k) => write!(f, "at least {k}"),
+        }
+    }
+}
+
+/// How bad a finding is.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but not necessarily wrong (dead compute, dead parameters).
+    Warning,
+    /// The tape violates an op contract or carries non-finite numbers.
+    Error,
+}
+
+/// What kind of defect a finding describes.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FindingKind {
+    /// A node's recorded input count contradicts its op's declared arity.
+    ArityMismatch,
+    /// A node's recorded shapes contradict its op's shape-transfer function.
+    ShapeMismatch,
+    /// A non-leaf node the loss does not depend on: wasted forward compute.
+    DeadCompute,
+    /// A parameter leaf the loss does not depend on: it will never train.
+    DeadParam,
+    /// A forward value where `NaN`/`±inf` first appears.
+    NonFiniteValue,
+    /// A parameter gradient containing `NaN`/`±inf`.
+    NonFiniteGradient,
+}
+
+impl std::fmt::Display for FindingKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FindingKind::ArityMismatch => "arity-mismatch",
+            FindingKind::ShapeMismatch => "shape-mismatch",
+            FindingKind::DeadCompute => "dead-compute",
+            FindingKind::DeadParam => "dead-param",
+            FindingKind::NonFiniteValue => "non-finite-value",
+            FindingKind::NonFiniteGradient => "non-finite-gradient",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One defect the auditor found, with provenance.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    pub kind: FindingKind,
+    pub severity: Severity,
+    /// Index of the offending node on the tape, when the finding is about a
+    /// node (gradient findings are about parameters instead).
+    pub node: Option<usize>,
+    /// Name of the offending op, when known.
+    pub op: Option<&'static str>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let sev = match self.severity {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        write!(f, "[{sev}] {}", self.kind)?;
+        if let Some(n) = self.node {
+            write!(f, " @ node {n}")?;
+        }
+        if let Some(op) = self.op {
+            write!(f, " ({op})")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// Fan-in / fan-out accounting over the tape.
+#[derive(Clone, Debug, Default)]
+pub struct FanStats {
+    /// Nodes consumed by more than one downstream op — their gradients are
+    /// accumulated (summed) during backward.
+    pub accumulation_points: usize,
+    /// Largest number of consumers of any single node.
+    pub max_fan_out: usize,
+    /// Node achieving `max_fan_out`, if any node has consumers.
+    pub max_fan_out_node: Option<usize>,
+    /// Largest number of inputs of any single node.
+    pub max_fan_in: usize,
+    /// Node achieving `max_fan_in`, if any node has inputs.
+    pub max_fan_in_node: Option<usize>,
+}
+
+/// Result of auditing one recorded tape.
+#[derive(Clone, Debug)]
+pub struct TapeReport {
+    /// Everything the auditor flagged, in pass order.
+    pub findings: Vec<Finding>,
+    /// Total recorded nodes.
+    pub num_nodes: usize,
+    /// Nodes the loss depends on (including leaves).
+    pub reachable_nodes: usize,
+    /// Parameter leaves recorded on the tape.
+    pub num_param_nodes: usize,
+    /// Fan-in / fan-out summary.
+    pub fan: FanStats,
+}
+
+impl TapeReport {
+    /// True when the auditor found nothing at all.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// True when at least one finding is an [`Severity::Error`].
+    pub fn has_errors(&self) -> bool {
+        self.findings.iter().any(|f| f.severity == Severity::Error)
+    }
+
+    /// Findings of one kind (convenience for tests and callers).
+    pub fn of_kind(&self, kind: FindingKind) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(move |f| f.kind == kind)
+    }
+}
+
+impl std::fmt::Display for TapeReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "tape audit: {} nodes ({} reachable from loss, {} params), \
+             {} accumulation points (max fan-out {}{})",
+            self.num_nodes,
+            self.reachable_nodes,
+            self.num_param_nodes,
+            self.fan.accumulation_points,
+            self.fan.max_fan_out,
+            match self.fan.max_fan_out_node {
+                Some(n) => format!(" at node {n}"),
+                None => String::new(),
+            },
+        )?;
+        if self.findings.is_empty() {
+            write!(f, "  clean: no findings")
+        } else {
+            write!(f, "  {} finding(s):", self.findings.len())?;
+            for finding in &self.findings {
+                write!(f, "\n  {finding}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+impl Tape {
+    /// Audits the tape as a computation ending at `output` (the loss node).
+    ///
+    /// Runs all static passes: arity, shape consistency, reachability /
+    /// dead compute / dead parameters, fan accounting and the non-finite
+    /// scan of forward values. Does not execute any backward computation.
+    ///
+    /// Pass the [`VarStore`] used to record parameters so dead-parameter
+    /// findings can name the offending parameter.
+    pub fn audit(&self, output: Tensor, store: Option<&VarStore>) -> TapeReport {
+        let n = self.len();
+        assert!(output.0 < n, "audit output node {} out of range", output.0);
+        let mut findings = Vec::new();
+
+        // Pass 1 + 2: declared arity and shape transfer vs recorded reality.
+        for i in 0..n {
+            let node = self.node(i);
+            let op_name = node.op.name();
+            let shapes: Vec<(usize, usize)> =
+                node.inputs.iter().map(|t| self.value(*t).shape()).collect();
+
+            let arity = node.op.arity();
+            if !arity.accepts(shapes.len()) {
+                findings.push(Finding {
+                    kind: FindingKind::ArityMismatch,
+                    severity: Severity::Error,
+                    node: Some(i),
+                    op: Some(op_name),
+                    message: format!(
+                        "recorded with {} input(s) but declares {arity}",
+                        shapes.len()
+                    ),
+                });
+                // Shape inference over a malformed input list is meaningless.
+                continue;
+            }
+
+            match node.op.infer_shape(&shapes) {
+                Err(msg) => findings.push(Finding {
+                    kind: FindingKind::ShapeMismatch,
+                    severity: Severity::Error,
+                    node: Some(i),
+                    op: Some(op_name),
+                    message: format!("inconsistent input shapes {shapes:?}: {msg}"),
+                }),
+                Ok(Some(expected)) => {
+                    let actual = node.value.shape();
+                    if actual != expected {
+                        findings.push(Finding {
+                            kind: FindingKind::ShapeMismatch,
+                            severity: Severity::Error,
+                            node: Some(i),
+                            op: Some(op_name),
+                            message: format!(
+                                "inputs {shapes:?} infer output {expected:?} \
+                                 but recorded value is {actual:?}"
+                            ),
+                        });
+                    }
+                }
+                Ok(None) => {}
+            }
+        }
+
+        // Fan accounting.
+        let mut fan_out = vec![0usize; n];
+        let mut fan = FanStats::default();
+        for i in 0..n {
+            let node = self.node(i);
+            for t in &node.inputs {
+                fan_out[t.0] += 1;
+            }
+            if node.inputs.len() > fan.max_fan_in {
+                fan.max_fan_in = node.inputs.len();
+                fan.max_fan_in_node = Some(i);
+            }
+        }
+        for (i, &fo) in fan_out.iter().enumerate() {
+            if fo > 1 {
+                fan.accumulation_points += 1;
+            }
+            if fo > fan.max_fan_out {
+                fan.max_fan_out = fo;
+                fan.max_fan_out_node = Some(i);
+            }
+        }
+
+        // Pass 3: reachability from the loss (reverse DFS over inputs).
+        let mut reachable = vec![false; n];
+        let mut stack = vec![output.0];
+        reachable[output.0] = true;
+        while let Some(i) = stack.pop() {
+            for t in &self.node(i).inputs {
+                if !reachable[t.0] {
+                    reachable[t.0] = true;
+                    stack.push(t.0);
+                }
+            }
+        }
+        let reachable_nodes = reachable.iter().filter(|&&r| r).count();
+
+        let mut num_param_nodes = 0;
+        for i in 0..n {
+            let node = self.node(i);
+            if let Some(pid) = node.param {
+                num_param_nodes += 1;
+                if !reachable[i] {
+                    let name = store
+                        .map(|s| format!("`{}`", s.name(pid)))
+                        .unwrap_or_else(|| format!("#{}", pid.index()));
+                    findings.push(Finding {
+                        kind: FindingKind::DeadParam,
+                        severity: Severity::Warning,
+                        node: Some(i),
+                        op: Some(node.op.name()),
+                        message: format!(
+                            "parameter {name} is recorded but the loss does \
+                             not depend on it; it will receive no gradient"
+                        ),
+                    });
+                }
+            } else if !reachable[i] && !node.inputs.is_empty() {
+                findings.push(Finding {
+                    kind: FindingKind::DeadCompute,
+                    severity: Severity::Warning,
+                    node: Some(i),
+                    op: Some(node.op.name()),
+                    message: "computed but the loss does not depend on it \
+                              (wasted forward work)"
+                        .to_string(),
+                });
+            }
+        }
+
+        // Pass 5: non-finite origins in forward values. A node is an origin
+        // when its value is non-finite but all its inputs are finite, so the
+        // report names where the overflow *started*, not everything it
+        // poisoned downstream.
+        let non_finite: Vec<bool> = (0..n).map(|i| self.node(i).value.has_non_finite()).collect();
+        for i in 0..n {
+            if non_finite[i] && self.node(i).inputs.iter().all(|t| !non_finite[t.0]) {
+                findings.push(Finding {
+                    kind: FindingKind::NonFiniteValue,
+                    severity: Severity::Error,
+                    node: Some(i),
+                    op: Some(self.node(i).op.name()),
+                    message: "forward value contains NaN/inf and all inputs \
+                              are finite (non-finite origin)"
+                        .to_string(),
+                });
+            }
+        }
+
+        TapeReport { findings, num_nodes: n, reachable_nodes, num_param_nodes, fan }
+    }
+
+    /// [`Tape::audit`], extended with a non-finite scan over a gradient set
+    /// produced by this tape's backward sweep.
+    pub fn audit_with_gradients(
+        &self,
+        output: Tensor,
+        store: Option<&VarStore>,
+        grads: &Gradients,
+    ) -> TapeReport {
+        let mut report = self.audit(output, store);
+        for (pid, g) in grads.iter() {
+            if g.has_non_finite() {
+                let name = store
+                    .map(|s| format!("`{}`", s.name(pid)))
+                    .unwrap_or_else(|| format!("#{}", pid.index()));
+                report.findings.push(Finding {
+                    kind: FindingKind::NonFiniteGradient,
+                    severity: Severity::Error,
+                    node: None,
+                    op: None,
+                    message: format!("gradient of parameter {name} contains NaN/inf"),
+                });
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+    use crate::tape::Op;
+
+    fn small_loss_tape() -> (Tape, VarStore, Tensor) {
+        let mut store = VarStore::new();
+        let w = store.add("w", Matrix::from_vec(2, 2, vec![0.1, 0.2, 0.3, 0.4]));
+        let mut tape = Tape::new(0);
+        let x = tape.constant(Matrix::from_vec(3, 2, vec![1.0; 6]));
+        let wt = tape.param(&store, w);
+        let h = tape.matmul(x, wt);
+        let a = tape.relu(h);
+        let loss = tape.mean_all(a);
+        (tape, store, loss)
+    }
+
+    #[test]
+    fn clean_tape_audits_clean() {
+        let (tape, store, loss) = small_loss_tape();
+        let report = tape.audit(loss, Some(&store));
+        assert!(report.is_clean(), "unexpected findings:\n{report}");
+        assert_eq!(report.num_nodes, 5);
+        assert_eq!(report.reachable_nodes, 5);
+        assert_eq!(report.num_param_nodes, 1);
+    }
+
+    #[test]
+    fn fan_out_counts_accumulation_points() {
+        let mut tape = Tape::new(0);
+        let x = tape.constant(Matrix::from_vec(2, 2, vec![1.0; 4]));
+        // x is consumed twice: gradient w.r.t. x accumulates.
+        let y = tape.mul(x, x);
+        let loss = tape.sum_all(y);
+        let report = tape.audit(loss, None);
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.fan.accumulation_points, 1);
+        assert_eq!(report.fan.max_fan_out, 2);
+        assert_eq!(report.fan.max_fan_out_node, Some(x.index()));
+    }
+
+    /// Mutation test: an op whose recorded output contradicts its declared
+    /// shape-transfer function must produce a `ShapeMismatch` error.
+    #[test]
+    fn wrong_shape_op_is_flagged() {
+        struct BrokenTransposeOp;
+        impl Op for BrokenTransposeOp {
+            fn backward(&self, _: &Matrix, grad: &Matrix, _: &[&Matrix]) -> Vec<Option<Matrix>> {
+                vec![Some(grad.clone())]
+            }
+            fn name(&self) -> &'static str {
+                "broken_transpose"
+            }
+            fn arity(&self) -> Arity {
+                Arity::Exact(1)
+            }
+            fn infer_shape(
+                &self,
+                inputs: &[(usize, usize)],
+            ) -> Result<Option<(usize, usize)>, String> {
+                // Declares a transpose...
+                Ok(Some((inputs[0].1, inputs[0].0)))
+            }
+        }
+
+        let mut tape = Tape::new(0);
+        let x = tape.constant(Matrix::from_vec(2, 3, vec![1.0; 6]));
+        // ...but records the identity: (2, 3) instead of the declared (3, 2).
+        let bad = tape.push_op(
+            Matrix::from_vec(2, 3, vec![1.0; 6]),
+            Box::new(BrokenTransposeOp),
+            vec![x],
+        );
+        let loss = tape.sum_all(bad);
+        let report = tape.audit(loss, None);
+        let f: Vec<_> = report.of_kind(FindingKind::ShapeMismatch).collect();
+        assert_eq!(f.len(), 1, "{report}");
+        assert_eq!(f[0].node, Some(bad.index()));
+        assert_eq!(f[0].op, Some("broken_transpose"));
+        assert!(report.has_errors());
+    }
+
+    /// Mutation test: an op recorded with the wrong number of inputs must
+    /// produce an `ArityMismatch` error.
+    #[test]
+    fn wrong_arity_is_flagged() {
+        let mut tape = Tape::new(0);
+        let x = tape.constant(Matrix::from_vec(2, 2, vec![1.0; 4]));
+        let y = tape.constant(Matrix::from_vec(2, 2, vec![2.0; 4]));
+        // matmul declares exactly 2 inputs; wire it with 3.
+        let bad = tape.push_op(
+            Matrix::from_vec(2, 2, vec![0.0; 4]),
+            Box::new(crate::ops::linalg::MatMulOp),
+            vec![x, y, x],
+        );
+        let loss = tape.sum_all(bad);
+        let report = tape.audit(loss, None);
+        let f: Vec<_> = report.of_kind(FindingKind::ArityMismatch).collect();
+        assert_eq!(f.len(), 1, "{report}");
+        assert_eq!(f[0].op, Some("matmul"));
+    }
+
+    /// Mutation test: a parameter the loss does not depend on must produce a
+    /// `DeadParam` warning naming the parameter.
+    #[test]
+    fn dead_parameter_is_flagged() {
+        let mut store = VarStore::new();
+        let used = store.add("w_used", Matrix::scalar(1.0));
+        let unused = store.add("w_frozen", Matrix::scalar(2.0));
+        let mut tape = Tape::new(0);
+        let a = tape.param(&store, used);
+        let _b = tape.param(&store, unused);
+        let loss = tape.mul(a, a);
+        let report = tape.audit(loss, Some(&store));
+        let f: Vec<_> = report.of_kind(FindingKind::DeadParam).collect();
+        assert_eq!(f.len(), 1, "{report}");
+        assert!(f[0].message.contains("w_frozen"), "{}", f[0].message);
+        assert!(!report.has_errors(), "dead params are warnings, not errors");
+    }
+
+    #[test]
+    fn dead_compute_is_flagged() {
+        let mut tape = Tape::new(0);
+        let x = tape.constant(Matrix::from_vec(2, 2, vec![1.0; 4]));
+        let _wasted = tape.relu(x); // never feeds the loss
+        let loss = tape.sum_all(x);
+        let report = tape.audit(loss, None);
+        let f: Vec<_> = report.of_kind(FindingKind::DeadCompute).collect();
+        assert_eq!(f.len(), 1, "{report}");
+        assert_eq!(f[0].op, Some("relu"));
+    }
+
+    /// Mutation test: injected NaN must be flagged at its origin only, not
+    /// at every downstream node it poisons.
+    #[test]
+    fn nan_injection_is_flagged_at_origin() {
+        let mut tape = Tape::new(0);
+        let x = tape.constant(Matrix::from_vec(2, 2, vec![1.0, f32::NAN, 3.0, 4.0]));
+        let h = tape.relu(x); // poisoned downstream
+        let loss = tape.sum_all(h);
+        let report = tape.audit(loss, None);
+        let f: Vec<_> = report.of_kind(FindingKind::NonFiniteValue).collect();
+        assert_eq!(f.len(), 1, "origin only, got:\n{report}");
+        assert_eq!(f[0].node, Some(x.index()));
+        assert_eq!(f[0].op, Some("input"));
+    }
+
+    #[test]
+    fn non_finite_gradient_is_flagged() {
+        let mut store = VarStore::new();
+        let w = store.add("w", Matrix::scalar(1e20));
+        let mut tape = Tape::new(0);
+        let a = tape.param(&store, w);
+        let b = tape.mul(a, a); // 1e40 overflows f32 -> inf
+        let loss = tape.mul(b, b);
+        let grads = tape.backward(loss);
+        let report = tape.audit_with_gradients(loss, Some(&store), &grads);
+        let f: Vec<_> = report.of_kind(FindingKind::NonFiniteGradient).collect();
+        assert_eq!(f.len(), 1, "{report}");
+        assert!(f[0].message.contains('w'), "{}", f[0].message);
+    }
+
+    #[test]
+    fn report_display_is_readable() {
+        let (tape, store, loss) = small_loss_tape();
+        let report = tape.audit(loss, Some(&store));
+        let text = format!("{report}");
+        assert!(text.contains("clean"), "{text}");
+        assert!(text.contains("5 nodes"), "{text}");
+    }
+}

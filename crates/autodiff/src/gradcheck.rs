@@ -59,8 +59,12 @@ pub fn check_gradient(
         let denom = 1.0f32.max(analytic[i].abs()).max(numeric.abs());
         let rel = (analytic[i] - numeric).abs() / denom;
         if rel > report.max_rel_err {
-            report =
-                GradCheckReport { max_rel_err: rel, worst_index: i, analytic: analytic[i], numeric };
+            report = GradCheckReport {
+                max_rel_err: rel,
+                worst_index: i,
+                analytic: analytic[i],
+                numeric,
+            };
         }
     }
     report

@@ -16,6 +16,9 @@
 //!   without ever materialising dense `N x N` matrices.
 //! * [`optim`] — SGD and Adam with decoupled weight decay.
 //! * [`gradcheck`] — finite-difference verification used by the test suite.
+//! * [`audit`] — static tape analysis: shape/arity checking against each
+//!   op's declared metadata, dead-compute and dead-parameter detection,
+//!   gradient-accumulation accounting and NaN/inf provenance.
 //!
 //! ## Example
 //!
@@ -37,12 +40,14 @@
 //! assert!((store.value(w).as_scalar() - 2.0).abs() < 0.05);
 //! ```
 
+#![forbid(unsafe_code)]
 #![allow(clippy::needless_range_loop)]
 
 mod matrix;
 mod sparse;
 mod tape;
 
+pub mod audit;
 pub mod gradcheck;
 pub mod metrics;
 pub mod optim;
@@ -57,6 +62,7 @@ pub mod ops {
     pub use graphops::Segments;
 }
 
+pub use audit::{Arity, FanStats, Finding, FindingKind, Severity, TapeReport};
 pub use matrix::Matrix;
 pub use ops::Segments;
 pub use sparse::Csr;

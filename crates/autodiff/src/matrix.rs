@@ -24,9 +24,8 @@ pub struct Matrix {
 /// Linux, which is far too slow to query per kernel call.
 pub(crate) fn num_threads() -> usize {
     static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-    *THREADS.get_or_init(|| {
-        std::thread::available_parallelism().map(|n| n.get().min(4)).unwrap_or(1)
-    })
+    *THREADS
+        .get_or_init(|| std::thread::available_parallelism().map(|n| n.get().min(4)).unwrap_or(1))
 }
 
 /// Minimum number of multiply-adds before a kernel bothers spawning
@@ -404,15 +403,14 @@ fn parallel_rows(
         return;
     }
     let chunk_rows = m.div_ceil(workers);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (t, out_chunk) in out.chunks_mut(chunk_rows * n).enumerate() {
             let start = t * chunk_rows;
             let end = (start + out_chunk.len() / n).min(m);
             let run = &run;
-            s.spawn(move |_| run(start..end, out_chunk));
+            s.spawn(move || run(start..end, out_chunk));
         }
-    })
-    .expect("matmul worker panicked");
+    });
 }
 
 /// GEMM with i-k-j loop order: the inner loop streams rows of `b` and `out`.

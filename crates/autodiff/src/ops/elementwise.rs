@@ -4,8 +4,25 @@ use std::sync::Arc;
 
 use rand::Rng;
 
+use crate::audit::Arity;
 use crate::matrix::Matrix;
 use crate::tape::{Op, Tape, Tensor};
+
+type InferredShape = Result<Option<(usize, usize)>, String>;
+
+/// Shape transfer for elementwise binary ops: both operands must match and
+/// the output keeps their shape.
+fn infer_same_shape_binary(inputs: &[(usize, usize)]) -> InferredShape {
+    if inputs[0] != inputs[1] {
+        return Err(format!("operands must match: {:?} vs {:?}", inputs[0], inputs[1]));
+    }
+    Ok(Some(inputs[0]))
+}
+
+/// Shape transfer for elementwise unary ops: output keeps the input shape.
+fn infer_unary_identity(inputs: &[(usize, usize)]) -> InferredShape {
+    Ok(Some(inputs[0]))
+}
 
 fn binary_shape_check(tape: &Tape, a: Tensor, b: Tensor, what: &str) {
     assert_eq!(
@@ -25,6 +42,12 @@ impl Op for AddOp {
     fn name(&self) -> &'static str {
         "add"
     }
+    fn arity(&self) -> Arity {
+        Arity::Exact(2)
+    }
+    fn infer_shape(&self, inputs: &[(usize, usize)]) -> InferredShape {
+        infer_same_shape_binary(inputs)
+    }
 }
 
 struct SubOp;
@@ -36,6 +59,12 @@ impl Op for SubOp {
     }
     fn name(&self) -> &'static str {
         "sub"
+    }
+    fn arity(&self) -> Arity {
+        Arity::Exact(2)
+    }
+    fn infer_shape(&self, inputs: &[(usize, usize)]) -> InferredShape {
+        infer_same_shape_binary(inputs)
     }
 }
 
@@ -55,6 +84,12 @@ impl Op for MulOp {
     fn name(&self) -> &'static str {
         "mul"
     }
+    fn arity(&self) -> Arity {
+        Arity::Exact(2)
+    }
+    fn infer_shape(&self, inputs: &[(usize, usize)]) -> InferredShape {
+        infer_same_shape_binary(inputs)
+    }
 }
 
 struct ScaleOp(f32);
@@ -67,6 +102,12 @@ impl Op for ScaleOp {
     fn name(&self) -> &'static str {
         "scale"
     }
+    fn arity(&self) -> Arity {
+        Arity::Exact(1)
+    }
+    fn infer_shape(&self, inputs: &[(usize, usize)]) -> InferredShape {
+        infer_unary_identity(inputs)
+    }
 }
 
 struct AddScalarOp;
@@ -76,6 +117,12 @@ impl Op for AddScalarOp {
     }
     fn name(&self) -> &'static str {
         "add_scalar"
+    }
+    fn arity(&self) -> Arity {
+        Arity::Exact(1)
+    }
+    fn infer_shape(&self, inputs: &[(usize, usize)]) -> InferredShape {
+        infer_unary_identity(inputs)
     }
 }
 
@@ -91,6 +138,15 @@ impl Op for MulScalarTensorOp {
     }
     fn name(&self) -> &'static str {
         "mul_scalar_tensor"
+    }
+    fn arity(&self) -> Arity {
+        Arity::Exact(2)
+    }
+    fn infer_shape(&self, inputs: &[(usize, usize)]) -> InferredShape {
+        if inputs[1] != (1, 1) {
+            return Err(format!("scale must be 1x1, got {:?}", inputs[1]));
+        }
+        Ok(Some(inputs[0]))
     }
 }
 
@@ -108,6 +164,12 @@ impl Op for ReluOp {
     fn name(&self) -> &'static str {
         "relu"
     }
+    fn arity(&self) -> Arity {
+        Arity::Exact(1)
+    }
+    fn infer_shape(&self, inputs: &[(usize, usize)]) -> InferredShape {
+        infer_unary_identity(inputs)
+    }
 }
 
 struct LeakyReluOp(f32);
@@ -123,6 +185,12 @@ impl Op for LeakyReluOp {
     }
     fn name(&self) -> &'static str {
         "leaky_relu"
+    }
+    fn arity(&self) -> Arity {
+        Arity::Exact(1)
+    }
+    fn infer_shape(&self, inputs: &[(usize, usize)]) -> InferredShape {
+        infer_unary_identity(inputs)
     }
 }
 
@@ -141,6 +209,12 @@ impl Op for EluOp {
     fn name(&self) -> &'static str {
         "elu"
     }
+    fn arity(&self) -> Arity {
+        Arity::Exact(1)
+    }
+    fn infer_shape(&self, inputs: &[(usize, usize)]) -> InferredShape {
+        infer_unary_identity(inputs)
+    }
 }
 
 struct TanhOp;
@@ -155,6 +229,12 @@ impl Op for TanhOp {
     fn name(&self) -> &'static str {
         "tanh"
     }
+    fn arity(&self) -> Arity {
+        Arity::Exact(1)
+    }
+    fn infer_shape(&self, inputs: &[(usize, usize)]) -> InferredShape {
+        infer_unary_identity(inputs)
+    }
 }
 
 struct SigmoidOp;
@@ -168,6 +248,12 @@ impl Op for SigmoidOp {
     }
     fn name(&self) -> &'static str {
         "sigmoid"
+    }
+    fn arity(&self) -> Arity {
+        Arity::Exact(1)
+    }
+    fn infer_shape(&self, inputs: &[(usize, usize)]) -> InferredShape {
+        infer_unary_identity(inputs)
     }
 }
 
@@ -190,6 +276,12 @@ impl Op for AbsOp {
     fn name(&self) -> &'static str {
         "abs"
     }
+    fn arity(&self) -> Arity {
+        Arity::Exact(1)
+    }
+    fn infer_shape(&self, inputs: &[(usize, usize)]) -> InferredShape {
+        infer_unary_identity(inputs)
+    }
 }
 
 /// Inverted dropout; the mask (with `1/(1-p)` scaling baked in) is saved at
@@ -207,6 +299,16 @@ impl Op for DropoutOp {
     }
     fn name(&self) -> &'static str {
         "dropout"
+    }
+    fn arity(&self) -> Arity {
+        Arity::Exact(1)
+    }
+    fn infer_shape(&self, inputs: &[(usize, usize)]) -> InferredShape {
+        let (r, c) = inputs[0];
+        if self.mask.len() != r * c {
+            return Err(format!("saved mask has {} entries for a {r}x{c} input", self.mask.len()));
+        }
+        Ok(Some(inputs[0]))
     }
 }
 

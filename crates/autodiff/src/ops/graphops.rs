@@ -7,8 +7,11 @@
 
 use std::sync::Arc;
 
+use crate::audit::Arity;
 use crate::matrix::Matrix;
 use crate::tape::{Op, Tape, Tensor};
+
+type InferredShape = Result<Option<(usize, usize)>, String>;
 
 /// Boundaries of contiguous segments over a length-`n` axis.
 ///
@@ -46,7 +49,7 @@ impl Segments {
 
     /// Total number of elements covered.
     pub fn total_len(&self) -> usize {
-        *self.offsets.last().expect("non-empty by construction")
+        *self.offsets.last().expect("non-empty by construction") // lint:allow(expect)
     }
 
     #[inline]
@@ -80,6 +83,16 @@ impl Op for GatherRowsOp {
     fn name(&self) -> &'static str {
         "gather_rows"
     }
+    fn arity(&self) -> Arity {
+        Arity::Exact(1)
+    }
+    fn infer_shape(&self, inputs: &[(usize, usize)]) -> InferredShape {
+        let (rows, cols) = inputs[0];
+        if let Some(&bad) = self.idx.iter().find(|&&i| i as usize >= rows) {
+            return Err(format!("index {bad} out of bounds for {rows} source rows"));
+        }
+        Ok(Some((self.idx.len(), cols)))
+    }
 }
 
 struct SegmentSumOp {
@@ -99,6 +112,12 @@ impl Op for SegmentSumOp {
     }
     fn name(&self) -> &'static str {
         "segment_sum"
+    }
+    fn arity(&self) -> Arity {
+        Arity::Exact(1)
+    }
+    fn infer_shape(&self, inputs: &[(usize, usize)]) -> InferredShape {
+        infer_segment_reduce(&self.segs, inputs)
     }
 }
 
@@ -125,6 +144,12 @@ impl Op for SegmentMeanOp {
     fn name(&self) -> &'static str {
         "segment_mean"
     }
+    fn arity(&self) -> Arity {
+        Arity::Exact(1)
+    }
+    fn infer_shape(&self, inputs: &[(usize, usize)]) -> InferredShape {
+        infer_segment_reduce(&self.segs, inputs)
+    }
 }
 
 struct SegmentMaxOp {
@@ -148,6 +173,19 @@ impl Op for SegmentMaxOp {
     fn name(&self) -> &'static str {
         "segment_max"
     }
+    fn arity(&self) -> Arity {
+        Arity::Exact(1)
+    }
+    fn infer_shape(&self, inputs: &[(usize, usize)]) -> InferredShape {
+        let cols = inputs[0].1;
+        if cols == 0 || !self.winners.len().is_multiple_of(cols) {
+            return Err(format!(
+                "saved {} winner indices for inputs with {cols} columns",
+                self.winners.len()
+            ));
+        }
+        Ok(Some((self.winners.len() / cols, cols)))
+    }
 }
 
 /// Softmax within each segment of an `n x 1` score column.
@@ -169,6 +207,22 @@ impl Op for SegmentSoftmaxOp {
     }
     fn name(&self) -> &'static str {
         "segment_softmax"
+    }
+    fn arity(&self) -> Arity {
+        Arity::Exact(1)
+    }
+    fn infer_shape(&self, inputs: &[(usize, usize)]) -> InferredShape {
+        let (rows, cols) = inputs[0];
+        if cols != 1 {
+            return Err(format!("expects an n x 1 score column, got {:?}", inputs[0]));
+        }
+        if rows != self.segs.total_len() {
+            return Err(format!(
+                "scores cover {rows} edges but segments cover {}",
+                self.segs.total_len()
+            ));
+        }
+        Ok(Some(inputs[0]))
     }
 }
 
@@ -197,6 +251,28 @@ impl Op for MulColBroadcastOp {
     fn name(&self) -> &'static str {
         "mul_col_broadcast"
     }
+    fn arity(&self) -> Arity {
+        Arity::Exact(2)
+    }
+    fn infer_shape(&self, inputs: &[(usize, usize)]) -> InferredShape {
+        if inputs[1] != (inputs[0].0, 1) {
+            return Err(format!(
+                "weights must be {} x 1 for a {:?} input, got {:?}",
+                inputs[0].0, inputs[0], inputs[1]
+            ));
+        }
+        Ok(Some(inputs[0]))
+    }
+}
+
+/// Shared shape transfer for segment reductions: the input covers every
+/// segmented element, the output has one row per segment.
+fn infer_segment_reduce(segs: &Segments, inputs: &[(usize, usize)]) -> InferredShape {
+    let (rows, cols) = inputs[0];
+    if rows != segs.total_len() {
+        return Err(format!("input has {rows} rows but segments cover {}", segs.total_len()));
+    }
+    Ok(Some((segs.num_segments(), cols)))
 }
 
 impl Tape {
@@ -396,7 +472,8 @@ mod tests {
     #[test]
     fn segment_max_values_and_grad() {
         let mut store = VarStore::new();
-        let a = store.add("a", Matrix::from_vec(4, 2, vec![1.0, 9.0, 5.0, 2.0, 0.0, 0.0, -1.0, 3.0]));
+        let a =
+            store.add("a", Matrix::from_vec(4, 2, vec![1.0, 9.0, 5.0, 2.0, 0.0, 0.0, -1.0, 3.0]));
         let mut tape = Tape::new(0);
         let ta = tape.param(&store, a);
         let s = segs(&[2, 2]);

@@ -3,11 +3,14 @@
 
 use std::sync::Arc;
 
+use crate::audit::Arity;
 use crate::matrix::Matrix;
 use crate::sparse::Csr;
 use crate::tape::{Op, Tape, Tensor};
 
-struct MatMulOp;
+type InferredShape = Result<Option<(usize, usize)>, String>;
+
+pub(crate) struct MatMulOp;
 impl Op for MatMulOp {
     fn backward(&self, _out: &Matrix, grad: &Matrix, inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
         // C = A·B  =>  dA = dC·Bᵀ, dB = Aᵀ·dC
@@ -17,6 +20,16 @@ impl Op for MatMulOp {
     }
     fn name(&self) -> &'static str {
         "matmul"
+    }
+    fn arity(&self) -> Arity {
+        Arity::Exact(2)
+    }
+    fn infer_shape(&self, inputs: &[(usize, usize)]) -> InferredShape {
+        let ((m, k1), (k2, n)) = (inputs[0], inputs[1]);
+        if k1 != k2 {
+            return Err(format!("inner dimensions disagree: {k1} vs {k2}"));
+        }
+        Ok(Some((m, n)))
     }
 }
 
@@ -31,6 +44,19 @@ impl Op for SpmmOp {
     fn name(&self) -> &'static str {
         "spmm"
     }
+    fn arity(&self) -> Arity {
+        Arity::Exact(1)
+    }
+    fn infer_shape(&self, inputs: &[(usize, usize)]) -> InferredShape {
+        let (rows, cols) = inputs[0];
+        if rows != self.sparse.cols() {
+            return Err(format!(
+                "dense operand has {rows} rows but sparse operator has {} columns",
+                self.sparse.cols()
+            ));
+        }
+        Ok(Some((self.sparse.rows(), cols)))
+    }
 }
 
 struct AddBiasOp;
@@ -40,6 +66,18 @@ impl Op for AddBiasOp {
     }
     fn name(&self) -> &'static str {
         "add_bias"
+    }
+    fn arity(&self) -> Arity {
+        Arity::Exact(2)
+    }
+    fn infer_shape(&self, inputs: &[(usize, usize)]) -> InferredShape {
+        if inputs[1] != (1, inputs[0].1) {
+            return Err(format!(
+                "bias must be 1x{} for a {:?} input, got {:?}",
+                inputs[0].1, inputs[0], inputs[1]
+            ));
+        }
+        Ok(Some(inputs[0]))
     }
 }
 
@@ -64,6 +102,24 @@ impl Op for ConcatColsOp {
     fn name(&self) -> &'static str {
         "concat_cols"
     }
+    fn arity(&self) -> Arity {
+        Arity::AtLeast(1)
+    }
+    fn infer_shape(&self, inputs: &[(usize, usize)]) -> InferredShape {
+        if inputs.len() != self.widths.len() {
+            return Err(format!("saved {} widths for {} inputs", self.widths.len(), inputs.len()));
+        }
+        let rows = inputs[0].0;
+        for (&(r, c), &w) in inputs.iter().zip(&self.widths) {
+            if r != rows {
+                return Err(format!("row counts disagree: {rows} vs {r}"));
+            }
+            if c != w {
+                return Err(format!("input has {c} columns but saved width is {w}"));
+            }
+        }
+        Ok(Some((rows, self.widths.iter().sum())))
+    }
 }
 
 struct SliceColsOp {
@@ -82,6 +138,16 @@ impl Op for SliceColsOp {
     fn name(&self) -> &'static str {
         "slice_cols"
     }
+    fn arity(&self) -> Arity {
+        Arity::Exact(1)
+    }
+    fn infer_shape(&self, inputs: &[(usize, usize)]) -> InferredShape {
+        let (rows, cols) = inputs[0];
+        if self.start >= self.end || self.end > cols {
+            return Err(format!("slice {}..{} out of 0..{cols}", self.start, self.end));
+        }
+        Ok(Some((rows, self.end - self.start)))
+    }
 }
 
 struct RowSumOp;
@@ -98,6 +164,12 @@ impl Op for RowSumOp {
     fn name(&self) -> &'static str {
         "row_sum"
     }
+    fn arity(&self) -> Arity {
+        Arity::Exact(1)
+    }
+    fn infer_shape(&self, inputs: &[(usize, usize)]) -> InferredShape {
+        Ok(Some((inputs[0].0, 1)))
+    }
 }
 
 struct SumAllOp;
@@ -108,6 +180,12 @@ impl Op for SumAllOp {
     }
     fn name(&self) -> &'static str {
         "sum_all"
+    }
+    fn arity(&self) -> Arity {
+        Arity::Exact(1)
+    }
+    fn infer_shape(&self, _: &[(usize, usize)]) -> InferredShape {
+        Ok(Some((1, 1)))
     }
 }
 
@@ -120,6 +198,12 @@ impl Op for MeanAllOp {
     }
     fn name(&self) -> &'static str {
         "mean_all"
+    }
+    fn arity(&self) -> Arity {
+        Arity::Exact(1)
+    }
+    fn infer_shape(&self, _: &[(usize, usize)]) -> InferredShape {
+        Ok(Some((1, 1)))
     }
 }
 
@@ -141,6 +225,12 @@ impl Op for SoftmaxRowsOp {
     fn name(&self) -> &'static str {
         "softmax_rows"
     }
+    fn arity(&self) -> Arity {
+        Arity::Exact(1)
+    }
+    fn infer_shape(&self, inputs: &[(usize, usize)]) -> InferredShape {
+        Ok(Some(inputs[0]))
+    }
 }
 
 struct LogSoftmaxRowsOp;
@@ -159,6 +249,12 @@ impl Op for LogSoftmaxRowsOp {
     fn name(&self) -> &'static str {
         "log_softmax_rows"
     }
+    fn arity(&self) -> Arity {
+        Arity::Exact(1)
+    }
+    fn infer_shape(&self, inputs: &[(usize, usize)]) -> InferredShape {
+        Ok(Some(inputs[0]))
+    }
 }
 
 /// Elementwise max over `k` same-shaped tensors; the winner index per
@@ -169,7 +265,8 @@ struct MaxStackOp {
 impl Op for MaxStackOp {
     fn backward(&self, _out: &Matrix, grad: &Matrix, inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
         let shape = inputs[0].shape();
-        let mut grads: Vec<Matrix> = (0..inputs.len()).map(|_| Matrix::zeros(shape.0, shape.1)).collect();
+        let mut grads: Vec<Matrix> =
+            (0..inputs.len()).map(|_| Matrix::zeros(shape.0, shape.1)).collect();
         for (i, (&w, &g)) in self.winners.iter().zip(grad.data()).enumerate() {
             grads[w as usize].data_mut()[i] = g;
         }
@@ -177,6 +274,23 @@ impl Op for MaxStackOp {
     }
     fn name(&self) -> &'static str {
         "max_stack"
+    }
+    fn arity(&self) -> Arity {
+        Arity::AtLeast(1)
+    }
+    fn infer_shape(&self, inputs: &[(usize, usize)]) -> InferredShape {
+        let shape = inputs[0];
+        if inputs.iter().any(|&s| s != shape) {
+            return Err(format!("all operands must match, got {inputs:?}"));
+        }
+        if self.winners.len() != shape.0 * shape.1 {
+            return Err(format!(
+                "saved {} winner indices for a {:?} output",
+                self.winners.len(),
+                shape
+            ));
+        }
+        Ok(Some(shape))
     }
 }
 

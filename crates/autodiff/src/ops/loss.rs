@@ -7,9 +7,12 @@
 
 use std::sync::Arc;
 
+use crate::audit::Arity;
 use crate::matrix::Matrix;
 use crate::ops::linalg::softmax_rows_value;
 use crate::tape::{Op, Tape, Tensor};
+
+type InferredShape = Result<Option<(usize, usize)>, String>;
 
 /// Mean softmax cross-entropy over a subset of rows.
 struct CrossEntropyOp {
@@ -40,6 +43,23 @@ impl Op for CrossEntropyOp {
     fn name(&self) -> &'static str {
         "cross_entropy"
     }
+    fn arity(&self) -> Arity {
+        Arity::Exact(1)
+    }
+    fn infer_shape(&self, inputs: &[(usize, usize)]) -> InferredShape {
+        let (n, c) = inputs[0];
+        if self.labels.len() != n {
+            return Err(format!("{} labels for {n} logit rows", self.labels.len()));
+        }
+        if self.probs.shape() != (self.rows.len(), c) {
+            return Err(format!(
+                "saved probabilities are {:?} for {} selected rows of {c} classes",
+                self.probs.shape(),
+                self.rows.len()
+            ));
+        }
+        Ok(Some((1, 1)))
+    }
 }
 
 /// Mean binary cross-entropy with logits over a subset of rows
@@ -67,6 +87,19 @@ impl Op for BceWithLogitsOp {
     }
     fn name(&self) -> &'static str {
         "bce_with_logits"
+    }
+    fn arity(&self) -> Arity {
+        Arity::Exact(1)
+    }
+    fn infer_shape(&self, inputs: &[(usize, usize)]) -> InferredShape {
+        if self.targets.shape() != inputs[0] {
+            return Err(format!(
+                "targets are {:?} but logits are {:?}",
+                self.targets.shape(),
+                inputs[0]
+            ));
+        }
+        Ok(Some((1, 1)))
     }
 }
 

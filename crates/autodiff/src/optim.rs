@@ -61,7 +61,10 @@ impl Adam {
 
     pub fn with_betas(lr: f32, weight_decay: f32, beta1: f32, beta2: f32, eps: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
-        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2), "betas must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2),
+            "betas must be in [0,1)"
+        );
         Self { lr, beta1, beta2, eps, weight_decay, state: Vec::new() }
     }
 

@@ -27,7 +27,10 @@ impl Csr {
     /// Panics if any index is out of bounds.
     pub fn from_coo(rows: usize, cols: usize, triplets: &[(u32, u32, f32)]) -> Self {
         for &(r, c, _) in triplets {
-            assert!((r as usize) < rows && (c as usize) < cols, "coo entry ({r},{c}) out of bounds for {rows}x{cols}");
+            assert!(
+                (r as usize) < rows && (c as usize) < cols,
+                "coo entry ({r},{c}) out of bounds for {rows}x{cols}"
+            );
         }
         let mut sorted: Vec<(u32, u32, f32)> = triplets.to_vec();
         sorted.sort_unstable_by_key(|&(r, c, _)| (r, c));
@@ -39,7 +42,7 @@ impl Csr {
             if let (Some(&last_c), true) = (indices.last(), indptr[r as usize + 1] > 0) {
                 // Merge duplicates within the current row.
                 if indptr[r as usize + 1] == indices.len() && last_c == c {
-                    *values.last_mut().expect("values parallel to indices") += v;
+                    *values.last_mut().expect("values parallel to indices") += v; // lint:allow(expect)
                     continue;
                 }
             }
@@ -143,7 +146,7 @@ impl Csr {
 
     /// The cached transpose.
     pub fn t(&self) -> &Csr {
-        self.transpose.as_deref().expect("transpose is built at construction")
+        self.transpose.as_deref().expect("transpose is built at construction") // lint:allow(expect)
     }
 
     /// Sparse·dense product `self · dense`.

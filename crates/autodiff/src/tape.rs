@@ -16,11 +16,20 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::audit::Arity;
 use crate::matrix::Matrix;
 
 /// Handle to a node on a [`Tape`].
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Tensor(pub(crate) usize);
+
+impl Tensor {
+    /// Index of this node on its tape (matches node indices in audit
+    /// reports).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
 
 /// Handle to a trainable parameter in a [`VarStore`].
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -43,6 +52,18 @@ pub(crate) trait Op: Send + Sync {
 
     /// Human-readable name for error messages.
     fn name(&self) -> &'static str;
+
+    /// Declared number of tape inputs, checked by the tape auditor.
+    fn arity(&self) -> Arity;
+
+    /// Declared shape-transfer function, checked against recorded values by
+    /// the tape auditor.
+    ///
+    /// Given the shapes of the op's inputs (in wiring order), returns the
+    /// output shape the op is supposed to produce, `Ok(None)` when the output
+    /// shape is not determined by the inputs (leaf ops), or `Err` when the
+    /// input shapes themselves are inconsistent with the op's contract.
+    fn infer_shape(&self, inputs: &[(usize, usize)]) -> Result<Option<(usize, usize)>, String>;
 }
 
 /// Leaf op for constants / external inputs: no gradient flows past it.
@@ -53,6 +74,12 @@ impl Op for InputOp {
     }
     fn name(&self) -> &'static str {
         "input"
+    }
+    fn arity(&self) -> Arity {
+        Arity::Exact(0)
+    }
+    fn infer_shape(&self, _: &[(usize, usize)]) -> Result<Option<(usize, usize)>, String> {
+        Ok(None)
     }
 }
 
@@ -66,14 +93,20 @@ impl Op for ParamOp {
     fn name(&self) -> &'static str {
         "param"
     }
+    fn arity(&self) -> Arity {
+        Arity::Exact(0)
+    }
+    fn infer_shape(&self, _: &[(usize, usize)]) -> Result<Option<(usize, usize)>, String> {
+        Ok(None)
+    }
 }
 
-struct Node {
-    value: Arc<Matrix>,
-    op: Box<dyn Op>,
-    inputs: Vec<Tensor>,
+pub(crate) struct Node {
+    pub(crate) value: Arc<Matrix>,
+    pub(crate) op: Box<dyn Op>,
+    pub(crate) inputs: Vec<Tensor>,
     /// `Some` when this node is a parameter leaf.
-    param: Option<ParamId>,
+    pub(crate) param: Option<ParamId>,
 }
 
 /// A single forward computation, recorded for reverse-mode differentiation.
@@ -135,6 +168,10 @@ impl Tape {
         Arc::clone(&self.nodes[t.0].value)
     }
 
+    pub(crate) fn node(&self, i: usize) -> &Node {
+        &self.nodes[i]
+    }
+
     pub(crate) fn push(
         &mut self,
         value: Arc<Matrix>,
@@ -147,7 +184,12 @@ impl Tape {
         Tensor(self.nodes.len() - 1)
     }
 
-    pub(crate) fn push_op(&mut self, value: Matrix, op: Box<dyn Op>, inputs: Vec<Tensor>) -> Tensor {
+    pub(crate) fn push_op(
+        &mut self,
+        value: Matrix,
+        op: Box<dyn Op>,
+        inputs: Vec<Tensor>,
+    ) -> Tensor {
         self.push(Arc::new(value), op, inputs, None)
     }
 
@@ -196,11 +238,13 @@ impl Tape {
             );
             for (t, g) in node.inputs.iter().zip(input_grads) {
                 let Some(g) = g else { continue };
-                debug_assert_eq!(
+                assert_eq!(
                     g.shape(),
                     self.value(*t).shape(),
-                    "op `{}` produced a gradient of the wrong shape",
-                    node.op.name()
+                    "op `{}` (node {i}) produced a gradient of the wrong shape \
+                     for input node {}",
+                    node.op.name(),
+                    t.0
                 );
                 match &mut grads[t.0] {
                     Some(acc) => acc.add_assign(&g),
@@ -374,7 +418,12 @@ impl VarStore {
     pub fn restore(&mut self, snapshot: &[Matrix]) {
         assert_eq!(snapshot.len(), self.slots.len(), "snapshot/store length mismatch");
         for (slot, value) in self.slots.iter_mut().zip(snapshot) {
-            assert_eq!(slot.value.shape(), value.shape(), "snapshot shape mismatch for {}", slot.name);
+            assert_eq!(
+                slot.value.shape(),
+                value.shape(),
+                "snapshot shape mismatch for {}",
+                slot.name
+            );
             slot.value = Arc::new(value.clone());
         }
     }

@@ -16,9 +16,11 @@ fn bench_matmul(c: &mut Criterion) {
     for &(m, k, n) in &[(128usize, 128usize, 128usize), (512, 256, 64), (1024, 64, 64)] {
         let a = uniform_init(m, k, 1.0, &mut rng);
         let b = uniform_init(k, n, 1.0, &mut rng);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{m}x{k}x{n}")), &(), |bch, _| {
-            bch.iter(|| std::hint::black_box(a.matmul(&b)))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m}x{k}x{n}")),
+            &(),
+            |bch, _| bch.iter(|| std::hint::black_box(a.matmul(&b))),
+        );
     }
     group.finish();
 }

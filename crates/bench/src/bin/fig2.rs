@@ -34,8 +34,10 @@ fn main() {
     let args = HarnessArgs::from_env();
     let tasks = benchmark_tasks(&args);
     assert!(!tasks.is_empty(), "dataset filter matched nothing");
-    let mut table =
-        ResultTable::new(format!("Figure 2 — searched architectures (preset: {})", args.scale.name), vec!["architecture".into()]);
+    let mut table = ResultTable::new(
+        format!("Figure 2 — searched architectures (preset: {})", args.scale.name),
+        vec!["architecture".into()],
+    );
 
     for (name, task) in &tasks {
         eprintln!("== searching on {name} ==");

@@ -26,15 +26,29 @@ fn timed<T>(label: &str, iters: usize, mut f: impl FnMut() -> T) {
 
 fn main() {
     let ds = CitationConfig::cora().scaled(0.02).generate();
-    println!("graph: {} nodes, {} edges, F={}", ds.graph.num_nodes(), ds.graph.num_edges(), ds.feature_dim());
+    println!(
+        "graph: {} nodes, {} edges, F={}",
+        ds.graph.num_nodes(),
+        ds.graph.num_edges(),
+        ds.feature_dim()
+    );
     let task = Task::node(ds);
-    let t = node_task_of(&task).unwrap();
+    let Some(t) = node_task_of(&task) else {
+        unreachable!("the probe builds a node task");
+    };
 
     let arch = Architecture::uniform(NodeAggKind::Gat, 3, Some(LayerAggKind::Lstm));
     let hyper = ModelHyper { hidden: 32, ..ModelHyper::default() };
     let mut rng = StdRng::seed_from_u64(0);
     let mut store = VarStore::new();
-    let model = GnnModel::new(arch.clone(), task.feature_dim(), task.num_outputs(), hyper.clone(), &mut store, &mut rng);
+    let model = GnnModel::new(
+        arch.clone(),
+        task.feature_dim(),
+        task.num_outputs(),
+        hyper.clone(),
+        &mut store,
+        &mut rng,
+    );
     let mut opt = Adam::new(5e-3, 1e-4);
 
     timed("forward only (eval mode)", 50, || {

@@ -26,7 +26,10 @@ fn main() {
     for epochs in [40usize, 80] {
         let t = TrainConfig { epochs, seed: 7, ..TrainConfig::default() };
         let r = train_architecture(&task, &out.arch, &hyper, &t);
-        println!("retrain {epochs} epochs: val {:.3} test {:.3} ran {}", r.val_metric, r.test_metric, r.epochs_run);
+        println!(
+            "retrain {epochs} epochs: val {:.3} test {:.3} ran {}",
+            r.val_metric, r.test_metric, r.epochs_run
+        );
     }
 
     // Compare: a GAT-JK reference on the same task/config.

@@ -55,11 +55,8 @@ fn main() {
     set_row(&mut table, "GCN-Align", &gcn);
 
     eprintln!("== SANE (searching node-aggregator combination) ==");
-    let search_cfg = AlignSearchConfig {
-        epochs: scale.search_epochs,
-        seed: scale.seed,
-        ..Default::default()
-    };
+    let search_cfg =
+        AlignSearchConfig { epochs: scale.search_epochs, seed: scale.seed, ..Default::default() };
     let arch = sane_align_search(&task, &search_cfg);
     eprintln!("searched architecture: {}", arch.describe());
     let sane = train_gnn_align(&task, &arch, &train_cfg);

@@ -19,6 +19,8 @@
 //! a preset, `--dataset <name>` to filter datasets and `--out <dir>` for
 //! the JSON dump (default `results/`).
 
+#![forbid(unsafe_code)]
+
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 
@@ -134,33 +136,41 @@ impl HarnessArgs {
                     let f: f64 = it
                         .next()
                         .and_then(|v| v.parse().ok())
-                        .expect("--scale needs a float in (0,1]");
+                        .expect("--scale needs a float in (0,1]"); // lint:allow(expect)
                     scale.data_scale = f;
                 }
                 "--dataset" => {
-                    let name = it.next().expect("--dataset needs a name").to_lowercase();
+                    let name = it.next().expect("--dataset needs a name").to_lowercase(); // lint:allow(expect)
                     datasets.get_or_insert_with(Vec::new).push(name);
                 }
                 "--seed" => {
-                    scale.seed = it.next().and_then(|v| v.parse().ok()).expect("--seed needs a u64");
+                    scale.seed =
+                        it.next().and_then(|v| v.parse().ok()).expect("--seed needs a u64");
+                    // lint:allow(expect)
                 }
                 "--samples" => {
                     scale.nas_samples =
                         it.next().and_then(|v| v.parse().ok()).expect("--samples needs a count");
+                    // lint:allow(expect)
                 }
                 "--search-epochs" => {
-                    scale.search_epochs =
-                        it.next().and_then(|v| v.parse().ok()).expect("--search-epochs needs a count");
+                    scale.search_epochs = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--search-epochs needs a count"); // lint:allow(expect)
                 }
                 "--train-epochs" => {
-                    scale.train_epochs =
-                        it.next().and_then(|v| v.parse().ok()).expect("--train-epochs needs a count");
+                    scale.train_epochs = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--train-epochs needs a count"); // lint:allow(expect)
                 }
                 "--repeats" => {
                     scale.repeats =
                         it.next().and_then(|v| v.parse().ok()).expect("--repeats needs a count");
+                    // lint:allow(expect)
                 }
-                "--out" => out_dir = PathBuf::from(it.next().expect("--out needs a path")),
+                "--out" => out_dir = PathBuf::from(it.next().expect("--out needs a path")), // lint:allow(expect)
                 other => panic!(
                     "unknown flag `{other}`; expected --quick | --paper-scale | --scale <f> | \
                      --dataset <name> | --seed <n> | --samples <n> | --search-epochs <n> | \
@@ -255,7 +265,10 @@ impl ResultTable {
         if !self.rows.iter().any(|r| r == row) {
             self.rows.push(row.to_string());
         }
-        self.cells.entry(row.to_string()).or_default().insert(column.to_string(), value.to_string());
+        self.cells
+            .entry(row.to_string())
+            .or_default()
+            .insert(column.to_string(), value.to_string());
     }
 
     /// Renders the table as GitHub-flavored markdown.
@@ -283,10 +296,10 @@ impl ResultTable {
     /// Prints to stdout and writes `<out_dir>/<file>.json`.
     pub fn emit(&self, out_dir: &std::path::Path, file: &str) {
         println!("{}", self.to_markdown());
-        std::fs::create_dir_all(out_dir).expect("create results dir");
+        std::fs::create_dir_all(out_dir).expect("create results dir"); // lint:allow(expect)
         let path = out_dir.join(format!("{file}.json"));
-        let json = serde_json::to_string_pretty(self).expect("serialise table");
-        std::fs::write(&path, json).expect("write results json");
+        let json = serde_json::to_string_pretty(self).expect("serialise table"); // lint:allow(expect)
+        std::fs::write(&path, json).expect("write results json"); // lint:allow(expect)
         println!("[saved {}]", path.display());
     }
 }

@@ -80,7 +80,12 @@ pub fn human_baselines(task: &Task, scale: &BenchScale) -> Vec<MethodResult> {
             2,
             Activation::Relu,
         ),
-        ("GAT", vec![NodeAggKind::Gat, NodeAggKind::GatSym, NodeAggKind::GatCos], 3, Activation::Relu),
+        (
+            "GAT",
+            vec![NodeAggKind::Gat, NodeAggKind::GatSym, NodeAggKind::GatCos],
+            3,
+            Activation::Relu,
+        ),
         ("GIN", vec![NodeAggKind::Gin], 3, Activation::Relu),
         ("GeniePath", vec![NodeAggKind::GeniePath], 3, Activation::Tanh),
     ];
@@ -98,7 +103,7 @@ pub fn human_baselines(task: &Task, scale: &BenchScale) -> Vec<MethodResult> {
                     best = Some((out.val_metric, v));
                 }
             }
-            let (_, winner) = best.expect("non-empty variant group");
+            let (_, winner) = best.expect("non-empty variant group"); // lint:allow(expect)
             let arch = Architecture::uniform(winner, k, layer_agg);
             let runs = repeated_test_metrics(task, &arch, &hyper, &cfg, scale.repeats);
             results.push(MethodResult {
@@ -184,7 +189,11 @@ pub fn run_bayesian(task: &Task, scale: &BenchScale) -> MethodResult {
 
 /// GraphNAS over the SANE space, with or without weight sharing
 /// (Table VI rows "GraphNAS" / "GraphNAS-WS" and Table IX's SANE-space rows).
-pub fn run_graphnas_sane_space(task: &Task, scale: &BenchScale, weight_sharing: bool) -> MethodResult {
+pub fn run_graphnas_sane_space(
+    task: &Task,
+    scale: &BenchScale,
+    weight_sharing: bool,
+) -> MethodResult {
     let space = SaneSpace::paper();
     let cat = space.space();
     let rl = ReinforceConfig {
@@ -221,7 +230,11 @@ pub fn run_graphnas_sane_space(task: &Task, scale: &BenchScale, weight_sharing: 
 }
 
 /// GraphNAS over its *own* space (Table IX's first two rows).
-pub fn run_graphnas_own_space(task: &Task, scale: &BenchScale, weight_sharing: bool) -> MethodResult {
+pub fn run_graphnas_own_space(
+    task: &Task,
+    scale: &BenchScale,
+    weight_sharing: bool,
+) -> MethodResult {
     let space = GraphNasSpace { k: 3 };
     let cat = space.space();
     let rl = ReinforceConfig {
@@ -230,8 +243,7 @@ pub fn run_graphnas_own_space(task: &Task, scale: &BenchScale, weight_sharing: b
         seed: scale.seed,
         ..ReinforceConfig::default()
     };
-    let name =
-        if weight_sharing { "GraphNAS-WS (own space)" } else { "GraphNAS (own space)" };
+    let name = if weight_sharing { "GraphNAS-WS (own space)" } else { "GraphNAS (own space)" };
     let (genome, trace) = if weight_sharing {
         let mut pool =
             GraphNasSharedPool::new(task.clone(), space.k, 5e-3, 1e-4, scale.ws_steps, scale.seed);
@@ -252,7 +264,8 @@ pub fn run_graphnas_own_space(task: &Task, scale: &BenchScale, weight_sharing: b
     let cfg = train_cfg(scale);
     let runs: Vec<f64> = (0..scale.repeats)
         .map(|r| {
-            let run_cfg = TrainConfig { seed: scale.seed.wrapping_add(500 + r as u64), ..cfg.clone() };
+            let run_cfg =
+                TrainConfig { seed: scale.seed.wrapping_add(500 + r as u64), ..cfg.clone() };
             train_graphnas_spec(task, &spec, &run_cfg).test_metric
         })
         .collect();

@@ -143,7 +143,8 @@ pub fn train_graph_classifier(
             }
             // Stack the per-graph logit rows; CE over the batch.
             let logits = if rows.len() == 1 { rows[0] } else { stack_rows(&mut tape, &rows) };
-            let labels = Arc::new(batch.iter().map(|&gi| task.data.graphs[gi].label).collect::<Vec<_>>());
+            let labels =
+                Arc::new(batch.iter().map(|&gi| task.data.graphs[gi].label).collect::<Vec<_>>());
             let idx = Arc::new((0..batch.len() as u32).collect::<Vec<_>>());
             let loss = tape.cross_entropy(logits, &labels, &idx);
             let mut grads = tape.backward(loss);
@@ -186,7 +187,7 @@ fn stack_rows(tape: &mut Tape, rows: &[Tensor]) -> Tensor {
             None => placed,
         });
     }
-    acc.expect("rows is non-empty")
+    acc.expect("rows is non-empty") // lint:allow(expect)
 }
 
 /// Configuration of the differentiable graph-classification search.
@@ -225,22 +226,16 @@ pub fn graphcls_search(task: &GraphClsTask, cfg: &GraphClsSearchConfig) -> Graph
     let mut store = VarStore::new();
     let hidden = cfg.supernet.hidden;
     // The supernet's classifier head becomes a projection to `hidden`.
-    let net = Supernet::new(
-        cfg.supernet.clone(),
-        task.data.feature_dim,
-        hidden,
-        &mut store,
-        &mut rng,
-    );
+    let net =
+        Supernet::new(cfg.supernet.clone(), task.data.feature_dim, hidden, &mut store, &mut rng);
     let poolings: Vec<GraphPooling> = PoolingKind::ALL
         .iter()
         .map(|&k| GraphPooling::new(k, &mut store, &mut rng, hidden))
         .collect();
-    let alpha_pool = store.add(
-        "alpha_pool",
-        Matrix::from_fn(1, PoolingKind::ALL.len(), |_, _| 0.0),
-    );
-    let classifier = Linear::new(&mut store, &mut rng, "graphcls.head", hidden, task.data.num_classes);
+    let alpha_pool =
+        store.add("alpha_pool", Matrix::from_fn(1, PoolingKind::ALL.len(), |_, _| 0.0));
+    let classifier =
+        Linear::new(&mut store, &mut rng, "graphcls.head", hidden, task.data.num_classes);
 
     let mut w_params: Vec<ParamId> = net.weight_params().to_vec();
     for p in &poolings {
@@ -271,7 +266,7 @@ pub fn graphcls_search(task: &GraphClsTask, cfg: &GraphClsSearchConfig) -> Graph
                 None => scaled,
             });
         }
-        classifier.forward(tape, store, mixed.expect("O_p is non-empty"))
+        classifier.forward(tape, store, mixed.expect("O_p is non-empty")) // lint:allow(expect)
     };
 
     let batch_grads = |store: &VarStore, split: &[usize], seed: u64| {

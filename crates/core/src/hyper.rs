@@ -66,6 +66,7 @@ fn decode(genome: &[usize], epochs: usize, seed: u64) -> (ModelHyper, TrainConfi
         patience: 8,
         eval_every: 2,
         seed,
+        ..TrainConfig::default()
     };
     (hyper, train)
 }

@@ -37,6 +37,8 @@
 //! println!("searched architecture: {}", result.arch.describe());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod graphcls;
 pub mod hyper;
 pub mod search;

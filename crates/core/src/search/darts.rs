@@ -28,7 +28,7 @@ use rand::{Rng, SeedableRng};
 
 use sane_autodiff::metrics::accuracy;
 use sane_autodiff::optim::Adam;
-use sane_autodiff::{Gradients, ParamId, Tape, VarStore};
+use sane_autodiff::{Gradients, ParamId, Tape, Tensor, VarStore};
 use sane_gnn::Architecture;
 
 use crate::supernet::{AlphaSnapshot, SampledPath, SampledView, Supernet, SupernetConfig};
@@ -57,6 +57,11 @@ pub struct SaneSearchConfig {
     /// Record a derived-architecture checkpoint every this many epochs
     /// (0 disables; used to draw Figure 3's SANE trajectory).
     pub checkpoint_every: usize,
+    /// Audit the mixed-supernet tape every this many epochs and print the
+    /// [`sane_autodiff::TapeReport`] to stderr (0 disables). Debug aid:
+    /// catches shape drift, dead `α`/`w` parameters and NaN onset during
+    /// search without slowing the normal path.
+    pub audit_every: usize,
     /// RNG seed.
     pub seed: u64,
 }
@@ -73,6 +78,7 @@ impl Default for SaneSearchConfig {
             xi: 0.0,
             epsilon: 0.0,
             checkpoint_every: 0,
+            audit_every: 0,
             seed: 0,
         }
     }
@@ -127,7 +133,12 @@ pub fn sane_search(task: &Task, cfg: &SaneSearchConfig) -> SaneSearchOutput {
                 opt_alpha.step_subset(&mut store, &grads, net.alpha_params());
             }
             // Line 4–5: update w on the training loss.
-            let mut grads = mixed_grads(task, &net, &store, Split::Train, cfg.seed, epoch);
+            let (tape, loss) = mixed_loss_tape(task, &net, &store, Split::Train, cfg.seed, epoch);
+            let mut grads = tape.backward(loss);
+            if cfg.audit_every > 0 && (epoch + 1) % cfg.audit_every == 0 {
+                let report = tape.audit_with_gradients(loss, Some(&store), &grads);
+                eprintln!("[sane_search epoch {epoch}] {report}");
+            }
             grads.clip_global_norm(5.0);
             opt_w.step_subset(&mut store, &grads, net.weight_params());
         }
@@ -156,6 +167,21 @@ fn mixed_grads(
     seed: u64,
     epoch: usize,
 ) -> Gradients {
+    let (tape, loss) = mixed_loss_tape(task, net, store, split, seed, epoch);
+    tape.backward(loss)
+}
+
+/// Records the fully-mixed supernet forward + loss on one split and returns
+/// the tape with the loss node, so callers can audit the tape as well as
+/// run backward.
+fn mixed_loss_tape(
+    task: &Task,
+    net: &Supernet,
+    store: &VarStore,
+    split: Split,
+    seed: u64,
+    epoch: usize,
+) -> (Tape, Tensor) {
     let tape_seed = seed ^ ((epoch as u64) << 1 | u64::from(split == Split::Train));
     match task {
         Task::Node(t) => {
@@ -167,7 +193,7 @@ fn mixed_grads(
                 Split::Val => &t.data.val,
             };
             let loss = tape.cross_entropy(logits, &t.data.labels, rows);
-            tape.backward(loss)
+            (tape, loss)
         }
         Task::Multi(t) => {
             let graphs = match split {
@@ -181,7 +207,7 @@ fn mixed_grads(
             let logits = net.forward_mixed(&mut tape, store, &t.ctxs[gi], x, true);
             let rows = g.all_nodes();
             let loss = tape.bce_with_logits(logits, &g.targets, &rows);
-            tape.backward(loss)
+            (tape, loss)
         }
     }
 }
@@ -298,7 +324,7 @@ fn best_path_by_val(
             best = Some((val, path));
         }
     }
-    net.path_architecture(&best.expect("samples >= 1").1)
+    net.path_architecture(&best.expect("samples >= 1").1) // lint:allow(expect)
 }
 
 /// Helper for tests and `NodeTask` consumers.
@@ -391,6 +417,42 @@ mod tests {
                 assert!((p - 1.0 / 11.0).abs() < 1e-3, "alpha trained under ε=1: {p}");
             }
         }
+    }
+
+    /// The supernet's real mixed forward + loss must satisfy every op's
+    /// declared shape/arity contract and leave no dead parameters: every
+    /// `α` and every `w` recorded on the tape must receive gradient.
+    #[test]
+    fn supernet_mixed_tape_audits_clean() {
+        let task = tiny_task();
+        let cfg = tiny_cfg(1);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut store = VarStore::new();
+        let net = Supernet::new(
+            cfg.supernet.clone(),
+            task.feature_dim(),
+            task.num_outputs(),
+            &mut store,
+            &mut rng,
+        );
+        let (tape, loss) = mixed_loss_tape(&task, &net, &store, Split::Train, cfg.seed, 0);
+        let grads = tape.backward(loss);
+        let report = tape.audit_with_gradients(loss, Some(&store), &grads);
+        assert!(report.is_clean(), "supernet tape has findings:\n{report}");
+        // Shared inputs (features, per-layer hidden states) feed several
+        // mixture branches, so accumulation points must exist.
+        assert!(report.fan.accumulation_points > 0, "{report}");
+        assert_eq!(report.reachable_nodes, report.num_nodes, "{report}");
+    }
+
+    #[test]
+    fn audit_flag_does_not_disturb_search() {
+        let task = tiny_task();
+        let mut cfg = tiny_cfg(4);
+        cfg.audit_every = 2;
+        let audited = sane_search(&task, &cfg);
+        let plain = sane_search(&task, &tiny_cfg(4));
+        assert_eq!(audited.arch, plain.arch, "auditing changed the search result");
     }
 
     #[test]

@@ -82,14 +82,15 @@ pub fn train_graphnas_spec(
 ) -> TrainOutcome {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut store = VarStore::new();
-    let model = GraphNasModel::new(spec, task.feature_dim(), task.num_outputs(), &mut store, &mut rng);
+    let model =
+        GraphNasModel::new(spec, task.feature_dim(), task.num_outputs(), &mut store, &mut rng);
     crate::train::train_model(task, &model, &mut store, cfg)
 }
 
 /// The maximum width used by the shared pool (the largest hidden size in
 /// the GraphNAS space).
 fn max_width() -> usize {
-    *GRAPHNAS_HIDDEN.iter().max().expect("non-empty")
+    *GRAPHNAS_HIDDEN.iter().max().expect("non-empty") // lint:allow(expect)
 }
 
 /// ENAS-style shared-weight pool over the GraphNAS space.
@@ -136,7 +137,7 @@ impl NodeModel for PoolView<'_> {
             let agg_idx = GRAPHNAS_AGGS
                 .iter()
                 .position(|&k| k == layer.agg)
-                .expect("spec aggregator belongs to the GraphNAS space");
+                .expect("spec aggregator belongs to the GraphNAS space"); // lint:allow(expect)
             let h_in = tape.dropout(h, dropout);
             let full = self.aggs[l][agg_idx].forward(tape, store, ctx, h_in);
             let act_input =
@@ -155,7 +156,14 @@ impl NodeModel for PoolView<'_> {
 
 impl GraphNasSharedPool {
     /// Builds the pool for a `k`-layer GraphNAS space on `task`.
-    pub fn new(task: Task, k: usize, lr: f32, weight_decay: f32, steps_per_eval: usize, seed: u64) -> Self {
+    pub fn new(
+        task: Task,
+        k: usize,
+        lr: f32,
+        weight_decay: f32,
+        steps_per_eval: usize,
+        seed: u64,
+    ) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut store = VarStore::new();
         let wmax = max_width();
@@ -169,7 +177,8 @@ impl GraphNasSharedPool {
                     .collect::<Vec<_>>(),
             );
         }
-        let classifier = Linear::new(&mut store, &mut rng, "pool.classifier", wmax, task.num_outputs());
+        let classifier =
+            Linear::new(&mut store, &mut rng, "pool.classifier", wmax, task.num_outputs());
         Self {
             task,
             aggs,
@@ -188,7 +197,14 @@ impl GraphNasSharedPool {
         self.evals += 1;
         let seed = self.seed.wrapping_mul(131).wrapping_add(self.evals);
         let view = PoolView { aggs: &self.aggs, classifier: &self.classifier, spec };
-        ws_train_steps(&self.task, &view, &mut self.store, &mut self.opt, self.steps_per_eval, seed);
+        ws_train_steps(
+            &self.task,
+            &view,
+            &mut self.store,
+            &mut self.opt,
+            self.steps_per_eval,
+            seed,
+        );
         let (val, test) = super::ws::eval_metrics(&self.task, &view, &self.store);
         TrainOutcome { val_metric: val, test_metric: test, epochs_run: self.steps_per_eval }
     }

@@ -12,9 +12,12 @@ use std::time::Instant;
 use crate::search::trace::{SearchTrace, TracePoint};
 use crate::train::TrainOutcome;
 
+/// The boxed evaluation closure held by a [`GenomeOracle`].
+type EvalFn<'a> = Box<dyn FnMut(&[usize]) -> TrainOutcome + 'a>;
+
 /// A genome evaluator with bookkeeping.
 pub struct GenomeOracle<'a> {
-    eval: Box<dyn FnMut(&[usize]) -> TrainOutcome + 'a>,
+    eval: EvalFn<'a>,
     cache: HashMap<Vec<usize>, TrainOutcome>,
     trace: SearchTrace,
     start: Instant,
@@ -43,11 +46,12 @@ impl<'a> GenomeOracle<'a> {
         }
         let outcome = (self.eval)(genome);
         self.evaluations += 1;
-        let is_better = self.best.as_ref().map(|(_, b)| outcome.val_metric > b.val_metric).unwrap_or(true);
+        let is_better =
+            self.best.as_ref().map(|(_, b)| outcome.val_metric > b.val_metric).unwrap_or(true);
         if is_better {
             self.best = Some((genome.to_vec(), outcome.clone()));
         }
-        let best = self.best.as_ref().expect("just set");
+        let best = self.best.as_ref().expect("just set"); // lint:allow(expect)
         self.trace.push(TracePoint {
             seconds: self.start.elapsed().as_secs_f64(),
             evaluations: self.evaluations,
@@ -79,7 +83,7 @@ impl<'a> GenomeOracle<'a> {
     /// # Panics
     /// Panics if no evaluation was performed.
     pub fn finish(self) -> (Vec<usize>, TrainOutcome, SearchTrace) {
-        let (g, o) = self.best.expect("oracle finished without evaluations");
+        let (g, o) = self.best.expect("oracle finished without evaluations"); // lint:allow(expect)
         (g, o, self.trace)
     }
 }

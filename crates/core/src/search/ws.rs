@@ -27,10 +27,7 @@ pub(crate) fn eval_metrics(task: &Task, model: &dyn NodeModel, store: &VarStore)
             let x = tape.input(Arc::clone(&t.data.features));
             let logits = model.forward(&mut tape, store, &t.ctx, x, false);
             let lv = tape.value(logits);
-            (
-                accuracy(lv, &t.data.labels, &t.data.val),
-                accuracy(lv, &t.data.labels, &t.data.test),
-            )
+            (accuracy(lv, &t.data.labels, &t.data.val), accuracy(lv, &t.data.labels, &t.data.test))
         }
         Task::Multi(t) => (
             eval_inductive(t, model, store, &t.data.val_graphs),
@@ -106,7 +103,16 @@ impl WsEvaluator {
         let space = SaneSpace { k: supernet.k };
         let net =
             Supernet::new(supernet, task.feature_dim(), task.num_outputs(), &mut store, &mut rng);
-        Self { task, net, store, opt: Adam::new(lr, weight_decay), space, steps_per_eval, seed, evals: 0 }
+        Self {
+            task,
+            net,
+            store,
+            opt: Adam::new(lr, weight_decay),
+            space,
+            steps_per_eval,
+            seed,
+            evals: 0,
+        }
     }
 
     /// Converts a SANE-space genome to a supernet path.

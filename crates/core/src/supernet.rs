@@ -105,7 +105,15 @@ impl Supernet {
                 .collect();
             let projs: Vec<Linear> = aggs
                 .iter()
-                .map(|a| Linear::new(store, rng, &format!("supernet.proj_{}", a.kind()), a.out_dim(cfg.k), d))
+                .map(|a| {
+                    Linear::new(
+                        store,
+                        rng,
+                        &format!("supernet.proj_{}", a.kind()),
+                        a.out_dim(cfg.k),
+                        d,
+                    )
+                })
                 .collect();
             (aggs, projs)
         } else {
@@ -199,7 +207,7 @@ impl Supernet {
                     None => scaled,
                 });
             }
-            h = self.cfg.activation.apply(tape, mixed.expect("O_n is non-empty"));
+            h = self.cfg.activation.apply(tape, mixed.expect("O_n is non-empty")); // lint:allow(expect)
             layer_outputs.push(h);
         }
 
@@ -216,7 +224,7 @@ impl Supernet {
                     tape.mul_scalar_tensor(t, w_id)
                 })
                 .collect();
-            let alpha_l = tape.param(store, self.alpha_layer.expect("layer agg enabled"));
+            let alpha_l = tape.param(store, self.alpha_layer.expect("layer agg enabled")); // lint:allow(expect)
             let wl = tape.softmax_rows(alpha_l);
             let mut mixed: Option<Tensor> = None;
             for (j, (agg, proj)) in self.layer_aggs.iter().zip(&self.layer_projs).enumerate() {
@@ -229,9 +237,9 @@ impl Supernet {
                     None => scaled,
                 });
             }
-            mixed.expect("O_l is non-empty")
+            mixed.expect("O_l is non-empty") // lint:allow(expect)
         } else {
-            *layer_outputs.last().expect("at least one layer")
+            *layer_outputs.last().expect("at least one layer") // lint:allow(expect)
         };
         let rep = tape.dropout(rep, dropout);
         self.classifier.forward(tape, store, rep)
@@ -269,7 +277,7 @@ impl Supernet {
             let z = agg.forward(tape, store, &contributions);
             self.layer_projs[path.layer].forward(tape, store, z)
         } else {
-            *layer_outputs.last().expect("at least one layer")
+            *layer_outputs.last().expect("at least one layer") // lint:allow(expect)
         };
         let rep = tape.dropout(rep, dropout);
         self.classifier.forward(tape, store, rep)
@@ -284,7 +292,11 @@ impl Supernet {
             } else {
                 Vec::new()
             },
-            layer: if self.cfg.use_layer_agg { rng.gen_range(0..LayerAggKind::ALL.len()) } else { 0 },
+            layer: if self.cfg.use_layer_agg {
+                rng.gen_range(0..LayerAggKind::ALL.len())
+            } else {
+                0
+            },
         }
     }
 
@@ -321,13 +333,13 @@ impl Supernet {
                             let row = store.value(id).row(0);
                             row[0] - row[1]
                         };
-                        pref(a).partial_cmp(&pref(b)).expect("finite alphas")
+                        pref(a).partial_cmp(&pref(b)).expect("finite alphas") // lint:allow(expect)
                     })
                     .map(|(l, _)| l)
-                    .expect("k >= 1");
+                    .expect("k >= 1"); // lint:allow(expect)
                 skips[best] = SkipOp::Identity;
             }
-            let layer = Some(LayerAggKind::ALL[argmax(self.alpha_layer.expect("enabled"))]);
+            let layer = Some(LayerAggKind::ALL[argmax(self.alpha_layer.expect("enabled"))]); // lint:allow(expect)
             (skips, layer)
         } else {
             (vec![SkipOp::Identity; self.cfg.k], None)
@@ -436,7 +448,8 @@ mod tests {
     fn build(k: usize, use_layer_agg: bool) -> (Supernet, VarStore) {
         let mut store = VarStore::new();
         let mut rng = seeded_rng(7);
-        let cfg = SupernetConfig { k, hidden: 8, dropout: 0.0, use_layer_agg, ..Default::default() };
+        let cfg =
+            SupernetConfig { k, hidden: 8, dropout: 0.0, use_layer_agg, ..Default::default() };
         let net = Supernet::new(cfg, 4, 3, &mut store, &mut rng);
         (net, store)
     }

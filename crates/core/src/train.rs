@@ -125,13 +125,25 @@ pub struct TrainConfig {
     pub patience: usize,
     /// Evaluate every `eval_every` epochs.
     pub eval_every: usize,
+    /// Audit the training tape every this many epochs and print the
+    /// [`sane_autodiff::TapeReport`] to stderr (0 disables). Debug aid for
+    /// shape drift, dead parameters and NaN onset.
+    pub audit_every: usize,
     /// RNG seed (weight init and dropout).
     pub seed: u64,
 }
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { epochs: 120, lr: 5e-3, weight_decay: 5e-4, patience: 10, eval_every: 2, seed: 0 }
+        Self {
+            epochs: 120,
+            lr: 5e-3,
+            weight_decay: 5e-4,
+            patience: 10,
+            eval_every: 2,
+            audit_every: 0,
+            seed: 0,
+        }
     }
 }
 
@@ -209,6 +221,10 @@ fn train_transductive(
         let logits = model.forward(&mut tape, store, &t.ctx, x, true);
         let loss = tape.cross_entropy(logits, &t.data.labels, &t.data.train);
         let mut grads = tape.backward(loss);
+        if cfg.audit_every > 0 && (epoch + 1) % cfg.audit_every == 0 {
+            let report = tape.audit_with_gradients(loss, Some(store), &grads);
+            eprintln!("[train {} epoch {epoch}] {report}", t.data.name);
+        }
         grads.clip_global_norm(5.0);
         opt.step(store, &grads);
 
@@ -274,6 +290,10 @@ fn train_inductive(
             let rows = g.all_nodes();
             let loss = tape.bce_with_logits(logits, &g.targets, &rows);
             let mut grads = tape.backward(loss);
+            if cfg.audit_every > 0 && (epoch + 1) % cfg.audit_every == 0 {
+                let report = tape.audit_with_gradients(loss, Some(store), &grads);
+                eprintln!("[train {} graph {gi} epoch {epoch}] {report}", t.data.name);
+            }
             grads.clip_global_norm(5.0);
             opt.step(store, &grads);
         }
@@ -306,7 +326,8 @@ pub fn repeated_test_metrics(
 ) -> Vec<f64> {
     (0..repeats)
         .map(|r| {
-            let run_cfg = TrainConfig { seed: cfg.seed.wrapping_add(1000 + r as u64), ..cfg.clone() };
+            let run_cfg =
+                TrainConfig { seed: cfg.seed.wrapping_add(1000 + r as u64), ..cfg.clone() };
             train_architecture(task, arch, hyper, &run_cfg).test_metric
         })
         .collect()
@@ -339,8 +360,7 @@ mod tests {
         let task = tiny_node_task();
         let arch = Architecture::uniform(NodeAggKind::SageMean, 1, None);
         let hyper = ModelHyper { hidden: 8, ..ModelHyper::default() };
-        let cfg =
-            TrainConfig { epochs: 300, patience: 3, eval_every: 1, ..TrainConfig::default() };
+        let cfg = TrainConfig { epochs: 300, patience: 3, eval_every: 1, ..TrainConfig::default() };
         let out = train_architecture(&task, &arch, &hyper, &cfg);
         assert!(out.epochs_run < 300, "early stopping never triggered");
     }
@@ -354,6 +374,21 @@ mod tests {
         let cfg = TrainConfig { epochs: 40, patience: 0, ..TrainConfig::default() };
         let out = train_architecture(&task, &arch, &hyper, &cfg);
         assert!(out.test_metric > 0.3, "micro-F1 {}", out.test_metric);
+    }
+
+    /// A real GNN training tape must satisfy every op's declared contract:
+    /// training with periodic audits enabled must match an unaudited run.
+    #[test]
+    fn audit_flag_does_not_disturb_training() {
+        let task = tiny_node_task();
+        let arch = Architecture::uniform(NodeAggKind::Gat, 2, Some(sane_gnn::LayerAggKind::Concat));
+        let hyper = ModelHyper { hidden: 8, ..ModelHyper::default() };
+        let plain_cfg = TrainConfig { epochs: 6, ..TrainConfig::default() };
+        let audit_cfg = TrainConfig { audit_every: 3, ..plain_cfg.clone() };
+        let plain = train_architecture(&task, &arch, &hyper, &plain_cfg);
+        let audited = train_architecture(&task, &arch, &hyper, &audit_cfg);
+        assert_eq!(plain.val_metric, audited.val_metric);
+        assert_eq!(plain.test_metric, audited.test_metric);
     }
 
     #[test]

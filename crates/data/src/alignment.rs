@@ -80,15 +80,10 @@ impl AlignmentConfig {
         self
     }
 
-    fn make_view(
-        &self,
-        latent: &Graph,
-        embeddings: &Matrix,
-        rng: &mut StdRng,
-    ) -> (Graph, Matrix) {
+    fn make_view(&self, latent: &Graph, embeddings: &Matrix, rng: &mut StdRng) -> (Graph, Matrix) {
         let n = self.num_entities;
-        let normal = Normal::new(0.0f32, 1.0).expect("valid normal");
-        // Structure view: keep / add edges.
+        let normal = Normal::new(0.0f32, 1.0).expect("valid normal"); // lint:allow(expect)
+                                                                      // Structure view: keep / add edges.
         let mut edges: Vec<(u32, u32)> = Vec::with_capacity(latent.num_edges());
         for (u, v) in latent.edges() {
             if rng.gen_bool(self.edge_keep) {
@@ -120,7 +115,7 @@ impl AlignmentConfig {
     /// Generates the dataset.
     pub fn generate(&self) -> AlignmentDataset {
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let normal = Normal::new(0.0f32, 1.0).expect("valid normal");
+        let normal = Normal::new(0.0f32, 1.0).expect("valid normal"); // lint:allow(expect)
         let latent = preferential_attachment(self.num_entities, self.attachment, &mut rng);
         let embeddings =
             Matrix::from_fn(self.num_entities, self.feature_dim, |_, _| normal.sample(&mut rng));

@@ -153,11 +153,10 @@ impl CitationConfig {
         let f = self.feature_dim;
         let c = self.num_classes;
         let mut features = Matrix::zeros(self.num_nodes, f);
-        let class_words: Vec<Vec<usize>> = (0..c)
-            .map(|cls| (0..f).filter(|w| w % c == cls).collect::<Vec<_>>())
-            .collect();
-        for node in 0..self.num_nodes {
-            let cls = labels[node] as usize;
+        let class_words: Vec<Vec<usize>> =
+            (0..c).map(|cls| (0..f).filter(|w| w % c == cls).collect::<Vec<_>>()).collect();
+        for (node, &label) in labels.iter().enumerate() {
+            let cls = label as usize;
             for _ in 0..self.words_per_doc {
                 let word = if rng.gen_bool(self.topic_sharpness) {
                     class_words[cls][rng.gen_range(0..class_words[cls].len())]
@@ -228,13 +227,8 @@ mod tests {
         let (mut n_same, mut n_cross) = (0, 0);
         for i in (0..ds.graph.num_nodes()).step_by(7) {
             for j in (i + 1..ds.graph.num_nodes()).step_by(13) {
-                let dot: f32 = ds
-                    .features
-                    .row(i)
-                    .iter()
-                    .zip(ds.features.row(j))
-                    .map(|(a, b)| a * b)
-                    .sum();
+                let dot: f32 =
+                    ds.features.row(i).iter().zip(ds.features.row(j)).map(|(a, b)| a * b).sum();
                 if ds.labels[i] == ds.labels[j] {
                     same += dot as f64;
                     n_same += 1;

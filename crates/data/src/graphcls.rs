@@ -170,7 +170,11 @@ impl GraphClsConfig {
                     }
                 };
                 let features = self.degree_features(&graph, &mut rng);
-                graphs.push(LabelledWholeGraph { graph, features: Arc::new(features), label: class });
+                graphs.push(LabelledWholeGraph {
+                    graph,
+                    features: Arc::new(features),
+                    label: class,
+                });
                 labels.push(class);
             }
         }

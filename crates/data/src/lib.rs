@@ -15,6 +15,8 @@
 //! and validates its own invariants on construction. See DESIGN.md §3 for
 //! the substitution rationale.
 
+#![forbid(unsafe_code)]
+
 mod alignment;
 mod citation;
 mod graphcls;

@@ -85,7 +85,7 @@ impl PpiConfig {
     /// `num_graphs` in the same 10:1:1 proportions).
     pub fn generate(&self) -> MultiGraphDataset {
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let normal = Normal::new(0.0f32, 1.0).expect("valid normal");
+        let normal = Normal::new(0.0f32, 1.0).expect("valid normal"); // lint:allow(expect)
 
         // Global community pool, shared across graphs.
         let centroids: Vec<Vec<f32>> = (0..self.num_communities)
@@ -94,7 +94,13 @@ impl PpiConfig {
         let label_probs: Vec<Vec<f64>> = (0..self.num_communities)
             .map(|_| {
                 (0..self.num_labels)
-                    .map(|_| if rng.gen_bool(0.3) { rng.gen_range(0.7..0.95) } else { rng.gen_range(0.02..0.12) })
+                    .map(|_| {
+                        if rng.gen_bool(0.3) {
+                            rng.gen_range(0.7..0.95)
+                        } else {
+                            rng.gen_range(0.02..0.12)
+                        }
+                    })
                     .collect()
             })
             .collect();
@@ -127,8 +133,8 @@ impl PpiConfig {
                 for (j, &c) in centroids[community].iter().enumerate() {
                     features.set(node, j, c + self.noise * normal.sample(&mut rng));
                 }
-                for l in 0..self.num_labels {
-                    if rng.gen_bool(label_probs[community][l]) {
+                for (l, &p) in label_probs[community].iter().enumerate() {
+                    if rng.gen_bool(p) {
                         targets.set(node, l, 1.0);
                     }
                 }
@@ -205,12 +211,8 @@ mod tests {
                 }
             }
             let lab_sim = |j: usize| -> f64 {
-                a.targets
-                    .row(i)
-                    .iter()
-                    .zip(b.targets.row(j))
-                    .filter(|(x, y)| **x == **y)
-                    .count() as f64
+                a.targets.row(i).iter().zip(b.targets.row(j)).filter(|(x, y)| **x == **y).count()
+                    as f64
             };
             matched_sim += lab_sim(best);
             random_sim += lab_sim((i * 31) % b.graph.num_nodes());

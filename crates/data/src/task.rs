@@ -42,10 +42,7 @@ impl NodeDataset {
         let n = self.graph.num_nodes();
         assert_eq!(self.features.rows(), n, "features/nodes mismatch");
         assert_eq!(self.labels.len(), n, "labels/nodes mismatch");
-        assert!(
-            self.labels.iter().all(|&l| (l as usize) < self.num_classes),
-            "label out of range"
-        );
+        assert!(self.labels.iter().all(|&l| (l as usize) < self.num_classes), "label out of range");
         let total = self.train.len() + self.val.len() + self.test.len();
         assert_eq!(total, n, "splits must cover every node exactly once");
         let mut seen = vec![false; n];

@@ -64,36 +64,43 @@ impl GatAggregator {
         heads: usize,
         score: GatScore,
     ) -> Self {
-        assert!(heads > 0 && out_dim % heads == 0, "heads ({heads}) must divide out_dim ({out_dim})");
+        assert!(
+            heads > 0 && out_dim.is_multiple_of(heads),
+            "heads ({heads}) must divide out_dim ({out_dim})"
+        );
         let head_dim = out_dim / heads;
         let w = store.add("gat.w", glorot_init(in_dim, out_dim, rng));
         let bias = store.add("gat.b", Matrix::zeros(1, out_dim));
         let heads = (0..heads)
             .map(|h| match score {
                 GatScore::Gat | GatScore::Sym | GatScore::Linear => Head {
-                    a_src: Some(store.add(format!("gat.h{h}.a_src"), glorot_init(head_dim, 1, rng))),
-                    a_dst: Some(store.add(format!("gat.h{h}.a_dst"), glorot_init(head_dim, 1, rng))),
+                    a_src: Some(
+                        store.add(format!("gat.h{h}.a_src"), glorot_init(head_dim, 1, rng)),
+                    ),
+                    a_dst: Some(
+                        store.add(format!("gat.h{h}.a_dst"), glorot_init(head_dim, 1, rng)),
+                    ),
                     gen_src: None,
                     gen_dst: None,
                     gen_out: None,
                 },
-                GatScore::Cos => Head {
-                    a_src: None,
-                    a_dst: None,
-                    gen_src: None,
-                    gen_dst: None,
-                    gen_out: None,
-                },
+                GatScore::Cos => {
+                    Head { a_src: None, a_dst: None, gen_src: None, gen_dst: None, gen_out: None }
+                }
                 GatScore::GenLinear => Head {
                     a_src: None,
                     a_dst: None,
                     gen_src: Some(
-                        store.add(format!("gat.h{h}.gen_src"), glorot_init(head_dim, head_dim, rng)),
+                        store
+                            .add(format!("gat.h{h}.gen_src"), glorot_init(head_dim, head_dim, rng)),
                     ),
                     gen_dst: Some(
-                        store.add(format!("gat.h{h}.gen_dst"), glorot_init(head_dim, head_dim, rng)),
+                        store
+                            .add(format!("gat.h{h}.gen_dst"), glorot_init(head_dim, head_dim, rng)),
                     ),
-                    gen_out: Some(store.add(format!("gat.h{h}.gen_out"), glorot_init(head_dim, 1, rng))),
+                    gen_out: Some(
+                        store.add(format!("gat.h{h}.gen_out"), glorot_init(head_dim, 1, rng)),
+                    ),
                 },
             })
             .collect();
@@ -112,10 +119,10 @@ impl GatAggregator {
         let layout = &ctx.layout;
         match self.score {
             GatScore::Gat | GatScore::Sym | GatScore::Linear => {
-                let a_src = tape.param(store, head.a_src.expect("score family has a_src"));
-                let a_dst = tape.param(store, head.a_dst.expect("score family has a_dst"));
-                // Per-node scalar scores, gathered per edge — O(n) matmuls
-                // instead of O(edges).
+                let a_src = tape.param(store, head.a_src.expect("score family has a_src")); // lint:allow(expect)
+                let a_dst = tape.param(store, head.a_dst.expect("score family has a_dst")); // lint:allow(expect)
+                                                                                            // Per-node scalar scores, gathered per edge — O(n) matmuls
+                                                                                            // instead of O(edges).
                 let s_src = tape.matmul(wh, a_src);
                 let s_dst = tape.matmul(wh, a_dst);
                 let src_part = tape.gather_rows(s_src, &layout.src);
@@ -143,9 +150,9 @@ impl GatAggregator {
                 tape.row_sum(prod)
             }
             GatScore::GenLinear => {
-                let gen_src = tape.param(store, head.gen_src.expect("gen-linear has gen_src"));
-                let gen_dst = tape.param(store, head.gen_dst.expect("gen-linear has gen_dst"));
-                let gen_out = tape.param(store, head.gen_out.expect("gen-linear has gen_out"));
+                let gen_src = tape.param(store, head.gen_src.expect("gen-linear has gen_src")); // lint:allow(expect)
+                let gen_dst = tape.param(store, head.gen_dst.expect("gen-linear has gen_dst")); // lint:allow(expect)
+                let gen_out = tape.param(store, head.gen_out.expect("gen-linear has gen_out")); // lint:allow(expect)
                 let proj_src = tape.matmul(wh, gen_src);
                 let proj_dst = tape.matmul(wh, gen_dst);
                 let eu = tape.gather_rows(proj_src, &layout.src);

@@ -113,13 +113,7 @@ impl std::fmt::Display for NodeAggKind {
 pub trait NodeAggregator: Send + Sync {
     /// Records the aggregation on `tape` and returns the `n x out_dim`
     /// pre-activation output.
-    fn forward(
-        &self,
-        tape: &mut Tape,
-        store: &VarStore,
-        ctx: &GraphContext,
-        h: Tensor,
-    ) -> Tensor;
+    fn forward(&self, tape: &mut Tape, store: &VarStore, ctx: &GraphContext, h: Tensor) -> Tensor;
 
     /// The parameters this aggregator owns.
     fn params(&self) -> Vec<ParamId>;

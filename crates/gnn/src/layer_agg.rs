@@ -20,7 +20,8 @@ pub enum LayerAggKind {
 
 impl LayerAggKind {
     /// All layer aggregators in Table I order.
-    pub const ALL: [LayerAggKind; 3] = [LayerAggKind::Concat, LayerAggKind::Max, LayerAggKind::Lstm];
+    pub const ALL: [LayerAggKind; 3] =
+        [LayerAggKind::Concat, LayerAggKind::Max, LayerAggKind::Lstm];
 
     /// Paper-style name.
     pub fn name(self) -> &'static str {
@@ -154,7 +155,7 @@ impl LayerAggregator {
     }
 
     fn lstm_forward(&self, tape: &mut Tape, store: &VarStore, layers: &[Tensor]) -> Tensor {
-        let p = self.lstm.as_ref().expect("LSTM params exist for the Lstm kind");
+        let p = self.lstm.as_ref().expect("LSTM params exist for the Lstm kind"); // lint:allow(expect)
         let n = tape.value(layers[0]).rows();
         let d = self.dim;
         let wx = tape.param(store, p.wx);
@@ -198,7 +199,7 @@ impl LayerAggregator {
                 None => weighted,
             });
         }
-        out.expect("layers is non-empty")
+        out.expect("layers is non-empty") // lint:allow(expect)
     }
 }
 

@@ -10,6 +10,8 @@
 //! per-forward-pass from parameters held in a
 //! [`VarStore`](sane_autodiff::VarStore).
 
+#![forbid(unsafe_code)]
+
 pub mod agg;
 mod context;
 mod graph_model;
@@ -19,7 +21,7 @@ mod pooling;
 
 pub use agg::{build_aggregator, Linear, NodeAggKind, NodeAggregator};
 pub use context::GraphContext;
-pub use layer_agg::{LayerAggKind, LayerAggregator, SkipOp};
 pub use graph_model::GraphClsModel;
+pub use layer_agg::{LayerAggKind, LayerAggregator, SkipOp};
 pub use model::{Activation, AggChoice, Architecture, GnnModel, ModelHyper};
 pub use pooling::{GraphPooling, PoolingKind};

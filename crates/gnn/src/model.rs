@@ -10,7 +10,9 @@ use serde::{Deserialize, Serialize};
 
 use sane_autodiff::{ParamId, Tape, Tensor, VarStore};
 
-use crate::agg::{build_aggregator, CnnAggregator, Linear, MlpAggregator, NodeAggKind, NodeAggregator};
+use crate::agg::{
+    build_aggregator, CnnAggregator, Linear, MlpAggregator, NodeAggKind, NodeAggregator,
+};
 use crate::context::GraphContext;
 use crate::layer_agg::{LayerAggKind, LayerAggregator, SkipOp};
 
@@ -84,11 +86,7 @@ impl Architecture {
     /// (`layer_agg: None` for the plain model, `Some(..)` for `-JK`).
     pub fn uniform(kind: impl Into<AggChoice>, k: usize, layer_agg: Option<LayerAggKind>) -> Self {
         let choice = kind.into();
-        Self {
-            node_aggs: vec![choice; k],
-            skips: vec![SkipOp::Identity; k],
-            layer_agg,
-        }
+        Self { node_aggs: vec![choice; k], skips: vec![SkipOp::Identity; k], layer_agg }
     }
 
     /// Number of GNN layers.
@@ -235,7 +233,7 @@ impl GnnModel {
                     .collect();
                 la.forward(tape, store, &contributions)
             }
-            None => *layer_outputs.last().expect("at least one layer"),
+            None => *layer_outputs.last().expect("at least one layer"), // lint:allow(expect)
         };
         let rep = tape.dropout(rep, dropout);
         self.classifier.forward(tape, store, rep)

@@ -92,7 +92,7 @@ impl GraphPooling {
             PoolingKind::Mean => tape.segment_mean(h, &whole),
             PoolingKind::Max => tape.segment_max(h, &whole),
             PoolingKind::Attention => {
-                let a = tape.param(store, self.attn.expect("attention has a readout vector"));
+                let a = tape.param(store, self.attn.expect("attention has a readout vector")); // lint:allow(expect)
                 let scores = tape.matmul(h, a);
                 let alpha = tape.segment_softmax(scores, &whole);
                 let weighted = tape.mul_col_broadcast(h, alpha);

@@ -49,7 +49,12 @@ fn every_table2_model_is_expressible() {
     ];
     for (family, kinds) in rows {
         for kind in kinds {
-            for layer_agg in [None, Some(LayerAggKind::Concat), Some(LayerAggKind::Max), Some(LayerAggKind::Lstm)] {
+            for layer_agg in [
+                None,
+                Some(LayerAggKind::Concat),
+                Some(LayerAggKind::Max),
+                Some(LayerAggKind::Lstm),
+            ] {
                 let out = forward(Architecture::uniform(kind, 3, layer_agg), 5);
                 assert_eq!(out.shape(), (5, 3), "{family}/{kind}/{layer_agg:?}");
                 assert!(!out.has_non_finite(), "{family}/{kind}/{layer_agg:?}");
@@ -92,9 +97,8 @@ fn skip_pattern_changes_output() {
 /// Changing only the layer aggregator changes the function.
 #[test]
 fn layer_aggregator_changes_output() {
-    let with = |la: LayerAggKind| {
-        forward(Architecture::uniform(NodeAggKind::SageSum, 2, Some(la)), 4)
-    };
+    let with =
+        |la: LayerAggKind| forward(Architecture::uniform(NodeAggKind::SageSum, 2, Some(la)), 4);
     // CONCAT vs MAX classifier shapes differ internally, but both output
     // (5, 3); their values must differ.
     assert_ne!(with(LayerAggKind::Concat), with(LayerAggKind::Max));

@@ -33,7 +33,7 @@ pub fn sbm(block_sizes: &[usize], p: &[Vec<f64>], rng: &mut StdRng) -> (Graph, V
     let mut offset = 0usize;
     for (b, &size) in block_sizes.iter().enumerate() {
         starts.push(offset);
-        block_of.extend(std::iter::repeat(b as u32).take(size));
+        block_of.extend(std::iter::repeat_n(b as u32, size));
         offset += size;
     }
 
@@ -52,7 +52,7 @@ pub fn sbm(block_sizes: &[usize], p: &[Vec<f64>], rng: &mut StdRng) -> (Graph, V
             if pairs == 0 {
                 continue;
             }
-            let count = Binomial::new(pairs as u64, prob).expect("valid binomial").sample(rng);
+            let count = Binomial::new(pairs as u64, prob).expect("valid binomial").sample(rng); // lint:allow(expect)
             for _ in 0..count {
                 let (u, v) = if i == j {
                     // Uniform unordered pair within the block.
@@ -63,7 +63,10 @@ pub fn sbm(block_sizes: &[usize], p: &[Vec<f64>], rng: &mut StdRng) -> (Graph, V
                     }
                     (starts[i] + a, starts[i] + b)
                 } else {
-                    (starts[i] + rng.gen_range(0..block_sizes[i]), starts[j] + rng.gen_range(0..block_sizes[j]))
+                    (
+                        starts[i] + rng.gen_range(0..block_sizes[i]),
+                        starts[j] + rng.gen_range(0..block_sizes[j]),
+                    )
                 };
                 edges.push((u as u32, v as u32));
             }

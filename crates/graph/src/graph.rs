@@ -76,10 +76,7 @@ impl Graph {
     /// Iterates each undirected edge once, as `(u, v)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
         (0..self.n).flat_map(move |u| {
-            self.neighbors(u)
-                .iter()
-                .filter(move |&&v| (u as u32) < v)
-                .map(move |&v| (u as u32, v))
+            self.neighbors(u).iter().filter(move |&&v| (u as u32) < v).map(move |&v| (u as u32, v))
         })
     }
 

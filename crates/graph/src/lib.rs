@@ -12,6 +12,8 @@
 //! * [`generators`] — SBM / planted partition, Erdős–Rényi, preferential
 //!   attachment.
 
+#![forbid(unsafe_code)]
+
 pub mod generators;
 mod graph;
 mod layout;

@@ -1,0 +1,423 @@
+//! Source-level lints over the workspace.
+//!
+//! Each lint is a pure function from source text to findings so it can be
+//! unit-tested on string fixtures without touching the filesystem. The
+//! binary in `main.rs` walks the workspace and feeds files in.
+//!
+//! Lints:
+//!
+//! * `no-unwrap` / `no-expect` — forbid `.unwrap()` and `.expect(` in
+//!   non-test library code. `#[cfg(test)]` modules are skipped. A site can
+//!   be waived with a `// lint:allow(unwrap)` / `// lint:allow(expect)`
+//!   comment (trailing, or alone on the next line when rustfmt moves it
+//!   there); the `.expect()` message must then
+//!   state the invariant that makes the panic unreachable. Waivers are
+//!   counted and reported so they stay visible.
+//! * `unseeded-rng` — forbid `thread_rng`, `from_entropy` and
+//!   `rand::random`, in tests as well as library code: every experiment in
+//!   this repository must be reproducible from a seed.
+//! * `gradcheck-coverage` — cross-reference the autodiff op registry
+//!   (every `Op::name()` literal) against the finite-difference property
+//!   suite; an op that never appears in `grad_props.rs` fails the lint.
+//! * `forbid-unsafe` — every first-party crate root must carry
+//!   `#![forbid(unsafe_code)]`.
+//!
+//! The needles below are assembled with `concat!` so this file does not
+//! itself contain the forbidden tokens and can be linted like any other
+//! crate.
+
+use std::fmt;
+
+/// One lint violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number (0 for whole-file findings).
+    pub line: usize,
+    /// Lint identifier, e.g. `no-unwrap`.
+    pub lint: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: [{}] {}", self.file, self.lint, self.message)
+        } else {
+            write!(f, "{}:{}: [{}] {}", self.file, self.line, self.lint, self.message)
+        }
+    }
+}
+
+/// Findings plus the number of explicitly waived sites.
+#[derive(Debug, Default)]
+pub struct LintOutcome {
+    /// Violations that fail the audit.
+    pub findings: Vec<Finding>,
+    /// Sites carrying a `lint:allow` waiver (reported, not fatal).
+    pub waived: usize,
+}
+
+const UNWRAP_NEEDLE: &str = concat!(".unwrap", "()");
+const EXPECT_NEEDLE: &str = concat!(".expect", "(");
+const UNWRAP_WAIVER: &str = concat!("lint:allow", "(unwrap)");
+const EXPECT_WAIVER: &str = concat!("lint:allow", "(expect)");
+const RNG_NEEDLES: [&str; 3] =
+    [concat!("thread", "_rng"), concat!("from_", "entropy"), concat!("rand::", "random")];
+
+/// Splits one source line into (code, comment) at the first `//` that is
+/// not inside a string literal.
+fn split_comment(line: &str) -> (&str, &str) {
+    let bytes = line.as_bytes();
+    let mut in_string = false;
+    let mut escaped = false;
+    for i in 0..bytes.len() {
+        let b = bytes[i];
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match b {
+            b'\\' if in_string => escaped = true,
+            b'"' => in_string = !in_string,
+            b'/' if !in_string && i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                return (&line[..i], &line[i..]);
+            }
+            _ => {}
+        }
+    }
+    (line, "")
+}
+
+/// Returns the source split into lines with every `#[cfg(test)]` item
+/// blanked out, preserving line numbers.
+///
+/// Brace counting is textual: a `{` or `}` inside a string still counts.
+/// That is fine in practice — format strings carry balanced brace pairs —
+/// and keeps the scanner trivial.
+pub fn strip_test_code(src: &str) -> Vec<String> {
+    let mut lines: Vec<String> = src.lines().map(|l| l.to_string()).collect();
+    let mut i = 0;
+    while i < lines.len() {
+        if lines[i].trim() == "#[cfg(test)]" {
+            let mut depth: i64 = 0;
+            let mut opened = false;
+            let mut j = i;
+            while j < lines.len() {
+                let (code, _) = split_comment(&lines[j]);
+                for ch in code.chars() {
+                    match ch {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                let done = opened && depth <= 0;
+                lines[j].clear();
+                if done {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    lines
+}
+
+/// Forbids `.unwrap()` / `.expect(` in non-test library code.
+///
+/// `src` is the full file text; `#[cfg(test)]` modules are stripped before
+/// scanning. A violating line is waived by a `// lint:allow(unwrap)` or
+/// `// lint:allow(expect)` comment, trailing or on the next line.
+pub fn lint_unwrap_expect(file: &str, src: &str) -> LintOutcome {
+    let mut out = LintOutcome::default();
+    let lines = strip_test_code(src);
+    for (idx, line) in lines.iter().enumerate() {
+        let (code, comment) = split_comment(line);
+        // rustfmt moves a trailing comment that no longer fits onto its
+        // own line below the statement, so a waiver is honoured on the
+        // violating line or the line immediately after it.
+        let next_comment = lines.get(idx + 1).map(|l| l.trim()).filter(|l| l.starts_with("//"));
+        for (needle, waiver, lint) in [
+            (UNWRAP_NEEDLE, UNWRAP_WAIVER, "no-unwrap"),
+            (EXPECT_NEEDLE, EXPECT_WAIVER, "no-expect"),
+        ] {
+            if !code.contains(needle) {
+                continue;
+            }
+            if comment.contains(waiver) || next_comment.is_some_and(|c| c.contains(waiver)) {
+                out.waived += 1;
+            } else {
+                out.findings.push(Finding {
+                    file: file.to_string(),
+                    line: idx + 1,
+                    lint,
+                    message: format!(
+                        "`{needle}` in library code; handle the error or waive with `// {waiver}` \
+                         and an invariant message",
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Forbids unseeded RNG entry points (`thread_rng`, `from_entropy`,
+/// `rand::random`) everywhere, including test code: reproducibility is a
+/// workspace-wide invariant, so there is no waiver.
+pub fn lint_unseeded_rng(file: &str, src: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (idx, line) in src.lines().enumerate() {
+        let (code, _) = split_comment(line);
+        for needle in RNG_NEEDLES {
+            if code.contains(needle) {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: idx + 1,
+                    lint: "unseeded-rng",
+                    message: format!("`{needle}` breaks reproducibility; seed a StdRng instead"),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Extracts every op name registered via `fn name(&self) -> &'static str`
+/// from an autodiff source file, skipping `#[cfg(test)]` fixtures.
+///
+/// The string literal is expected on the declaration line or within the
+/// following two lines (rustfmt puts it on the next line).
+pub fn extract_op_names(src: &str) -> Vec<String> {
+    let lines = strip_test_code(src);
+    let mut names = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        if !line.contains("fn name(&self) -> &'static str") {
+            continue;
+        }
+        for probe in lines.iter().skip(idx).take(3) {
+            if let Some(name) = first_string_literal(probe) {
+                names.push(name);
+                break;
+            }
+        }
+    }
+    names
+}
+
+fn first_string_literal(line: &str) -> Option<String> {
+    let start = line.find('"')?;
+    let rest = &line[start + 1..];
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+/// Ops that legitimately have no finite-difference test: leaf nodes with
+/// no backward rule of their own.
+const COVERAGE_EXEMPT: [&str; 2] = ["input", "param"];
+
+/// Cross-references registered op names against the gradcheck property
+/// suite: every op must appear as a `.{name}(` call in `grad_props_src`.
+pub fn lint_gradcheck_coverage(
+    op_names: &[(String, String)],
+    grad_props_file: &str,
+    grad_props_src: &str,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (file, name) in op_names {
+        if COVERAGE_EXEMPT.contains(&name.as_str()) {
+            continue;
+        }
+        let call = format!(".{name}(");
+        if !grad_props_src.contains(&call) {
+            findings.push(Finding {
+                file: file.clone(),
+                line: 0,
+                lint: "gradcheck-coverage",
+                message: format!(
+                    "op `{name}` has no finite-difference test: add a `{call}...)` case to \
+                     {grad_props_file}"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// Requires `#![forbid(unsafe_code)]` in a crate root.
+pub fn lint_forbid_unsafe(file: &str, src: &str) -> Vec<Finding> {
+    if src.contains("#![forbid(unsafe_code)]") {
+        Vec::new()
+    } else {
+        vec![Finding {
+            file: file.to_string(),
+            line: 0,
+            lint: "forbid-unsafe",
+            message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Fixtures assemble forbidden tokens with `concat!` so this test
+    // module never trips the very lints it exercises.
+
+    #[test]
+    fn clean_source_has_no_findings() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap_or(0)\n}\n";
+        let out = lint_unwrap_expect("lib.rs", src);
+        assert!(out.findings.is_empty());
+        assert_eq!(out.waived, 0);
+        assert!(lint_unseeded_rng("lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_library_code_is_flagged() {
+        let src = concat!("fn f(x: Option<u32>) -> u32 {\n    x", ".unwrap", "()\n}\n");
+        let out = lint_unwrap_expect("lib.rs", src);
+        assert_eq!(out.findings.len(), 1);
+        assert_eq!(out.findings[0].lint, "no-unwrap");
+        assert_eq!(out.findings[0].line, 2);
+    }
+
+    #[test]
+    fn expect_in_library_code_is_flagged_and_waivable() {
+        let bare = concat!("let v = x", ".expect", "(\"set by ctor\");\n");
+        let out = lint_unwrap_expect("lib.rs", bare);
+        assert_eq!(out.findings.len(), 1);
+        assert_eq!(out.findings[0].lint, "no-expect");
+
+        let waived =
+            concat!("let v = x", ".expect", "(\"set by ctor\"); // ", "lint:allow", "(expect)\n");
+        let out = lint_unwrap_expect("lib.rs", waived);
+        assert!(out.findings.is_empty());
+        assert_eq!(out.waived, 1);
+    }
+
+    #[test]
+    fn waiver_on_the_next_line_counts() {
+        // rustfmt pushes an overlong trailing comment below the statement.
+        let src = concat!(
+            "let v = some_long_call(a, b)",
+            ".expect",
+            "(\"set by ctor\");\n",
+            "// ",
+            "lint:allow",
+            "(expect)\n",
+        );
+        let out = lint_unwrap_expect("lib.rs", src);
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+        assert_eq!(out.waived, 1);
+    }
+
+    #[test]
+    fn waiver_must_be_in_a_comment() {
+        let src = concat!("let m = \"", "lint:allow", "(expect)\"; let v = x", ".expect", "(m);\n");
+        let out = lint_unwrap_expect("lib.rs", src);
+        assert_eq!(out.findings.len(), 1, "a waiver inside a string literal must not count");
+    }
+
+    #[test]
+    fn test_modules_are_exempt_from_unwrap_lint() {
+        let src = concat!(
+            "pub fn lib() {}\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    #[test]\n",
+            "    fn t() { Some(1)",
+            ".unwrap",
+            "(); }\n",
+            "}\n",
+        );
+        let out = lint_unwrap_expect("lib.rs", src);
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+    }
+
+    #[test]
+    fn code_after_a_test_module_is_still_linted() {
+        let src = concat!(
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    fn t() {}\n",
+            "}\n",
+            "pub fn f(x: Option<u32>) -> u32 { x",
+            ".unwrap",
+            "() }\n",
+        );
+        let out = lint_unwrap_expect("lib.rs", src);
+        assert_eq!(out.findings.len(), 1);
+        assert_eq!(out.findings[0].line, 5);
+    }
+
+    #[test]
+    fn seeded_rng_violation_is_flagged() {
+        // The acceptance fixture from the issue: introducing a
+        // `thread_rng()` call must make the audit fail.
+        let src = concat!("let mut rng = rand::", "thread", "_rng", "();\n");
+        let findings = lint_unseeded_rng("lib.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].lint, "unseeded-rng");
+        // Mentioning it in a comment is fine.
+        let comment = concat!("// never call ", "thread", "_rng", " here\n");
+        assert!(lint_unseeded_rng("lib.rs", comment).is_empty());
+    }
+
+    #[test]
+    fn rng_lint_applies_to_test_code_too() {
+        let src = concat!(
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    fn t() { let r = SmallRng::",
+            "from_",
+            "entropy",
+            "(); }\n",
+            "}\n",
+        );
+        assert_eq!(lint_unseeded_rng("lib.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn op_names_are_extracted_from_impl_blocks() {
+        let src = "impl Op for AddOp {\n    fn name(&self) -> &'static str {\n        \
+                   \"add\"\n    }\n}\n";
+        assert_eq!(extract_op_names(src), vec!["add".to_string()]);
+    }
+
+    #[test]
+    fn test_fixture_ops_are_not_registered() {
+        let src = "#[cfg(test)]\nmod tests {\n    impl Op for BrokenOp {\n        fn \
+                   name(&self) -> &'static str {\n            \"broken\"\n        }\n    }\n}\n";
+        assert!(extract_op_names(src).is_empty());
+    }
+
+    #[test]
+    fn uncovered_op_fails_coverage_lint() {
+        let ops = vec![
+            ("ops/a.rs".to_string(), "add".to_string()),
+            ("ops/b.rs".to_string(), "mystery".to_string()),
+            ("tape.rs".to_string(), "input".to_string()),
+        ];
+        let tests = "fn case(t: &mut Tape) { let y = t.add(x, x); }";
+        let findings = lint_gradcheck_coverage(&ops, "grad_props.rs", tests);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("mystery"));
+    }
+
+    #[test]
+    fn missing_forbid_unsafe_is_flagged() {
+        assert_eq!(lint_forbid_unsafe("lib.rs", "pub fn f() {}\n").len(), 1);
+        assert!(lint_forbid_unsafe("lib.rs", "#![forbid(unsafe_code)]\npub fn f() {}\n").is_empty());
+    }
+}

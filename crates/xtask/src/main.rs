@@ -1,0 +1,226 @@
+//! Workspace automation: `cargo run -p xtask -- <command>`.
+//!
+//! * `audit`  — run the custom source lints (see [`lints`]) over every
+//!   first-party crate. Exits non-zero on any finding.
+//! * `fmt`    — drive `cargo fmt --check` over the first-party crates.
+//! * `clippy` — drive `cargo clippy -D warnings` over the first-party
+//!   crates (vendored stand-ins under `vendor/` are excluded).
+//! * `ci`     — `audit` + `fmt` + `clippy`, first failure wins.
+//!
+//! The vendored dependency stand-ins under `vendor/` are deliberately out
+//! of scope: they imitate external crates and are not held to this
+//! workspace's conventions.
+
+#![forbid(unsafe_code)]
+
+mod lints;
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode};
+
+use lints::{
+    extract_op_names, lint_forbid_unsafe, lint_gradcheck_coverage, lint_unseeded_rng,
+    lint_unwrap_expect, Finding,
+};
+
+/// First-party packages, used to scope the fmt/clippy drivers.
+const PACKAGES: [&str; 9] = [
+    "sane",
+    "sane-autodiff",
+    "sane-graph",
+    "sane-data",
+    "sane-gnn",
+    "sane-core",
+    "sane-align",
+    "sane-bench",
+    "xtask",
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = workspace_root();
+    match args.first().map(String::as_str) {
+        Some("audit") => audit(&root),
+        Some("fmt") => cargo_driver(&root, &["fmt", "--check"]),
+        Some("clippy") => clippy(&root),
+        Some("ci") => {
+            let steps = [audit(&root), cargo_driver(&root, &["fmt", "--check"]), clippy(&root)];
+            steps.into_iter().find(|c| *c != ExitCode::SUCCESS).unwrap_or(ExitCode::SUCCESS)
+        }
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- <audit|fmt|clippy|ci>");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The workspace root: two levels above this crate's manifest.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    match manifest.parent().and_then(Path::parent) {
+        Some(root) => root.to_path_buf(),
+        None => manifest,
+    }
+}
+
+fn read(path: &Path) -> String {
+    match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            // Unreadable sources fail the audit loudly rather than being
+            // silently skipped.
+            eprintln!("xtask: cannot read {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Collects `.rs` files under `dir` recursively, sorted for stable output.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            rust_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// `true` for files under a `src/bin/` directory: binary entry points are
+/// drivers, not library code, so the unwrap/expect lint skips them.
+fn is_bin_target(rel: &Path) -> bool {
+    let comps: Vec<_> = rel.components().map(|c| c.as_os_str().to_string_lossy()).collect();
+    comps.windows(2).any(|w| w[0] == "src" && w[1] == "bin")
+}
+
+fn audit(root: &Path) -> ExitCode {
+    // Crate source roots: every first-party crate plus the root package.
+    let mut crate_dirs: Vec<PathBuf> = Vec::new();
+    let Ok(entries) = std::fs::read_dir(root.join("crates")) else {
+        eprintln!("xtask: no crates/ directory under {}", root.display());
+        return ExitCode::from(2);
+    };
+    let mut crates: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    crates.sort();
+    crate_dirs.extend(crates.into_iter().filter(|p| p.is_dir()));
+    crate_dirs.push(root.to_path_buf());
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut waived = 0usize;
+    let mut scanned = 0usize;
+    let mut op_registry: Vec<(String, String)> = Vec::new();
+
+    for dir in &crate_dirs {
+        let mut files = Vec::new();
+        rust_files(&dir.join("src"), &mut files);
+        rust_files(&dir.join("tests"), &mut files);
+        rust_files(&dir.join("benches"), &mut files);
+        let autodiff = dir.file_name().is_some_and(|n| n == "autodiff");
+
+        for path in files {
+            let rel_root = path.strip_prefix(root).unwrap_or(&path);
+            let rel_crate = path.strip_prefix(dir).unwrap_or(&path);
+            let name = rel_root.display().to_string();
+            let src = read(&path);
+            scanned += 1;
+
+            // Unseeded RNG is forbidden everywhere, tests included.
+            findings.extend(lint_unseeded_rng(&name, &src));
+
+            // unwrap/expect: non-test library code only.
+            let in_src = rel_crate.starts_with("src");
+            if in_src && !is_bin_target(rel_crate) {
+                let out = lint_unwrap_expect(&name, &src);
+                findings.extend(out.findings);
+                waived += out.waived;
+            }
+
+            // Op registry for the coverage cross-reference.
+            if autodiff && in_src {
+                for op in extract_op_names(&src) {
+                    op_registry.push((name.clone(), op));
+                }
+            }
+        }
+
+        // Crate roots must forbid unsafe code.
+        for entry in ["src/lib.rs", "src/main.rs"] {
+            let path = dir.join(entry);
+            if path.is_file() {
+                let name = path.strip_prefix(root).unwrap_or(&path).display().to_string();
+                findings.extend(lint_forbid_unsafe(&name, &read(&path)));
+            }
+        }
+    }
+
+    // Every registered op needs a finite-difference test.
+    let grad_props = root.join("crates/autodiff/tests/grad_props.rs");
+    if grad_props.is_file() {
+        findings.extend(lint_gradcheck_coverage(
+            &op_registry,
+            "crates/autodiff/tests/grad_props.rs",
+            &read(&grad_props),
+        ));
+    } else {
+        findings.push(Finding {
+            file: "crates/autodiff/tests/grad_props.rs".to_string(),
+            line: 0,
+            lint: "gradcheck-coverage",
+            message: "gradient property suite is missing".to_string(),
+        });
+    }
+
+    for f in &findings {
+        eprintln!("{f}");
+    }
+    eprintln!(
+        "xtask audit: {} file(s), {} registered op(s), {} finding(s), {} waived site(s)",
+        scanned,
+        op_registry.len(),
+        findings.len(),
+        waived
+    );
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Runs `cargo <args>` scoped to the first-party packages.
+fn cargo_driver(root: &Path, args: &[&str]) -> ExitCode {
+    let mut cmd = Command::new(env!("CARGO"));
+    cmd.current_dir(root);
+    cmd.arg(args[0]);
+    for p in PACKAGES {
+        cmd.args(["-p", p]);
+    }
+    cmd.args(&args[1..]);
+    run(cmd)
+}
+
+fn clippy(root: &Path) -> ExitCode {
+    let mut cmd = Command::new(env!("CARGO"));
+    cmd.current_dir(root);
+    cmd.arg("clippy");
+    for p in PACKAGES {
+        cmd.args(["-p", p]);
+    }
+    cmd.args(["--all-targets", "--", "-D", "warnings"]);
+    run(cmd)
+}
+
+fn run(mut cmd: Command) -> ExitCode {
+    eprintln!("xtask: running {cmd:?}");
+    match cmd.status() {
+        Ok(s) if s.success() => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("xtask: failed to launch {cmd:?}: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -30,10 +30,8 @@ fn main() {
 
     // Hand-designed baselines: GIN + each pooling readout.
     for pooling in PoolingKind::ALL {
-        let genotype = GraphClsGenotype {
-            arch: Architecture::uniform(NodeAggKind::Gin, 2, None),
-            pooling,
-        };
+        let genotype =
+            GraphClsGenotype { arch: Architecture::uniform(NodeAggKind::Gin, 2, None), pooling };
         let out = train_graph_classifier(&task, &genotype, &hyper, &cfg);
         println!("GIN + {:<9} test accuracy {:.3}", pooling.name(), out.test_metric);
     }

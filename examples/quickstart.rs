@@ -27,7 +27,10 @@ fn main() {
         seed: 1,
         ..Default::default()
     };
-    println!("searching ({} supernet epochs over 11^3 * 2^3 * 3 = 31,944 architectures)...", search_cfg.epochs);
+    println!(
+        "searching ({} supernet epochs over 11^3 * 2^3 * 3 = 31,944 architectures)...",
+        search_cfg.epochs
+    );
     let found = sane_search(&task, &search_cfg);
     println!("search took {:.1}s", found.wall_seconds);
     println!("derived architecture: {}", found.arch.describe());

@@ -50,12 +50,7 @@ fn main() {
                 evolution_search(
                     &SaneSpace::paper().space(),
                     o,
-                    &EvolutionConfig {
-                        evaluations: budget,
-                        population: 6,
-                        tournament: 3,
-                        seed: 1,
-                    },
+                    &EvolutionConfig { evaluations: budget, population: 6, tournament: 3, seed: 1 },
                 )
             }),
         ),

@@ -40,6 +40,8 @@
 //! println!("{} -> test {:.3}", found.arch.describe(), outcome.test_metric);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use sane_align as align;
 pub use sane_autodiff as autodiff;
 pub use sane_core as core;

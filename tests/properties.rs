@@ -79,8 +79,8 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let x = sane::autodiff::uniform_init(n, 3, 1.0, &mut rng);
         let mut x_p = Matrix::zeros(n, 3);
-        for i in 0..n {
-            x_p.row_mut(perm[i]).copy_from_slice(x.row(i));
+        for (i, &p) in perm.iter().enumerate() {
+            x_p.row_mut(p).copy_from_slice(x.row(i));
         }
 
         for kind in [NodeAggKind::SageSum, NodeAggKind::SageMean, NodeAggKind::Gcn] {
@@ -96,9 +96,9 @@ proptest! {
             let xt_p = t2.constant(x_p.clone());
             let out_p = agg.forward(&mut t2, &store, &ctx_p, xt_p);
 
-            for i in 0..n {
+            for (i, &p) in perm.iter().enumerate() {
                 let a = t1.value(out).row(i);
-                let b = t2.value(out_p).row(perm[i]);
+                let b = t2.value(out_p).row(p);
                 for (x, y) in a.iter().zip(b) {
                     prop_assert!((x - y).abs() < 1e-4,
                         "{kind}: node {i} output changed under relabeling: {x} vs {y}");

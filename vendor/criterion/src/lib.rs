@@ -1,0 +1,207 @@
+//! Workspace-local stand-in for `criterion` (the build environment has no
+//! crates.io access).
+//!
+//! Mirrors the subset of the criterion API the bench crate uses —
+//! [`Criterion`], [`BenchmarkId`], benchmark groups, `Bencher::iter`, and
+//! the `criterion_group!`/`criterion_main!` macros — but performs a plain
+//! timed loop (`sample_size` iterations after one warm-up) and prints the
+//! mean wall-clock time per iteration. No statistics, no reports.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+/// Benchmark runner configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, _parent: self }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, mut f: F) {
+        run_benchmark(&name.into(), self.sample_size, &mut f);
+    }
+}
+
+/// A named collection of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample size for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark with an input value passed to the closure.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.0);
+        run_benchmark(&label, self.sample_size, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Runs one benchmark identified by name.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().0);
+        run_benchmark(&label, self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group. (The stub prints per-benchmark lines eagerly, so
+    /// this only exists for API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    iters: usize,
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Runs `routine` once per sample iteration, accumulating wall-clock
+    /// time. The routine's output is returned through `black_box` so the
+    /// optimiser cannot delete the computation.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed_ns += start.elapsed().as_nanos();
+    }
+}
+
+/// Opaque value sink. `std::hint::black_box` re-exported for call sites
+/// that import it from criterion.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn run_benchmark(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    // Warm-up pass, untimed.
+    let mut warm = Bencher { iters: 1, elapsed_ns: 0 };
+    f(&mut warm);
+    let mut b = Bencher { iters: sample_size, elapsed_ns: 0 };
+    f(&mut b);
+    let total = b.elapsed_ns.max(1);
+    let per_iter = total / sample_size as u128;
+    println!("bench {label:<50} {:>12} ns/iter ({sample_size} iters)", per_iter);
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($group:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $group;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut calls = 0usize;
+        let mut b = Bencher { iters: 7, elapsed_ns: 0 };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 7);
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut ran = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter("p"), &5usize, |b, &x| {
+            b.iter(|| ran += x)
+        });
+        group.bench_function("plain", |b| b.iter(|| ran += 1));
+        group.finish();
+        // 1 warm-up + 3 timed per benchmark.
+        assert_eq!(ran, 5 * 4 + 4);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).0, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("64x64").0, "64x64");
+    }
+}

@@ -1,0 +1,106 @@
+//! Slice sampling helpers (`SliceRandom`), mirroring `rand::seq`.
+
+use crate::{Rng, RngCore};
+
+/// Iterator over elements chosen without replacement by
+/// [`SliceRandom::choose_multiple`].
+pub struct SliceChooseIter<'a, T> {
+    items: std::vec::IntoIter<&'a T>,
+}
+
+impl<'a, T> Iterator for SliceChooseIter<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<&'a T> {
+        self.items.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.items.size_hint()
+    }
+}
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    type Item;
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+
+    /// A uniformly random element, or `None` if empty.
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// `amount` distinct elements in random order (all of them if the
+    /// slice is shorter).
+    fn choose_multiple<R: RngCore>(&self, rng: &mut R, amount: usize) -> SliceChooseIter<'_, Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+
+    fn choose_multiple<R: RngCore>(&self, rng: &mut R, amount: usize) -> SliceChooseIter<'_, T> {
+        let amount = amount.min(self.len());
+        // Partial Fisher–Yates over an index vector: the first `amount`
+        // positions end up holding a uniform sample without replacement.
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        for i in 0..amount {
+            let j = rng.gen_range(i..idx.len());
+            idx.swap(i, j);
+        }
+        let picked: Vec<&T> = idx[..amount].iter().map(|&i| &self[i]).collect();
+        SliceChooseIter { items: picked.into_iter() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements left unshuffled is vanishingly unlikely");
+    }
+
+    #[test]
+    fn choose_multiple_is_distinct_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let v: Vec<u32> = (0..10).collect();
+        let mut picked: Vec<u32> = v.choose_multiple(&mut rng, 4).copied().collect();
+        assert_eq!(picked.len(), 4);
+        picked.sort_unstable();
+        picked.dedup();
+        assert_eq!(picked.len(), 4, "choose_multiple repeated an element");
+        assert_eq!(v.choose_multiple(&mut rng, 99).count(), 10);
+    }
+
+    #[test]
+    fn choose_handles_empty() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        assert!([42u8].choose(&mut rng).is_some());
+    }
+}

@@ -1,0 +1,188 @@
+//! Workspace-local stand-in for `rand_distr` (the build environment has no
+//! crates.io access). Provides the two distributions this workspace uses:
+//! [`Normal`] (Box–Muller) and [`Binomial`] (exact Bernoulli summation for
+//! small `n`, Gaussian approximation for large `n`).
+
+#![forbid(unsafe_code)]
+
+use rand::{Rng, RngCore};
+
+/// Types that produce samples of `T` from an RNG.
+pub trait Distribution<T> {
+    fn sample<R: RngCore>(&self, rng: &mut R) -> T;
+}
+
+/// Error from invalid [`Normal`] parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NormalError;
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("standard deviation must be finite and non-negative")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// Gaussian distribution with the given mean and standard deviation.
+#[derive(Clone, Copy, Debug)]
+pub struct Normal<T> {
+    mean: T,
+    std_dev: T,
+}
+
+fn standard_normal<R: RngCore>(rng: &mut R) -> f64 {
+    // Box–Muller; u1 is nudged away from zero so ln() stays finite.
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Float types [`Normal`] is defined over (a single generic `new` keeps
+/// `Normal::new(0.0f32, 1.0)` unambiguous, as with the real crate).
+pub trait NormalFloat: Copy {
+    fn valid_std_dev(self) -> bool;
+    fn from_standard(z: f64) -> Self;
+    fn mul_add_sample(self, std_dev: Self, z: Self) -> Self;
+}
+
+macro_rules! impl_normal_float {
+    ($($t:ty),*) => {$(
+        impl NormalFloat for $t {
+            fn valid_std_dev(self) -> bool {
+                self.is_finite() && self >= 0.0
+            }
+            fn from_standard(z: f64) -> Self {
+                z as $t
+            }
+            fn mul_add_sample(self, std_dev: Self, z: Self) -> Self {
+                self + std_dev * z
+            }
+        }
+    )*};
+}
+impl_normal_float!(f32, f64);
+
+impl<T: NormalFloat> Normal<T> {
+    pub fn new(mean: T, std_dev: T) -> Result<Self, NormalError> {
+        if std_dev.valid_std_dev() {
+            Ok(Self { mean, std_dev })
+        } else {
+            Err(NormalError)
+        }
+    }
+}
+
+impl<T: NormalFloat> Distribution<T> for Normal<T> {
+    fn sample<R: RngCore>(&self, rng: &mut R) -> T {
+        self.mean.mul_add_sample(self.std_dev, T::from_standard(standard_normal(rng)))
+    }
+}
+
+/// Error from invalid [`Binomial`] parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BinomialError;
+
+impl std::fmt::Display for BinomialError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("binomial probability must be in [0, 1]")
+    }
+}
+
+impl std::error::Error for BinomialError {}
+
+/// Binomial distribution: number of successes in `n` trials of
+/// probability `p`.
+#[derive(Clone, Copy, Debug)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+impl Binomial {
+    pub fn new(n: u64, p: f64) -> Result<Self, BinomialError> {
+        if (0.0..=1.0).contains(&p) {
+            Ok(Self { n, p })
+        } else {
+            Err(BinomialError)
+        }
+    }
+}
+
+impl Distribution<u64> for Binomial {
+    fn sample<R: RngCore>(&self, rng: &mut R) -> u64 {
+        if self.p == 0.0 || self.n == 0 {
+            return 0;
+        }
+        if self.p == 1.0 {
+            return self.n;
+        }
+        // Exact for small n; for large n the Gaussian approximation is
+        // accurate (np and n(1-p) both grow) and O(1) instead of O(n).
+        if self.n <= 256 {
+            (0..self.n).filter(|_| rng.gen_bool(self.p)).count() as u64
+        } else {
+            let mean = self.n as f64 * self.p;
+            let sd = (mean * (1.0 - self.p)).sqrt();
+            let draw = (mean + sd * standard_normal(rng)).round();
+            draw.clamp(0.0, self.n as f64) as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Normal::new(2.0f64, 3.0).unwrap();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 3.0).abs() < 0.1, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn normal_rejects_negative_sd() {
+        assert!(Normal::new(0.0f32, -1.0).is_err());
+        assert!(Normal::new(0.0f64, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn binomial_bounds_and_mean_small_n() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = Binomial::new(20, 0.3).unwrap();
+        let n = 5_000;
+        let total: u64 = (0..n).map(|_| {
+            let v = d.sample(&mut rng);
+            assert!(v <= 20);
+            v
+        }).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 6.0).abs() < 0.3, "mean {mean}");
+    }
+
+    #[test]
+    fn binomial_mean_large_n() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = Binomial::new(1_000_000, 0.01).unwrap();
+        let n = 200;
+        let total: u64 = (0..n).map(|_| d.sample(&mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 10_000.0).abs() < 100.0, "mean {mean}");
+    }
+
+    #[test]
+    fn binomial_edge_probabilities() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(Binomial::new(10, 0.0).unwrap().sample(&mut rng), 0);
+        assert_eq!(Binomial::new(10, 1.0).unwrap().sample(&mut rng), 10);
+        assert!(Binomial::new(10, 1.5).is_err());
+    }
+}

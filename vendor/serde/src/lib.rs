@@ -1,0 +1,233 @@
+//! Workspace-local stand-in for `serde` (the build environment has no
+//! crates.io access).
+//!
+//! Instead of serde's visitor-based serializer model, this stub routes
+//! everything through one in-memory [`value::Value`] tree: `Serialize`
+//! lowers a type to a `Value`, `Deserialize` raises it back. The derive
+//! macros (re-exported from the local `serde_derive` proc-macro crate)
+//! generate the same externally-tagged representation real serde uses, so
+//! JSON produced by this stub matches what `serde_json` proper would emit
+//! for the types in this workspace.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value;
+
+pub use value::Value;
+
+/// Deserialization failure with a human-readable path/context message.
+#[derive(Clone, Debug)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    pub fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Lower `self` to a [`Value`] tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Raise a [`Value`] tree back into `Self`.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+macro_rules! impl_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Num(n) => Ok(*n as $t),
+                    other => Err(DeError::new(format!(
+                        "expected number for {}, found {other:?}",
+                        stringify!($t)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::new(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::new(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::new(format!("expected array, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_tuple_serde {
+    ($(($($name:ident / $idx:tt),+);)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Arr(vec![$(self.$idx.to_value()),+])
+            }
+        }
+
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Arr(items) => Ok(($(
+                        $name::from_value(items.get($idx).ok_or_else(|| {
+                            DeError::new(format!("missing tuple element {}", $idx))
+                        })?)?,
+                    )+)),
+                    other => Err(DeError::new(format!("expected array, found {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple_serde! {
+    (A / 0, B / 1);
+    (A / 0, B / 1, C / 2);
+    (A / 0, B / 1, C / 2, D / 3);
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeMap<String, T> {
+    fn to_value(&self) -> Value {
+        Value::Obj(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::BTreeMap<String, T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Obj(fields) => fields
+                .iter()
+                .map(|(k, val)| Ok((k.clone(), T::from_value(val)?)))
+                .collect(),
+            other => Err(DeError::new(format!("expected object, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(f32::from_value(&1.5f32.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(String::from_value(&"hi".to_string().to_value()).unwrap(), "hi");
+    }
+
+    #[test]
+    fn vec_and_option_roundtrip() {
+        let v = vec![1usize, 2, 3];
+        assert_eq!(Vec::<usize>::from_value(&v.to_value()).unwrap(), v);
+        let some: Option<u8> = Some(9);
+        let none: Option<u8> = None;
+        assert_eq!(Option::<u8>::from_value(&some.to_value()).unwrap(), some);
+        assert_eq!(Option::<u8>::from_value(&none.to_value()).unwrap(), none);
+    }
+
+    #[test]
+    fn type_mismatch_errors() {
+        assert!(u32::from_value(&Value::Str("nope".into())).is_err());
+        assert!(Vec::<u8>::from_value(&Value::Bool(false)).is_err());
+    }
+}

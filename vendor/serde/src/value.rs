@@ -1,0 +1,48 @@
+//! The in-memory data model shared by `Serialize`, `Deserialize` and the
+//! local `serde_json` stub.
+
+/// A JSON-shaped value tree. Object fields keep insertion order so emitted
+/// JSON matches struct declaration order (as real serde does).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Object fields, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Variant name, if this is a string (a unit enum variant).
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Looks up `name` in an object's fields; absent fields read as `Null` so
+/// `Option` fields tolerate omission.
+pub fn field<'a>(fields: &'a [(String, Value)], name: &str) -> &'a Value {
+    fields.iter().find(|(k, _)| k == name).map(|(_, v)| v).unwrap_or(&NULL)
+}

@@ -1,0 +1,335 @@
+//! Workspace-local stand-in for `serde_derive` (the build environment has
+//! no crates.io access, so `syn`/`quote` are unavailable — the item is
+//! parsed with a small hand-rolled token cursor instead).
+//!
+//! Supports the shapes this workspace derives on:
+//!
+//! * structs with named fields,
+//! * enums of unit and tuple variants,
+//!
+//! and generates impls of the local `serde` stub's `Serialize` /
+//! `Deserialize` traits using serde's externally-tagged enum encoding
+//! (`"Variant"`, `{"Variant": x}`, `{"Variant": [a, b]}`), so the JSON
+//! matches what real serde would produce.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+#[derive(Debug)]
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<(String, usize)> },
+}
+
+/// Skips any `#[...]` attribute groups (doc comments included) at the
+/// cursor position.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+fn ident_at(tokens: &[TokenTree], i: usize) -> Option<String> {
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    while matches!(ident_at(&tokens, i).as_deref(), Some("pub")) {
+        i += 1;
+        // Skip a possible `(crate)`-style visibility group.
+        if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    let kind = ident_at(&tokens, i).expect("expected `struct` or `enum`");
+    i += 1;
+    let name = ident_at(&tokens, i).expect("expected item name");
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub does not support generic types (derive on `{name}`)");
+    }
+    let body = loop {
+        match &tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(_) => i += 1,
+            None => panic!("expected braced body for `{name}`"),
+        }
+    };
+    match kind.as_str() {
+        "struct" => Item::Struct { name, fields: parse_struct_fields(body) },
+        "enum" => Item::Enum { name, variants: parse_enum_variants(body) },
+        other => panic!("cannot derive serde impls for `{other} {name}`"),
+    }
+}
+
+fn parse_struct_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        while matches!(ident_at(&tokens, i).as_deref(), Some("pub")) {
+            i += 1;
+            if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let field = ident_at(&tokens, i)
+            .unwrap_or_else(|| panic!("expected field name, found {:?}", tokens.get(i)));
+        fields.push(field);
+        i += 1;
+        assert!(
+            matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+            "expected `:` after field name"
+        );
+        // Skip the type: consume until a top-level comma. Generic angle
+        // brackets contain no commas at punct level we care about, so
+        // track `<`/`>` depth.
+        let mut depth = 0i32;
+        i += 1;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_enum_variants(body: TokenStream) -> Vec<(String, usize)> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = ident_at(&tokens, i)
+            .unwrap_or_else(|| panic!("expected variant name, found {:?}", tokens.get(i)));
+        i += 1;
+        let mut arity = 0;
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    arity = count_top_level_fields(g.stream());
+                    i += 1;
+                }
+                Delimiter::Brace => {
+                    panic!("serde_derive stub does not support struct-like enum variants (`{name}`)")
+                }
+                _ => {}
+            }
+        }
+        variants.push((name, arity));
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    variants
+}
+
+fn count_top_level_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                trailing_comma = true;
+            }
+            _ => trailing_comma = false,
+        }
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut out = String::new();
+    match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let mut entries = String::new();
+            for f in &fields {
+                let _ = write!(
+                    entries,
+                    "(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f})),"
+                );
+            }
+            let _ = write!(
+                out,
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         serde::Value::Obj(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            );
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (v, arity) in &variants {
+                match arity {
+                    0 => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{v} => serde::Value::Str(\"{v}\".to_string()),"
+                        );
+                    }
+                    1 => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{v}(x0) => serde::Value::Obj(vec![(\"{v}\".to_string(), serde::Serialize::to_value(x0))]),"
+                        );
+                    }
+                    n => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("x{k}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("serde::Serialize::to_value({b})"))
+                            .collect();
+                        let _ = write!(
+                            arms,
+                            "{name}::{v}({}) => serde::Value::Obj(vec![(\"{v}\".to_string(), serde::Value::Arr(vec![{}]))]),",
+                            binds.join(","),
+                            items.join(",")
+                        );
+                    }
+                }
+            }
+            let _ = write!(
+                out,
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            );
+        }
+    }
+    out.parse().expect("serde_derive stub generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let mut out = String::new();
+    match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in &fields {
+                let _ = write!(
+                    inits,
+                    "{f}: serde::Deserialize::from_value(serde::value::field(fields, \"{f}\"))\
+                         .map_err(|e| serde::DeError::new(format!(\"{name}.{f}: {{e}}\")))?,"
+                );
+            }
+            let bind = if fields.is_empty() { "_fields" } else { "fields" };
+            let _ = write!(
+                out,
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+                         let {bind} = v.as_obj().ok_or_else(|| serde::DeError::new(\
+                             format!(\"expected object for {name}, found {{v:?}}\")))?;\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            );
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for (v, arity) in &variants {
+                match arity {
+                    0 => {
+                        let _ = write!(unit_arms, "\"{v}\" => Ok({name}::{v}),");
+                    }
+                    1 => {
+                        let _ = write!(
+                            tagged_arms,
+                            "\"{v}\" => Ok({name}::{v}(serde::Deserialize::from_value(payload)?)),"
+                        );
+                    }
+                    n => {
+                        let gets: Vec<String> = (0..*n)
+                            .map(|k| {
+                                format!(
+                                    "serde::Deserialize::from_value(items.get({k}).ok_or_else(|| \
+                                     serde::DeError::new(\"missing tuple element {k} for {name}::{v}\"))?)?"
+                                )
+                            })
+                            .collect();
+                        let _ = write!(
+                            tagged_arms,
+                            "\"{v}\" => {{\n\
+                                 let items = payload.as_arr().ok_or_else(|| serde::DeError::new(\
+                                     \"expected array payload for {name}::{v}\"))?;\n\
+                                 Ok({name}::{v}({}))\n\
+                             }},",
+                            gets.join(",")
+                        );
+                    }
+                }
+            }
+            let payload_bind = if tagged_arms.is_empty() { "_payload" } else { "payload" };
+            let _ = write!(
+                out,
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+                         match v {{\n\
+                             serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => Err(serde::DeError::new(format!(\
+                                     \"unknown variant `{{other}}` for {name}\"))),\n\
+                             }},\n\
+                             serde::Value::Obj(fields) if fields.len() == 1 => {{\n\
+                                 let (tag, {payload_bind}) = &fields[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {tagged_arms}\n\
+                                     other => Err(serde::DeError::new(format!(\
+                                         \"unknown variant `{{other}}` for {name}\"))),\n\
+                                 }}\n\
+                             }},\n\
+                             other => Err(serde::DeError::new(format!(\
+                                 \"expected variant string or single-key object for {name}, found {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            );
+        }
+    }
+    out.parse().expect("serde_derive stub generated invalid Deserialize impl")
+}
