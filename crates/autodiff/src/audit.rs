@@ -166,6 +166,10 @@ pub struct TapeReport {
     pub num_param_nodes: usize,
     /// Fan-in / fan-out summary.
     pub fan: FanStats,
+    /// Buffer-pool counters for the auditing thread at report time. In
+    /// steady-state training the hit rate approaches 1.0 and `misses`
+    /// stops growing — per-step heap growth from tape buffers is zero.
+    pub pool: crate::pool::PoolStats,
 }
 
 impl TapeReport {
@@ -201,6 +205,7 @@ impl std::fmt::Display for TapeReport {
                 None => String::new(),
             },
         )?;
+        writeln!(f, "  buffer pool: {}", self.pool)?;
         if self.findings.is_empty() {
             write!(f, "  clean: no findings")
         } else {
@@ -366,7 +371,14 @@ impl Tape {
             }
         }
 
-        TapeReport { findings, num_nodes: n, reachable_nodes, num_param_nodes, fan }
+        TapeReport {
+            findings,
+            num_nodes: n,
+            reachable_nodes,
+            num_param_nodes,
+            fan,
+            pool: crate::pool::stats(),
+        }
     }
 
     /// [`Tape::audit`], extended with a non-finite scan over a gradient set

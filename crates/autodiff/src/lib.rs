@@ -19,6 +19,10 @@
 //! * [`audit`] — static tape analysis: shape/arity checking against each
 //!   op's declared metadata, dead-compute and dead-parameter detection,
 //!   gradient-accumulation accounting and NaN/inf provenance.
+//! * [`parallel`] — the one threading policy every dense/sparse/segment
+//!   kernel partitions through (`SANE_NUM_THREADS` to override).
+//! * [`pool`] — thread-local buffer pool; tape values and gradients are
+//!   recycled across steps so steady-state training allocates nothing.
 //!
 //! ## Example
 //!
@@ -51,6 +55,8 @@ pub mod audit;
 pub mod gradcheck;
 pub mod metrics;
 pub mod optim;
+pub mod parallel;
+pub mod pool;
 
 /// Differentiable operations recorded on a [`Tape`].
 pub mod ops {
@@ -65,5 +71,6 @@ pub mod ops {
 pub use audit::{Arity, FanStats, Finding, FindingKind, Severity, TapeReport};
 pub use matrix::Matrix;
 pub use ops::Segments;
+pub use pool::PoolStats;
 pub use sparse::Csr;
 pub use tape::{glorot_init, uniform_init, Gradients, ParamId, Tape, Tensor, VarStore};

@@ -6,6 +6,8 @@
 
 use std::fmt;
 
+use crate::parallel::parallel_rows;
+
 /// Row-major dense matrix of `f32`.
 ///
 /// Invariant: `data.len() == rows * cols`.
@@ -15,24 +17,6 @@ pub struct Matrix {
     cols: usize,
     data: Vec<f32>,
 }
-
-/// Number of worker threads used by the parallel kernels.
-///
-/// The harness targets small shared machines; two workers saturate the
-/// dual-core CI boxes while keeping thread-spawn overhead negligible.
-/// Cached: `available_parallelism` reads cgroup state from `/sys` on
-/// Linux, which is far too slow to query per kernel call.
-pub(crate) fn num_threads() -> usize {
-    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-    *THREADS
-        .get_or_init(|| std::thread::available_parallelism().map(|n| n.get().min(4)).unwrap_or(1))
-}
-
-/// Minimum number of multiply-adds before a kernel bothers spawning
-/// threads. Spawning two scoped threads costs on the order of a hundred
-/// microseconds (more on old kernels), so parallelism only pays for
-/// matmuls with at least a few milliseconds of work.
-const PAR_WORK_THRESHOLD: usize = 4 << 20;
 
 impl Matrix {
     /// An all-zeros matrix of the given shape.
@@ -249,7 +233,7 @@ impl Matrix {
             "matmul dimension mismatch: {}x{} * {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.cols);
+        let mut out = crate::pool::zeros(self.rows, other.cols);
         gemm_ikj(&self.data, &other.data, &mut out.data, self.rows, self.cols, other.cols);
         out
     }
@@ -262,7 +246,7 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let (k, m, n) = (self.rows, self.cols, other.cols);
-        let mut out = Matrix::zeros(m, n);
+        let mut out = crate::pool::zeros(m, n);
         // kᵗʰ row of A provides a rank-1 update: out[i,:] += A[k,i] * B[k,:].
         for kk in 0..k {
             let arow = &self.data[kk * m..(kk + 1) * m];
@@ -289,7 +273,7 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let (m, k, n) = (self.rows, self.cols, other.rows);
-        let mut out = Matrix::zeros(m, n);
+        let mut out = crate::pool::zeros(m, n);
         let run = |rows: std::ops::Range<usize>, out_chunk: &mut [f32]| {
             for (ri, i) in rows.enumerate() {
                 let arow = &self.data[i * k..(i + 1) * k];
@@ -382,35 +366,6 @@ fn dot(a: &[f32], b: &[f32]) -> f32 {
         s += a[i] * b[i];
     }
     s
-}
-
-/// Splits the output rows of an `m x n` result across worker threads when
-/// `work` (total multiply-adds) justifies the spawn cost.
-fn parallel_rows(
-    m: usize,
-    n: usize,
-    work: usize,
-    out: &mut [f32],
-    run: impl Fn(std::ops::Range<usize>, &mut [f32]) + Sync,
-) {
-    if work < PAR_WORK_THRESHOLD || m < 2 {
-        run(0..m, out);
-        return;
-    }
-    let workers = num_threads();
-    if workers <= 1 {
-        run(0..m, out);
-        return;
-    }
-    let chunk_rows = m.div_ceil(workers);
-    std::thread::scope(|s| {
-        for (t, out_chunk) in out.chunks_mut(chunk_rows * n).enumerate() {
-            let start = t * chunk_rows;
-            let end = (start + out_chunk.len() / n).min(m);
-            let run = &run;
-            s.spawn(move || run(start..end, out_chunk));
-        }
-    });
 }
 
 /// GEMM with i-k-j loop order: the inner loop streams rows of `b` and `out`.

@@ -6,6 +6,7 @@ use rand::Rng;
 
 use crate::audit::Arity;
 use crate::matrix::Matrix;
+use crate::pool;
 use crate::tape::{Op, Tape, Tensor};
 
 type InferredShape = Result<Option<(usize, usize)>, String>;
@@ -37,7 +38,7 @@ fn binary_shape_check(tape: &Tape, a: Tensor, b: Tensor, what: &str) {
 struct AddOp;
 impl Op for AddOp {
     fn backward(&self, _out: &Matrix, grad: &Matrix, _inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
-        vec![Some(grad.clone()), Some(grad.clone())]
+        vec![Some(pool::clone_of(grad)), Some(pool::clone_of(grad))]
     }
     fn name(&self) -> &'static str {
         "add"
@@ -53,9 +54,9 @@ impl Op for AddOp {
 struct SubOp;
 impl Op for SubOp {
     fn backward(&self, _out: &Matrix, grad: &Matrix, _inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
-        let mut neg = grad.clone();
+        let mut neg = pool::clone_of(grad);
         neg.scale_inplace(-1.0);
-        vec![Some(grad.clone()), Some(neg)]
+        vec![Some(pool::clone_of(grad)), Some(neg)]
     }
     fn name(&self) -> &'static str {
         "sub"
@@ -71,11 +72,11 @@ impl Op for SubOp {
 struct MulOp;
 impl Op for MulOp {
     fn backward(&self, _out: &Matrix, grad: &Matrix, inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
-        let mut ga = grad.clone();
+        let mut ga = pool::clone_of(grad);
         for (g, b) in ga.data_mut().iter_mut().zip(inputs[1].data()) {
             *g *= b;
         }
-        let mut gb = grad.clone();
+        let mut gb = pool::clone_of(grad);
         for (g, a) in gb.data_mut().iter_mut().zip(inputs[0].data()) {
             *g *= a;
         }
@@ -95,7 +96,7 @@ impl Op for MulOp {
 struct ScaleOp(f32);
 impl Op for ScaleOp {
     fn backward(&self, _out: &Matrix, grad: &Matrix, _inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
-        let mut g = grad.clone();
+        let mut g = pool::clone_of(grad);
         g.scale_inplace(self.0);
         vec![Some(g)]
     }
@@ -113,7 +114,7 @@ impl Op for ScaleOp {
 struct AddScalarOp;
 impl Op for AddScalarOp {
     fn backward(&self, _out: &Matrix, grad: &Matrix, _inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
-        vec![Some(grad.clone())]
+        vec![Some(pool::clone_of(grad))]
     }
     fn name(&self) -> &'static str {
         "add_scalar"
@@ -131,7 +132,7 @@ struct MulScalarTensorOp;
 impl Op for MulScalarTensorOp {
     fn backward(&self, _out: &Matrix, grad: &Matrix, inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
         let s = inputs[1].as_scalar();
-        let mut ga = grad.clone();
+        let mut ga = pool::clone_of(grad);
         ga.scale_inplace(s);
         let gs: f32 = grad.data().iter().zip(inputs[0].data()).map(|(g, a)| g * a).sum();
         vec![Some(ga), Some(Matrix::scalar(gs))]
@@ -153,7 +154,7 @@ impl Op for MulScalarTensorOp {
 struct ReluOp;
 impl Op for ReluOp {
     fn backward(&self, out: &Matrix, grad: &Matrix, _inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
-        let mut g = grad.clone();
+        let mut g = pool::clone_of(grad);
         for (g, &o) in g.data_mut().iter_mut().zip(out.data()) {
             if o <= 0.0 {
                 *g = 0.0;
@@ -175,7 +176,7 @@ impl Op for ReluOp {
 struct LeakyReluOp(f32);
 impl Op for LeakyReluOp {
     fn backward(&self, _out: &Matrix, grad: &Matrix, inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
-        let mut g = grad.clone();
+        let mut g = pool::clone_of(grad);
         for (g, &x) in g.data_mut().iter_mut().zip(inputs[0].data()) {
             if x <= 0.0 {
                 *g *= self.0;
@@ -198,7 +199,7 @@ struct EluOp;
 impl Op for EluOp {
     fn backward(&self, out: &Matrix, grad: &Matrix, _inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
         // For x <= 0: out = exp(x) - 1, so d/dx = exp(x) = out + 1.
-        let mut g = grad.clone();
+        let mut g = pool::clone_of(grad);
         for (g, &o) in g.data_mut().iter_mut().zip(out.data()) {
             if o < 0.0 {
                 *g *= o + 1.0;
@@ -220,7 +221,7 @@ impl Op for EluOp {
 struct TanhOp;
 impl Op for TanhOp {
     fn backward(&self, out: &Matrix, grad: &Matrix, _inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
-        let mut g = grad.clone();
+        let mut g = pool::clone_of(grad);
         for (g, &o) in g.data_mut().iter_mut().zip(out.data()) {
             *g *= 1.0 - o * o;
         }
@@ -240,7 +241,7 @@ impl Op for TanhOp {
 struct SigmoidOp;
 impl Op for SigmoidOp {
     fn backward(&self, out: &Matrix, grad: &Matrix, _inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
-        let mut g = grad.clone();
+        let mut g = pool::clone_of(grad);
         for (g, &o) in g.data_mut().iter_mut().zip(out.data()) {
             *g *= o * (1.0 - o);
         }
@@ -260,7 +261,7 @@ impl Op for SigmoidOp {
 struct AbsOp;
 impl Op for AbsOp {
     fn backward(&self, _out: &Matrix, grad: &Matrix, inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
-        let mut g = grad.clone();
+        let mut g = pool::clone_of(grad);
         for (g, &x) in g.data_mut().iter_mut().zip(inputs[0].data()) {
             // Subgradient 0 at x == 0.
             *g *= if x > 0.0 {
@@ -291,7 +292,7 @@ struct DropoutOp {
 }
 impl Op for DropoutOp {
     fn backward(&self, _out: &Matrix, grad: &Matrix, _inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
-        let mut g = grad.clone();
+        let mut g = pool::clone_of(grad);
         for (g, &m) in g.data_mut().iter_mut().zip(self.mask.iter()) {
             *g *= m;
         }
@@ -316,7 +317,7 @@ impl Tape {
     /// Elementwise `a + b`.
     pub fn add(&mut self, a: Tensor, b: Tensor) -> Tensor {
         binary_shape_check(self, a, b, "add");
-        let mut out = self.value(a).clone();
+        let mut out = pool::clone_of(self.value(a));
         out.add_assign(self.value(b));
         self.push_op(out, Box::new(AddOp), vec![a, b])
     }
@@ -324,7 +325,7 @@ impl Tape {
     /// Elementwise `a - b`.
     pub fn sub(&mut self, a: Tensor, b: Tensor) -> Tensor {
         binary_shape_check(self, a, b, "sub");
-        let mut out = self.value(a).clone();
+        let mut out = pool::clone_of(self.value(a));
         out.add_scaled_assign(self.value(b), -1.0);
         self.push_op(out, Box::new(SubOp), vec![a, b])
     }
@@ -332,7 +333,7 @@ impl Tape {
     /// Elementwise (Hadamard) `a * b`.
     pub fn mul(&mut self, a: Tensor, b: Tensor) -> Tensor {
         binary_shape_check(self, a, b, "mul");
-        let mut out = self.value(a).clone();
+        let mut out = pool::clone_of(self.value(a));
         for (o, &bv) in out.data_mut().iter_mut().zip(self.value(b).data()) {
             *o *= bv;
         }
@@ -341,14 +342,15 @@ impl Tape {
 
     /// `a * c` for a compile-time constant `c`.
     pub fn scale(&mut self, a: Tensor, c: f32) -> Tensor {
-        let mut out = self.value(a).clone();
+        let mut out = pool::clone_of(self.value(a));
         out.scale_inplace(c);
         self.push_op(out, Box::new(ScaleOp(c)), vec![a])
     }
 
     /// `a + c` for a constant `c`.
     pub fn add_scalar(&mut self, a: Tensor, c: f32) -> Tensor {
-        let out = self.value(a).map(|x| x + c);
+        let mut out = pool::clone_of(self.value(a));
+        out.map_inplace(|x| x + c);
         self.push_op(out, Box::new(AddScalarOp), vec![a])
     }
 
@@ -357,38 +359,44 @@ impl Tape {
     pub fn mul_scalar_tensor(&mut self, a: Tensor, s: Tensor) -> Tensor {
         assert_eq!(self.value(s).shape(), (1, 1), "mul_scalar_tensor needs a 1x1 scale");
         let sv = self.value(s).as_scalar();
-        let mut out = self.value(a).clone();
+        let mut out = pool::clone_of(self.value(a));
         out.scale_inplace(sv);
         self.push_op(out, Box::new(MulScalarTensorOp), vec![a, s])
     }
 
     pub fn relu(&mut self, a: Tensor) -> Tensor {
-        let out = self.value(a).map(|x| x.max(0.0));
+        let mut out = pool::clone_of(self.value(a));
+        out.map_inplace(|x| x.max(0.0));
         self.push_op(out, Box::new(ReluOp), vec![a])
     }
 
     pub fn leaky_relu(&mut self, a: Tensor, slope: f32) -> Tensor {
-        let out = self.value(a).map(|x| if x > 0.0 { x } else { slope * x });
+        let mut out = pool::clone_of(self.value(a));
+        out.map_inplace(|x| if x > 0.0 { x } else { slope * x });
         self.push_op(out, Box::new(LeakyReluOp(slope)), vec![a])
     }
 
     pub fn elu(&mut self, a: Tensor) -> Tensor {
-        let out = self.value(a).map(|x| if x > 0.0 { x } else { x.exp() - 1.0 });
+        let mut out = pool::clone_of(self.value(a));
+        out.map_inplace(|x| if x > 0.0 { x } else { x.exp() - 1.0 });
         self.push_op(out, Box::new(EluOp), vec![a])
     }
 
     pub fn tanh(&mut self, a: Tensor) -> Tensor {
-        let out = self.value(a).map(f32::tanh);
+        let mut out = pool::clone_of(self.value(a));
+        out.map_inplace(f32::tanh);
         self.push_op(out, Box::new(TanhOp), vec![a])
     }
 
     pub fn sigmoid(&mut self, a: Tensor) -> Tensor {
-        let out = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        let mut out = pool::clone_of(self.value(a));
+        out.map_inplace(|x| 1.0 / (1.0 + (-x).exp()));
         self.push_op(out, Box::new(SigmoidOp), vec![a])
     }
 
     pub fn abs(&mut self, a: Tensor) -> Tensor {
-        let out = self.value(a).map(f32::abs);
+        let mut out = pool::clone_of(self.value(a));
+        out.map_inplace(f32::abs);
         self.push_op(out, Box::new(AbsOp), vec![a])
     }
 
@@ -407,7 +415,7 @@ impl Tape {
             let rng = self.rng();
             (0..n).map(|_| if rng.gen::<f32>() < p { 0.0 } else { scale }).collect()
         };
-        let mut out = self.value(a).clone();
+        let mut out = pool::clone_of(self.value(a));
         for (o, &m) in out.data_mut().iter_mut().zip(&mask) {
             *o *= m;
         }

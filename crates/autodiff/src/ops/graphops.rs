@@ -4,11 +4,20 @@
 //! All segment ops assume the edge dimension is grouped: edges into the
 //! same destination node occupy a contiguous range described by
 //! [`Segments`]. The graph crate produces edge lists in exactly this order.
+//!
+//! Forward and backward kernels here are partitioned across the shared
+//! worker scheme in [`crate::parallel`] — always at *segment* boundaries,
+//! so each segment is reduced (or scattered into) whole by one worker
+//! running the identical serial inner loop. Outputs are therefore bitwise
+//! identical at any thread count, which the determinism tests assert.
 
+use std::ops::Range;
 use std::sync::Arc;
 
 use crate::audit::Arity;
 use crate::matrix::Matrix;
+use crate::parallel::{parallel_ranges, parallel_ranges_pair, parallel_rows, parallel_rows_pair};
+use crate::pool;
 use crate::tape::{Op, Tape, Tensor};
 
 type InferredShape = Result<Option<(usize, usize)>, String>;
@@ -52,6 +61,12 @@ impl Segments {
         *self.offsets.last().expect("non-empty by construction") // lint:allow(expect)
     }
 
+    /// The raw offset array (`num_segments + 1` entries).
+    #[inline]
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
     #[inline]
     pub fn range(&self, s: usize) -> std::ops::Range<usize> {
         self.offsets[s]..self.offsets[s + 1]
@@ -70,7 +85,9 @@ struct GatherRowsOp {
 impl Op for GatherRowsOp {
     fn backward(&self, _out: &Matrix, grad: &Matrix, inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
         let (rows, cols) = inputs[0].shape();
-        let mut g = Matrix::zeros(rows, cols);
+        // Scatter-add to arbitrary destination rows: different gather
+        // indices may collide on one target row, so this stays serial.
+        let mut g = pool::zeros(rows, cols);
         for (o, &i) in self.idx.iter().enumerate() {
             let grow = grad.row(o);
             let target = g.row_mut(i as usize);
@@ -101,13 +118,25 @@ struct SegmentSumOp {
 impl Op for SegmentSumOp {
     fn backward(&self, _out: &Matrix, grad: &Matrix, inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
         let (rows, cols) = inputs[0].shape();
-        let mut g = Matrix::zeros(rows, cols);
-        for s in 0..self.segs.num_segments() {
-            let grow = grad.row(s).to_vec();
-            for e in self.segs.range(s) {
-                g.row_mut(e).copy_from_slice(&grow);
+        let segs = &self.segs;
+        let mut g = pool::zeros(rows, cols);
+        let run = |srange: Range<usize>, chunk: &mut [f32]| {
+            let base = segs.offsets()[srange.start];
+            for s in srange {
+                let grow = grad.row(s);
+                for e in segs.range(s) {
+                    let r = e - base;
+                    chunk[r * cols..(r + 1) * cols].copy_from_slice(grow);
+                }
             }
-        }
+        };
+        parallel_ranges(
+            segs.offsets(),
+            &|s| segs.offsets()[s] * cols,
+            rows * cols,
+            g.data_mut(),
+            run,
+        );
         vec![Some(g)]
     }
     fn name(&self) -> &'static str {
@@ -127,18 +156,32 @@ struct SegmentMeanOp {
 impl Op for SegmentMeanOp {
     fn backward(&self, _out: &Matrix, grad: &Matrix, inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
         let (rows, cols) = inputs[0].shape();
-        let mut g = Matrix::zeros(rows, cols);
-        for s in 0..self.segs.num_segments() {
-            let n = self.segs.len_of(s);
-            if n == 0 {
-                continue;
+        let segs = &self.segs;
+        let mut g = pool::zeros(rows, cols);
+        let run = |srange: Range<usize>, chunk: &mut [f32]| {
+            let base = segs.offsets()[srange.start];
+            for s in srange {
+                let n = segs.len_of(s);
+                if n == 0 {
+                    continue;
+                }
+                let scale = 1.0 / n as f32;
+                let grow = grad.row(s);
+                for e in segs.range(s) {
+                    let r = e - base;
+                    for (o, &v) in chunk[r * cols..(r + 1) * cols].iter_mut().zip(grow) {
+                        *o = v * scale;
+                    }
+                }
             }
-            let scale = 1.0 / n as f32;
-            let grow: Vec<f32> = grad.row(s).iter().map(|v| v * scale).collect();
-            for e in self.segs.range(s) {
-                g.row_mut(e).copy_from_slice(&grow);
-            }
-        }
+        };
+        parallel_ranges(
+            segs.offsets(),
+            &|s| segs.offsets()[s] * cols,
+            rows * cols,
+            g.data_mut(),
+            run,
+        );
         vec![Some(g)]
     }
     fn name(&self) -> &'static str {
@@ -153,21 +196,36 @@ impl Op for SegmentMeanOp {
 }
 
 struct SegmentMaxOp {
+    segs: Arc<Segments>,
     /// Winning element index per `(segment, column)`, `u32::MAX` for empty segments.
     winners: Arc<Vec<u32>>,
 }
 impl Op for SegmentMaxOp {
     fn backward(&self, out: &Matrix, grad: &Matrix, inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
         let (rows, cols) = inputs[0].shape();
-        let mut g = Matrix::zeros(rows, cols);
-        for s in 0..out.rows() {
-            for c in 0..cols {
-                let w = self.winners[s * cols + c];
-                if w != u32::MAX {
-                    g.set(w as usize, c, g.get(w as usize, c) + grad.get(s, c));
+        let segs = &self.segs;
+        let winners = &self.winners;
+        let mut g = pool::zeros(rows, cols);
+        // A segment's winners all lie inside the segment's own row range,
+        // so segment-boundary chunks scatter disjointly.
+        let run = |srange: Range<usize>, chunk: &mut [f32]| {
+            let base = segs.offsets()[srange.start];
+            for s in srange {
+                for c in 0..cols {
+                    let w = winners[s * cols + c];
+                    if w != u32::MAX {
+                        chunk[(w as usize - base) * cols + c] += grad.get(s, c);
+                    }
                 }
             }
-        }
+        };
+        parallel_ranges(
+            segs.offsets(),
+            &|s| segs.offsets()[s] * cols,
+            out.rows() * cols,
+            g.data_mut(),
+            run,
+        );
         vec![Some(g)]
     }
     fn name(&self) -> &'static str {
@@ -194,15 +252,20 @@ struct SegmentSoftmaxOp {
 }
 impl Op for SegmentSoftmaxOp {
     fn backward(&self, out: &Matrix, grad: &Matrix, _inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
-        let mut g = Matrix::zeros(out.rows(), 1);
-        for s in 0..self.segs.num_segments() {
-            let range = self.segs.range(s);
-            let dot: f32 = range.clone().map(|e| out.get(e, 0) * grad.get(e, 0)).sum();
-            for e in range {
-                let p = out.get(e, 0);
-                g.set(e, 0, p * (grad.get(e, 0) - dot));
+        let segs = &self.segs;
+        let mut g = pool::zeros(out.rows(), 1);
+        let run = |srange: Range<usize>, chunk: &mut [f32]| {
+            let base = segs.offsets()[srange.start];
+            for s in srange {
+                let range = segs.range(s);
+                let dot: f32 = range.clone().map(|e| out.get(e, 0) * grad.get(e, 0)).sum();
+                for e in range {
+                    let p = out.get(e, 0);
+                    chunk[e - base] = p * (grad.get(e, 0) - dot);
+                }
             }
-        }
+        };
+        parallel_ranges(segs.offsets(), &|s| segs.offsets()[s], 3 * out.rows(), g.data_mut(), run);
         vec![Some(g)]
     }
     fn name(&self) -> &'static str {
@@ -232,20 +295,25 @@ struct MulColBroadcastOp;
 impl Op for MulColBroadcastOp {
     fn backward(&self, _out: &Matrix, grad: &Matrix, inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
         let (rows, cols) = inputs[0].shape();
-        let mut ga = Matrix::zeros(rows, cols);
-        let mut gw = Matrix::zeros(rows, 1);
-        for r in 0..rows {
-            let w = inputs[1].get(r, 0);
-            let arow = inputs[0].row(r);
-            let grow = grad.row(r);
-            let garow = ga.row_mut(r);
-            let mut acc = 0.0;
-            for ((ga, &g), &a) in garow.iter_mut().zip(grow).zip(arow) {
-                *ga = g * w;
-                acc += g * a;
+        let (a, w) = (inputs[0], inputs[1]);
+        let mut ga = pool::zeros(rows, cols);
+        let mut gw = pool::zeros(rows, 1);
+        let run = |rrange: Range<usize>, ac: &mut [f32], wc: &mut [f32]| {
+            let base = rrange.start;
+            for r in rrange {
+                let wv = w.get(r, 0);
+                let arow = a.row(r);
+                let grow = grad.row(r);
+                let garow = &mut ac[(r - base) * cols..(r - base + 1) * cols];
+                let mut acc = 0.0;
+                for ((gav, &g), &av) in garow.iter_mut().zip(grow).zip(arow) {
+                    *gav = g * wv;
+                    acc += g * av;
+                }
+                wc[r - base] = acc;
             }
-            gw.set(r, 0, acc);
-        }
+        };
+        parallel_rows_pair(rows, cols, 1, 2 * rows * cols, ga.data_mut(), gw.data_mut(), run);
         vec![Some(ga), Some(gw)]
     }
     fn name(&self) -> &'static str {
@@ -278,12 +346,22 @@ fn infer_segment_reduce(segs: &Segments, inputs: &[(usize, usize)]) -> InferredS
 impl Tape {
     /// Gathers rows of `a` by index (e.g. source-node features per edge).
     pub fn gather_rows(&mut self, a: Tensor, idx: &Arc<Vec<u32>>) -> Tensor {
-        let rows = self.value(a).rows();
+        let av = self.value_arc(a);
+        let rows = av.rows();
         assert!(
             idx.iter().all(|&i| (i as usize) < rows),
             "gather_rows index out of bounds (source has {rows} rows)"
         );
-        let out = self.value(a).gather_rows(idx);
+        let cols = av.cols();
+        let mut out = pool::zeros(idx.len(), cols);
+        if cols > 0 {
+            let run = |orange: Range<usize>, chunk: &mut [f32]| {
+                for (ri, o) in orange.enumerate() {
+                    chunk[ri * cols..(ri + 1) * cols].copy_from_slice(av.row(idx[o] as usize));
+                }
+            };
+            parallel_rows(idx.len(), cols, idx.len() * cols, out.data_mut(), run);
+        }
         self.push_op(out, Box::new(GatherRowsOp { idx: Arc::clone(idx) }), vec![a])
     }
 
@@ -300,69 +378,107 @@ impl Tape {
     /// Per-segment row sums: `total_len x c -> num_segments x c`.
     pub fn segment_sum(&mut self, a: Tensor, segs: &Arc<Segments>) -> Tensor {
         self.check_segments(a, segs, "segment_sum");
-        let cols = self.value(a).cols();
-        let mut out = Matrix::zeros(segs.num_segments(), cols);
-        for s in 0..segs.num_segments() {
-            for e in segs.range(s) {
-                let src = self.value(a).row(e).to_vec();
-                for (o, v) in out.row_mut(s).iter_mut().zip(src) {
-                    *o += v;
+        let av = self.value_arc(a);
+        let cols = av.cols();
+        let mut out = pool::zeros(segs.num_segments(), cols);
+        let run = |srange: Range<usize>, chunk: &mut [f32]| {
+            for (si, s) in srange.enumerate() {
+                let orow = &mut chunk[si * cols..(si + 1) * cols];
+                for e in segs.range(s) {
+                    for (o, &v) in orow.iter_mut().zip(av.row(e)) {
+                        *o += v;
+                    }
                 }
             }
-        }
+        };
+        parallel_ranges(
+            segs.offsets(),
+            &|s| s * cols,
+            segs.total_len() * cols,
+            out.data_mut(),
+            run,
+        );
         self.push_op(out, Box::new(SegmentSumOp { segs: Arc::clone(segs) }), vec![a])
     }
 
     /// Per-segment row means (empty segments yield zero rows).
     pub fn segment_mean(&mut self, a: Tensor, segs: &Arc<Segments>) -> Tensor {
         self.check_segments(a, segs, "segment_mean");
-        let cols = self.value(a).cols();
-        let mut out = Matrix::zeros(segs.num_segments(), cols);
-        for s in 0..segs.num_segments() {
-            let n = segs.len_of(s);
-            if n == 0 {
-                continue;
-            }
-            for e in segs.range(s) {
-                let src = self.value(a).row(e).to_vec();
-                for (o, v) in out.row_mut(s).iter_mut().zip(src) {
-                    *o += v;
+        let av = self.value_arc(a);
+        let cols = av.cols();
+        let mut out = pool::zeros(segs.num_segments(), cols);
+        let run = |srange: Range<usize>, chunk: &mut [f32]| {
+            for (si, s) in srange.enumerate() {
+                let n = segs.len_of(s);
+                if n == 0 {
+                    continue;
+                }
+                let orow = &mut chunk[si * cols..(si + 1) * cols];
+                for e in segs.range(s) {
+                    for (o, &v) in orow.iter_mut().zip(av.row(e)) {
+                        *o += v;
+                    }
+                }
+                let scale = 1.0 / n as f32;
+                for o in orow {
+                    *o *= scale;
                 }
             }
-            let scale = 1.0 / n as f32;
-            for o in out.row_mut(s) {
-                *o *= scale;
-            }
-        }
+        };
+        parallel_ranges(
+            segs.offsets(),
+            &|s| s * cols,
+            segs.total_len() * cols,
+            out.data_mut(),
+            run,
+        );
         self.push_op(out, Box::new(SegmentMeanOp { segs: Arc::clone(segs) }), vec![a])
     }
 
     /// Per-segment elementwise max (empty segments yield zero rows).
     pub fn segment_max(&mut self, a: Tensor, segs: &Arc<Segments>) -> Tensor {
         self.check_segments(a, segs, "segment_max");
-        let cols = self.value(a).cols();
+        let av = self.value_arc(a);
+        let cols = av.cols();
         let nseg = segs.num_segments();
-        let mut out = Matrix::zeros(nseg, cols);
+        let mut out = pool::zeros(nseg, cols);
         let mut winners = vec![u32::MAX; nseg * cols];
-        for s in 0..nseg {
-            if segs.len_of(s) == 0 {
-                continue;
-            }
-            for c in 0..cols {
-                let mut best = f32::NEG_INFINITY;
-                let mut best_e = u32::MAX;
-                for e in segs.range(s) {
-                    let v = self.value(a).get(e, c);
-                    if v > best {
-                        best = v;
-                        best_e = e as u32;
+        if cols > 0 {
+            let run = |srange: Range<usize>, ochunk: &mut [f32], wchunk: &mut [u32]| {
+                for (si, s) in srange.enumerate() {
+                    if segs.len_of(s) == 0 {
+                        continue;
+                    }
+                    for c in 0..cols {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_e = u32::MAX;
+                        for e in segs.range(s) {
+                            let v = av.get(e, c);
+                            if v > best {
+                                best = v;
+                                best_e = e as u32;
+                            }
+                        }
+                        ochunk[si * cols + c] = best;
+                        wchunk[si * cols + c] = best_e;
                     }
                 }
-                out.set(s, c, best);
-                winners[s * cols + c] = best_e;
-            }
+            };
+            parallel_ranges_pair(
+                segs.offsets(),
+                &|s| s * cols,
+                &|s| s * cols,
+                segs.total_len() * cols,
+                out.data_mut(),
+                &mut winners,
+                run,
+            );
         }
-        self.push_op(out, Box::new(SegmentMaxOp { winners: Arc::new(winners) }), vec![a])
+        self.push_op(
+            out,
+            Box::new(SegmentMaxOp { segs: Arc::clone(segs), winners: Arc::new(winners) }),
+            vec![a],
+        )
     }
 
     /// Numerically-stable softmax over each segment of an `n x 1` score
@@ -370,36 +486,56 @@ impl Tape {
     pub fn segment_softmax(&mut self, scores: Tensor, segs: &Arc<Segments>) -> Tensor {
         self.check_segments(scores, segs, "segment_softmax");
         assert_eq!(self.value(scores).cols(), 1, "segment_softmax expects an n x 1 score column");
-        let mut out = self.value(scores).clone();
-        for s in 0..segs.num_segments() {
-            let range = segs.range(s);
-            if range.is_empty() {
-                continue;
+        let sv = self.value_arc(scores);
+        let mut out = pool::clone_of(&sv);
+        let run = |srange: Range<usize>, chunk: &mut [f32]| {
+            let base = segs.offsets()[srange.start];
+            for s in srange {
+                let range = segs.range(s);
+                if range.is_empty() {
+                    continue;
+                }
+                let seg = &mut chunk[range.start - base..range.end - base];
+                let max = seg.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+                let mut sum = 0.0;
+                for v in seg.iter_mut() {
+                    *v = (*v - max).exp();
+                    sum += *v;
+                }
+                for v in seg {
+                    *v /= sum;
+                }
             }
-            let max = range.clone().map(|e| out.get(e, 0)).fold(f32::NEG_INFINITY, f32::max);
-            let mut sum = 0.0;
-            for e in range.clone() {
-                let v = (out.get(e, 0) - max).exp();
-                out.set(e, 0, v);
-                sum += v;
-            }
-            for e in range {
-                out.set(e, 0, out.get(e, 0) / sum);
-            }
-        }
+        };
+        parallel_ranges(
+            segs.offsets(),
+            &|s| segs.offsets()[s],
+            3 * segs.total_len(),
+            out.data_mut(),
+            run,
+        );
         self.push_op(out, Box::new(SegmentSoftmaxOp { segs: Arc::clone(segs) }), vec![scores])
     }
 
     /// Row-wise scaling of an `n x c` tensor by an `n x 1` weight column.
     pub fn mul_col_broadcast(&mut self, a: Tensor, w: Tensor) -> Tensor {
-        let rows = self.value(a).rows();
-        assert_eq!(self.value(w).shape(), (rows, 1), "weights must be {rows} x 1");
-        let mut out = self.value(a).clone();
-        for r in 0..rows {
-            let wv = self.value(w).get(r, 0);
-            for o in out.row_mut(r) {
-                *o *= wv;
-            }
+        let av = self.value_arc(a);
+        let wv = self.value_arc(w);
+        let (rows, cols) = av.shape();
+        assert_eq!(wv.shape(), (rows, 1), "weights must be {rows} x 1");
+        let mut out = pool::zeros(rows, cols);
+        if cols > 0 {
+            let run = |rrange: Range<usize>, chunk: &mut [f32]| {
+                let base = rrange.start;
+                for r in rrange {
+                    let scale = wv.get(r, 0);
+                    let orow = &mut chunk[(r - base) * cols..(r - base + 1) * cols];
+                    for (o, &v) in orow.iter_mut().zip(av.row(r)) {
+                        *o = v * scale;
+                    }
+                }
+            };
+            parallel_rows(rows, cols, rows * cols, out.data_mut(), run);
         }
         self.push_op(out, Box::new(MulColBroadcastOp), vec![a, w])
     }
@@ -422,6 +558,7 @@ mod tests {
         assert_eq!(s.range(0), 0..2);
         assert_eq!(s.range(1), 2..2);
         assert_eq!(s.range(2), 2..5);
+        assert_eq!(s.offsets(), &[0, 2, 2, 5]);
     }
 
     #[test]

@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use crate::audit::Arity;
 use crate::matrix::Matrix;
+use crate::pool;
 use crate::sparse::Csr;
 use crate::tape::{Op, Tape, Tensor};
 
@@ -62,7 +63,7 @@ impl Op for SpmmOp {
 struct AddBiasOp;
 impl Op for AddBiasOp {
     fn backward(&self, _out: &Matrix, grad: &Matrix, _inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
-        vec![Some(grad.clone()), Some(grad.col_sums())]
+        vec![Some(pool::clone_of(grad)), Some(grad.col_sums())]
     }
     fn name(&self) -> &'static str {
         "add_bias"
@@ -90,7 +91,7 @@ impl Op for ConcatColsOp {
         let mut grads = Vec::with_capacity(inputs.len());
         let mut offset = 0;
         for &w in &self.widths {
-            let mut g = Matrix::zeros(rows, w);
+            let mut g = pool::zeros(rows, w);
             for r in 0..rows {
                 g.row_mut(r).copy_from_slice(&grad.row(r)[offset..offset + w]);
             }
@@ -129,7 +130,7 @@ struct SliceColsOp {
 impl Op for SliceColsOp {
     fn backward(&self, _out: &Matrix, grad: &Matrix, inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
         let (rows, cols) = inputs[0].shape();
-        let mut g = Matrix::zeros(rows, cols);
+        let mut g = pool::zeros(rows, cols);
         for r in 0..rows {
             g.row_mut(r)[self.start..self.end].copy_from_slice(grad.row(r));
         }
@@ -154,7 +155,7 @@ struct RowSumOp;
 impl Op for RowSumOp {
     fn backward(&self, _out: &Matrix, grad: &Matrix, inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
         let (rows, cols) = inputs[0].shape();
-        let mut g = Matrix::zeros(rows, cols);
+        let mut g = pool::zeros(rows, cols);
         for r in 0..rows {
             let gv = grad.get(r, 0);
             g.row_mut(r).fill(gv);
@@ -176,7 +177,7 @@ struct SumAllOp;
 impl Op for SumAllOp {
     fn backward(&self, _out: &Matrix, grad: &Matrix, inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
         let (rows, cols) = inputs[0].shape();
-        vec![Some(Matrix::full(rows, cols, grad.as_scalar()))]
+        vec![Some(pool::full(rows, cols, grad.as_scalar()))]
     }
     fn name(&self) -> &'static str {
         "sum_all"
@@ -194,7 +195,7 @@ impl Op for MeanAllOp {
     fn backward(&self, _out: &Matrix, grad: &Matrix, inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
         let (rows, cols) = inputs[0].shape();
         let n = (rows * cols) as f32;
-        vec![Some(Matrix::full(rows, cols, grad.as_scalar() / n))]
+        vec![Some(pool::full(rows, cols, grad.as_scalar() / n))]
     }
     fn name(&self) -> &'static str {
         "mean_all"
@@ -211,7 +212,7 @@ struct SoftmaxRowsOp;
 impl Op for SoftmaxRowsOp {
     fn backward(&self, out: &Matrix, grad: &Matrix, _inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
         // dX[r] = P[r] ⊙ (dY[r] - <dY[r], P[r]>)
-        let mut g = Matrix::zeros(out.rows(), out.cols());
+        let mut g = pool::zeros(out.rows(), out.cols());
         for r in 0..out.rows() {
             let p = out.row(r);
             let dy = grad.row(r);
@@ -237,7 +238,7 @@ struct LogSoftmaxRowsOp;
 impl Op for LogSoftmaxRowsOp {
     fn backward(&self, out: &Matrix, grad: &Matrix, _inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
         // dX[r] = dY[r] - exp(out[r]) * sum(dY[r])
-        let mut g = Matrix::zeros(out.rows(), out.cols());
+        let mut g = pool::zeros(out.rows(), out.cols());
         for r in 0..out.rows() {
             let sum: f32 = grad.row(r).iter().sum();
             for ((g, &o), &d) in g.row_mut(r).iter_mut().zip(out.row(r)).zip(grad.row(r)) {
@@ -266,7 +267,7 @@ impl Op for MaxStackOp {
     fn backward(&self, _out: &Matrix, grad: &Matrix, inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
         let shape = inputs[0].shape();
         let mut grads: Vec<Matrix> =
-            (0..inputs.len()).map(|_| Matrix::zeros(shape.0, shape.1)).collect();
+            (0..inputs.len()).map(|_| pool::zeros(shape.0, shape.1)).collect();
         for (i, (&w, &g)) in self.winners.iter().zip(grad.data()).enumerate() {
             grads[w as usize].data_mut()[i] = g;
         }
@@ -294,9 +295,9 @@ impl Op for MaxStackOp {
     }
 }
 
-/// Numerically-stable row softmax into a fresh matrix.
+/// Numerically-stable row softmax into a fresh (pooled) matrix.
 pub(crate) fn softmax_rows_value(x: &Matrix) -> Matrix {
-    let mut out = x.clone();
+    let mut out = pool::clone_of(x);
     for r in 0..out.rows() {
         let row = out.row_mut(r);
         let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
@@ -328,13 +329,14 @@ impl Tape {
 
     /// Adds a `1 x c` bias row to every row of an `n x c` tensor.
     pub fn add_bias(&mut self, a: Tensor, bias: Tensor) -> Tensor {
-        let (rows, cols) = self.value(a).shape();
-        assert_eq!(self.value(bias).shape(), (1, cols), "bias must be 1x{cols}");
-        let mut out = self.value(a).clone();
-        let b = self.value(bias).row(0).to_vec();
+        let av = self.value_arc(a);
+        let bv = self.value_arc(bias);
+        let (rows, cols) = av.shape();
+        assert_eq!(bv.shape(), (1, cols), "bias must be 1x{cols}");
+        let mut out = pool::clone_of(&av);
         for r in 0..rows {
-            for (o, &bv) in out.row_mut(r).iter_mut().zip(&b) {
-                *o += bv;
+            for (o, &b) in out.row_mut(r).iter_mut().zip(bv.row(0)) {
+                *o += b;
             }
         }
         self.push_op(out, Box::new(AddBiasOp), vec![a, bias])
@@ -352,7 +354,7 @@ impl Tape {
             })
             .collect();
         let total: usize = widths.iter().sum();
-        let mut out = Matrix::zeros(rows, total);
+        let mut out = pool::zeros(rows, total);
         for r in 0..rows {
             let mut offset = 0;
             for (&t, &w) in parts.iter().zip(&widths) {
@@ -367,7 +369,7 @@ impl Tape {
     pub fn slice_cols(&mut self, a: Tensor, start: usize, end: usize) -> Tensor {
         let (rows, cols) = self.value(a).shape();
         assert!(start < end && end <= cols, "slice_cols {start}..{end} out of 0..{cols}");
-        let mut out = Matrix::zeros(rows, end - start);
+        let mut out = pool::zeros(rows, end - start);
         for r in 0..rows {
             out.row_mut(r).copy_from_slice(&self.value(a).row(r)[start..end]);
         }
@@ -400,7 +402,7 @@ impl Tape {
 
     /// Row-wise log-softmax (numerically stable).
     pub fn log_softmax_rows(&mut self, a: Tensor) -> Tensor {
-        let mut out = self.value(a).clone();
+        let mut out = pool::clone_of(self.value(a));
         for r in 0..out.rows() {
             let row = out.row_mut(r);
             let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
@@ -421,11 +423,13 @@ impl Tape {
             assert_eq!(self.value(t).shape(), shape, "max_stack shape mismatch");
         }
         assert!(parts.len() <= u8::MAX as usize, "max_stack supports at most 255 tensors");
-        let mut out = self.value(parts[0]).clone();
+        let mut out = pool::clone_of(self.value(parts[0]));
         let mut winners = vec![0u8; out.len()];
         for (k, &t) in parts.iter().enumerate().skip(1) {
-            for (i, (&v, o)) in self.value(t).data().iter().zip(out.clone().data()).enumerate() {
-                if v > *o {
+            let tv = self.value(t);
+            for i in 0..tv.len() {
+                let v = tv.data()[i];
+                if v > out.data()[i] {
                     out.data_mut()[i] = v;
                     winners[i] = k as u8;
                 }

@@ -10,6 +10,7 @@ use std::sync::Arc;
 use crate::audit::Arity;
 use crate::matrix::Matrix;
 use crate::ops::linalg::softmax_rows_value;
+use crate::pool;
 use crate::tape::{Op, Tape, Tensor};
 
 type InferredShape = Result<Option<(usize, usize)>, String>;
@@ -21,11 +22,19 @@ struct CrossEntropyOp {
     /// Softmax probabilities of the selected rows, saved at forward time.
     probs: Matrix,
 }
+impl Drop for CrossEntropyOp {
+    fn drop(&mut self) {
+        // `probs` is a pooled buffer living inside the op rather than as a
+        // node value, so tape teardown cannot see it; hand it back here to
+        // keep steady-state training steps allocation-free.
+        crate::pool::put(std::mem::replace(&mut self.probs, Matrix::from_vec(0, 0, Vec::new())));
+    }
+}
 impl Op for CrossEntropyOp {
     fn backward(&self, _out: &Matrix, grad: &Matrix, inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
         let (n, c) = inputs[0].shape();
         let scale = grad.as_scalar() / self.rows.len() as f32;
-        let mut g = Matrix::zeros(n, c);
+        let mut g = pool::zeros(n, c);
         for (k, &r) in self.rows.iter().enumerate() {
             let label = self.labels[r as usize] as usize;
             let prow = self.probs.row(k);
@@ -72,7 +81,7 @@ impl Op for BceWithLogitsOp {
     fn backward(&self, _out: &Matrix, grad: &Matrix, inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
         let (n, c) = inputs[0].shape();
         let scale = grad.as_scalar() / (self.rows.len() * c) as f32;
-        let mut g = Matrix::zeros(n, c);
+        let mut g = pool::zeros(n, c);
         for &r in self.rows.iter() {
             let r = r as usize;
             let xrow = inputs[0].row(r);

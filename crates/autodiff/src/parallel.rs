@@ -1,0 +1,360 @@
+//! The workspace's single threading policy.
+//!
+//! Every multi-threaded kernel — dense GEMM in [`crate::matrix`], sparse
+//! `spmm` in [`crate::sparse`], the segment reductions in
+//! `crate::ops::graphops` — partitions its work through the helpers in this
+//! module, and nothing outside it is allowed to touch `std::thread` (the
+//! `xtask` audit enforces that). One module owning the worker count, the
+//! spawn threshold and the partitioning rules keeps three invariants easy
+//! to state:
+//!
+//! 1. **Determinism.** Work is split at *item* boundaries (output rows,
+//!    CSR rows, segments) and every item is computed by exactly one worker
+//!    running the same inner loop as the serial path, so results are
+//!    bitwise identical at any thread count.
+//! 2. **One knob.** The worker count comes from `SANE_NUM_THREADS` (or
+//!    `min(available_parallelism, 4)` when unset) for every kernel at once.
+//! 3. **No runaway spawns.** Kernels below [`PAR_WORK_THRESHOLD`] scalar
+//!    operations never spawn; scoped threads cost ~100µs, which only a
+//!    few milliseconds of arithmetic amortises.
+//!
+//! Worker threads never allocate: callers pre-split the output buffer and
+//! each worker writes only its own chunk, so the thread-local buffer pool
+//! ([`crate::pool`]) stays a calling-thread concern.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::OnceLock;
+
+/// Minimum number of scalar operations (multiply-adds, exps, copies)
+/// before a kernel bothers spawning threads. Spawning scoped threads costs
+/// on the order of a hundred microseconds (more on old kernels), so
+/// parallelism only pays for kernels with at least a few milliseconds of
+/// work.
+pub(crate) const PAR_WORK_THRESHOLD: usize = 4 << 20;
+
+/// The configured worker count: `SANE_NUM_THREADS` when set to a positive
+/// integer, otherwise `min(available_parallelism, 4)`.
+///
+/// Cached: `available_parallelism` reads cgroup state from `/sys` on
+/// Linux, which is far too slow to query per kernel call. The env var is
+/// therefore read once per process.
+fn configured_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        if let Ok(v) = std::env::var("SANE_NUM_THREADS") {
+            match v.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => return n,
+                _ => {
+                    eprintln!("SANE_NUM_THREADS=`{v}` is not a positive integer; using the default")
+                }
+            }
+        }
+        std::thread::available_parallelism().map(|n| n.get().min(4)).unwrap_or(1)
+    })
+}
+
+thread_local! {
+    /// Per-thread override installed by [`with_threads`]. `Some(n)` pins
+    /// the worker count to `n` *and* bypasses [`PAR_WORK_THRESHOLD`], so
+    /// tests and benchmarks can force the parallel partitioning on inputs
+    /// of any size.
+    static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads the next kernel invocation on this thread will
+/// use.
+pub fn num_threads() -> usize {
+    OVERRIDE.with(|o| o.get()).unwrap_or_else(configured_threads)
+}
+
+/// Number of hardware threads the OS reports (1 when unknown). Exposed so
+/// diagnostics outside this crate never touch `std::thread` directly.
+pub fn hardware_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs `f` with the worker count pinned to `threads` on this thread.
+///
+/// While the override is active the work-size threshold is bypassed:
+/// kernels partition across exactly `threads` workers no matter how small
+/// the input (with `threads == 1` forcing the serial path). This is the
+/// hook the determinism tests and the `kernels` bench binary use to
+/// compare 1/2/4-thread runs within one process; production code should
+/// rely on `SANE_NUM_THREADS` instead.
+///
+/// # Panics
+/// Panics if `threads == 0`.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    assert!(threads >= 1, "with_threads needs at least one thread");
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let _restore = Restore(OVERRIDE.with(|o| o.replace(Some(threads))));
+    f()
+}
+
+fn forced() -> bool {
+    OVERRIDE.with(|o| o.get()).is_some()
+}
+
+/// Splits the output rows of an `m x n` result into equal contiguous row
+/// chunks across worker threads when `work` (total scalar operations)
+/// justifies the spawn cost.
+///
+/// `run(rows, chunk)` receives a row range and the output slice covering
+/// exactly those rows; it must write every element it owns.
+pub(crate) fn parallel_rows(
+    m: usize,
+    n: usize,
+    work: usize,
+    out: &mut [f32],
+    run: impl Fn(Range<usize>, &mut [f32]) + Sync,
+) {
+    let workers = num_threads();
+    if workers <= 1 || m < 2 || n == 0 || (!forced() && work < PAR_WORK_THRESHOLD) {
+        run(0..m, out);
+        return;
+    }
+    let chunk_rows = m.div_ceil(workers);
+    std::thread::scope(|s| {
+        for (t, out_chunk) in out.chunks_mut(chunk_rows * n).enumerate() {
+            let start = t * chunk_rows;
+            let end = (start + out_chunk.len() / n).min(m);
+            let run = &run;
+            s.spawn(move || run(start..end, out_chunk));
+        }
+    });
+}
+
+/// Like [`parallel_rows`] but for kernels that fill *two* parallel output
+/// buffers row by row (e.g. a gradient and a per-row reduction).
+pub(crate) fn parallel_rows_pair<A: Send, B: Send>(
+    m: usize,
+    na: usize,
+    nb: usize,
+    work: usize,
+    a: &mut [A],
+    b: &mut [B],
+    run: impl Fn(Range<usize>, &mut [A], &mut [B]) + Sync,
+) {
+    let workers = num_threads();
+    if workers <= 1 || m < 2 || na == 0 || nb == 0 || (!forced() && work < PAR_WORK_THRESHOLD) {
+        run(0..m, a, b);
+        return;
+    }
+    let chunk_rows = m.div_ceil(workers);
+    std::thread::scope(|s| {
+        for (t, (ac, bc)) in
+            a.chunks_mut(chunk_rows * na).zip(b.chunks_mut(chunk_rows * nb)).enumerate()
+        {
+            let start = t * chunk_rows;
+            let end = (start + ac.len() / na).min(m);
+            let run = &run;
+            s.spawn(move || run(start..end, ac, bc));
+        }
+    });
+}
+
+/// Computes contiguous item ranges (`cuts[w]..cuts[w + 1]` per worker)
+/// that share `offsets`-weighted load as evenly as item boundaries allow.
+///
+/// `offsets` is a monotone cumulative-weight array of length `items + 1`
+/// (a CSR `indptr`, or segment offsets): item `i` carries weight
+/// `offsets[i + 1] - offsets[i]`.
+fn balanced_cuts(offsets: &[usize], workers: usize) -> Vec<usize> {
+    let items = offsets.len() - 1;
+    let total = offsets[items] - offsets[0];
+    let mut cuts = Vec::with_capacity(workers + 1);
+    cuts.push(0);
+    for w in 1..workers {
+        let target = offsets[0] + total * w / workers;
+        let at = offsets.partition_point(|&o| o < target).min(items);
+        let last = *cuts.last().unwrap_or(&0);
+        cuts.push(at.max(last));
+    }
+    cuts.push(items);
+    cuts
+}
+
+/// Partitions `items` contiguous work items (CSR rows, segments) across
+/// workers, cutting only at item boundaries so each item is computed
+/// whole by one worker — the serial inner loop per item is preserved and
+/// the result is bitwise identical at any thread count.
+///
+/// * `offsets` — cumulative weight per item (length `items + 1`); the load
+///   balancer splits so workers get roughly equal weight (e.g. nonzeros
+///   for spmm, edges for segment ops), not equal item counts.
+/// * `out_offset(i)` — flat index in `out` where item `i`'s output starts;
+///   must be monotone with `out_offset(0) == 0` and
+///   `out_offset(items) == out.len()`.
+/// * `run(items, chunk)` — computes an item range into the output slice
+///   covering exactly those items.
+pub(crate) fn parallel_ranges<T: Send>(
+    offsets: &[usize],
+    out_offset: &(dyn Fn(usize) -> usize + Sync),
+    work: usize,
+    out: &mut [T],
+    run: impl Fn(Range<usize>, &mut [T]) + Sync,
+) {
+    let items = offsets.len() - 1;
+    debug_assert_eq!(out_offset(items), out.len(), "out_offset must cover the output");
+    let workers = num_threads();
+    if workers <= 1 || items < 2 || (!forced() && work < PAR_WORK_THRESHOLD) {
+        run(0..items, out);
+        return;
+    }
+    let cuts = balanced_cuts(offsets, workers);
+    std::thread::scope(|s| {
+        let mut rest = out;
+        let mut consumed = 0usize;
+        for w in cuts.windows(2) {
+            let (start, end) = (w[0], w[1]);
+            if start == end {
+                continue;
+            }
+            let stop = out_offset(end);
+            let (chunk, tail) = rest.split_at_mut(stop - consumed);
+            rest = tail;
+            consumed = stop;
+            let run = &run;
+            s.spawn(move || run(start..end, chunk));
+        }
+    });
+}
+
+/// Two-buffer variant of [`parallel_ranges`] for kernels that fill a pair
+/// of outputs with per-item chunks (e.g. `segment_max` values + winner
+/// indices).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn parallel_ranges_pair<A: Send, B: Send>(
+    offsets: &[usize],
+    out_offset_a: &(dyn Fn(usize) -> usize + Sync),
+    out_offset_b: &(dyn Fn(usize) -> usize + Sync),
+    work: usize,
+    a: &mut [A],
+    b: &mut [B],
+    run: impl Fn(Range<usize>, &mut [A], &mut [B]) + Sync,
+) {
+    let items = offsets.len() - 1;
+    debug_assert_eq!(out_offset_a(items), a.len(), "out_offset_a must cover the output");
+    debug_assert_eq!(out_offset_b(items), b.len(), "out_offset_b must cover the output");
+    let workers = num_threads();
+    if workers <= 1 || items < 2 || (!forced() && work < PAR_WORK_THRESHOLD) {
+        run(0..items, a, b);
+        return;
+    }
+    let cuts = balanced_cuts(offsets, workers);
+    std::thread::scope(|s| {
+        let (mut rest_a, mut rest_b) = (a, b);
+        let (mut done_a, mut done_b) = (0usize, 0usize);
+        for w in cuts.windows(2) {
+            let (start, end) = (w[0], w[1]);
+            if start == end {
+                continue;
+            }
+            let (stop_a, stop_b) = (out_offset_a(end), out_offset_b(end));
+            let (ca, ta) = rest_a.split_at_mut(stop_a - done_a);
+            let (cb, tb) = rest_b.split_at_mut(stop_b - done_b);
+            rest_a = ta;
+            rest_b = tb;
+            done_a = stop_a;
+            done_b = stop_b;
+            let run = &run;
+            s.spawn(move || run(start..end, ca, cb));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        let outer = num_threads();
+        with_threads(3, || {
+            assert_eq!(num_threads(), 3);
+            with_threads(1, || assert_eq!(num_threads(), 1));
+            assert_eq!(num_threads(), 3);
+        });
+        assert_eq!(num_threads(), outer);
+    }
+
+    #[test]
+    fn parallel_rows_covers_all_rows_once() {
+        let (m, n) = (10, 3);
+        let mut out = vec![0.0f32; m * n];
+        with_threads(4, || {
+            parallel_rows(m, n, 0, &mut out, |rows, chunk| {
+                for (ri, r) in rows.enumerate() {
+                    for c in 0..n {
+                        chunk[ri * n + c] += (r * n + c) as f32;
+                    }
+                }
+            });
+        });
+        let expect: Vec<f32> = (0..m * n).map(|i| i as f32).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn parallel_ranges_splits_at_item_boundaries() {
+        // Item i occupies rows offsets[i]..offsets[i+1] of a 1-column out.
+        let offsets = vec![0usize, 4, 4, 5, 9, 12];
+        let mut out = vec![-1.0f32; 12];
+        with_threads(4, || {
+            parallel_ranges(&offsets, &|i| offsets[i], 0, &mut out, |items, chunk| {
+                let base = offsets[items.start];
+                for i in items {
+                    for e in offsets[i]..offsets[i + 1] {
+                        chunk[e - base] = i as f32;
+                    }
+                }
+            });
+        });
+        let expect = [0.0, 0.0, 0.0, 0.0, 2.0, 3.0, 3.0, 3.0, 3.0, 4.0, 4.0, 4.0];
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn balanced_cuts_are_monotone_and_complete() {
+        let offsets = vec![0usize, 100, 100, 101, 102, 103, 200];
+        for workers in 1..6 {
+            let cuts = balanced_cuts(&offsets, workers);
+            assert_eq!(cuts[0], 0);
+            assert_eq!(*cuts.last().expect("non-empty"), 6);
+            assert!(cuts.windows(2).all(|w| w[0] <= w[1]), "{cuts:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_ranges_pair_keeps_buffers_aligned() {
+        let offsets = vec![0usize, 2, 5, 6];
+        let mut vals = vec![0.0f32; 3 * 2]; // 2 cols per item
+        let mut tags = vec![0u32; 3]; // 1 tag per item
+        with_threads(2, || {
+            parallel_ranges_pair(
+                &offsets,
+                &|i| i * 2,
+                &|i| i,
+                0,
+                &mut vals,
+                &mut tags,
+                |items, va, tb| {
+                    let base = items.start;
+                    for i in items {
+                        va[(i - base) * 2] = i as f32;
+                        va[(i - base) * 2 + 1] = i as f32;
+                        tb[i - base] = i as u32;
+                    }
+                },
+            );
+        });
+        assert_eq!(vals, [0.0, 0.0, 1.0, 1.0, 2.0, 2.0]);
+        assert_eq!(tags, [0, 1, 2]);
+    }
+}

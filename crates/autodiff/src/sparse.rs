@@ -2,22 +2,50 @@
 //!
 //! Aggregators such as GCN multiply a fixed sparse operator (the normalised
 //! adjacency) into a dense feature matrix every layer. The operator never
-//! changes during training, so [`Csr`] eagerly caches its transpose — the
-//! backward pass of `S·B` needs `Sᵀ·dC`.
+//! changes during training, so [`Csr`] caches its transpose — the backward
+//! pass of `S·B` needs `Sᵀ·dC` — but builds it lazily on first use:
+//! eval-only graphs and bench data generators never pay for it.
+//!
+//! `spmm` is row-partitioned across the shared worker scheme in
+//! [`crate::parallel`]: each output row is produced whole by one worker
+//! running the identical serial inner loop, so the result is bitwise
+//! independent of the thread count.
+
+use std::sync::OnceLock;
 
 use crate::matrix::Matrix;
+use crate::parallel::parallel_ranges;
+use crate::pool;
 
 /// Compressed-sparse-row `f32` matrix.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct Csr {
     rows: usize,
     cols: usize,
     indptr: Vec<usize>,
     indices: Vec<u32>,
     values: Vec<f32>,
-    /// Transposed copy, built once at construction for backward passes.
-    /// `None` only while the transpose itself is being constructed.
-    transpose: Option<Box<Csr>>,
+    /// Transpose, built at most once on first [`Csr::t`] call and cached
+    /// for every later backward pass.
+    transpose: OnceLock<Box<Csr>>,
+}
+
+impl Clone for Csr {
+    fn clone(&self) -> Self {
+        let transpose = OnceLock::new();
+        if let Some(t) = self.transpose.get() {
+            // Already paid for — carry it over rather than rebuilding lazily.
+            let _ = transpose.set(t.clone());
+        }
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            indptr: self.indptr.clone(),
+            indices: self.indices.clone(),
+            values: self.values.clone(),
+            transpose,
+        }
+    }
 }
 
 impl Csr {
@@ -40,7 +68,10 @@ impl Csr {
         let mut values: Vec<f32> = Vec::with_capacity(sorted.len());
         for &(r, c, v) in &sorted {
             if let (Some(&last_c), true) = (indices.last(), indptr[r as usize + 1] > 0) {
-                // Merge duplicates within the current row.
+                // Merge duplicates within the current row. `indptr[r+1] > 0`
+                // is what stops a duplicate column straddling a row boundary
+                // from merging into the previous row: the first entry of row
+                // `r` still sees `indptr[r+1] == 0`.
                 if indptr[r as usize + 1] == indices.len() && last_c == c {
                     *values.last_mut().expect("values parallel to indices") += v; // lint:allow(expect)
                     continue;
@@ -56,9 +87,7 @@ impl Csr {
                 indptr[r] = indptr[r - 1];
             }
         }
-        let mut me = Self { rows, cols, indptr, indices, values, transpose: None };
-        me.transpose = Some(Box::new(me.build_transpose()));
-        me
+        Self { rows, cols, indptr, indices, values, transpose: OnceLock::new() }
     }
 
     /// Builds directly from CSR arrays (used by the transpose constructor and
@@ -77,9 +106,7 @@ impl Csr {
         assert_eq!(indices.len(), values.len(), "indices/values length");
         assert_eq!(*indptr.last().unwrap_or(&0), indices.len(), "indptr terminator");
         assert!(indices.iter().all(|&c| (c as usize) < cols), "column index out of bounds");
-        let mut me = Self { rows, cols, indptr, indices, values, transpose: None };
-        me.transpose = Some(Box::new(me.build_transpose()));
-        me
+        Self { rows, cols, indptr, indices, values, transpose: OnceLock::new() }
     }
 
     fn build_transpose(&self) -> Csr {
@@ -103,7 +130,14 @@ impl Csr {
                 cursor[c] += 1;
             }
         }
-        Csr { rows: self.cols, cols: self.rows, indptr, indices, values, transpose: None }
+        Csr {
+            rows: self.cols,
+            cols: self.rows,
+            indptr,
+            indices,
+            values,
+            transpose: OnceLock::new(),
+        }
     }
 
     #[inline]
@@ -144,12 +178,21 @@ impl Csr {
         (&self.indices[s..e], &self.values[s..e])
     }
 
-    /// The cached transpose.
+    /// The transpose, built on first call and cached for all later calls.
     pub fn t(&self) -> &Csr {
-        self.transpose.as_deref().expect("transpose is built at construction") // lint:allow(expect)
+        self.transpose.get_or_init(|| Box::new(self.build_transpose()))
+    }
+
+    /// Whether the cached transpose has been built yet.
+    pub fn has_transpose(&self) -> bool {
+        self.transpose.get().is_some()
     }
 
     /// Sparse·dense product `self · dense`.
+    ///
+    /// Output rows are partitioned across workers at row boundaries with
+    /// nnz-weighted load balancing; each row is computed whole by one
+    /// worker, so the result is bitwise identical at any thread count.
     ///
     /// # Panics
     /// Panics on an inner-dimension mismatch.
@@ -164,18 +207,22 @@ impl Csr {
             dense.cols()
         );
         let n = dense.cols();
-        let mut out = Matrix::zeros(self.rows, n);
-        for r in 0..self.rows {
-            let orow = out.row_mut(r);
-            for k in self.indptr[r]..self.indptr[r + 1] {
-                let c = self.indices[k] as usize;
-                let v = self.values[k];
-                let drow = dense.row(c);
-                for (o, &d) in orow.iter_mut().zip(drow) {
-                    *o += v * d;
+        let mut out = pool::zeros(self.rows, n);
+        let run = |rows: std::ops::Range<usize>, chunk: &mut [f32]| {
+            let base = rows.start;
+            for r in rows {
+                let orow = &mut chunk[(r - base) * n..(r - base + 1) * n];
+                for k in self.indptr[r]..self.indptr[r + 1] {
+                    let c = self.indices[k] as usize;
+                    let v = self.values[k];
+                    let drow = dense.row(c);
+                    for (o, &d) in orow.iter_mut().zip(drow) {
+                        *o += v * d;
+                    }
                 }
             }
-        }
+        };
+        parallel_ranges(&self.indptr, &|r| r * n, self.nnz() * n, out.data_mut(), run);
         out
     }
 
@@ -220,6 +267,29 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_merge_stops_at_row_boundaries() {
+        // Row 0 ends with column 1; row 1 *starts* with column 1. The merge
+        // condition must not fold the first entry of row 1 into row 0.
+        let m = Csr::from_coo(3, 2, &[(0, 0, 1.0), (0, 1, 2.0), (1, 1, 4.0), (1, 1, 8.0)]);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.indptr(), &[0, 2, 3, 3]);
+        assert_eq!(m.row(0), (&[0u32, 1][..], &[1.0f32, 2.0][..]));
+        // The within-row duplicate as the row's first entry still merges.
+        assert_eq!(m.row(1), (&[1u32][..], &[12.0f32][..]));
+    }
+
+    #[test]
+    fn duplicate_as_first_entry_after_empty_row_merges_within_its_row() {
+        // Row 1 is empty, row 2's first two triplets are duplicates of each
+        // other and share the column that closed row 0.
+        let m = Csr::from_coo(3, 3, &[(0, 2, 1.0), (2, 2, 2.0), (2, 2, 3.0)]);
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.indptr(), &[0, 1, 1, 2]);
+        assert_eq!(m.row(0), (&[2u32][..], &[1.0f32][..]));
+        assert_eq!(m.row(2), (&[2u32][..], &[5.0f32][..]));
+    }
+
+    #[test]
     #[should_panic(expected = "out of bounds")]
     fn from_coo_rejects_out_of_bounds() {
         let _ = Csr::from_coo(2, 2, &[(0, 5, 1.0)]);
@@ -229,6 +299,26 @@ mod tests {
     fn transpose_matches_dense() {
         let m = sample();
         assert_eq!(m.t().to_dense(), m.to_dense().transpose());
+    }
+
+    #[test]
+    fn transpose_is_lazy_and_cached() {
+        let m = sample();
+        assert!(!m.has_transpose(), "transpose must not be built at construction");
+        let first = m.t() as *const Csr;
+        assert!(m.has_transpose());
+        assert_eq!(first, m.t() as *const Csr, "t() must return the same cached instance");
+    }
+
+    #[test]
+    fn clone_preserves_a_built_transpose() {
+        let fresh = sample().clone();
+        assert!(!fresh.has_transpose(), "cloning an unbuilt transpose stays lazy");
+        let m = sample();
+        let _ = m.t();
+        let cloned = m.clone();
+        assert!(cloned.has_transpose(), "a paid-for transpose is carried by clone");
+        assert_eq!(cloned.t().to_dense(), m.t().to_dense());
     }
 
     #[test]
@@ -257,5 +347,29 @@ mod tests {
             m.values().to_vec(),
         );
         assert_eq!(m2.to_dense(), m.to_dense());
+    }
+
+    #[test]
+    fn parallel_spmm_is_bitwise_equal_to_serial() {
+        use crate::parallel::with_threads;
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let (rows, cols, feat) = (64, 48, 7);
+        let triplets: Vec<(u32, u32, f32)> = (0..600)
+            .map(|_| {
+                (
+                    rng.gen_range(0..rows as u32),
+                    rng.gen_range(0..cols as u32),
+                    rng.gen_range(-1.0..1.0),
+                )
+            })
+            .collect();
+        let m = Csr::from_coo(rows, cols, &triplets);
+        let d = Matrix::from_fn(cols, feat, |_, _| rng.gen_range(-1.0..1.0));
+        let serial = with_threads(1, || m.spmm(&d));
+        for threads in [2, 3, 4] {
+            let par = with_threads(threads, || m.spmm(&d));
+            assert_eq!(par, serial, "spmm must be bitwise identical at {threads} threads");
+        }
     }
 }

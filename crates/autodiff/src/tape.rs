@@ -18,6 +18,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::audit::Arity;
 use crate::matrix::Matrix;
+use crate::pool;
 
 /// Handle to a node on a [`Tape`].
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
@@ -110,9 +111,26 @@ pub(crate) struct Node {
 }
 
 /// A single forward computation, recorded for reverse-mode differentiation.
+///
+/// Intermediate values are drawn from the thread-local [`crate::pool`] and
+/// flow back into it when the tape is dropped, so the rebuild-every-step
+/// idiom settles into zero steady-state allocation.
 pub struct Tape {
     nodes: Vec<Node>,
     rng: StdRng,
+}
+
+impl Drop for Tape {
+    fn drop(&mut self) {
+        for node in self.nodes.drain(..) {
+            // Values still shared (parameters in the `VarStore`, inputs or
+            // outputs the caller kept an `Arc` to) fail the unwrap and drop
+            // normally; everything tape-exclusive feeds the pool.
+            if let Ok(value) = Arc::try_unwrap(node.value) {
+                pool::put(value);
+            }
+        }
+    }
 }
 
 impl Tape {
@@ -224,6 +242,8 @@ impl Tape {
                 continue;
             }
             if node.inputs.is_empty() {
+                // Constant/input leaf: the gradient stops here.
+                pool::put(grad);
                 continue;
             }
             let input_vals: Vec<&Matrix> = node.inputs.iter().map(|t| self.value(*t)).collect();
@@ -247,10 +267,15 @@ impl Tape {
                     t.0
                 );
                 match &mut grads[t.0] {
-                    Some(acc) => acc.add_assign(&g),
+                    Some(acc) => {
+                        acc.add_assign(&g);
+                        pool::put(g);
+                    }
                     slot @ None => *slot = Some(g),
                 }
             }
+            // `grad` was fully distributed to the inputs; recycle it.
+            pool::put(grad);
         }
         result
     }
@@ -268,7 +293,10 @@ impl Gradients {
             self.slots.resize_with(id.0 + 1, || None);
         }
         match &mut self.slots[id.0] {
-            Some(acc) => acc.add_assign(&grad),
+            Some(acc) => {
+                acc.add_assign(&grad);
+                pool::put(grad);
+            }
             slot @ None => *slot = Some(grad),
         }
     }
@@ -291,7 +319,7 @@ impl Gradients {
     /// side are treated as zero). Used by the second-order bi-level update.
     pub fn add_scaled(&mut self, other: &Gradients, scale: f32) {
         for (id, g) in other.iter() {
-            let mut scaled = g.clone();
+            let mut scaled = pool::clone_of(g);
             scaled.scale_inplace(scale);
             self.accumulate(id, scaled);
         }
@@ -333,6 +361,15 @@ impl Gradients {
     /// Iterates over `(id, grad)` pairs that received gradients.
     pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Matrix)> {
         self.slots.iter().enumerate().filter_map(|(i, s)| s.as_ref().map(|g| (ParamId(i), g)))
+    }
+
+    /// Consumes the gradient set, returning its buffers to the thread-local
+    /// pool. Call after the optimiser step; skipping it only costs fresh
+    /// allocations on the next backward sweep.
+    pub fn recycle(self) {
+        for slot in self.slots.into_iter().flatten() {
+            pool::put(slot);
+        }
     }
 }
 

@@ -9,6 +9,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use sane_autodiff::gradcheck::check_gradient;
+use sane_autodiff::parallel::with_threads;
 use sane_autodiff::{uniform_init, Csr, Matrix, Segments, Tape, Tensor, VarStore};
 
 const TOL: f32 = 0.02;
@@ -300,6 +301,53 @@ proptest! {
             t.mean_all(h)
         });
         prop_assert!(err < TOL, "rel err {err}");
+    }
+
+    #[test]
+    fn spmm_grads_parallel(seed in 0u64..10_000, n in 2usize..6, d in 1usize..4) {
+        // Same op chain as `spmm_grads`, but with the parallel kernel path
+        // forced at 2 and 4 workers: the analytic backward must stay within
+        // finite-difference tolerance regardless of thread count.
+        let sparse = Arc::new(Csr::from_coo(
+            n,
+            n,
+            &(0..n).map(|i| (i as u32, ((i + 1) % n) as u32, 0.5 + i as f32 * 0.1)).collect::<Vec<_>>(),
+        ));
+        for threads in [2usize, 4] {
+            let sparse = Arc::clone(&sparse);
+            let err = with_threads(threads, || check(seed, n, d, move |t, _, x| {
+                let c = t.spmm(&sparse, x);
+                t.sum_all(c)
+            }));
+            prop_assert!(err < TOL, "rel err {err} at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn segment_attention_grads_parallel(seed in 0u64..10_000) {
+        // The attention pipeline of `segment_softmax_attention_grads` plus
+        // sum/mean/max heads, gradient-checked under forced 2- and 4-way
+        // parallel segment kernels.
+        let idx = Arc::new(vec![0u32, 1, 1, 2, 0, 2]);
+        let segs = Arc::new(Segments::from_lengths(&[2, 3, 1]));
+        let feats = input(seed ^ 20, 3, 3);
+        for threads in [2usize, 4] {
+            let idx = Arc::clone(&idx);
+            let segs = Arc::clone(&segs);
+            let feats = feats.clone();
+            let err = with_threads(threads, || check(seed, 3, 1, move |t, _, x| {
+                let scores = t.gather_rows(x, &idx);
+                let alpha = t.segment_softmax(scores, &segs);
+                let f = t.constant(feats.clone());
+                let msgs = t.gather_rows(f, &idx);
+                let weighted = t.mul_col_broadcast(msgs, alpha);
+                let s = t.segment_sum(weighted, &segs);
+                let m = t.segment_mean(weighted, &segs);
+                let combined = t.add(s, m);
+                t.mean_all(combined)
+            }));
+            prop_assert!(err < TOL, "rel err {err} at {threads} threads");
+        }
     }
 
     #[test]

@@ -1,0 +1,271 @@
+//! Kernel microbenchmark: times the parallel sparse/segment kernels and a
+//! fully-mixed supernet step at 1, 2 and 4 worker threads, verifies every
+//! parallel result is bitwise-identical to the serial one, and reports the
+//! tape buffer pool's steady-state behaviour. Emits `BENCH_kernels.json`.
+//!
+//! Usage: `cargo run --release -p sane-bench --bin kernels -- --quick`
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+use sane_autodiff::parallel::with_threads;
+use sane_autodiff::{pool, uniform_init, Csr, Segments, Tape, VarStore};
+use sane_bench::HarnessArgs;
+use sane_core::prelude::*;
+use sane_core::search::darts::node_task_of;
+use sane_data::CitationConfig;
+
+const THREADS: [usize; 3] = [1, 2, 4];
+
+#[derive(Serialize)]
+struct KernelResult {
+    name: String,
+    shape: String,
+    /// Mean milliseconds per iteration, keyed by worker count.
+    ms_per_iter: BTreeMap<String, f64>,
+    speedup_2t: f64,
+    speedup_4t: f64,
+    bitwise_equal_to_serial: bool,
+}
+
+#[derive(Serialize)]
+struct PoolReport {
+    warmup_steps: usize,
+    measured_steps: usize,
+    misses_per_step: f64,
+    hit_rate: f64,
+    pooled_mib: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    preset: String,
+    threads: Vec<usize>,
+    available_parallelism: usize,
+    kernels: Vec<KernelResult>,
+    pool: PoolReport,
+}
+
+/// Times `f` at every worker count, checking each run's signature against
+/// the 1-thread result bit-for-bit.
+fn bench_kernel(
+    name: &str,
+    shape: String,
+    iters: usize,
+    mut f: impl FnMut() -> Vec<f32>,
+) -> KernelResult {
+    let reference = with_threads(1, &mut f);
+    let mut ms_per_iter = BTreeMap::new();
+    let mut bitwise_equal = true;
+    for &threads in &THREADS {
+        let sig = with_threads(threads, &mut f); // warm-up + correctness probe
+        if sig.len() != reference.len()
+            || sig.iter().zip(&reference).any(|(a, b)| a.to_bits() != b.to_bits())
+        {
+            bitwise_equal = false;
+        }
+        let start = Instant::now();
+        with_threads(threads, || {
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+        });
+        ms_per_iter.insert(threads, start.elapsed().as_secs_f64() * 1e3 / iters as f64);
+    }
+    let serial = ms_per_iter[&1];
+    let result = KernelResult {
+        name: name.into(),
+        shape,
+        speedup_2t: serial / ms_per_iter[&2],
+        speedup_4t: serial / ms_per_iter[&4],
+        bitwise_equal_to_serial: bitwise_equal,
+        ms_per_iter: ms_per_iter.into_iter().map(|(t, ms)| (t.to_string(), ms)).collect(),
+    };
+    println!(
+        "{:<28} {:>9.3} ms serial, x{:.2} @2t, x{:.2} @4t, bitwise={}",
+        result.name, serial, result.speedup_2t, result.speedup_4t, result.bitwise_equal_to_serial
+    );
+    result
+}
+
+fn random_csr(seed: u64, n: usize, nnz: usize) -> Csr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let triplets: Vec<(u32, u32, f32)> = (0..nnz)
+        .map(|_| {
+            (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32), rng.gen_range(0.1f32..1.0))
+        })
+        .collect();
+    Csr::from_coo(n, n, &triplets)
+}
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let quick = args.scale.name == "quick";
+    // Kernel sizes and repeat counts per preset.
+    let (n, deg, d, iters) =
+        if quick { (4000usize, 8usize, 32usize, 5usize) } else { (20000, 10, 64, 20) };
+    let nnz = n * deg;
+    let mut rng = StdRng::seed_from_u64(args.scale.seed);
+
+    println!(
+        "kernel bench: preset={}, n={n}, nnz~{nnz}, d={d}, {} hardware threads\n",
+        args.scale.name,
+        sane_autodiff::parallel::hardware_threads(),
+    );
+    let mut kernels = Vec::new();
+
+    // --- raw sparse kernels -------------------------------------------------
+    let a = Arc::new(random_csr(11, n, nnz));
+    let h = uniform_init(n, d, 1.0, &mut rng);
+    a.t(); // build the lazy transpose outside the timed region
+    kernels.push(bench_kernel(
+        "spmm_forward",
+        format!("{n}x{n} ({nnz} nnz) * {n}x{d}"),
+        iters,
+        || a.spmm(&h).data().to_vec(),
+    ));
+    kernels.push(bench_kernel(
+        "spmm_transpose",
+        format!("{n}x{n}^T ({nnz} nnz) * {n}x{d}"),
+        iters,
+        || a.t().spmm(&h).data().to_vec(),
+    ));
+
+    // --- segment kernels, forward + backward on a tape ----------------------
+    let lengths: Vec<usize> = (0..n).map(|_| rng.gen_range(0..2 * deg)).collect();
+    let total: usize = lengths.iter().sum();
+    let idx = Arc::new((0..total).map(|_| rng.gen_range(0..n as u32)).collect::<Vec<u32>>());
+    let segs = Arc::new(Segments::from_lengths(&lengths));
+    let mut seg_store = VarStore::new();
+    let seg_p = seg_store.add("x", uniform_init(n, d, 1.0, &mut rng));
+    let seg_s = seg_store.add("scores", uniform_init(n, 1, 1.0, &mut rng));
+
+    kernels.push(bench_kernel(
+        "segment_sum_fwd_bwd",
+        format!("{total} rows -> {n} segments, d={d}"),
+        iters,
+        || {
+            let mut tape = Tape::new(0);
+            let x = tape.param(&seg_store, seg_p);
+            let msgs = tape.gather_rows(x, &idx);
+            let s = tape.segment_sum(msgs, &segs);
+            let loss = tape.sum_all(s);
+            let grads = tape.backward(loss);
+            let sig = grads.get(seg_p).map_or_else(Vec::new, |g| g.data().to_vec());
+            grads.recycle();
+            sig
+        },
+    ));
+    kernels.push(bench_kernel(
+        "segment_attention_fwd_bwd",
+        format!("softmax+broadcast+sum over {total} rows, {n} segments, d={d}"),
+        iters,
+        || {
+            let mut tape = Tape::new(0);
+            let x = tape.param(&seg_store, seg_p);
+            let sc = tape.param(&seg_store, seg_s);
+            let msgs = tape.gather_rows(x, &idx);
+            let scores = tape.gather_rows(sc, &idx);
+            let alpha = tape.segment_softmax(scores, &segs);
+            let weighted = tape.mul_col_broadcast(msgs, alpha);
+            let out = tape.segment_sum(weighted, &segs);
+            let loss = tape.sum_all(out);
+            let grads = tape.backward(loss);
+            let sig = grads.get(seg_p).map_or_else(Vec::new, |g| g.data().to_vec());
+            grads.recycle();
+            sig
+        },
+    ));
+
+    // --- fully-mixed supernet step (Eq. 3-5 forward + backward) -------------
+    let data_scale = if quick { 0.05 } else { 0.25 };
+    let ds = CitationConfig::cora().scaled(data_scale).with_seed(args.scale.seed).generate();
+    let task = Task::node(ds);
+    let Some(t) = node_task_of(&task) else {
+        unreachable!("the bench builds a node task");
+    };
+    let mut net_rng = StdRng::seed_from_u64(args.scale.seed);
+    let mut store = VarStore::new();
+    let cfg = SupernetConfig { hidden: if quick { 16 } else { 32 }, ..SupernetConfig::default() };
+    let net = Supernet::new(cfg, task.feature_dim(), task.num_outputs(), &mut store, &mut net_rng);
+    t.ctx.warm_backward();
+    let first_w = net.weight_params()[0];
+    let mixed_iters = iters.max(3) / 3 + 1;
+    kernels.push(bench_kernel(
+        "mixed_supernet_fwd_bwd",
+        format!(
+            "{} nodes, F={}, hidden={}, K=3",
+            t.ctx.num_nodes(),
+            task.feature_dim(),
+            if quick { 16 } else { 32 }
+        ),
+        mixed_iters,
+        || {
+            let mut tape = Tape::new(0);
+            let x = tape.input(Arc::clone(&t.data.features));
+            let logits = net.forward_mixed(&mut tape, &store, &t.ctx, x, true);
+            let loss = tape.cross_entropy(logits, &t.data.labels, &t.data.train);
+            let grads = tape.backward(loss);
+            let sig = grads.get(first_w).map_or_else(Vec::new, |g| g.data().to_vec());
+            grads.recycle();
+            sig
+        },
+    ));
+
+    // --- buffer pool steady state -------------------------------------------
+    let step = || {
+        let mut tape = Tape::new(0);
+        let x = tape.input(Arc::clone(&t.data.features));
+        let logits = net.forward_mixed(&mut tape, &store, &t.ctx, x, true);
+        let loss = tape.cross_entropy(logits, &t.data.labels, &t.data.train);
+        let grads = tape.backward(loss);
+        grads.recycle();
+    };
+    pool::reset();
+    let warmup_steps = 6;
+    let measured_steps = if quick { 12 } else { 40 };
+    for _ in 0..warmup_steps {
+        step();
+    }
+    let before = pool::stats();
+    for _ in 0..measured_steps {
+        step();
+    }
+    let after = pool::stats();
+    let pool_report = PoolReport {
+        warmup_steps,
+        measured_steps,
+        misses_per_step: (after.misses - before.misses) as f64 / measured_steps as f64,
+        hit_rate: after.hit_rate(),
+        pooled_mib: after.floats as f64 * 4.0 / (1024.0 * 1024.0),
+    };
+    println!(
+        "\nbuffer pool: {:.2} misses/step after warm-up, {:.1}% hit rate, {:.1} MiB pooled",
+        pool_report.misses_per_step,
+        pool_report.hit_rate * 100.0,
+        pool_report.pooled_mib
+    );
+
+    let report = BenchReport {
+        preset: args.scale.name.clone(),
+        threads: THREADS.to_vec(),
+        available_parallelism: sane_autodiff::parallel::hardware_threads(),
+        kernels,
+        pool: pool_report,
+    };
+    std::fs::create_dir_all(&args.out_dir).expect("create results dir"); // lint:allow(expect)
+    let path = args.out_dir.join("BENCH_kernels.json");
+    let json = serde_json::to_string_pretty(&report).expect("serialise bench report"); // lint:allow(expect)
+    std::fs::write(&path, json).expect("write bench json"); // lint:allow(expect)
+    println!("[saved {}]", path.display());
+
+    assert!(
+        report.kernels.iter().all(|k| k.bitwise_equal_to_serial),
+        "parallel kernel output diverged from the serial reference"
+    );
+}

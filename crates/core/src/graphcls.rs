@@ -150,6 +150,7 @@ pub fn train_graph_classifier(
             let mut grads = tape.backward(loss);
             grads.clip_global_norm(5.0);
             opt.step(&mut store, &grads);
+            grads.recycle();
         }
         if epoch % cfg.eval_every == 0 || epoch + 1 == cfg.epochs {
             let val = eval_split(task, &model, &store, &task.data.val);
@@ -293,11 +294,13 @@ pub fn graphcls_search(task: &GraphClsTask, cfg: &GraphClsSearchConfig) -> Graph
         let val_batch = rot(&task.data.val, epoch);
         let grads = batch_grads(&store, &val_batch, cfg.seed ^ (epoch as u64) << 1);
         opt_alpha.step_subset(&mut store, &grads, &alpha_params);
+        grads.recycle();
 
         let train_batch = rot(&task.data.train, epoch);
         let mut grads = batch_grads(&store, &train_batch, cfg.seed ^ ((epoch as u64) << 1 | 1));
         grads.clip_global_norm(5.0);
         opt_w.step_subset(&mut store, &grads, &w_params);
+        grads.recycle();
     }
 
     let arch = net.derive(&store);

@@ -131,6 +131,7 @@ pub fn sane_search(task: &Task, cfg: &SaneSearchConfig) -> SaneSearchOutput {
             } else {
                 let grads = mixed_grads(task, &net, &store, Split::Val, cfg.seed, epoch);
                 opt_alpha.step_subset(&mut store, &grads, net.alpha_params());
+                grads.recycle();
             }
             // Line 4–5: update w on the training loss.
             let (tape, loss) = mixed_loss_tape(task, &net, &store, Split::Train, cfg.seed, epoch);
@@ -141,6 +142,7 @@ pub fn sane_search(task: &Task, cfg: &SaneSearchConfig) -> SaneSearchOutput {
             }
             grads.clip_global_norm(5.0);
             opt_w.step_subset(&mut store, &grads, net.weight_params());
+            grads.recycle();
         }
         if cfg.checkpoint_every > 0 && (epoch + 1) % cfg.checkpoint_every == 0 {
             checkpoints.push((start.elapsed().as_secs_f64(), net.derive(&store)));
@@ -237,6 +239,7 @@ fn step_alpha_second_order(
     // w' = w - ξ ∇w L_tra(w, α).
     let g_tra = mixed_grads(task, net, store, Split::Train, cfg.seed, epoch);
     apply_delta(store, &w_ids, &g_tra, -cfg.xi);
+    g_tra.recycle();
 
     // ∇ L_val at (w', α): the α part is term 1, the w' part drives the
     // finite difference.
@@ -256,8 +259,11 @@ fn step_alpha_second_order(
         // the optimizer below only reads the α slots.
         g_val.add_scaled(&g_plus, -cfg.xi / (2.0 * eps));
         g_val.add_scaled(&g_minus, cfg.xi / (2.0 * eps));
+        g_plus.recycle();
+        g_minus.recycle();
     }
     opt_alpha.step_subset(store, &g_val, net.alpha_params());
+    g_val.recycle();
 }
 
 fn step_weights_sampled(
@@ -291,6 +297,7 @@ fn step_weights_sampled(
     };
     grads.clip_global_norm(5.0);
     opt.step_subset(store, &grads, net.weight_params());
+    grads.recycle();
 }
 
 /// Validation metric of one sampled path under the shared weights.

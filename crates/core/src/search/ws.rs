@@ -71,6 +71,7 @@ pub(crate) fn ws_train_steps(
         };
         grads.clip_global_norm(5.0);
         opt.step(store, &grads);
+        grads.recycle();
     }
 }
 

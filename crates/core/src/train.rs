@@ -227,6 +227,7 @@ fn train_transductive(
         }
         grads.clip_global_norm(5.0);
         opt.step(store, &grads);
+        grads.recycle();
 
         if epoch % cfg.eval_every == 0 || epoch + 1 == cfg.epochs {
             let mut eval = Tape::new(0);
@@ -296,6 +297,7 @@ fn train_inductive(
             }
             grads.clip_global_norm(5.0);
             opt.step(store, &grads);
+            grads.recycle();
         }
 
         if epoch % cfg.eval_every == 0 || epoch + 1 == cfg.epochs {

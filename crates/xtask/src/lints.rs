@@ -19,6 +19,10 @@
 //! * `gradcheck-coverage` — cross-reference the autodiff op registry
 //!   (every `Op::name()` literal) against the finite-difference property
 //!   suite; an op that never appears in `grad_props.rs` fails the lint.
+//! * `raw-thread` — forbid direct `std::thread` use outside
+//!   `crates/autodiff/src/parallel.rs`: that module owns the workspace's
+//!   one threading policy (worker count, spawn threshold, deterministic
+//!   partitioning), and ad-hoc spawns elsewhere would bypass all three.
 //! * `forbid-unsafe` — every first-party crate root must carry
 //!   `#![forbid(unsafe_code)]`.
 //!
@@ -66,6 +70,9 @@ const UNWRAP_WAIVER: &str = concat!("lint:allow", "(unwrap)");
 const EXPECT_WAIVER: &str = concat!("lint:allow", "(expect)");
 const RNG_NEEDLES: [&str; 3] =
     [concat!("thread", "_rng"), concat!("from_", "entropy"), concat!("rand::", "random")];
+const THREAD_NEEDLE: &str = concat!("std::", "thread");
+/// The one file allowed to touch the needle above.
+const THREAD_HOME: &str = "crates/autodiff/src/parallel.rs";
 
 /// Splits one source line into (code, comment) at the first `//` that is
 /// not inside a string literal.
@@ -187,6 +194,34 @@ pub fn lint_unseeded_rng(file: &str, src: &str) -> Vec<Finding> {
                     message: format!("`{needle}` breaks reproducibility; seed a StdRng instead"),
                 });
             }
+        }
+    }
+    findings
+}
+
+/// Forbids direct `std::thread` use (spawns, scopes, parallelism queries)
+/// anywhere but the autodiff `parallel` module, tests included: the worker
+/// count, the spawn threshold and the boundary-partitioning rules that
+/// make parallel kernels bitwise deterministic all live there, and an
+/// ad-hoc spawn elsewhere would bypass every one of them. There is no
+/// waiver — new threading needs go through `parallel`'s helpers.
+pub fn lint_raw_thread(file: &str, src: &str) -> Vec<Finding> {
+    if file.ends_with(THREAD_HOME) {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    for (idx, line) in src.lines().enumerate() {
+        let (code, _) = split_comment(line);
+        if code.contains(THREAD_NEEDLE) {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: idx + 1,
+                lint: "raw-thread",
+                message: format!(
+                    "`{THREAD_NEEDLE}` outside {THREAD_HOME}; route threading through the \
+                     `parallel` module so the worker count and determinism rules stay centralised"
+                ),
+            });
         }
     }
     findings
@@ -413,6 +448,19 @@ mod tests {
         let findings = lint_gradcheck_coverage(&ops, "grad_props.rs", tests);
         assert_eq!(findings.len(), 1);
         assert!(findings[0].message.contains("mystery"));
+    }
+
+    #[test]
+    fn raw_thread_outside_parallel_module_is_flagged() {
+        let src = concat!("    std::", "thread", "::spawn(|| work());\n");
+        let findings = lint_raw_thread("crates/core/src/train.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].lint, "raw-thread");
+        // The parallel module itself is the one allowed home.
+        assert!(lint_raw_thread("crates/autodiff/src/parallel.rs", src).is_empty());
+        // Mentions in comments do not count.
+        let comment = concat!("// std::", "thread", " is forbidden here\n");
+        assert!(lint_raw_thread("crates/core/src/train.rs", comment).is_empty());
     }
 
     #[test]

@@ -19,8 +19,8 @@ use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
 
 use lints::{
-    extract_op_names, lint_forbid_unsafe, lint_gradcheck_coverage, lint_unseeded_rng,
-    lint_unwrap_expect, Finding,
+    extract_op_names, lint_forbid_unsafe, lint_gradcheck_coverage, lint_raw_thread,
+    lint_unseeded_rng, lint_unwrap_expect, Finding,
 };
 
 /// First-party packages, used to scope the fmt/clippy drivers.
@@ -129,6 +129,10 @@ fn audit(root: &Path) -> ExitCode {
 
             // Unseeded RNG is forbidden everywhere, tests included.
             findings.extend(lint_unseeded_rng(&name, &src));
+
+            // Raw threading is forbidden outside the autodiff parallel
+            // module, tests included.
+            findings.extend(lint_raw_thread(&name, &src));
 
             // unwrap/expect: non-test library code only.
             let in_src = rel_crate.starts_with("src");
