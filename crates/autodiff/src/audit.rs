@@ -166,9 +166,13 @@ pub struct TapeReport {
     pub num_param_nodes: usize,
     /// Fan-in / fan-out summary.
     pub fan: FanStats,
-    /// Buffer-pool counters for the auditing thread at report time. In
-    /// steady-state training the hit rate approaches 1.0 and `misses`
-    /// stops growing — per-step heap growth from tape buffers is zero.
+    /// Buffer-pool activity attributable to *this tape* (counters since
+    /// the tape was created; `buffers`/`floats` describe the pool's
+    /// current contents). In steady-state training the per-tape hit rate
+    /// approaches 1.0 and `misses` stays at zero — per-step heap growth
+    /// from tape buffers is zero. Earlier versions reported
+    /// process-lifetime counters here, which accumulated across epochs
+    /// and hid late-run regressions.
     pub pool: crate::pool::PoolStats,
 }
 
@@ -377,7 +381,7 @@ impl Tape {
             reachable_nodes,
             num_param_nodes,
             fan,
-            pool: crate::pool::stats(),
+            pool: self.pool_activity(),
         }
     }
 
@@ -569,6 +573,34 @@ mod tests {
         let f: Vec<_> = report.of_kind(FindingKind::NonFiniteGradient).collect();
         assert_eq!(f.len(), 1, "{report}");
         assert!(f[0].message.contains('w'), "{}", f[0].message);
+    }
+
+    /// The report's pool stats must cover this tape only — not accumulate
+    /// across every tape the thread ever built (the old behaviour, which
+    /// made per-epoch audit output useless after the first epoch).
+    #[test]
+    fn pool_stats_are_per_tape_not_cumulative() {
+        crate::pool::reset();
+        // Warm the pool with a first step's worth of buffers.
+        {
+            let (tape, store, loss) = small_loss_tape();
+            tape.backward(loss).recycle();
+            let _ = (store, tape);
+        }
+        let warmed = crate::pool::stats();
+        assert!(warmed.misses > 0, "first step must have allocated");
+        // A second, identical step audits with only its own activity.
+        let (tape, store, loss) = small_loss_tape();
+        let report = tape.audit(loss, Some(&store));
+        assert!(
+            report.pool.misses < warmed.misses,
+            "report must not accumulate earlier tapes' misses \
+             (report {} vs process {})",
+            report.pool.misses,
+            warmed.misses
+        );
+        drop(tape);
+        crate::pool::reset();
     }
 
     #[test]

@@ -233,9 +233,11 @@ impl Matrix {
             "matmul dimension mismatch: {}x{} * {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = crate::pool::zeros(self.rows, other.cols);
-        gemm_ikj(&self.data, &other.data, &mut out.data, self.rows, self.cols, other.cols);
-        out
+        crate::parallel::timed("gemm", || {
+            let mut out = crate::pool::zeros(self.rows, other.cols);
+            gemm_ikj(&self.data, &other.data, &mut out.data, self.rows, self.cols, other.cols);
+            out
+        })
     }
 
     /// `selfᵀ * other` without materialising the transpose.
@@ -246,6 +248,10 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let (k, m, n) = (self.rows, self.cols, other.cols);
+        crate::parallel::timed("gemm", || self.matmul_at_b_inner(other, k, m, n))
+    }
+
+    fn matmul_at_b_inner(&self, other: &Matrix, k: usize, m: usize, n: usize) -> Matrix {
         let mut out = crate::pool::zeros(m, n);
         // kᵗʰ row of A provides a rank-1 update: out[i,:] += A[k,i] * B[k,:].
         for kk in 0..k {
@@ -273,18 +279,20 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let (m, k, n) = (self.rows, self.cols, other.rows);
-        let mut out = crate::pool::zeros(m, n);
-        let run = |rows: std::ops::Range<usize>, out_chunk: &mut [f32]| {
-            for (ri, i) in rows.enumerate() {
-                let arow = &self.data[i * k..(i + 1) * k];
-                for j in 0..n {
-                    let brow = &other.data[j * k..(j + 1) * k];
-                    out_chunk[ri * n + j] = dot(arow, brow);
+        crate::parallel::timed("gemm", || {
+            let mut out = crate::pool::zeros(m, n);
+            let run = |rows: std::ops::Range<usize>, out_chunk: &mut [f32]| {
+                for (ri, i) in rows.enumerate() {
+                    let arow = &self.data[i * k..(i + 1) * k];
+                    for j in 0..n {
+                        let brow = &other.data[j * k..(j + 1) * k];
+                        out_chunk[ri * n + j] = dot(arow, brow);
+                    }
                 }
-            }
-        };
-        parallel_rows(m, n, m * n * k, &mut out.data, run);
-        out
+            };
+            parallel_rows(m, n, m * n * k, &mut out.data, run);
+            out
+        })
     }
 
     /// Column sums as a `1 x cols` matrix.

@@ -360,7 +360,9 @@ impl Tape {
                     chunk[ri * cols..(ri + 1) * cols].copy_from_slice(av.row(idx[o] as usize));
                 }
             };
-            parallel_rows(idx.len(), cols, idx.len() * cols, out.data_mut(), run);
+            crate::parallel::timed("gather_rows", || {
+                parallel_rows(idx.len(), cols, idx.len() * cols, out.data_mut(), run)
+            });
         }
         self.push_op(out, Box::new(GatherRowsOp { idx: Arc::clone(idx) }), vec![a])
     }
@@ -391,13 +393,15 @@ impl Tape {
                 }
             }
         };
-        parallel_ranges(
-            segs.offsets(),
-            &|s| s * cols,
-            segs.total_len() * cols,
-            out.data_mut(),
-            run,
-        );
+        crate::parallel::timed("segment_sum", || {
+            parallel_ranges(
+                segs.offsets(),
+                &|s| s * cols,
+                segs.total_len() * cols,
+                out.data_mut(),
+                run,
+            )
+        });
         self.push_op(out, Box::new(SegmentSumOp { segs: Arc::clone(segs) }), vec![a])
     }
 
@@ -425,13 +429,15 @@ impl Tape {
                 }
             }
         };
-        parallel_ranges(
-            segs.offsets(),
-            &|s| s * cols,
-            segs.total_len() * cols,
-            out.data_mut(),
-            run,
-        );
+        crate::parallel::timed("segment_mean", || {
+            parallel_ranges(
+                segs.offsets(),
+                &|s| s * cols,
+                segs.total_len() * cols,
+                out.data_mut(),
+                run,
+            )
+        });
         self.push_op(out, Box::new(SegmentMeanOp { segs: Arc::clone(segs) }), vec![a])
     }
 
@@ -464,15 +470,17 @@ impl Tape {
                     }
                 }
             };
-            parallel_ranges_pair(
-                segs.offsets(),
-                &|s| s * cols,
-                &|s| s * cols,
-                segs.total_len() * cols,
-                out.data_mut(),
-                &mut winners,
-                run,
-            );
+            crate::parallel::timed("segment_max", || {
+                parallel_ranges_pair(
+                    segs.offsets(),
+                    &|s| s * cols,
+                    &|s| s * cols,
+                    segs.total_len() * cols,
+                    out.data_mut(),
+                    &mut winners,
+                    run,
+                )
+            });
         }
         self.push_op(
             out,
@@ -507,13 +515,15 @@ impl Tape {
                 }
             }
         };
-        parallel_ranges(
-            segs.offsets(),
-            &|s| segs.offsets()[s],
-            3 * segs.total_len(),
-            out.data_mut(),
-            run,
-        );
+        crate::parallel::timed("segment_softmax", || {
+            parallel_ranges(
+                segs.offsets(),
+                &|s| segs.offsets()[s],
+                3 * segs.total_len(),
+                out.data_mut(),
+                run,
+            )
+        });
         self.push_op(out, Box::new(SegmentSoftmaxOp { segs: Arc::clone(segs) }), vec![scores])
     }
 
@@ -535,7 +545,9 @@ impl Tape {
                     }
                 }
             };
-            parallel_rows(rows, cols, rows * cols, out.data_mut(), run);
+            crate::parallel::timed("mul_col_broadcast", || {
+                parallel_rows(rows, cols, rows * cols, out.data_mut(), run)
+            });
         }
         self.push_op(out, Box::new(MulColBroadcastOp), vec![a, w])
     }

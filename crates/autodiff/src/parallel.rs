@@ -45,9 +45,13 @@ fn configured_threads() -> usize {
         if let Ok(v) = std::env::var("SANE_NUM_THREADS") {
             match v.trim().parse::<usize>() {
                 Ok(n) if n >= 1 => return n,
-                _ => {
-                    eprintln!("SANE_NUM_THREADS=`{v}` is not a positive integer; using the default")
-                }
+                _ => sane_telemetry::warn(
+                    "parallel.bad_num_threads",
+                    &[
+                        ("value", sane_telemetry::Value::from(v.as_str())),
+                        ("hint", "not a positive integer; using the default".into()),
+                    ],
+                ),
             }
         }
         std::thread::available_parallelism().map(|n| n.get().min(4)).unwrap_or(1)
@@ -99,6 +103,25 @@ pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
 
 fn forced() -> bool {
     OVERRIDE.with(|o| o.get()).is_some()
+}
+
+/// Times one kernel invocation into the installed telemetry recorder's
+/// `kernel.<name>.ns` summary.
+///
+/// This is the workspace's single kernel-timing hook: every hot kernel —
+/// spmm, the segment reductions, GEMM, the tape's backward sweep — runs
+/// through it. The disabled path (no recorder on this thread, or the
+/// recorder built with `with_kernel_timing(false)`) is one thread-local
+/// read and no clock call, so the hook is safe to leave in release
+/// binaries.
+pub(crate) fn timed<R>(kernel: &'static str, f: impl FnOnce() -> R) -> R {
+    if !sane_telemetry::kernel_timing_enabled() {
+        return f();
+    }
+    let start = std::time::Instant::now();
+    let out = f();
+    sane_telemetry::kernel_sample(kernel, start.elapsed().as_nanos() as u64);
+    out
 }
 
 /// Splits the output rows of an `m x n` result into equal contiguous row

@@ -67,6 +67,22 @@ impl PoolStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Activity since an `earlier` snapshot: the counters become deltas,
+    /// while `buffers`/`floats` stay absolute (they describe what the pool
+    /// holds *now*, not what happened in between). This is how
+    /// [`crate::audit::TapeReport`] scopes pool stats to one tape instead
+    /// of accumulating them across a whole run.
+    pub fn since(&self, earlier: &PoolStats) -> PoolStats {
+        PoolStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            recycled: self.recycled.saturating_sub(earlier.recycled),
+            dropped: self.dropped.saturating_sub(earlier.dropped),
+            buffers: self.buffers,
+            floats: self.floats,
+        }
+    }
 }
 
 impl fmt::Display for PoolStats {

@@ -197,6 +197,10 @@ impl Csr {
     /// # Panics
     /// Panics on an inner-dimension mismatch.
     pub fn spmm(&self, dense: &Matrix) -> Matrix {
+        crate::parallel::timed("spmm", || self.spmm_inner(dense))
+    }
+
+    fn spmm_inner(&self, dense: &Matrix) -> Matrix {
         assert_eq!(
             self.cols,
             dense.rows(),

@@ -118,10 +118,19 @@ pub(crate) struct Node {
 pub struct Tape {
     nodes: Vec<Node>,
     rng: StdRng,
+    /// Pool counters at construction, so audits and telemetry can report
+    /// per-tape activity instead of process-lifetime accumulation.
+    pool_at_birth: pool::PoolStats,
 }
 
 impl Drop for Tape {
     fn drop(&mut self) {
+        if sane_telemetry::active() {
+            let resident: usize = self.nodes.iter().map(|n| n.value.len() * 4).sum();
+            sane_telemetry::counter_add("tape.count", 1);
+            sane_telemetry::counter_add("tape.ops", self.nodes.len() as u64);
+            sane_telemetry::gauge_max("tape.peak_resident_bytes", resident as f64);
+        }
         for node in self.nodes.drain(..) {
             // Values still shared (parameters in the `VarStore`, inputs or
             // outputs the caller kept an `Arc` to) fail the unwrap and drop
@@ -136,7 +145,17 @@ impl Drop for Tape {
 impl Tape {
     /// Creates an empty tape. `seed` drives stochastic ops (dropout).
     pub fn new(seed: u64) -> Self {
-        Self { nodes: Vec::with_capacity(256), rng: StdRng::seed_from_u64(seed) }
+        Self {
+            nodes: Vec::with_capacity(256),
+            rng: StdRng::seed_from_u64(seed),
+            pool_at_birth: pool::stats(),
+        }
+    }
+
+    /// Buffer-pool activity attributable to this tape: counters since the
+    /// tape was created (current pool contents stay absolute).
+    pub fn pool_activity(&self) -> pool::PoolStats {
+        pool::stats().since(&self.pool_at_birth)
     }
 
     /// Number of recorded nodes.
@@ -229,6 +248,10 @@ impl Tape {
 
     /// Reverse sweep with an explicit seed gradient (same shape as `output`).
     pub fn backward_seeded(&self, output: Tensor, seed: Matrix) -> Gradients {
+        crate::parallel::timed("tape_backward", || self.backward_seeded_inner(output, seed))
+    }
+
+    fn backward_seeded_inner(&self, output: Tensor, seed: Matrix) -> Gradients {
         assert_eq!(seed.shape(), self.value(output).shape(), "seed gradient shape mismatch");
         let mut grads: Vec<Option<Matrix>> = (0..self.nodes.len()).map(|_| None).collect();
         grads[output.0] = Some(seed);

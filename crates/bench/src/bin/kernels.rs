@@ -43,12 +43,23 @@ struct PoolReport {
 }
 
 #[derive(Serialize)]
+struct TelemetryOverhead {
+    steps: usize,
+    ms_per_step_off: f64,
+    ms_per_step_on: f64,
+    /// Relative slowdown of a full mixed-supernet step with the recorder
+    /// installed and kernel timing on (acceptance budget: ≤ 5%).
+    overhead_frac: f64,
+}
+
+#[derive(Serialize)]
 struct BenchReport {
     preset: String,
     threads: Vec<usize>,
     available_parallelism: usize,
     kernels: Vec<KernelResult>,
     pool: PoolReport,
+    telemetry: TelemetryOverhead,
 }
 
 /// Times `f` at every worker count, checking each run's signature against
@@ -251,12 +262,48 @@ fn main() {
         pool_report.pooled_mib
     );
 
+    // --- telemetry overhead: recorder + kernel timing vs bare ---------------
+    let overhead_steps = if quick { 12 } else { 40 };
+    for _ in 0..3 {
+        step(); // re-warm after the pool probe
+    }
+    let start = Instant::now();
+    for _ in 0..overhead_steps {
+        step();
+    }
+    let off = start.elapsed().as_secs_f64() * 1e3 / overhead_steps as f64;
+    let on = {
+        let _guard =
+            sane_telemetry::Recorder::new("overhead_probe").with_kernel_timing(true).install();
+        for _ in 0..3 {
+            step();
+        }
+        let start = Instant::now();
+        for _ in 0..overhead_steps {
+            step();
+        }
+        start.elapsed().as_secs_f64() * 1e3 / overhead_steps as f64
+    };
+    let telemetry = TelemetryOverhead {
+        steps: overhead_steps,
+        ms_per_step_off: off,
+        ms_per_step_on: on,
+        overhead_frac: on / off - 1.0,
+    };
+    println!(
+        "telemetry overhead: {:.3} ms/step off, {:.3} ms/step on ({:+.2}%)",
+        telemetry.ms_per_step_off,
+        telemetry.ms_per_step_on,
+        telemetry.overhead_frac * 100.0
+    );
+
     let report = BenchReport {
         preset: args.scale.name.clone(),
         threads: THREADS.to_vec(),
         available_parallelism: sane_autodiff::parallel::hardware_threads(),
         kernels,
         pool: pool_report,
+        telemetry,
     };
     std::fs::create_dir_all(&args.out_dir).expect("create results dir"); // lint:allow(expect)
     let path = args.out_dir.join("BENCH_kernels.json");

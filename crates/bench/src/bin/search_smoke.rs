@@ -1,0 +1,53 @@
+//! Seeded search smoke test: runs a tiny SANE search with the telemetry
+//! recorder installed, writes the JSONL run trace to
+//! `<out_dir>/TRACE_search_smoke.jsonl`, then re-reads and validates it
+//! in-process. CI runs this binary and then `cargo xtask trace-report`
+//! on the artifact, so a malformed trace fails the job twice over.
+//!
+//! Usage: `cargo run --release -p sane-bench --bin search_smoke -- --quick`
+
+use sane_bench::HarnessArgs;
+use sane_core::prelude::*;
+use sane_data::CitationConfig;
+use sane_telemetry as tel;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let quick = args.scale.name == "quick";
+    std::fs::create_dir_all(&args.out_dir).expect("create results dir"); // lint:allow(expect)
+    let path = args.out_dir.join("TRACE_search_smoke.jsonl");
+
+    let ds = CitationConfig::cora().scaled(0.05).with_seed(args.scale.seed).generate();
+    let task = Task::node(ds);
+    let cfg = SaneSearchConfig {
+        supernet: SupernetConfig { k: 2, hidden: 16, ..SupernetConfig::default() },
+        epochs: if quick { 8 } else { 20 },
+        audit_every: 4,
+        seed: args.scale.seed,
+        ..SaneSearchConfig::default()
+    };
+
+    let genotype;
+    {
+        let recorder = tel::Recorder::new("search_smoke")
+            .with_jsonl(&path)
+            .expect("open trace file") // lint:allow(expect)
+            .with_console_env()
+            .with_kernel_timing(true);
+        let _guard = recorder.install();
+        let result = sane_search(&task, &cfg);
+        genotype = result.arch.describe();
+    }
+    println!("searched genotype: {genotype}");
+
+    // The trace must round-trip through the validator, and its final
+    // genotype must be the one the search returned.
+    let summary = tel::trace::summarize_file(&path).expect("valid run trace"); // lint:allow(expect)
+    assert_eq!(
+        summary.final_genotype(),
+        Some(genotype.as_str()),
+        "trace genotype diverged from the search result"
+    );
+    println!("{summary}");
+    println!("[saved {}]", path.display());
+}

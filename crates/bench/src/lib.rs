@@ -295,12 +295,12 @@ impl ResultTable {
 
     /// Prints to stdout and writes `<out_dir>/<file>.json`.
     pub fn emit(&self, out_dir: &std::path::Path, file: &str) {
-        println!("{}", self.to_markdown());
+        println!("{}", self.to_markdown()); // lint:allow(print)
         std::fs::create_dir_all(out_dir).expect("create results dir"); // lint:allow(expect)
         let path = out_dir.join(format!("{file}.json"));
         let json = serde_json::to_string_pretty(self).expect("serialise table"); // lint:allow(expect)
         std::fs::write(&path, json).expect("write results json"); // lint:allow(expect)
-        println!("[saved {}]", path.display());
+        println!("[saved {}]", path.display()); // lint:allow(print)
     }
 }
 

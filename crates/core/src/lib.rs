@@ -41,6 +41,7 @@
 
 pub mod graphcls;
 pub mod hyper;
+mod obs;
 pub mod search;
 pub mod space;
 pub mod supernet;

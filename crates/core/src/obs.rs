@@ -1,0 +1,47 @@
+//! Shared telemetry helpers for the search and training loops.
+//!
+//! Event names follow the span convention in `sane_telemetry`'s docs:
+//! `<subsystem>.<what>` (`search.epoch`, `train.audit`, `ws.eval`).
+
+use sane_autodiff::TapeReport;
+use sane_telemetry as tel;
+
+/// Softmax entropy (nats) of one probability row.
+pub(crate) fn entropy(probs: &[f32]) -> f64 {
+    probs
+        .iter()
+        .map(|&p| {
+            let p = f64::from(p);
+            if p > 0.0 {
+                -p * p.ln()
+            } else {
+                0.0
+            }
+        })
+        .sum()
+}
+
+/// Emits a tape-audit report as a telemetry event and wires its per-tape
+/// pool stats into the metrics registry: activity counters accumulate
+/// across audits, occupancy gauges reflect the latest audit.
+pub(crate) fn record_audit(scope: &'static str, epoch: usize, report: &TapeReport) {
+    let level = if report.has_errors() { tel::Level::Error } else { tel::Level::Info };
+    tel::event(
+        level,
+        scope,
+        &[
+            ("epoch", epoch.into()),
+            ("nodes", report.num_nodes.into()),
+            ("reachable", report.reachable_nodes.into()),
+            ("findings", report.findings.len().into()),
+            ("report", report.to_string().into()),
+        ],
+    );
+    tel::counter_add("pool.hits", report.pool.hits);
+    tel::counter_add("pool.misses", report.pool.misses);
+    tel::counter_add("pool.recycled", report.pool.recycled);
+    tel::counter_add("pool.dropped", report.pool.dropped);
+    tel::gauge_set("pool.buffers", report.pool.buffers as f64);
+    tel::gauge_set("pool.floats", report.pool.floats as f64);
+    tel::gauge_set("pool.hit_rate", report.pool.hit_rate());
+}

@@ -30,8 +30,12 @@ use sane_autodiff::metrics::accuracy;
 use sane_autodiff::optim::Adam;
 use sane_autodiff::{Gradients, ParamId, Tape, Tensor, VarStore};
 use sane_gnn::Architecture;
+use sane_telemetry as tel;
 
-use crate::supernet::{AlphaSnapshot, SampledPath, SampledView, Supernet, SupernetConfig};
+use crate::obs;
+use crate::supernet::{
+    AlphaSnapshot, MixedView, SampledPath, SampledView, Supernet, SupernetConfig,
+};
 use crate::train::{eval_inductive, MultiTask, NodeTask, Task};
 
 /// Settings for one SANE search run.
@@ -57,10 +61,11 @@ pub struct SaneSearchConfig {
     /// Record a derived-architecture checkpoint every this many epochs
     /// (0 disables; used to draw Figure 3's SANE trajectory).
     pub checkpoint_every: usize,
-    /// Audit the mixed-supernet tape every this many epochs and print the
-    /// [`sane_autodiff::TapeReport`] to stderr (0 disables). Debug aid:
-    /// catches shape drift, dead `α`/`w` parameters and NaN onset during
-    /// search without slowing the normal path.
+    /// Audit the mixed-supernet tape every this many epochs and emit the
+    /// [`sane_autodiff::TapeReport`] as a `search.audit` telemetry event
+    /// (0 disables). Debug aid: catches shape drift, dead `α`/`w`
+    /// parameters and NaN onset during search without slowing the normal
+    /// path.
     pub audit_every: usize,
     /// RNG seed.
     pub seed: u64,
@@ -119,31 +124,46 @@ pub fn sane_search(task: &Task, cfg: &SaneSearchConfig) -> SaneSearchOutput {
     let mut opt_alpha = Adam::new(cfg.lr_alpha, cfg.wd_alpha);
     let mut checkpoints = Vec::new();
 
+    let _search_span = tel::span_with(
+        "search",
+        &[("task", task.name().into()), ("epochs", cfg.epochs.into()), ("seed", cfg.seed.into())],
+    );
+
     for epoch in 0..cfg.epochs {
+        let _epoch_span = tel::span("search.epoch");
         let explore = cfg.epsilon > 0.0 && rng.gen_bool(cfg.epsilon);
+        let mut loss_w = None;
+        let mut grad_norm_w = None;
         if explore {
+            let _step_span = tel::span("search.explore_step");
             let path = net.sample_path(&mut rng);
             step_weights_sampled(task, &net, &mut store, &mut opt_w, &path, cfg.seed, epoch);
         } else {
             // Line 2–3 of Algorithm 1: update α on the validation loss.
-            if cfg.xi > 0.0 {
-                step_alpha_second_order(task, &net, &mut store, &mut opt_alpha, cfg, epoch);
-            } else {
-                let grads = mixed_grads(task, &net, &store, Split::Val, cfg.seed, epoch);
-                opt_alpha.step_subset(&mut store, &grads, net.alpha_params());
-                grads.recycle();
+            {
+                let _step_span = tel::span("search.arch_step");
+                if cfg.xi > 0.0 {
+                    step_alpha_second_order(task, &net, &mut store, &mut opt_alpha, cfg, epoch);
+                } else {
+                    let grads = mixed_grads(task, &net, &store, Split::Val, cfg.seed, epoch);
+                    opt_alpha.step_subset(&mut store, &grads, net.alpha_params());
+                    grads.recycle();
+                }
             }
             // Line 4–5: update w on the training loss.
+            let _step_span = tel::span("search.weight_step");
             let (tape, loss) = mixed_loss_tape(task, &net, &store, Split::Train, cfg.seed, epoch);
+            loss_w = Some(tape.value(loss).as_scalar());
             let mut grads = tape.backward(loss);
             if cfg.audit_every > 0 && (epoch + 1) % cfg.audit_every == 0 {
                 let report = tape.audit_with_gradients(loss, Some(&store), &grads);
-                eprintln!("[sane_search epoch {epoch}] {report}");
+                obs::record_audit("search.audit", epoch, &report);
             }
-            grads.clip_global_norm(5.0);
+            grad_norm_w = Some(grads.clip_global_norm(5.0));
             opt_w.step_subset(&mut store, &grads, net.weight_params());
             grads.recycle();
         }
+        emit_epoch_telemetry(task, &net, &store, epoch, explore, loss_w, grad_norm_w);
         if cfg.checkpoint_every > 0 && (epoch + 1) % cfg.checkpoint_every == 0 {
             checkpoints.push((start.elapsed().as_secs_f64(), net.derive(&store)));
         }
@@ -157,7 +177,88 @@ pub fn sane_search(task: &Task, cfg: &SaneSearchConfig) -> SaneSearchOutput {
         net.derive(&store)
     };
     let alphas = net.alpha_snapshot(&store);
+    tel::info(
+        "search.done",
+        &[
+            ("genotype", arch.describe().into()),
+            ("wall_seconds", start.elapsed().as_secs_f64().into()),
+        ],
+    );
     SaneSearchOutput { arch, wall_seconds: start.elapsed().as_secs_f64(), checkpoints, alphas }
+}
+
+/// Per-epoch trace output: the softmaxed `α` distributions (one
+/// `search.alpha` row per mixed op, enough to re-plot Fig. 3/4), the
+/// derived genotype and the mixed-supernet validation metric, all in one
+/// `search.epoch` event.
+///
+/// Everything here is read-only — the evaluation forward runs with
+/// `training = false` on a fresh tape, consuming no search RNG — so a
+/// search traced at `info` matches an untraced one bitwise (the
+/// `telemetry_does_not_disturb_search` test holds this line). Gated on
+/// [`tel::enabled`] so untraced runs skip the extra forward entirely.
+fn emit_epoch_telemetry(
+    task: &Task,
+    net: &Supernet,
+    store: &VarStore,
+    epoch: usize,
+    explore: bool,
+    loss_w: Option<f32>,
+    grad_norm_w: Option<f32>,
+) {
+    if !tel::enabled(tel::Level::Info) {
+        return;
+    }
+    let snap = net.alpha_snapshot(store);
+    let groups: [(&'static str, &[Vec<f32>]); 2] = [("node", &snap.node), ("skip", &snap.skip)];
+    for (group, rows) in groups {
+        for (index, probs) in rows.iter().enumerate() {
+            emit_alpha_row(epoch, group, index, probs);
+        }
+    }
+    if !snap.layer.is_empty() {
+        emit_alpha_row(epoch, "layer", 0, &snap.layer);
+    }
+    let mut fields: Vec<(&'static str, tel::Value)> = vec![
+        ("epoch", epoch.into()),
+        ("explore", explore.into()),
+        ("genotype", net.derive(store).describe().into()),
+        ("val_metric", eval_mixed_val(task, net, store).into()),
+    ];
+    if let Some(l) = loss_w {
+        fields.push(("loss_w", l.into()));
+    }
+    if let Some(g) = grad_norm_w {
+        fields.push(("grad_norm_w", g.into()));
+    }
+    tel::info("search.epoch", &fields);
+}
+
+fn emit_alpha_row(epoch: usize, group: &'static str, index: usize, probs: &[f32]) {
+    tel::info(
+        "search.alpha",
+        &[
+            ("epoch", epoch.into()),
+            ("group", group.into()),
+            ("index", index.into()),
+            ("probs", probs.into()),
+            ("entropy", obs::entropy(probs).into()),
+        ],
+    );
+}
+
+/// Validation metric of the fully-mixed supernet (no discretisation),
+/// evaluated without dropout.
+fn eval_mixed_val(task: &Task, net: &Supernet, store: &VarStore) -> f64 {
+    match task {
+        Task::Node(t) => {
+            let mut tape = Tape::new(0);
+            let x = tape.input(Arc::clone(&t.data.features));
+            let logits = net.forward_mixed(&mut tape, store, &t.ctx, x, false);
+            accuracy(tape.value(logits), &t.data.labels, &t.data.val)
+        }
+        Task::Multi(t) => eval_inductive(t, &MixedView(net), store, &t.data.val_graphs),
+    }
 }
 
 /// Gradients of the fully-mixed supernet loss on one split.

@@ -142,6 +142,15 @@ impl WsEvaluator {
             self.seed.wrapping_mul(31).wrapping_add(self.evals),
         );
         let (val, test) = eval_metrics(&self.task, &view, &self.store);
+        sane_telemetry::debug(
+            "ws.eval",
+            &[
+                ("eval", self.evals.into()),
+                ("genome", format!("{genome:?}").into()),
+                ("val_metric", val.into()),
+                ("test_metric", test.into()),
+            ],
+        );
         TrainOutcome { val_metric: val, test_metric: test, epochs_run: self.steps_per_eval }
     }
 }

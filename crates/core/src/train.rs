@@ -17,6 +17,9 @@ use sane_autodiff::optim::Adam;
 use sane_autodiff::{Tape, Tensor, VarStore};
 use sane_data::{MultiGraphDataset, NodeDataset};
 use sane_gnn::{Architecture, GnnModel, GraphContext, ModelHyper};
+use sane_telemetry as tel;
+
+use crate::obs;
 
 /// A prepared task: dataset plus precomputed graph contexts.
 #[derive(Clone)]
@@ -125,9 +128,10 @@ pub struct TrainConfig {
     pub patience: usize,
     /// Evaluate every `eval_every` epochs.
     pub eval_every: usize,
-    /// Audit the training tape every this many epochs and print the
-    /// [`sane_autodiff::TapeReport`] to stderr (0 disables). Debug aid for
-    /// shape drift, dead parameters and NaN onset.
+    /// Audit the training tape every this many epochs and emit the
+    /// [`sane_autodiff::TapeReport`] as a `train.audit` telemetry event
+    /// (0 disables). Debug aid for shape drift, dead parameters and NaN
+    /// onset.
     pub audit_every: usize,
     /// RNG seed (weight init and dropout).
     pub seed: u64,
@@ -214,20 +218,31 @@ fn train_transductive(
     let mut test_at_best = 0.0;
     let mut since_best = 0usize;
     let mut epochs_run = 0;
+    let _span = tel::span_with("train", &[("task", t.data.name.as_str().into())]);
     for epoch in 0..cfg.epochs {
         epochs_run = epoch + 1;
         let mut tape = Tape::new(cfg.seed.wrapping_add(epoch as u64 + 1));
         let x = tape.input(Arc::clone(&t.data.features));
         let logits = model.forward(&mut tape, store, &t.ctx, x, true);
         let loss = tape.cross_entropy(logits, &t.data.labels, &t.data.train);
+        let loss_value = tape.value(loss).as_scalar();
         let mut grads = tape.backward(loss);
         if cfg.audit_every > 0 && (epoch + 1) % cfg.audit_every == 0 {
             let report = tape.audit_with_gradients(loss, Some(store), &grads);
-            eprintln!("[train {} epoch {epoch}] {report}", t.data.name);
+            obs::record_audit("train.audit", epoch, &report);
         }
-        grads.clip_global_norm(5.0);
+        let grad_norm = grads.clip_global_norm(5.0);
         opt.step(store, &grads);
         grads.recycle();
+        tel::debug(
+            "train.epoch",
+            &[
+                ("epoch", epoch.into()),
+                ("loss", loss_value.into()),
+                ("grad_norm", grad_norm.into()),
+                ("lr", cfg.lr.into()),
+            ],
+        );
 
         if epoch % cfg.eval_every == 0 || epoch + 1 == cfg.epochs {
             let mut eval = Tape::new(0);
@@ -235,7 +250,16 @@ fn train_transductive(
             let logits = model.forward(&mut eval, store, &t.ctx, x, false);
             let lv = eval.value(logits);
             let val = accuracy(lv, &t.data.labels, &t.data.val);
-            if val > best_val {
+            let improved = val > best_val;
+            tel::debug(
+                "train.eval",
+                &[
+                    ("epoch", epoch.into()),
+                    ("val_metric", val.into()),
+                    ("improved", improved.into()),
+                ],
+            );
+            if improved {
                 best_val = val;
                 test_at_best = accuracy(lv, &t.data.labels, &t.data.test);
                 since_best = 0;
@@ -281,8 +305,11 @@ fn train_inductive(
     let mut test_at_best = 0.0;
     let mut since_best = 0usize;
     let mut epochs_run = 0;
+    let _span = tel::span_with("train", &[("task", t.data.name.as_str().into())]);
     for epoch in 0..cfg.epochs {
         epochs_run = epoch + 1;
+        let mut epoch_loss = 0.0f64;
+        let mut epoch_grad_norm = 0.0f64;
         for &gi in &t.data.train_graphs {
             let g = &t.data.graphs[gi];
             let mut tape = Tape::new(cfg.seed.wrapping_add((epoch * 131 + gi) as u64));
@@ -290,19 +317,39 @@ fn train_inductive(
             let logits = model.forward(&mut tape, store, &t.ctxs[gi], x, true);
             let rows = g.all_nodes();
             let loss = tape.bce_with_logits(logits, &g.targets, &rows);
+            epoch_loss += f64::from(tape.value(loss).as_scalar());
             let mut grads = tape.backward(loss);
             if cfg.audit_every > 0 && (epoch + 1) % cfg.audit_every == 0 {
                 let report = tape.audit_with_gradients(loss, Some(store), &grads);
-                eprintln!("[train {} graph {gi} epoch {epoch}] {report}", t.data.name);
+                obs::record_audit("train.audit", epoch, &report);
             }
-            grads.clip_global_norm(5.0);
+            epoch_grad_norm += f64::from(grads.clip_global_norm(5.0));
             opt.step(store, &grads);
             grads.recycle();
         }
+        let graphs = t.data.train_graphs.len().max(1) as f64;
+        tel::debug(
+            "train.epoch",
+            &[
+                ("epoch", epoch.into()),
+                ("loss", (epoch_loss / graphs).into()),
+                ("grad_norm", (epoch_grad_norm / graphs).into()),
+                ("lr", cfg.lr.into()),
+            ],
+        );
 
         if epoch % cfg.eval_every == 0 || epoch + 1 == cfg.epochs {
             let val = eval_inductive(t, model, store, &t.data.val_graphs);
-            if val > best_val {
+            let improved = val > best_val;
+            tel::debug(
+                "train.eval",
+                &[
+                    ("epoch", epoch.into()),
+                    ("val_metric", val.into()),
+                    ("improved", improved.into()),
+                ],
+            );
+            if improved {
                 best_val = val;
                 test_at_best = eval_inductive(t, model, store, &t.data.test_graphs);
                 since_best = 0;

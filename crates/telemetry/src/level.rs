@@ -1,0 +1,100 @@
+//! Severity levels and the `SANE_LOG` environment knob.
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::OnceLock;
+
+/// Severity of a telemetry event, ordered from most to least severe.
+///
+/// A sink configured at level `L` accepts every event whose level is `<= L`
+/// (so `Info` accepts errors, warnings and infos but drops debug/trace).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Something went wrong and the run's output is suspect.
+    Error,
+    /// Something surprising that does not invalidate the run.
+    Warn,
+    /// Per-epoch search/train progress: the level run traces are read at.
+    Info,
+    /// Per-step detail: span open/close records, per-eval events.
+    Debug,
+    /// Everything, including high-rate diagnostics.
+    Trace,
+}
+
+impl Level {
+    /// All levels, most severe first.
+    pub const ALL: [Level; 5] =
+        [Level::Error, Level::Warn, Level::Info, Level::Debug, Level::Trace];
+
+    /// Lower-case name, as written in trace files and `SANE_LOG`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Level {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Ok(Level::Error),
+            "warn" | "warning" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            "trace" => Ok(Level::Trace),
+            other => Err(format!("unknown level `{other}` (error|warn|info|debug|trace|off)")),
+        }
+    }
+}
+
+/// The console level requested via `SANE_LOG`, read once per process.
+///
+/// * unset → `Some(Level::Warn)`: warnings and errors always reach stderr.
+/// * `SANE_LOG=off` (or `none`/`0`) → `None`: fully silent.
+/// * `SANE_LOG=<level>` → that level; unparseable values fall back to the
+///   default so a typo never silences error reporting.
+pub fn env_console_level() -> Option<Level> {
+    static FROM_ENV: OnceLock<Option<Level>> = OnceLock::new();
+    *FROM_ENV.get_or_init(|| match std::env::var("SANE_LOG") {
+        Err(_) => Some(Level::Warn),
+        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+            "off" | "none" | "0" | "" => None,
+            other => Some(other.parse().unwrap_or(Level::Warn)),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_matches_severity() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+        assert!(Level::Debug < Level::Trace);
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for l in Level::ALL {
+            assert_eq!(l.as_str().parse::<Level>(), Ok(l));
+        }
+        assert_eq!("WARNING".parse::<Level>(), Ok(Level::Warn));
+        assert!("verbose".parse::<Level>().is_err());
+    }
+}

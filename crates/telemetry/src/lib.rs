@@ -1,0 +1,80 @@
+//! # sane-telemetry
+//!
+//! Structured spans, metrics and search-trace recording for the SANE
+//! workspace — zero external dependencies.
+//!
+//! ## Model
+//!
+//! A run installs a [`Recorder`] on its thread; until the returned
+//! [`RecorderGuard`] drops, every span, event and metric from that thread
+//! streams to the recorder's sinks:
+//!
+//! * a JSONL sink (`results/TRACE_<run>.jsonl`) recording every line for
+//!   `cargo xtask trace-report` and offline analysis,
+//! * a console sink printing one-line human renderings to stderr, filtered
+//!   by the `SANE_LOG` environment variable (`error|warn|info|debug|trace`
+//!   or `off`; default `warn`),
+//! * an in-memory sink for tests.
+//!
+//! With **no** recorder installed, events still reach stderr when
+//! `SANE_LOG` admits them (default: warnings and errors), so library
+//! warnings are never lost; spans and metrics become no-ops.
+//!
+//! ## Span convention
+//!
+//! Spans nest `search → epoch → {arch_step, weight_step} → kernel`, named
+//! with the subsystem as prefix (`search`, `search.epoch`,
+//! `search.arch_step`, `train.epoch`, …). Timings are monotonic
+//! (`std::time::Instant`) and reported in nanoseconds.
+//!
+//! ## Record schema (one JSON object per line)
+//!
+//! | `kind`       | extra fields                                          |
+//! |--------------|-------------------------------------------------------|
+//! | `run_start`  | `run`                                                 |
+//! | `span_open`  | `id`, `name`, `parent?`, `fields?`                    |
+//! | `span_close` | `id`, `name`, `elapsed_ns`                            |
+//! | `event`      | `name`, `span?`, `fields` (event payload)             |
+//! | `metrics`    | `counters`, `gauges`, `summaries` (cumulative)        |
+//! | `run_end`    | `elapsed_ns`, `open_spans`                            |
+//!
+//! Every record carries `t_ns` (monotone nanoseconds since install) and
+//! `level`. [`trace::summarize`] validates all of this strictly.
+
+#![forbid(unsafe_code)]
+
+mod level;
+mod metrics;
+mod recorder;
+mod sink;
+pub mod trace;
+mod value;
+
+pub use level::Level;
+pub use metrics::{MetricSet, Summary};
+pub use recorder::{
+    active, counter_add, enabled, event, flush_metrics, gauge_max, gauge_set, kernel_sample,
+    kernel_timing_enabled, record, span, span_with, Recorder, RecorderGuard, SpanGuard,
+};
+pub use sink::MemoryBuffer;
+pub use value::Value;
+
+/// Emits an error event: the run's output is suspect.
+pub fn error(name: &'static str, fields: &[(&'static str, Value)]) {
+    event(Level::Error, name, fields);
+}
+
+/// Emits a warning event.
+pub fn warn(name: &'static str, fields: &[(&'static str, Value)]) {
+    event(Level::Warn, name, fields);
+}
+
+/// Emits an info event (per-epoch progress).
+pub fn info(name: &'static str, fields: &[(&'static str, Value)]) {
+    event(Level::Info, name, fields);
+}
+
+/// Emits a debug event (per-step detail).
+pub fn debug(name: &'static str, fields: &[(&'static str, Value)]) {
+    event(Level::Debug, name, fields);
+}

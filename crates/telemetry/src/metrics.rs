@@ -1,0 +1,195 @@
+//! The recorder's metric registry: counters, gauges and kernel-timing
+//! histogram summaries.
+//!
+//! Metrics accumulate silently on the active recorder and are written out
+//! as one `metrics` record per [`crate::flush_metrics`] call (the search
+//! and train loops flush once per run; benches flush per scenario). High
+//! rate sources — the kernel timing hooks in `sane_autodiff::parallel` —
+//! therefore cost a map update, not a trace record, per sample.
+
+use std::collections::BTreeMap;
+
+use crate::value::Value;
+
+/// Summary statistics of one stream of samples (no buckets: the consumers
+/// of kernel timings want totals and extremes, and a fixed-bucket histogram
+/// would hard-code a nanosecond scale other metrics don't share).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Summary {
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl Summary {
+    pub fn record(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    fn to_value(self) -> Value {
+        Value::Obj(vec![
+            ("count".to_string(), Value::UInt(self.count)),
+            ("sum".to_string(), Value::Num(self.sum)),
+            ("min".to_string(), Value::Num(self.min)),
+            ("max".to_string(), Value::Num(self.max)),
+            ("mean".to_string(), Value::Num(self.mean())),
+        ])
+    }
+}
+
+/// All metrics of one recorder.
+#[derive(Clone, Debug, Default)]
+pub struct MetricSet {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    /// Kernel and span timing summaries, in the sample's own unit
+    /// (nanoseconds for the autodiff hooks).
+    summaries: BTreeMap<String, Summary>,
+}
+
+impl MetricSet {
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        match self.counters.get_mut(name) {
+            Some(c) => *c += delta,
+            None => {
+                self.counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    pub fn gauge_set(&mut self, name: &str, v: f64) {
+        match self.gauges.get_mut(name) {
+            Some(g) => *g = v,
+            None => {
+                self.gauges.insert(name.to_string(), v);
+            }
+        }
+    }
+
+    /// Keeps the maximum of all observations (peak gauges).
+    pub fn gauge_max(&mut self, name: &str, v: f64) {
+        match self.gauges.get_mut(name) {
+            Some(g) => *g = g.max(v),
+            None => {
+                self.gauges.insert(name.to_string(), v);
+            }
+        }
+    }
+
+    pub fn record(&mut self, name: &str, v: f64) {
+        match self.summaries.get_mut(name) {
+            Some(s) => s.record(v),
+            None => {
+                let mut s = Summary::default();
+                s.record(v);
+                self.summaries.insert(name.to_string(), s);
+            }
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.summaries.is_empty()
+    }
+
+    pub fn counters(&self) -> &BTreeMap<String, u64> {
+        &self.counters
+    }
+
+    pub fn gauges(&self) -> &BTreeMap<String, f64> {
+        &self.gauges
+    }
+
+    pub fn summaries(&self) -> &BTreeMap<String, Summary> {
+        &self.summaries
+    }
+
+    /// The payload fields of a `metrics` trace record.
+    pub fn to_fields(&self) -> Vec<(String, Value)> {
+        vec![
+            (
+                "counters".to_string(),
+                Value::Obj(
+                    self.counters.iter().map(|(k, &v)| (k.clone(), Value::UInt(v))).collect(),
+                ),
+            ),
+            (
+                "gauges".to_string(),
+                Value::Obj(self.gauges.iter().map(|(k, &v)| (k.clone(), Value::Num(v))).collect()),
+            ),
+            (
+                "summaries".to_string(),
+                Value::Obj(
+                    self.summaries.iter().map(|(k, &s)| (k.clone(), s.to_value())).collect(),
+                ),
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let mut m = MetricSet::default();
+        m.counter_add("tapes", 2);
+        m.counter_add("tapes", 3);
+        m.gauge_set("hit_rate", 0.5);
+        m.gauge_set("hit_rate", 0.9);
+        m.gauge_max("peak", 10.0);
+        m.gauge_max("peak", 4.0);
+        assert_eq!(m.counters()["tapes"], 5);
+        assert_eq!(m.gauges()["hit_rate"], 0.9);
+        assert_eq!(m.gauges()["peak"], 10.0);
+    }
+
+    #[test]
+    fn summary_tracks_extremes_and_mean() {
+        let mut m = MetricSet::default();
+        for v in [4.0, 1.0, 7.0] {
+            m.record("spmm", v);
+        }
+        let s = m.summaries()["spmm"];
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 7.0);
+        assert_eq!(s.mean(), 4.0);
+    }
+
+    #[test]
+    fn fields_serialise_to_json() {
+        let mut m = MetricSet::default();
+        m.counter_add("n", 1);
+        m.record("k", 2.0);
+        let obj = Value::Obj(m.to_fields().into_iter().collect());
+        let text = obj.to_json();
+        let back = Value::parse(&text).expect("parse");
+        assert_eq!(back.get("counters").and_then(|c| c.get("n")).and_then(Value::as_u64), Some(1));
+        assert_eq!(
+            back.get("summaries")
+                .and_then(|s| s.get("k"))
+                .and_then(|k| k.get("mean"))
+                .and_then(Value::as_f64),
+            Some(2.0)
+        );
+    }
+}

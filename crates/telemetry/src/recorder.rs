@@ -1,0 +1,494 @@
+//! The run recorder: hierarchical spans, metrics and trace records.
+//!
+//! A [`Recorder`] is built, given sinks, then **installed** on the current
+//! thread. Every telemetry call from that thread — spans, events, counters,
+//! the kernel-timing hooks inside `sane_autodiff` — reports to the
+//! installed recorder until its [`RecorderGuard`] drops, which flushes the
+//! metrics registry, closes the trace with a `run_end` record and restores
+//! whatever recorder (usually none) was active before.
+//!
+//! The recorder is **thread-local** on purpose, mirroring the buffer pool
+//! in `sane_autodiff::pool`: every tape, kernel and search loop in this
+//! workspace runs on the thread that drives it (worker threads only fill
+//! pre-split output chunks), so a thread-local recorder needs no locks and
+//! gives parallel test processes isolation for free.
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::rc::Rc;
+use std::time::Instant;
+
+use crate::level::{env_console_level, Level};
+use crate::metrics::MetricSet;
+use crate::sink::{ConsoleSink, JsonlSink, MemoryBuffer, MemorySink, Rendered, Sink};
+use crate::value::Value;
+
+struct Inner {
+    run: String,
+    start: Instant,
+    sinks: Vec<Box<dyn Sink>>,
+    /// Most detailed level any sink accepts; records above it skip
+    /// rendering entirely.
+    max_level: Level,
+    kernel_timing: bool,
+    span_stack: Vec<u64>,
+    next_span_id: u64,
+    metrics: MetricSet,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<Rc<RefCell<Inner>>>> = const { RefCell::new(None) };
+}
+
+/// Builder for a run recorder. See the module docs for the lifecycle.
+pub struct Recorder {
+    inner: Inner,
+}
+
+impl Recorder {
+    /// A recorder for a run named `run` with no sinks yet.
+    pub fn new(run: &str) -> Self {
+        Self {
+            inner: Inner {
+                run: run.to_string(),
+                start: Instant::now(),
+                sinks: Vec::new(),
+                max_level: Level::Error,
+                kernel_timing: true,
+                span_stack: Vec::new(),
+                next_span_id: 0,
+                metrics: MetricSet::default(),
+            },
+        }
+    }
+
+    fn add_sink(mut self, sink: Box<dyn Sink>) -> Self {
+        self.inner.max_level = self.inner.max_level.max(sink.level());
+        self.inner.sinks.push(sink);
+        self
+    }
+
+    /// Streams every record as a JSON line to `path` (created/truncated;
+    /// parent directories are created as needed).
+    pub fn with_jsonl(self, path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(self.add_sink(Box::new(JsonlSink::create(path.as_ref(), Level::Trace)?)))
+    }
+
+    /// Adds a human console sink on stderr at `level`.
+    pub fn with_console(self, level: Level) -> Self {
+        self.add_sink(Box::new(ConsoleSink::new(level)))
+    }
+
+    /// Adds a console sink at the level `SANE_LOG` requests (default:
+    /// warnings and errors; `SANE_LOG=off` adds no sink).
+    pub fn with_console_env(self) -> Self {
+        match env_console_level() {
+            Some(level) => self.with_console(level),
+            None => self,
+        }
+    }
+
+    /// Collects JSON lines into `buf` (tests).
+    pub fn with_memory(self, buf: MemoryBuffer) -> Self {
+        self.add_sink(Box::new(MemorySink::new(buf, Level::Trace)))
+    }
+
+    /// Whether the `sane_autodiff::parallel` kernel hooks sample timings
+    /// into this recorder's metrics (default: on).
+    pub fn with_kernel_timing(mut self, on: bool) -> Self {
+        self.inner.kernel_timing = on;
+        self
+    }
+
+    /// Installs the recorder on the current thread and emits `run_start`.
+    ///
+    /// Restart the clock here rather than at `new` so setup (file
+    /// creation, dataset generation between build and install) is not
+    /// charged to the run.
+    pub fn install(mut self) -> RecorderGuard {
+        self.inner.start = Instant::now();
+        let rc = Rc::new(RefCell::new(self.inner));
+        {
+            let mut inner = rc.borrow_mut();
+            let run = Value::Str(inner.run.clone());
+            let pretty = format!("run_start {}", inner.run);
+            emit_record(&mut inner, Level::Info, "run_start", vec![("run".into(), run)], &pretty);
+        }
+        let prev = ACTIVE.with(|a| a.borrow_mut().replace(Rc::clone(&rc)));
+        RecorderGuard { prev, mine: rc }
+    }
+}
+
+/// Uninstalls and finalises the recorder when dropped.
+pub struct RecorderGuard {
+    prev: Option<Rc<RefCell<Inner>>>,
+    mine: Rc<RefCell<Inner>>,
+}
+
+impl Drop for RecorderGuard {
+    fn drop(&mut self) {
+        {
+            let mut inner = self.mine.borrow_mut();
+            flush_metrics_inner(&mut inner);
+            let elapsed = inner.start.elapsed().as_nanos() as u64;
+            let open_spans = inner.span_stack.len();
+            let pretty = format!("run_end ({:.3}s)", elapsed as f64 / 1e9);
+            emit_record(
+                &mut inner,
+                Level::Info,
+                "run_end",
+                vec![
+                    ("elapsed_ns".into(), Value::UInt(elapsed)),
+                    ("open_spans".into(), Value::UInt(open_spans as u64)),
+                ],
+                &pretty,
+            );
+            for sink in &mut inner.sinks {
+                sink.flush();
+            }
+        }
+        ACTIVE.with(|a| *a.borrow_mut() = self.prev.take());
+    }
+}
+
+/// Open span handle; closing (dropping) it emits the `span_close` record
+/// with the span's monotonic elapsed time.
+pub struct SpanGuard {
+    /// `None` when no recorder was installed at open time.
+    id: Option<u64>,
+    name: &'static str,
+    start: Instant,
+    /// `Rc` upstream makes this `!Send` already; the marker documents that
+    /// a span must close on the thread that opened it.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(id) = self.id else { return };
+        let elapsed = self.start.elapsed().as_nanos() as u64;
+        with_active(|inner| {
+            // Defensive: drop order inside one scope is reverse
+            // declaration order, so the id is normally on top; anything
+            // above it leaked its guard and is closed implicitly.
+            while let Some(top) = inner.span_stack.pop() {
+                if top == id {
+                    break;
+                }
+            }
+            inner.metrics.record(&format!("span.{}.ns", self.name), elapsed as f64);
+            if Level::Debug <= inner.max_level {
+                let pretty = format!("<  {} ({:.3} ms)", self.name, elapsed as f64 / 1e6);
+                emit_record(
+                    inner,
+                    Level::Debug,
+                    "span_close",
+                    vec![
+                        ("id".into(), Value::UInt(id)),
+                        ("name".into(), Value::Str(self.name.to_string())),
+                        ("elapsed_ns".into(), Value::UInt(elapsed)),
+                    ],
+                    &pretty,
+                );
+            }
+        });
+    }
+}
+
+fn with_active<R>(f: impl FnOnce(&mut Inner) -> R) -> Option<R> {
+    ACTIVE.with(|a| {
+        let active = a.borrow();
+        active.as_ref().map(|rc| f(&mut rc.borrow_mut()))
+    })
+}
+
+/// True when a recorder is installed on this thread.
+pub fn active() -> bool {
+    ACTIVE.with(|a| a.borrow().is_some())
+}
+
+/// True when an event at `level` would reach any sink — the gate callers
+/// use before computing expensive payloads (per-epoch validation metrics,
+/// alpha snapshots). Falls back to the `SANE_LOG` console level when no
+/// recorder is installed.
+pub fn enabled(level: Level) -> bool {
+    with_active(|inner| level <= inner.max_level)
+        .unwrap_or_else(|| env_console_level().is_some_and(|l| level <= l))
+}
+
+/// True when kernel-timing hooks should sample (recorder installed with
+/// kernel timing on). Called on every hot kernel; one thread-local read.
+pub fn kernel_timing_enabled() -> bool {
+    with_active(|inner| inner.kernel_timing).unwrap_or(false)
+}
+
+fn emit_record(
+    inner: &mut Inner,
+    level: Level,
+    kind: &str,
+    fields: Vec<(String, Value)>,
+    pretty: &str,
+) {
+    if level > inner.max_level {
+        return;
+    }
+    let t_ns = inner.start.elapsed().as_nanos() as u64;
+    let mut obj = vec![
+        ("t_ns".to_string(), Value::UInt(t_ns)),
+        ("kind".to_string(), Value::Str(kind.to_string())),
+        ("level".to_string(), Value::Str(level.as_str().to_string())),
+    ];
+    obj.extend(fields);
+    let json = Value::Obj(obj).to_json();
+    let pretty_line = format!("[{:>9.3}s {:<5}] {}", t_ns as f64 / 1e9, level, pretty);
+    let rec = Rendered { level, json: &json, pretty: &pretty_line };
+    for sink in &mut inner.sinks {
+        if rec.level <= sink.level() {
+            sink.write(&rec);
+        }
+    }
+}
+
+/// Renders `name fields...` for console output.
+fn pretty_event(name: &str, fields: &[(&'static str, Value)]) -> String {
+    let mut out = String::with_capacity(64);
+    out.push_str(name);
+    for (k, v) in fields {
+        let _ = write!(out, " {k}={v}");
+    }
+    out
+}
+
+/// Emits a point event. With no recorder installed, falls back to stderr
+/// when `SANE_LOG` (default: warn) admits the level.
+pub fn event(level: Level, name: &'static str, fields: &[(&'static str, Value)]) {
+    let emitted = with_active(|inner| {
+        if level > inner.max_level {
+            return;
+        }
+        let span = inner.span_stack.last().copied();
+        let mut rec_fields = vec![("name".to_string(), Value::Str(name.to_string()))];
+        if let Some(id) = span {
+            rec_fields.push(("span".to_string(), Value::UInt(id)));
+        }
+        rec_fields.push((
+            "fields".to_string(),
+            Value::Obj(fields.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()),
+        ));
+        emit_record(inner, level, "event", rec_fields, &pretty_event(name, fields));
+    });
+    if emitted.is_none() {
+        if let Some(console) = env_console_level() {
+            if level <= console {
+                let t = process_elapsed();
+                eprintln!("[{t:>9.3}s {level:<5}] {}", pretty_event(name, fields));
+            }
+        }
+    }
+}
+
+/// Seconds since the first telemetry call in this process (fallback
+/// timestamps when no recorder is installed).
+fn process_elapsed() -> f64 {
+    static EPOCH: std::sync::OnceLock<Instant> = std::sync::OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_secs_f64()
+}
+
+/// Opens a span. A no-op (returning an inert guard) without a recorder.
+pub fn span(name: &'static str) -> SpanGuard {
+    span_with(name, &[])
+}
+
+/// Opens a span with fields attached to its `span_open` record.
+pub fn span_with(name: &'static str, fields: &[(&'static str, Value)]) -> SpanGuard {
+    let id = with_active(|inner| {
+        inner.next_span_id += 1;
+        let id = inner.next_span_id;
+        let parent = inner.span_stack.last().copied();
+        inner.span_stack.push(id);
+        if Level::Debug <= inner.max_level {
+            let mut rec_fields = vec![
+                ("id".to_string(), Value::UInt(id)),
+                ("name".to_string(), Value::Str(name.to_string())),
+            ];
+            if let Some(p) = parent {
+                rec_fields.push(("parent".to_string(), Value::UInt(p)));
+            }
+            if !fields.is_empty() {
+                rec_fields.push((
+                    "fields".to_string(),
+                    Value::Obj(fields.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()),
+                ));
+            }
+            let pretty = format!(">  {}", pretty_event(name, fields));
+            emit_record(inner, Level::Debug, "span_open", rec_fields, &pretty);
+        }
+        id
+    });
+    SpanGuard { id, name, start: Instant::now(), _not_send: std::marker::PhantomData }
+}
+
+pub fn counter_add(name: &str, delta: u64) {
+    with_active(|inner| inner.metrics.counter_add(name, delta));
+}
+
+pub fn gauge_set(name: &str, v: f64) {
+    with_active(|inner| inner.metrics.gauge_set(name, v));
+}
+
+pub fn gauge_max(name: &str, v: f64) {
+    with_active(|inner| inner.metrics.gauge_max(name, v));
+}
+
+/// Records one sample into a named summary (timings, sizes).
+pub fn record(name: &str, v: f64) {
+    with_active(|inner| inner.metrics.record(name, v));
+}
+
+/// Records one kernel invocation of `kernel` that took `ns` nanoseconds.
+/// This is the sink side of the hooks in `sane_autodiff::parallel`.
+pub fn kernel_sample(kernel: &'static str, ns: u64) {
+    with_active(|inner| {
+        inner.metrics.record(&format!("kernel.{kernel}.ns", kernel = kernel), ns as f64);
+    });
+}
+
+fn flush_metrics_inner(inner: &mut Inner) {
+    if inner.metrics.is_empty() {
+        return;
+    }
+    let fields = inner.metrics.to_fields();
+    let pretty = format!(
+        "metrics: {} counter(s), {} gauge(s), {} summarie(s)",
+        inner.metrics.counters().len(),
+        inner.metrics.gauges().len(),
+        inner.metrics.summaries().len(),
+    );
+    emit_record(inner, Level::Info, "metrics", fields, &pretty);
+}
+
+/// Writes the current metrics registry as one `metrics` record. Cumulative:
+/// flushing twice emits two snapshots; readers take the last.
+pub fn flush_metrics() {
+    with_active(flush_metrics_inner);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemoryBuffer;
+
+    fn memory_recorder(run: &str) -> (RecorderGuard, MemoryBuffer) {
+        let buf = MemoryBuffer::default();
+        let guard = Recorder::new(run).with_memory(Rc::clone(&buf)).install();
+        (guard, buf)
+    }
+
+    fn lines_of(buf: &MemoryBuffer) -> Vec<Value> {
+        buf.borrow().lines().map(|l| Value::parse(l).expect("every trace line parses")).collect()
+    }
+
+    #[test]
+    fn run_lifecycle_brackets_the_trace() {
+        let (guard, buf) = memory_recorder("unit");
+        event(Level::Info, "hello", &[("x", Value::Int(1))]);
+        drop(guard);
+        let lines = lines_of(&buf);
+        assert_eq!(lines[0].get("kind").and_then(Value::as_str), Some("run_start"));
+        assert_eq!(lines[0].get("run").and_then(Value::as_str), Some("unit"));
+        assert_eq!(lines[1].get("kind").and_then(Value::as_str), Some("event"));
+        let last = lines.last().expect("run_end");
+        assert_eq!(last.get("kind").and_then(Value::as_str), Some("run_end"));
+        assert_eq!(last.get("open_spans").and_then(Value::as_u64), Some(0));
+    }
+
+    #[test]
+    fn spans_nest_and_time_monotonically() {
+        let (guard, buf) = memory_recorder("spans");
+        {
+            let _outer = span("outer");
+            let _inner = span_with("inner", &[("epoch", Value::Int(0))]);
+            event(Level::Info, "inside", &[]);
+        }
+        drop(guard);
+        let lines = lines_of(&buf);
+        let opens: Vec<&Value> = lines
+            .iter()
+            .filter(|l| l.get("kind").and_then(Value::as_str) == Some("span_open"))
+            .collect();
+        assert_eq!(opens.len(), 2);
+        assert_eq!(opens[1].get("parent"), opens[0].get("id"));
+        // The event inside carries the innermost span id.
+        let ev = lines
+            .iter()
+            .find(|l| l.get("kind").and_then(Value::as_str) == Some("event"))
+            .expect("event");
+        assert_eq!(ev.get("span"), opens[1].get("id"));
+        // Inner closes before outer; both carry elapsed_ns.
+        let closes: Vec<&Value> = lines
+            .iter()
+            .filter(|l| l.get("kind").and_then(Value::as_str) == Some("span_close"))
+            .collect();
+        assert_eq!(closes.len(), 2);
+        assert_eq!(closes[0].get("name").and_then(Value::as_str), Some("inner"));
+        assert!(closes.iter().all(|c| c.get("elapsed_ns").and_then(Value::as_u64).is_some()));
+        // Timestamps never go backwards.
+        let stamps: Vec<u64> =
+            lines.iter().map(|l| l.get("t_ns").and_then(Value::as_u64).expect("t_ns")).collect();
+        assert!(stamps.windows(2).all(|w| w[0] <= w[1]), "t_ns must be monotone: {stamps:?}");
+    }
+
+    #[test]
+    fn metrics_flush_into_one_record() {
+        let (guard, buf) = memory_recorder("metrics");
+        counter_add("tapes", 3);
+        gauge_set("hit_rate", 0.75);
+        kernel_sample("spmm", 1_000);
+        kernel_sample("spmm", 3_000);
+        flush_metrics();
+        drop(guard);
+        let lines = lines_of(&buf);
+        let m = lines
+            .iter()
+            .find(|l| l.get("kind").and_then(Value::as_str) == Some("metrics"))
+            .expect("metrics record");
+        assert_eq!(m.get("counters").and_then(|c| c.get("tapes")).and_then(Value::as_u64), Some(3));
+        let spmm = m.get("summaries").and_then(|s| s.get("kernel.spmm.ns")).expect("spmm summary");
+        assert_eq!(spmm.get("count").and_then(Value::as_u64), Some(2));
+        assert_eq!(spmm.get("mean").and_then(Value::as_f64), Some(2_000.0));
+    }
+
+    #[test]
+    fn guard_restores_previous_recorder() {
+        assert!(!active());
+        let (outer, outer_buf) = memory_recorder("outer");
+        {
+            let (inner, _inner_buf) = memory_recorder("inner");
+            event(Level::Info, "to_inner", &[]);
+            drop(inner);
+        }
+        event(Level::Info, "to_outer", &[]);
+        drop(outer);
+        assert!(!active());
+        let text = outer_buf.borrow();
+        assert!(text.contains("to_outer"));
+        assert!(!text.contains("to_inner"), "inner events must not leak to the outer recorder");
+    }
+
+    #[test]
+    fn disabled_levels_are_cheap_and_silent() {
+        let buf = MemoryBuffer::default();
+        // A recorder whose only sink caps at Info records no span records.
+        let guard = Recorder::new("quiet")
+            .add_sink(Box::new(MemorySink::new(Rc::clone(&buf), Level::Info)))
+            .install();
+        assert!(enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        {
+            let _s = span("invisible");
+        }
+        drop(guard);
+        assert!(!buf.borrow().contains("span_open"));
+    }
+}

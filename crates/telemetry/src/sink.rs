@@ -1,0 +1,117 @@
+//! Output sinks: where rendered trace records go.
+//!
+//! Every record is rendered once by the recorder — a compact JSON line for
+//! machine consumers and a one-line human form — and each sink picks the
+//! rendering it wants, filtered by its own level.
+
+use std::cell::RefCell;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::rc::Rc;
+
+use crate::level::Level;
+
+/// One rendered trace record, shared by all sinks.
+pub(crate) struct Rendered<'a> {
+    pub level: Level,
+    /// Compact JSON (no trailing newline).
+    pub json: &'a str,
+    /// One-line human rendering.
+    pub pretty: &'a str,
+}
+
+pub(crate) trait Sink {
+    /// Most detailed level this sink wants.
+    fn level(&self) -> Level;
+
+    fn write(&mut self, rec: &Rendered<'_>);
+
+    fn flush(&mut self);
+}
+
+/// Appends JSON lines to a file.
+pub(crate) struct JsonlSink {
+    out: BufWriter<File>,
+    level: Level,
+}
+
+impl JsonlSink {
+    pub(crate) fn create(path: &Path, level: Level) -> std::io::Result<Self> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        Ok(Self { out: BufWriter::new(File::create(path)?), level })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn level(&self) -> Level {
+        self.level
+    }
+
+    fn write(&mut self, rec: &Rendered<'_>) {
+        // Errors are swallowed by design: telemetry must never take down
+        // the run it is observing. A truncated trace fails `trace-report`.
+        let _ = writeln!(self.out, "{}", rec.json);
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// Human console output on stderr.
+pub(crate) struct ConsoleSink {
+    level: Level,
+}
+
+impl ConsoleSink {
+    pub(crate) fn new(level: Level) -> Self {
+        Self { level }
+    }
+}
+
+impl Sink for ConsoleSink {
+    fn level(&self) -> Level {
+        self.level
+    }
+
+    fn write(&mut self, rec: &Rendered<'_>) {
+        eprintln!("{}", rec.pretty);
+    }
+
+    fn flush(&mut self) {}
+}
+
+/// Shared handle to an in-memory JSONL buffer (tests).
+pub type MemoryBuffer = Rc<RefCell<String>>;
+
+/// Collects JSON lines into a [`MemoryBuffer`] so tests can parse the
+/// trace a run produced without touching the filesystem.
+pub(crate) struct MemorySink {
+    buf: MemoryBuffer,
+    level: Level,
+}
+
+impl MemorySink {
+    pub(crate) fn new(buf: MemoryBuffer, level: Level) -> Self {
+        Self { buf, level }
+    }
+}
+
+impl Sink for MemorySink {
+    fn level(&self) -> Level {
+        self.level
+    }
+
+    fn write(&mut self, rec: &Rendered<'_>) {
+        let mut buf = self.buf.borrow_mut();
+        buf.push_str(rec.json);
+        buf.push('\n');
+    }
+
+    fn flush(&mut self) {}
+}

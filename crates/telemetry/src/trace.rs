@@ -1,0 +1,475 @@
+//! Reading side: parse, validate and summarise a recorded JSONL trace.
+//!
+//! This is what `cargo xtask trace-report <file>` runs, and what the
+//! search-trace tests assert against. [`summarize`] is strict on purpose:
+//! a trace with unparseable lines, backwards timestamps, unbalanced spans,
+//! non-monotone epochs or alpha rows that are not probability
+//! distributions is an **error**, so CI fails on a malformed trace instead
+//! of summarising garbage.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+use crate::value::Value;
+
+/// Aggregated time of one span name across the trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanStat {
+    pub name: String,
+    pub count: u64,
+    pub total_ns: u64,
+}
+
+/// One `search.epoch` event, as far as the summary cares.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EpochRow {
+    pub epoch: u64,
+    pub val_metric: Option<f64>,
+    pub genotype: Option<String>,
+}
+
+/// What a valid trace contained.
+#[derive(Clone, Debug, Default)]
+pub struct TraceSummary {
+    pub run: String,
+    pub elapsed_ns: Option<u64>,
+    pub records: usize,
+    pub events: usize,
+    /// Span totals, longest first.
+    pub spans: Vec<SpanStat>,
+    /// `search.epoch` rows in trace order (strictly increasing epochs).
+    pub epochs: Vec<EpochRow>,
+    /// Number of `search.alpha` rows validated as softmax distributions.
+    pub alpha_rows: usize,
+    /// Mean softmax entropy per alpha group (`node`, `skip`, `layer`),
+    /// from the *last* epoch that reported each group.
+    pub final_entropy: BTreeMap<String, f64>,
+    /// Distinct genotypes in first-seen order with the epoch they appeared.
+    pub genotypes: Vec<(u64, String)>,
+    /// Counters from the last `metrics` record.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges from the last `metrics` record.
+    pub gauges: BTreeMap<String, f64>,
+    /// Kernel timing summaries (`kernel.<name>.ns`) from the last
+    /// `metrics` record: (name, count, total_ns, mean_ns).
+    pub kernels: Vec<(String, u64, f64, f64)>,
+}
+
+impl TraceSummary {
+    /// The genotype the search settled on, if any epoch reported one.
+    pub fn final_genotype(&self) -> Option<&str> {
+        self.epochs.iter().rev().find_map(|e| e.genotype.as_deref())
+    }
+
+    /// Per-epoch validation metric series `(epoch, val_metric)`.
+    pub fn val_curve(&self) -> Vec<(u64, f64)> {
+        self.epochs.iter().filter_map(|e| Some((e.epoch, e.val_metric?))).collect()
+    }
+}
+
+fn field<'a>(rec: &'a Value, key: &str) -> Option<&'a Value> {
+    rec.get("fields").and_then(|f| f.get(key))
+}
+
+/// Validates and summarises one JSONL trace. See the module docs for what
+/// counts as malformed.
+pub fn summarize(text: &str) -> Result<TraceSummary, String> {
+    let mut out = TraceSummary::default();
+    let mut last_t = 0u64;
+    let mut open_spans: BTreeMap<u64, String> = BTreeMap::new();
+    let mut span_totals: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    let mut last_epoch: Option<u64> = None;
+    let mut entropy_epoch: BTreeMap<String, u64> = BTreeMap::new();
+    let mut entropy_sum: BTreeMap<String, (f64, u64)> = BTreeMap::new();
+    let mut saw_end = false;
+
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec = Value::parse(line).map_err(|e| format!("line {lineno}: bad JSON: {e}"))?;
+        out.records += 1;
+
+        let t_ns = rec
+            .get("t_ns")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("line {lineno}: missing t_ns"))?;
+        if t_ns < last_t {
+            return Err(format!("line {lineno}: t_ns went backwards ({t_ns} < {last_t})"));
+        }
+        last_t = t_ns;
+
+        let kind = rec
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("line {lineno}: missing kind"))?;
+
+        match kind {
+            "run_start" => {
+                if out.records != 1 {
+                    return Err(format!("line {lineno}: run_start must be the first record"));
+                }
+                out.run = rec.get("run").and_then(Value::as_str).unwrap_or("?").to_string();
+            }
+            "run_end" => {
+                saw_end = true;
+                out.elapsed_ns = rec.get("elapsed_ns").and_then(Value::as_u64);
+            }
+            "span_open" => {
+                let id = rec
+                    .get("id")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("line {lineno}: span_open without id"))?;
+                let name = rec.get("name").and_then(Value::as_str).unwrap_or("?").to_string();
+                if open_spans.insert(id, name).is_some() {
+                    return Err(format!("line {lineno}: span id {id} opened twice"));
+                }
+            }
+            "span_close" => {
+                let id = rec
+                    .get("id")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("line {lineno}: span_close without id"))?;
+                let name = open_spans.remove(&id).ok_or_else(|| {
+                    format!("line {lineno}: span id {id} closed but never opened")
+                })?;
+                let ns = rec.get("elapsed_ns").and_then(Value::as_u64).unwrap_or(0);
+                let entry = span_totals.entry(name).or_insert((0, 0));
+                entry.0 += 1;
+                entry.1 += ns;
+            }
+            "metrics" => {
+                // Later snapshots supersede earlier ones: metrics are
+                // cumulative over the run.
+                out.counters = rec
+                    .get("counters")
+                    .and_then(Value::as_obj)
+                    .map(|kv| {
+                        kv.iter().filter_map(|(k, v)| Some((k.clone(), v.as_u64()?))).collect()
+                    })
+                    .unwrap_or_default();
+                out.gauges = rec
+                    .get("gauges")
+                    .and_then(Value::as_obj)
+                    .map(|kv| {
+                        kv.iter().filter_map(|(k, v)| Some((k.clone(), v.as_f64()?))).collect()
+                    })
+                    .unwrap_or_default();
+                out.kernels.clear();
+                if let Some(kv) = rec.get("summaries").and_then(Value::as_obj) {
+                    for (k, v) in kv {
+                        let Some(short) =
+                            k.strip_prefix("kernel.").and_then(|k| k.strip_suffix(".ns"))
+                        else {
+                            continue;
+                        };
+                        let count = v.get("count").and_then(Value::as_u64).unwrap_or(0);
+                        let sum = v.get("sum").and_then(Value::as_f64).unwrap_or(0.0);
+                        let mean = v.get("mean").and_then(Value::as_f64).unwrap_or(0.0);
+                        out.kernels.push((short.to_string(), count, sum, mean));
+                    }
+                }
+            }
+            "event" => {
+                out.events += 1;
+                let name = rec.get("name").and_then(Value::as_str).unwrap_or("");
+                match name {
+                    "search.epoch" => {
+                        let epoch = field(&rec, "epoch")
+                            .and_then(Value::as_u64)
+                            .ok_or_else(|| format!("line {lineno}: search.epoch without epoch"))?;
+                        if let Some(prev) = last_epoch {
+                            if epoch <= prev {
+                                return Err(format!(
+                                    "line {lineno}: epochs not monotone ({epoch} after {prev})"
+                                ));
+                            }
+                        }
+                        last_epoch = Some(epoch);
+                        let genotype =
+                            field(&rec, "genotype").and_then(Value::as_str).map(str::to_string);
+                        if let Some(g) = &genotype {
+                            if out.genotypes.last().map(|(_, prev)| prev) != Some(g) {
+                                out.genotypes.push((epoch, g.clone()));
+                            }
+                        }
+                        out.epochs.push(EpochRow {
+                            epoch,
+                            val_metric: field(&rec, "val_metric").and_then(Value::as_f64),
+                            genotype,
+                        });
+                    }
+                    "search.alpha" => {
+                        validate_alpha(&rec, lineno)?;
+                        out.alpha_rows += 1;
+                        let group =
+                            field(&rec, "group").and_then(Value::as_str).unwrap_or("?").to_string();
+                        let epoch = field(&rec, "epoch").and_then(Value::as_u64).unwrap_or(0);
+                        let entropy = field(&rec, "entropy").and_then(Value::as_f64).unwrap_or(0.0);
+                        // Keep the running mean of the newest epoch only.
+                        if entropy_epoch.get(&group) != Some(&epoch) {
+                            entropy_epoch.insert(group.clone(), epoch);
+                            entropy_sum.insert(group.clone(), (0.0, 0));
+                        }
+                        let e = entropy_sum.entry(group).or_insert((0.0, 0));
+                        e.0 += entropy;
+                        e.1 += 1;
+                    }
+                    _ => {}
+                }
+            }
+            other => return Err(format!("line {lineno}: unknown record kind `{other}`")),
+        }
+    }
+
+    if out.records == 0 {
+        return Err("trace is empty".to_string());
+    }
+    if out.run.is_empty() {
+        return Err("trace has no run_start record".to_string());
+    }
+    if !saw_end {
+        return Err("trace has no run_end record (run aborted or trace truncated)".to_string());
+    }
+    if !open_spans.is_empty() {
+        let names: Vec<&str> = open_spans.values().map(String::as_str).collect();
+        return Err(format!("{} span(s) never closed: {}", names.len(), names.join(", ")));
+    }
+
+    out.spans = span_totals
+        .into_iter()
+        .map(|(name, (count, total_ns))| SpanStat { name, count, total_ns })
+        .collect();
+    out.spans.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
+    out.final_entropy = entropy_sum
+        .into_iter()
+        .map(|(g, (sum, n))| (g, if n == 0 { 0.0 } else { sum / n as f64 }))
+        .collect();
+    Ok(out)
+}
+
+/// Reads and summarises a trace file.
+pub fn summarize_file(path: impl AsRef<Path>) -> Result<TraceSummary, String> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    summarize(&text)
+}
+
+/// A `search.alpha` row must be a probability distribution: every entry
+/// finite in [0, 1], summing to 1 within 1e-3, with a finite non-negative
+/// entropy field.
+fn validate_alpha(rec: &Value, lineno: usize) -> Result<(), String> {
+    let probs = field(rec, "probs")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| format!("line {lineno}: search.alpha without probs array"))?;
+    if probs.is_empty() {
+        return Err(format!("line {lineno}: search.alpha probs is empty"));
+    }
+    let mut sum = 0.0f64;
+    for p in probs {
+        let p =
+            p.as_f64().ok_or_else(|| format!("line {lineno}: non-numeric alpha probability"))?;
+        if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+            return Err(format!("line {lineno}: alpha probability {p} outside [0,1]"));
+        }
+        sum += p;
+    }
+    if (sum - 1.0).abs() > 1e-3 {
+        return Err(format!("line {lineno}: alpha probs sum to {sum}, not 1"));
+    }
+    let entropy = field(rec, "entropy")
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("line {lineno}: search.alpha without entropy"))?;
+    if !entropy.is_finite() || entropy < -1e-6 {
+        return Err(format!("line {lineno}: invalid alpha entropy {entropy}"));
+    }
+    Ok(())
+}
+
+impl fmt::Display for TraceSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "run `{}`: {} record(s), {} event(s)", self.run, self.records, self.events)?;
+        if let Some(ns) = self.elapsed_ns {
+            writeln!(f, "  wall time: {:.3}s", ns as f64 / 1e9)?;
+        }
+        if !self.spans.is_empty() {
+            writeln!(f, "  top spans by total time:")?;
+            for s in self.spans.iter().take(8) {
+                writeln!(
+                    f,
+                    "    {:<28} {:>6}x {:>12.3} ms",
+                    s.name,
+                    s.count,
+                    s.total_ns as f64 / 1e6
+                )?;
+            }
+        }
+        if let (Some(first), Some(last)) = (self.epochs.first(), self.epochs.last()) {
+            write!(f, "  epochs {}..={}", first.epoch, last.epoch)?;
+            if let Some(v) = last.val_metric {
+                write!(f, ", final val metric {v:.4}")?;
+            }
+            writeln!(f)?;
+        }
+        if self.alpha_rows > 0 {
+            write!(f, "  {} alpha row(s) validated; final mean entropy:", self.alpha_rows)?;
+            for (g, e) in &self.final_entropy {
+                write!(f, " {g}={e:.3}")?;
+            }
+            writeln!(f)?;
+        }
+        if let Some(last) = self.genotypes.last() {
+            writeln!(
+                f,
+                "  genotype changed {} time(s); stable since epoch {}",
+                self.genotypes.len().saturating_sub(1),
+                last.0
+            )?;
+            if let Some(g) = self.final_genotype() {
+                writeln!(f, "  final genotype: {g}")?;
+            }
+        }
+        let pool: Vec<(&String, &u64)> =
+            self.counters.iter().filter(|(k, _)| k.starts_with("pool.")).collect();
+        if !pool.is_empty() {
+            write!(f, "  pool:")?;
+            for (k, v) in pool {
+                write!(f, " {}={v}", k.trim_start_matches("pool."))?;
+            }
+            writeln!(f)?;
+        }
+        if !self.kernels.is_empty() {
+            writeln!(f, "  kernels:")?;
+            let mut by_total: Vec<_> = self.kernels.clone();
+            by_total.sort_by(|a, b| b.2.total_cmp(&a.2));
+            for (name, count, sum, mean) in by_total {
+                writeln!(
+                    f,
+                    "    {:<28} {:>8}x {:>12.3} ms total {:>10.1} ns/call",
+                    name,
+                    count,
+                    sum / 1e6,
+                    mean
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::level::Level;
+    use crate::recorder::{self, Recorder};
+    use crate::sink::MemoryBuffer;
+    use crate::value::Value;
+    use std::rc::Rc;
+
+    fn recorded_trace(run: impl FnOnce()) -> String {
+        let buf = MemoryBuffer::default();
+        let guard = Recorder::new("test").with_memory(Rc::clone(&buf)).install();
+        run();
+        drop(guard);
+        let text = buf.borrow().clone();
+        text
+    }
+
+    fn alpha_fields(epoch: i64, probs: &[f32]) -> Vec<(&'static str, Value)> {
+        let entropy: f64 = probs
+            .iter()
+            .map(|&p| {
+                let p = p as f64;
+                if p > 0.0 {
+                    -p * p.ln()
+                } else {
+                    0.0
+                }
+            })
+            .sum();
+        vec![
+            ("epoch", Value::Int(epoch)),
+            ("group", Value::from("node")),
+            ("index", Value::Int(0)),
+            ("probs", Value::from(probs)),
+            ("entropy", Value::Num(entropy)),
+        ]
+    }
+
+    #[test]
+    fn well_formed_trace_summarises() {
+        let text = recorded_trace(|| {
+            let _search = recorder::span("search");
+            for epoch in 0..3i64 {
+                let _e = recorder::span("epoch");
+                recorder::event(Level::Info, "search.alpha", &alpha_fields(epoch, &[0.25; 4]));
+                recorder::event(
+                    Level::Info,
+                    "search.epoch",
+                    &[
+                        ("epoch", Value::Int(epoch)),
+                        ("val_metric", Value::Num(0.5 + epoch as f64 * 0.1)),
+                        ("genotype", Value::from(if epoch < 2 { "a" } else { "b" })),
+                    ],
+                );
+            }
+            recorder::kernel_sample("spmm", 500);
+            recorder::flush_metrics();
+        });
+        let s = summarize(&text).expect("valid trace");
+        assert_eq!(s.run, "test");
+        assert_eq!(s.epochs.len(), 3);
+        assert_eq!(s.alpha_rows, 3);
+        assert_eq!(s.final_genotype(), Some("b"));
+        assert_eq!(s.genotypes.len(), 2);
+        assert_eq!(s.val_curve(), vec![(0, 0.5), (1, 0.6), (2, 0.7)]);
+        assert_eq!(s.spans[0].name, "search");
+        assert!(s.kernels.iter().any(|(k, count, ..)| k == "spmm" && *count == 1));
+        // And the report renders.
+        let report = s.to_string();
+        assert!(report.contains("final genotype: b"), "{report}");
+    }
+
+    #[test]
+    fn bad_alpha_row_is_rejected() {
+        let text = recorded_trace(|| {
+            recorder::event(
+                Level::Info,
+                "search.alpha",
+                &[
+                    ("epoch", Value::Int(0)),
+                    ("group", Value::from("node")),
+                    ("probs", Value::from(&[0.9f32, 0.9][..])),
+                    ("entropy", Value::Num(0.3)),
+                ],
+            );
+        });
+        let err = summarize(&text).expect_err("sum 1.8 must fail");
+        assert!(err.contains("sum"), "{err}");
+    }
+
+    #[test]
+    fn non_monotone_epochs_are_rejected() {
+        let text = recorded_trace(|| {
+            for epoch in [1i64, 0] {
+                recorder::event(Level::Info, "search.epoch", &[("epoch", Value::Int(epoch))]);
+            }
+        });
+        let err = summarize(&text).expect_err("0 after 1 must fail");
+        assert!(err.contains("monotone"), "{err}");
+    }
+
+    #[test]
+    fn truncated_trace_is_rejected() {
+        let text = recorded_trace(|| {});
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines.pop(); // drop run_end
+        let err = summarize(&lines.join("\n")).expect_err("no run_end must fail");
+        assert!(err.contains("run_end"), "{err}");
+        assert!(summarize("not json").is_err());
+        assert!(summarize("").is_err());
+    }
+}

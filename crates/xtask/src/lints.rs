@@ -23,6 +23,12 @@
 //!   `crates/autodiff/src/parallel.rs`: that module owns the workspace's
 //!   one threading policy (worker count, spawn threshold, deterministic
 //!   partitioning), and ad-hoc spawns elsewhere would bypass all three.
+//! * `no-print` — forbid `println!` / `eprintln!` in non-test library
+//!   code outside the telemetry crate (whose sinks own console output),
+//!   xtask itself, and `src/bin/` driver binaries. Everything else must
+//!   emit structured `sane_telemetry` events so output respects the
+//!   `SANE_LOG` level and lands in run traces. Waivable with
+//!   `// lint:allow(print)`.
 //! * `forbid-unsafe` — every first-party crate root must carry
 //!   `#![forbid(unsafe_code)]`.
 //!
@@ -73,6 +79,11 @@ const RNG_NEEDLES: [&str; 3] =
 const THREAD_NEEDLE: &str = concat!("std::", "thread");
 /// The one file allowed to touch the needle above.
 const THREAD_HOME: &str = "crates/autodiff/src/parallel.rs";
+const PRINT_NEEDLES: [&str; 2] = [concat!("println", "!"), concat!("eprintln", "!")];
+const PRINT_WAIVER: &str = concat!("lint:allow", "(print)");
+/// Crates whose library code may print: the telemetry sinks (console
+/// output is their entire job) and the xtask harness itself.
+const PRINT_HOMES: [&str; 2] = ["crates/telemetry/", "crates/xtask/"];
 
 /// Splits one source line into (code, comment) at the first `//` that is
 /// not inside a string literal.
@@ -173,6 +184,42 @@ pub fn lint_unwrap_expect(file: &str, src: &str) -> LintOutcome {
                     ),
                 });
             }
+        }
+    }
+    out
+}
+
+/// Forbids `println!` / `eprintln!` in non-test library code: ad-hoc
+/// prints bypass the telemetry sinks, ignore `SANE_LOG`, and never reach
+/// run traces. Library code must emit `sane_telemetry` events instead.
+///
+/// The telemetry crate and xtask are exempt wholesale (see
+/// [`PRINT_HOMES`]); `src/bin/` driver binaries are exempted by the
+/// caller. A deliberate site is waived with `// lint:allow(print)`,
+/// trailing or on the next line.
+pub fn lint_no_print(file: &str, src: &str) -> LintOutcome {
+    let mut out = LintOutcome::default();
+    if PRINT_HOMES.iter().any(|home| file.starts_with(home)) {
+        return out;
+    }
+    let lines = strip_test_code(src);
+    for (idx, line) in lines.iter().enumerate() {
+        let (code, comment) = split_comment(line);
+        let Some(needle) = PRINT_NEEDLES.iter().find(|n| code.contains(*n)) else { continue };
+        let next_comment = lines.get(idx + 1).map(|l| l.trim()).filter(|l| l.starts_with("//"));
+        if comment.contains(PRINT_WAIVER) || next_comment.is_some_and(|c| c.contains(PRINT_WAIVER))
+        {
+            out.waived += 1;
+        } else {
+            out.findings.push(Finding {
+                file: file.to_string(),
+                line: idx + 1,
+                lint: "no-print",
+                message: format!(
+                    "`{needle}` in library code bypasses the telemetry sinks; emit a \
+                     `sane_telemetry` event instead or waive with `// {PRINT_WAIVER}`"
+                ),
+            });
         }
     }
     out
@@ -461,6 +508,40 @@ mod tests {
         // Mentions in comments do not count.
         let comment = concat!("// std::", "thread", " is forbidden here\n");
         assert!(lint_raw_thread("crates/core/src/train.rs", comment).is_empty());
+    }
+
+    #[test]
+    fn print_in_library_code_is_flagged() {
+        let src = concat!("fn report() { ", "eprintln", "!(\"done\"); }\n");
+        let out = lint_no_print("crates/core/src/train.rs", src);
+        assert_eq!(out.findings.len(), 1);
+        assert_eq!(out.findings[0].lint, "no-print");
+        // Telemetry and xtask own console output; bin targets are
+        // exempted by the caller, not here.
+        assert!(lint_no_print("crates/telemetry/src/sink.rs", src).findings.is_empty());
+        assert!(lint_no_print("crates/xtask/src/main.rs", src).findings.is_empty());
+        // Mentions in comments (incl. doc comments) do not count.
+        let comment = concat!("//! println", "!(\"example\");\n");
+        assert!(lint_no_print("crates/core/src/lib.rs", comment).findings.is_empty());
+    }
+
+    #[test]
+    fn print_waiver_and_test_modules_are_honoured() {
+        let waived = concat!("println", "!(\"table\"); // ", "lint:allow", "(print)\n");
+        let out = lint_no_print("crates/bench/src/lib.rs", waived);
+        assert!(out.findings.is_empty());
+        assert_eq!(out.waived, 1);
+
+        let test_only = concat!(
+            "pub fn lib() {}\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    fn t() { ",
+            "println",
+            "!(\"dbg\"); }\n",
+            "}\n",
+        );
+        assert!(lint_no_print("crates/core/src/lib.rs", test_only).findings.is_empty());
     }
 
     #[test]

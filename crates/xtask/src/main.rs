@@ -6,6 +6,9 @@
 //! * `clippy` — drive `cargo clippy -D warnings` over the first-party
 //!   crates (vendored stand-ins under `vendor/` are excluded).
 //! * `ci`     — `audit` + `fmt` + `clippy`, first failure wins.
+//! * `trace-report <TRACE.jsonl>` — validate and summarise a telemetry
+//!   run trace (see `sane_telemetry::trace`). Exits non-zero on a
+//!   malformed trace, so CI can gate on trace integrity.
 //!
 //! The vendored dependency stand-ins under `vendor/` are deliberately out
 //! of scope: they imitate external crates and are not held to this
@@ -19,13 +22,14 @@ use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
 
 use lints::{
-    extract_op_names, lint_forbid_unsafe, lint_gradcheck_coverage, lint_raw_thread,
+    extract_op_names, lint_forbid_unsafe, lint_gradcheck_coverage, lint_no_print, lint_raw_thread,
     lint_unseeded_rng, lint_unwrap_expect, Finding,
 };
 
 /// First-party packages, used to scope the fmt/clippy drivers.
-const PACKAGES: [&str; 9] = [
+const PACKAGES: [&str; 10] = [
     "sane",
+    "sane-telemetry",
     "sane-autodiff",
     "sane-graph",
     "sane-data",
@@ -47,9 +51,31 @@ fn main() -> ExitCode {
             let steps = [audit(&root), cargo_driver(&root, &["fmt", "--check"]), clippy(&root)];
             steps.into_iter().find(|c| *c != ExitCode::SUCCESS).unwrap_or(ExitCode::SUCCESS)
         }
+        Some("trace-report") => trace_report(&root, args.get(1).map(String::as_str)),
         _ => {
-            eprintln!("usage: cargo run -p xtask -- <audit|fmt|clippy|ci>");
+            eprintln!("usage: cargo run -p xtask -- <audit|fmt|clippy|ci|trace-report <file>>");
             ExitCode::from(2)
+        }
+    }
+}
+
+/// Validates a JSONL run trace and prints its summary. A malformed trace
+/// (parse error, non-monotone clock, unbalanced spans, invalid α rows…)
+/// exits non-zero so CI jobs fail on corrupted telemetry.
+fn trace_report(root: &Path, arg: Option<&str>) -> ExitCode {
+    let Some(arg) = arg else {
+        eprintln!("usage: cargo run -p xtask -- trace-report <TRACE.jsonl>");
+        return ExitCode::from(2);
+    };
+    let path = if Path::new(arg).is_absolute() { PathBuf::from(arg) } else { root.join(arg) };
+    match sane_telemetry::trace::summarize_file(&path) {
+        Ok(summary) => {
+            println!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("xtask trace-report: {}: {e}", path.display());
+            ExitCode::FAILURE
         }
     }
 }
@@ -134,10 +160,13 @@ fn audit(root: &Path) -> ExitCode {
             // module, tests included.
             findings.extend(lint_raw_thread(&name, &src));
 
-            // unwrap/expect: non-test library code only.
+            // unwrap/expect and raw prints: non-test library code only.
             let in_src = rel_crate.starts_with("src");
             if in_src && !is_bin_target(rel_crate) {
                 let out = lint_unwrap_expect(&name, &src);
+                findings.extend(out.findings);
+                waived += out.waived;
+                let out = lint_no_print(&name, &src);
                 findings.extend(out.findings);
                 waived += out.waived;
             }
