@@ -30,6 +30,10 @@ struct KernelResult {
     ms_per_iter: BTreeMap<String, f64>,
     speedup_2t: f64,
     speedup_4t: f64,
+    /// True when a benched worker count exceeds the machine's available
+    /// parallelism: the multi-thread timings then measure scheduler
+    /// contention, not scaling, and the perf gate must ignore them.
+    threads_oversubscribed: bool,
     bitwise_equal_to_serial: bool,
 }
 
@@ -89,17 +93,24 @@ fn bench_kernel(
         ms_per_iter.insert(threads, start.elapsed().as_secs_f64() * 1e3 / iters as f64);
     }
     let serial = ms_per_iter[&1];
+    let avail = sane_autodiff::parallel::hardware_threads();
     let result = KernelResult {
         name: name.into(),
         shape,
         speedup_2t: serial / ms_per_iter[&2],
         speedup_4t: serial / ms_per_iter[&4],
+        threads_oversubscribed: THREADS.iter().any(|&t| t > avail),
         bitwise_equal_to_serial: bitwise_equal,
         ms_per_iter: ms_per_iter.into_iter().map(|(t, ms)| (t.to_string(), ms)).collect(),
     };
     println!(
-        "{:<28} {:>9.3} ms serial, x{:.2} @2t, x{:.2} @4t, bitwise={}",
-        result.name, serial, result.speedup_2t, result.speedup_4t, result.bitwise_equal_to_serial
+        "{:<28} {:>9.3} ms serial, x{:.2} @2t, x{:.2} @4t{}, bitwise={}",
+        result.name,
+        serial,
+        result.speedup_2t,
+        result.speedup_4t,
+        if result.threads_oversubscribed { " (oversubscribed)" } else { "" },
+        result.bitwise_equal_to_serial
     );
     result
 }
@@ -310,6 +321,32 @@ fn main() {
     let json = serde_json::to_string_pretty(&report).expect("serialise bench report"); // lint:allow(expect)
     std::fs::write(&path, json).expect("write bench json"); // lint:allow(expect)
     println!("[saved {}]", path.display());
+
+    // Append to the perf trajectory. Only machine-comparable metrics go
+    // in: serial timings always, multi-thread timings and speedups only
+    // when the worker count fits the machine (oversubscribed configs
+    // measure contention, not the kernels).
+    let avail = report.available_parallelism;
+    let mut metrics = BTreeMap::new();
+    for k in &report.kernels {
+        if let Some(&ms) = k.ms_per_iter.get("1") {
+            metrics.insert(format!("{}.ms_1t", k.name), ms);
+            for t in [2usize, 4] {
+                if t > avail {
+                    continue;
+                }
+                if let Some(&ms_t) = k.ms_per_iter.get(&t.to_string()) {
+                    metrics.insert(format!("{}.ms_{t}t", k.name), ms_t);
+                    metrics.insert(format!("{}.speedup_{t}t", k.name), ms / ms_t);
+                }
+            }
+        }
+    }
+    metrics.insert("pool.misses_per_step".into(), report.pool.misses_per_step);
+    metrics.insert("telemetry.overhead_frac".into(), report.telemetry.overhead_frac);
+    let hist = sane_bench::history::HistoryRecord::new("kernels", &report.preset, metrics);
+    let hist_path = hist.append(&args.out_dir).expect("append bench history"); // lint:allow(expect)
+    println!("[appended {}]", hist_path.display());
 
     assert!(
         report.kernels.iter().all(|k| k.bitwise_equal_to_serial),

@@ -1,10 +1,17 @@
 //! Seeded search smoke test: runs a tiny SANE search with the telemetry
 //! recorder installed, writes the JSONL run trace to
 //! `<out_dir>/TRACE_search_smoke.jsonl`, then re-reads and validates it
-//! in-process. CI runs this binary and then `cargo xtask trace-report`
-//! on the artifact, so a malformed trace fails the job twice over.
+//! in-process: the summary must round-trip, the profiler must attribute
+//! ≥ 90% of wall time to named spans, and the search dashboard must agree
+//! with the validator. Emits the collapsed-stack flamegraph
+//! (`FLAME_search_smoke.txt`), the dashboard JSON
+//! (`DASH_search_smoke.json`) and a perf-history line for `xtask perf`.
+//! CI runs this binary and then `cargo xtask trace-report` on the
+//! artifact, so a malformed trace fails the job twice over.
 //!
 //! Usage: `cargo run --release -p sane-bench --bin search_smoke -- --quick`
+
+use std::collections::BTreeMap;
 
 use sane_bench::HarnessArgs;
 use sane_core::prelude::*;
@@ -50,4 +57,37 @@ fn main() {
     );
     println!("{summary}");
     println!("[saved {}]", path.display());
+
+    // Per-phase / per-kernel attribution + the collapsed-stack flamegraph.
+    let profile = tel::profile::profile_file(&path).expect("trace profiles"); // lint:allow(expect)
+    let frac = profile.attributed_fraction();
+    assert!(frac >= 0.90, "profiler only attributed {:.1}% of wall time", frac * 100.0);
+    let collapsed = profile.to_collapsed();
+    tel::profile::parse_collapsed(&collapsed).expect("collapsed output round-trips"); // lint:allow(expect)
+    let flame_path = args.out_dir.join("FLAME_search_smoke.txt");
+    std::fs::write(&flame_path, collapsed).expect("write flamegraph"); // lint:allow(expect)
+    println!("{profile}");
+    println!("[saved {}]", flame_path.display());
+
+    // The search dashboard, checked against the validator's numbers.
+    let dash = tel::report::dashboard_file(&path).expect("trace dashboards"); // lint:allow(expect)
+    assert_eq!(
+        dash.final_entropy, summary.final_entropy,
+        "dashboard entropy diverged from trace::summarize"
+    );
+    assert_eq!(dash.val_curve, summary.val_curve(), "dashboard val curve diverged");
+    let dash_path = args.out_dir.join("DASH_search_smoke.json");
+    std::fs::write(&dash_path, dash.to_json().to_json()).expect("write dashboard"); // lint:allow(expect)
+    println!("{}", dash.to_text());
+    println!("[saved {}]", dash_path.display());
+
+    // Append the run to the perf trajectory for `xtask perf`.
+    let wall_ms = summary.elapsed_ns.unwrap_or(0) as f64 / 1e6;
+    let epochs = summary.epochs.len().max(1) as f64;
+    let mut metrics = BTreeMap::new();
+    metrics.insert("search.wall_ms".to_string(), wall_ms);
+    metrics.insert("search.ms_per_epoch".to_string(), wall_ms / epochs);
+    let hist = sane_bench::history::HistoryRecord::new("search_smoke", &args.scale.name, metrics);
+    let hist_path = hist.append(&args.out_dir).expect("append bench history"); // lint:allow(expect)
+    println!("[appended {}]", hist_path.display());
 }

@@ -135,13 +135,13 @@ pub fn sane_search(task: &Task, cfg: &SaneSearchConfig) -> SaneSearchOutput {
         let mut loss_w = None;
         let mut grad_norm_w = None;
         if explore {
-            let _step_span = tel::span("search.explore_step");
+            let _step_span = tel::phase_span("search.explore_step", "explore_step");
             let path = net.sample_path(&mut rng);
             step_weights_sampled(task, &net, &mut store, &mut opt_w, &path, cfg.seed, epoch);
         } else {
             // Line 2–3 of Algorithm 1: update α on the validation loss.
             {
-                let _step_span = tel::span("search.arch_step");
+                let _step_span = tel::phase_span("search.arch_step", "arch_step");
                 if cfg.xi > 0.0 {
                     step_alpha_second_order(task, &net, &mut store, &mut opt_alpha, cfg, epoch);
                 } else {
@@ -151,7 +151,7 @@ pub fn sane_search(task: &Task, cfg: &SaneSearchConfig) -> SaneSearchOutput {
                 }
             }
             // Line 4–5: update w on the training loss.
-            let _step_span = tel::span("search.weight_step");
+            let _step_span = tel::phase_span("search.weight_step", "weight_step");
             let (tape, loss) = mixed_loss_tape(task, &net, &store, Split::Train, cfg.seed, epoch);
             loss_w = Some(tape.value(loss).as_scalar());
             let mut grads = tape.backward(loss);
@@ -209,6 +209,9 @@ fn emit_epoch_telemetry(
     if !tel::enabled(tel::Level::Info) {
         return;
     }
+    // Epoch evaluation (mixed-val forward) is its own attribution phase so
+    // the profiler can separate it from arch/weight updates.
+    let _eval_span = tel::phase_span("search.epoch_eval", "epoch_eval");
     let snap = net.alpha_snapshot(store);
     let groups: [(&'static str, &[Vec<f32>]); 2] = [("node", &snap.node), ("skip", &snap.skip)];
     for (group, rows) in groups {

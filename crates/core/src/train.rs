@@ -218,7 +218,7 @@ fn train_transductive(
     let mut test_at_best = 0.0;
     let mut since_best = 0usize;
     let mut epochs_run = 0;
-    let _span = tel::span_with("train", &[("task", t.data.name.as_str().into())]);
+    let _span = tel::phase_span_with("train", "train", &[("task", t.data.name.as_str().into())]);
     for epoch in 0..cfg.epochs {
         epochs_run = epoch + 1;
         let mut tape = Tape::new(cfg.seed.wrapping_add(epoch as u64 + 1));
@@ -305,7 +305,7 @@ fn train_inductive(
     let mut test_at_best = 0.0;
     let mut since_best = 0usize;
     let mut epochs_run = 0;
-    let _span = tel::span_with("train", &[("task", t.data.name.as_str().into())]);
+    let _span = tel::phase_span_with("train", "train", &[("task", t.data.name.as_str().into())]);
     for epoch in 0..cfg.epochs {
         epochs_run = epoch + 1;
         let mut epoch_loss = 0.0f64;

@@ -114,6 +114,7 @@ impl AlignmentConfig {
 
     /// Generates the dataset.
     pub fn generate(&self) -> AlignmentDataset {
+        let _span = sane_telemetry::span_with("data.generate", &[("dataset", "alignment".into())]);
         let mut rng = StdRng::seed_from_u64(self.seed);
         let normal = Normal::new(0.0f32, 1.0).expect("valid normal"); // lint:allow(expect)
         let latent = preferential_attachment(self.num_entities, self.attachment, &mut rng);

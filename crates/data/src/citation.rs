@@ -143,6 +143,10 @@ impl CitationConfig {
 
     /// Generates the dataset.
     pub fn generate(&self) -> NodeDataset {
+        let _span = sane_telemetry::span_with(
+            "data.generate",
+            &[("dataset", self.name.as_str().into()), ("nodes", self.num_nodes.into())],
+        );
         let mut rng = StdRng::seed_from_u64(self.seed);
         let sizes = self.class_sizes();
         let probs = self.sbm_probs(&sizes);

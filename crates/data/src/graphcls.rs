@@ -146,6 +146,7 @@ impl GraphClsConfig {
 
     /// Generates the dataset (60/20/20 graph split, stratified by class).
     pub fn generate(&self) -> GraphClsDataset {
+        let _span = sane_telemetry::span_with("data.generate", &[("dataset", "graphcls".into())]);
         let mut rng = StdRng::seed_from_u64(self.seed);
         let num_classes = 3usize;
         let mut graphs = Vec::with_capacity(num_classes * self.graphs_per_class);

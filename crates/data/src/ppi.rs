@@ -84,6 +84,7 @@ impl PpiConfig {
     /// Generates the dataset (20 train / 2 val / 2 test graphs, scaled to
     /// `num_graphs` in the same 10:1:1 proportions).
     pub fn generate(&self) -> MultiGraphDataset {
+        let _span = sane_telemetry::span_with("data.generate", &[("dataset", "ppi".into())]);
         let mut rng = StdRng::seed_from_u64(self.seed);
         let normal = Normal::new(0.0f32, 1.0).expect("valid normal"); // lint:allow(expect)
 

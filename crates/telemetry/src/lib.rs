@@ -45,7 +45,9 @@
 
 mod level;
 mod metrics;
+pub mod profile;
 mod recorder;
+pub mod report;
 mod sink;
 pub mod trace;
 mod value;
@@ -54,7 +56,8 @@ pub use level::Level;
 pub use metrics::{MetricSet, Summary};
 pub use recorder::{
     active, counter_add, enabled, event, flush_metrics, gauge_max, gauge_set, kernel_sample,
-    kernel_timing_enabled, record, span, span_with, Recorder, RecorderGuard, SpanGuard,
+    kernel_timing_enabled, phase_span, phase_span_with, record, span, span_with, Recorder,
+    RecorderGuard, SpanGuard,
 };
 pub use sink::MemoryBuffer;
 pub use value::Value;

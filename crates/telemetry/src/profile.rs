@@ -1,0 +1,550 @@
+//! Trace profiler: aggregates a recorded JSONL trace's span tree and the
+//! `kernel.<name>.ns` timing summaries into per-phase / per-kernel wall
+//! time attribution, and exports `inferno`-compatible collapsed-stack
+//! flamegraph text (no external dependencies; the emitted format
+//! round-trips through [`parse_collapsed`]).
+//!
+//! ## Attribution model
+//!
+//! Spans form a tree (`span_open` carries `parent`); each closed span
+//! contributes its `elapsed_ns` to the aggregate of its *stack path*
+//! (root-first span names). **Self time** is a span's elapsed time minus
+//! the elapsed time of its direct children, so sums stay additive.
+//! Kernel samples live in the `metrics` record, not the span stream;
+//! phase-tagged spans ([`crate::phase_span`]) book each sample against
+//! the innermost phase (`phase.<phase>.kernel.<name>.ns`), which lets the
+//! profiler graft kernel frames *under* the span path that declared the
+//! phase — splitting e.g. arch-step from weight-step kernel time — while
+//! subtracting the grafted nanoseconds from that path's self time to keep
+//! the flamegraph additive. Kernel time sampled outside any phase is
+//! reported in the kernel table but not grafted (it is already inside
+//! some span's self time).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+use crate::value::Value;
+
+/// Aggregated statistics of one span stack path.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FrameStat {
+    /// Root-first span names.
+    pub stack: Vec<String>,
+    /// Number of span instances closed on this path.
+    pub count: u64,
+    /// Total elapsed nanoseconds (inclusive of children).
+    pub total_ns: u64,
+    /// Elapsed nanoseconds minus direct children (exclusive).
+    pub self_ns: u64,
+}
+
+/// Aggregated time of one kernel, optionally within one phase.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KernelStat {
+    pub name: String,
+    /// Phase the samples were booked under; `None` for the remainder
+    /// sampled outside any phase-tagged span.
+    pub phase: Option<String>,
+    pub count: u64,
+    pub total_ns: u64,
+}
+
+/// Per-phase / per-kernel attribution of one run trace.
+#[derive(Clone, Debug, Default)]
+pub struct Profile {
+    pub run: String,
+    /// Run wall time from the `run_end` record.
+    pub wall_ns: u64,
+    /// Span aggregates keyed by stack path, depth-first order.
+    pub frames: Vec<FrameStat>,
+    /// Kernel aggregates: one row per `(kernel, phase)` plus a `None`
+    /// phase row for the unattributed remainder of each kernel.
+    pub kernels: Vec<KernelStat>,
+    /// `tape.peak_resident_bytes` gauge, when the run recorded tapes.
+    pub peak_resident_bytes: Option<f64>,
+    /// Counters from the final metrics snapshot.
+    pub counters: BTreeMap<String, u64>,
+    /// Span stack path (joined) per phase tag, from `span_open` records.
+    /// A phase maps to one path in well-formed instrumentation; multiple
+    /// paths disable grafting for that phase.
+    pub phase_paths: BTreeMap<String, Vec<Vec<String>>>,
+}
+
+/// One open span while replaying the trace.
+struct OpenSpan {
+    path: Vec<String>,
+    child_ns: u64,
+}
+
+/// Kernels whose samples *enclose* other sampled kernels (`tape_backward`
+/// times a whole backward pass, which itself runs spmm/gemm/segment
+/// kernels). Their time is reported in the kernel table but never grafted
+/// into the flamegraph — grafting would count the inner kernels twice.
+const ENCLOSING_KERNELS: [&str; 1] = ["tape_backward"];
+
+fn graftable(kernel: &str) -> bool {
+    !ENCLOSING_KERNELS.contains(&kernel)
+}
+
+impl Profile {
+    /// Nanoseconds covered by top-level spans.
+    pub fn attributed_ns(&self) -> u64 {
+        self.frames.iter().filter(|f| f.stack.len() == 1).map(|f| f.total_ns).sum()
+    }
+
+    /// Fraction of the run's wall time covered by top-level spans
+    /// (0 when the trace recorded no wall time).
+    pub fn attributed_fraction(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.attributed_ns() as f64 / self.wall_ns as f64
+    }
+
+    /// Total nanoseconds of `kernel` across all phases.
+    pub fn kernel_total_ns(&self, kernel: &str) -> u64 {
+        self.kernels.iter().filter(|k| k.name == kernel).map(|k| k.total_ns).sum()
+    }
+
+    /// The single span path that declared `phase`, when unambiguous.
+    fn graft_path(&self, phase: &str) -> Option<&[String]> {
+        match self.phase_paths.get(phase).map(Vec::as_slice) {
+            Some([path]) => Some(path),
+            _ => None,
+        }
+    }
+
+    /// Kernel nanoseconds grafted under each span path (see module docs).
+    fn grafted_by_path(&self) -> BTreeMap<Vec<String>, u64> {
+        let mut grafted: BTreeMap<Vec<String>, u64> = BTreeMap::new();
+        for k in &self.kernels {
+            let Some(phase) = k.phase.as_deref() else { continue };
+            if !graftable(&k.name) {
+                continue;
+            }
+            if let Some(path) = self.graft_path(phase) {
+                *grafted.entry(path.to_vec()).or_insert(0) += k.total_ns;
+            }
+        }
+        grafted
+    }
+
+    /// Renders the profile as collapsed stacks (`frame;frame;... count`,
+    /// counts in nanoseconds of self time) — the input format of
+    /// `inferno-flamegraph` / Brendan Gregg's `flamegraph.pl`. Phased
+    /// kernel time appears as `kernel:<name>` leaf frames under the span
+    /// path that declared the phase, and is subtracted from that path's
+    /// self time so every nanosecond is counted once.
+    pub fn to_collapsed(&self) -> String {
+        let grafted = self.grafted_by_path();
+        let mut out = String::new();
+        for f in &self.frames {
+            let taken = grafted.get(&f.stack).copied().unwrap_or(0);
+            let self_ns = f.self_ns.saturating_sub(taken);
+            if self_ns > 0 {
+                out.push_str(&f.stack.join(";"));
+                out.push(' ');
+                out.push_str(&self_ns.to_string());
+                out.push('\n');
+            }
+        }
+        for k in &self.kernels {
+            let Some(phase) = k.phase.as_deref() else { continue };
+            if k.total_ns == 0 || !graftable(&k.name) {
+                continue;
+            }
+            match self.graft_path(phase) {
+                Some(path) => {
+                    out.push_str(&path.join(";"));
+                    out.push(';');
+                }
+                // Ambiguous phase: keep the frames under a synthetic root
+                // rather than double-booking under several span paths.
+                None => {
+                    out.push_str("phase:");
+                    out.push_str(phase);
+                    out.push(';');
+                }
+            }
+            out.push_str("kernel:");
+            out.push_str(&k.name);
+            out.push(' ');
+            out.push_str(&k.total_ns.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Parses collapsed-stack text back into `(stack, count)` rows — the
+/// inverse of [`Profile::to_collapsed`], used by its round-trip test and
+/// by anything that post-processes the emitted flamegraph files.
+pub fn parse_collapsed(text: &str) -> Result<Vec<(Vec<String>, u64)>, String> {
+    let mut rows = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        let (stack, count) =
+            line.rsplit_once(' ').ok_or_else(|| format!("line {lineno}: no count after stack"))?;
+        let count: u64 =
+            count.parse().map_err(|_| format!("line {lineno}: malformed count `{count}`"))?;
+        if stack.is_empty() {
+            return Err(format!("line {lineno}: empty stack"));
+        }
+        let frames: Vec<String> = stack.split(';').map(str::to_string).collect();
+        if frames.iter().any(String::is_empty) {
+            return Err(format!("line {lineno}: empty frame in `{stack}`"));
+        }
+        rows.push((frames, count));
+    }
+    Ok(rows)
+}
+
+/// Replays one JSONL trace into a [`Profile`]. Fails on unparseable
+/// lines, unbalanced spans, or a trace with no `run_end` (the profiler
+/// needs the wall time to attribute against).
+pub fn profile(text: &str) -> Result<Profile, String> {
+    let mut out = Profile::default();
+    let mut open: BTreeMap<u64, OpenSpan> = BTreeMap::new();
+    // Path -> (count, total, self); insertion keyed by path for stable,
+    // depth-grouped output.
+    let mut agg: BTreeMap<Vec<String>, (u64, u64, u64)> = BTreeMap::new();
+    let mut saw_end = false;
+
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec = Value::parse(line).map_err(|e| format!("line {lineno}: bad JSON: {e}"))?;
+        let kind = rec
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("line {lineno}: missing kind"))?;
+        match kind {
+            "run_start" => {
+                out.run = rec.get("run").and_then(Value::as_str).unwrap_or("?").to_string();
+            }
+            "run_end" => {
+                saw_end = true;
+                out.wall_ns = rec.get("elapsed_ns").and_then(Value::as_u64).unwrap_or(0);
+            }
+            "span_open" => {
+                let id = rec
+                    .get("id")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("line {lineno}: span_open without id"))?;
+                let name = rec.get("name").and_then(Value::as_str).unwrap_or("?").to_string();
+                let parent = rec.get("parent").and_then(Value::as_u64);
+                let mut path = match parent.and_then(|p| open.get(&p)) {
+                    Some(parent) => parent.path.clone(),
+                    None => Vec::new(),
+                };
+                path.push(name);
+                if let Some(phase) = rec.get("phase").and_then(Value::as_str) {
+                    let paths = out.phase_paths.entry(phase.to_string()).or_default();
+                    if !paths.contains(&path) {
+                        paths.push(path.clone());
+                    }
+                }
+                open.insert(id, OpenSpan { path, child_ns: 0 });
+            }
+            "span_close" => {
+                let id = rec
+                    .get("id")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("line {lineno}: span_close without id"))?;
+                let span = open.remove(&id).ok_or_else(|| {
+                    format!("line {lineno}: span id {id} closed but never opened")
+                })?;
+                let elapsed = rec.get("elapsed_ns").and_then(Value::as_u64).unwrap_or(0);
+                let entry = agg.entry(span.path.clone()).or_insert((0, 0, 0));
+                entry.0 += 1;
+                entry.1 += elapsed;
+                entry.2 += elapsed.saturating_sub(span.child_ns);
+                // Charge this span's time against the innermost *open*
+                // ancestor: with parents still open, that is the path
+                // prefix one frame up.
+                if span.path.len() > 1 {
+                    if let Some(parent) = open
+                        .values_mut()
+                        .find(|o| o.path.as_slice() == &span.path[..span.path.len() - 1])
+                    {
+                        parent.child_ns += elapsed;
+                    }
+                }
+            }
+            "metrics" => apply_metrics(&mut out, &rec),
+            _ => {}
+        }
+    }
+
+    if out.run.is_empty() {
+        return Err("trace has no run_start record".to_string());
+    }
+    if !saw_end {
+        return Err("trace has no run_end record (run aborted or trace truncated)".to_string());
+    }
+    if !open.is_empty() {
+        return Err(format!("{} span(s) never closed", open.len()));
+    }
+    out.frames = agg
+        .into_iter()
+        .map(|(stack, (count, total_ns, self_ns))| FrameStat { stack, count, total_ns, self_ns })
+        .collect();
+    Ok(out)
+}
+
+/// Folds the latest `metrics` record into the profile (later snapshots
+/// supersede earlier ones, mirroring `trace::summarize`).
+fn apply_metrics(out: &mut Profile, rec: &Value) {
+    out.counters = rec
+        .get("counters")
+        .and_then(Value::as_obj)
+        .map(|kv| kv.iter().filter_map(|(k, v)| Some((k.clone(), v.as_u64()?))).collect())
+        .unwrap_or_default();
+    out.peak_resident_bytes =
+        rec.get("gauges").and_then(|g| g.get("tape.peak_resident_bytes")).and_then(Value::as_f64);
+    out.kernels.clear();
+    let Some(summaries) = rec.get("summaries").and_then(Value::as_obj) else { return };
+    // First the phased rows, tracking how much of each kernel they cover.
+    let mut phased: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    for (key, v) in summaries {
+        let Some(rest) = key.strip_prefix("phase.") else { continue };
+        let Some((phase, kernel)) =
+            rest.split_once(".kernel.").and_then(|(p, k)| Some((p, k.strip_suffix(".ns")?)))
+        else {
+            continue;
+        };
+        let count = v.get("count").and_then(Value::as_u64).unwrap_or(0);
+        let ns = v.get("sum").and_then(Value::as_f64).unwrap_or(0.0) as u64;
+        let covered = phased.entry(kernel.to_string()).or_insert((0, 0));
+        covered.0 += count;
+        covered.1 += ns;
+        out.kernels.push(KernelStat {
+            name: kernel.to_string(),
+            phase: Some(phase.to_string()),
+            count,
+            total_ns: ns,
+        });
+    }
+    // Then the per-kernel totals; whatever the phases did not cover is
+    // the `None`-phase remainder.
+    for (key, v) in summaries {
+        let Some(kernel) = key.strip_prefix("kernel.").and_then(|k| k.strip_suffix(".ns")) else {
+            continue;
+        };
+        let count = v.get("count").and_then(Value::as_u64).unwrap_or(0);
+        let ns = v.get("sum").and_then(Value::as_f64).unwrap_or(0.0) as u64;
+        let (pc, pns) = phased.get(kernel).copied().unwrap_or((0, 0));
+        let rest_count = count.saturating_sub(pc);
+        let rest_ns = ns.saturating_sub(pns);
+        if rest_count > 0 || rest_ns > 0 {
+            out.kernels.push(KernelStat {
+                name: kernel.to_string(),
+                phase: None,
+                count: rest_count,
+                total_ns: rest_ns,
+            });
+        }
+    }
+    out.kernels.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
+}
+
+/// Reads and profiles a trace file.
+pub fn profile_file(path: impl AsRef<Path>) -> Result<Profile, String> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    profile(&text)
+}
+
+impl fmt::Display for Profile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "profile of run `{}`: {:.3}s wall, {:.1}% attributed to spans",
+            self.run,
+            self.wall_ns as f64 / 1e9,
+            self.attributed_fraction() * 100.0
+        )?;
+        if !self.frames.is_empty() {
+            writeln!(
+                f,
+                "  {:<44} {:>8} {:>12} {:>12} {:>7}",
+                "span path", "calls", "total ms", "self ms", "% wall"
+            )?;
+            for fr in &self.frames {
+                let label = format!(
+                    "{}{}",
+                    "  ".repeat(fr.stack.len().saturating_sub(1)),
+                    fr.stack.last().map(String::as_str).unwrap_or("?")
+                );
+                let pct = if self.wall_ns == 0 {
+                    0.0
+                } else {
+                    fr.total_ns as f64 / self.wall_ns as f64 * 100.0
+                };
+                writeln!(
+                    f,
+                    "  {:<44} {:>8} {:>12.3} {:>12.3} {:>6.1}%",
+                    label,
+                    fr.count,
+                    fr.total_ns as f64 / 1e6,
+                    fr.self_ns as f64 / 1e6,
+                    pct
+                )?;
+            }
+        }
+        if !self.kernels.is_empty() {
+            writeln!(f, "  {:<28} {:<16} {:>10} {:>12}", "kernel", "phase", "calls", "total ms")?;
+            for k in &self.kernels {
+                writeln!(
+                    f,
+                    "  {:<28} {:<16} {:>10} {:>12.3}",
+                    k.name,
+                    k.phase.as_deref().unwrap_or("(unphased)"),
+                    k.count,
+                    k.total_ns as f64 / 1e6
+                )?;
+            }
+        }
+        if let Some(bytes) = self.peak_resident_bytes {
+            writeln!(f, "  peak tape-resident: {:.2} MiB", bytes / (1024.0 * 1024.0))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{self, Recorder};
+    use crate::sink::MemoryBuffer;
+    use std::rc::Rc;
+
+    fn recorded_trace(run: impl FnOnce()) -> String {
+        let buf = MemoryBuffer::default();
+        let guard = Recorder::new("prof").with_memory(Rc::clone(&buf)).install();
+        run();
+        drop(guard);
+        let text = buf.borrow().clone();
+        text
+    }
+
+    fn spin(ms: u64) {
+        let start = std::time::Instant::now();
+        while start.elapsed().as_millis() < u128::from(ms) {
+            std::hint::black_box(0u64);
+        }
+    }
+
+    fn busy_trace() -> String {
+        recorded_trace(|| {
+            let _outer = recorder::span("search");
+            for _ in 0..2 {
+                let _epoch = recorder::span("search.epoch");
+                {
+                    let _arch = recorder::phase_span("search.arch_step", "arch_step");
+                    recorder::kernel_sample("spmm", 400_000);
+                    spin(2);
+                }
+                {
+                    let _w = recorder::phase_span("search.weight_step", "weight_step");
+                    recorder::kernel_sample("spmm", 900_000);
+                    recorder::kernel_sample("gemm", 300_000);
+                    spin(3);
+                }
+            }
+            recorder::kernel_sample("spmm", 50_000);
+            recorder::flush_metrics();
+        })
+    }
+
+    fn frame<'a>(p: &'a Profile, path: &[&str]) -> &'a FrameStat {
+        p.frames
+            .iter()
+            .find(|f| f.stack.iter().map(String::as_str).eq(path.iter().copied()))
+            .unwrap_or_else(|| panic!("no frame {path:?}"))
+    }
+
+    #[test]
+    fn span_tree_attribution_is_additive() {
+        let p = profile(&busy_trace()).expect("valid trace");
+        assert_eq!(p.run, "prof");
+        let search = frame(&p, &["search"]);
+        let epoch = frame(&p, &["search", "search.epoch"]);
+        let arch = frame(&p, &["search", "search.epoch", "search.arch_step"]);
+        let weight = frame(&p, &["search", "search.epoch", "search.weight_step"]);
+        assert_eq!(search.count, 1);
+        assert_eq!(epoch.count, 2);
+        assert_eq!(arch.count, 2);
+        assert_eq!(weight.count, 2);
+        // Totals nest; self time excludes children.
+        assert!(search.total_ns >= epoch.total_ns);
+        assert!(epoch.total_ns >= arch.total_ns + weight.total_ns);
+        assert_eq!(search.self_ns, search.total_ns - epoch.total_ns);
+        assert_eq!(epoch.self_ns, epoch.total_ns - arch.total_ns - weight.total_ns);
+        // Nearly all wall time is inside the spans here.
+        assert!(p.attributed_fraction() > 0.9, "{}", p.attributed_fraction());
+    }
+
+    #[test]
+    fn kernels_split_by_phase_with_remainder() {
+        let p = profile(&busy_trace()).expect("valid trace");
+        let get = |name: &str, phase: Option<&str>| {
+            p.kernels
+                .iter()
+                .find(|k| k.name == name && k.phase.as_deref() == phase)
+                .unwrap_or_else(|| panic!("no kernel {name}/{phase:?}"))
+        };
+        assert_eq!(get("spmm", Some("arch_step")).total_ns, 800_000);
+        assert_eq!(get("spmm", Some("weight_step")).total_ns, 1_800_000);
+        assert_eq!(get("gemm", Some("weight_step")).total_ns, 600_000);
+        // The sample outside any phase is the remainder row.
+        assert_eq!(get("spmm", None).total_ns, 50_000);
+        assert_eq!(p.kernel_total_ns("spmm"), 2_650_000);
+    }
+
+    #[test]
+    fn collapsed_stacks_round_trip_and_stay_additive() {
+        let p = profile(&busy_trace()).expect("valid trace");
+        let text = p.to_collapsed();
+        let rows = parse_collapsed(&text).expect("own output parses");
+        assert!(!rows.is_empty());
+        // Kernel frames are grafted under the phase-declaring span path.
+        assert!(
+            rows.iter().any(|(stack, _)| stack.last().map(String::as_str) == Some("kernel:spmm")
+                && stack.contains(&"search.weight_step".to_string())),
+            "{text}"
+        );
+        // Total collapsed nanoseconds equal the root spans' total time:
+        // grafting subtracts kernel time from span self time, so nothing
+        // is double-counted.
+        let collapsed_total: u64 = rows.iter().map(|(_, n)| n).sum();
+        assert_eq!(collapsed_total, p.attributed_ns(), "{text}");
+        // And the profile renders.
+        let report = p.to_string();
+        assert!(report.contains("attributed"), "{report}");
+    }
+
+    #[test]
+    fn parse_collapsed_rejects_malformed_lines() {
+        assert!(parse_collapsed("no_count_here").is_err());
+        assert!(parse_collapsed("a;b notanumber").is_err());
+        assert!(parse_collapsed("a;;b 3").is_err());
+        assert_eq!(parse_collapsed("").expect("empty ok").len(), 0);
+    }
+
+    #[test]
+    fn truncated_or_empty_traces_are_rejected() {
+        assert!(profile("").is_err());
+        let text = busy_trace();
+        let without_end: Vec<&str> = text.lines().filter(|l| !l.contains("run_end")).collect();
+        assert!(profile(&without_end.join("\n")).is_err());
+    }
+}

@@ -33,6 +33,9 @@ struct Inner {
     max_level: Level,
     kernel_timing: bool,
     span_stack: Vec<u64>,
+    /// Innermost-last stack of phase tags from [`phase_span`] guards;
+    /// kernel samples are attributed to the top entry.
+    phase_stack: Vec<&'static str>,
     next_span_id: u64,
     metrics: MetricSet,
 }
@@ -57,6 +60,7 @@ impl Recorder {
                 max_level: Level::Error,
                 kernel_timing: true,
                 span_stack: Vec::new(),
+                phase_stack: Vec::new(),
                 next_span_id: 0,
                 metrics: MetricSet::default(),
             },
@@ -158,6 +162,9 @@ pub struct SpanGuard {
     /// `None` when no recorder was installed at open time.
     id: Option<u64>,
     name: &'static str,
+    /// Set when the span carries a phase tag (see [`phase_span`]); popped
+    /// from the recorder's phase stack on close.
+    phase: Option<&'static str>,
     start: Instant,
     /// `Rc` upstream makes this `!Send` already; the marker documents that
     /// a span must close on the thread that opened it.
@@ -176,6 +183,9 @@ impl Drop for SpanGuard {
                 if top == id {
                     break;
                 }
+            }
+            if self.phase.is_some() {
+                inner.phase_stack.pop();
             }
             inner.metrics.record(&format!("span.{}.ns", self.name), elapsed as f64);
             if Level::Debug <= inner.max_level {
@@ -297,16 +307,46 @@ fn process_elapsed() -> f64 {
 
 /// Opens a span. A no-op (returning an inert guard) without a recorder.
 pub fn span(name: &'static str) -> SpanGuard {
-    span_with(name, &[])
+    open_span(name, None, &[])
 }
 
 /// Opens a span with fields attached to its `span_open` record.
 pub fn span_with(name: &'static str, fields: &[(&'static str, Value)]) -> SpanGuard {
+    open_span(name, None, fields)
+}
+
+/// Opens a **phase-tagged** span: while the guard lives, every
+/// [`kernel_sample`] is additionally attributed to `phase` (as a
+/// `phase.<phase>.kernel.<name>.ns` summary) and the `span_open` record
+/// carries a top-level `phase` field, so the profiler can split kernel
+/// time between e.g. the architecture step and the weight step. Phases
+/// nest; the innermost tag wins.
+pub fn phase_span(name: &'static str, phase: &'static str) -> SpanGuard {
+    open_span(name, Some(phase), &[])
+}
+
+/// [`phase_span`] with fields attached to the `span_open` record.
+pub fn phase_span_with(
+    name: &'static str,
+    phase: &'static str,
+    fields: &[(&'static str, Value)],
+) -> SpanGuard {
+    open_span(name, Some(phase), fields)
+}
+
+fn open_span(
+    name: &'static str,
+    phase: Option<&'static str>,
+    fields: &[(&'static str, Value)],
+) -> SpanGuard {
     let id = with_active(|inner| {
         inner.next_span_id += 1;
         let id = inner.next_span_id;
         let parent = inner.span_stack.last().copied();
         inner.span_stack.push(id);
+        if let Some(phase) = phase {
+            inner.phase_stack.push(phase);
+        }
         if Level::Debug <= inner.max_level {
             let mut rec_fields = vec![
                 ("id".to_string(), Value::UInt(id)),
@@ -314,6 +354,9 @@ pub fn span_with(name: &'static str, fields: &[(&'static str, Value)]) -> SpanGu
             ];
             if let Some(p) = parent {
                 rec_fields.push(("parent".to_string(), Value::UInt(p)));
+            }
+            if let Some(phase) = phase {
+                rec_fields.push(("phase".to_string(), Value::Str(phase.to_string())));
             }
             if !fields.is_empty() {
                 rec_fields.push((
@@ -326,7 +369,10 @@ pub fn span_with(name: &'static str, fields: &[(&'static str, Value)]) -> SpanGu
         }
         id
     });
-    SpanGuard { id, name, start: Instant::now(), _not_send: std::marker::PhantomData }
+    // The guard only pops the phase stack when a recorder accepted the
+    // push, which `id.is_some()` captures exactly.
+    let phase = if id.is_some() { phase } else { None };
+    SpanGuard { id, name, phase, start: Instant::now(), _not_send: std::marker::PhantomData }
 }
 
 pub fn counter_add(name: &str, delta: u64) {
@@ -348,9 +394,14 @@ pub fn record(name: &str, v: f64) {
 
 /// Records one kernel invocation of `kernel` that took `ns` nanoseconds.
 /// This is the sink side of the hooks in `sane_autodiff::parallel`.
+/// Inside a [`phase_span`] the sample is also booked against the
+/// innermost phase so the profiler can attribute kernel time per phase.
 pub fn kernel_sample(kernel: &'static str, ns: u64) {
     with_active(|inner| {
         inner.metrics.record(&format!("kernel.{kernel}.ns", kernel = kernel), ns as f64);
+        if let Some(phase) = inner.phase_stack.last() {
+            inner.metrics.record(&format!("phase.{phase}.kernel.{kernel}.ns"), ns as f64);
+        }
     });
 }
 
@@ -457,6 +508,46 @@ mod tests {
         let spmm = m.get("summaries").and_then(|s| s.get("kernel.spmm.ns")).expect("spmm summary");
         assert_eq!(spmm.get("count").and_then(Value::as_u64), Some(2));
         assert_eq!(spmm.get("mean").and_then(Value::as_f64), Some(2_000.0));
+    }
+
+    #[test]
+    fn phase_spans_attribute_kernel_samples() {
+        let (guard, buf) = memory_recorder("phases");
+        {
+            let _search = span("search");
+            {
+                let _arch = phase_span("search.arch_step", "arch_step");
+                kernel_sample("spmm", 1_000);
+            }
+            {
+                let _w = phase_span("search.weight_step", "weight_step");
+                kernel_sample("spmm", 3_000);
+                kernel_sample("gemm", 500);
+            }
+            // Outside any phase: counts only toward the plain summary.
+            kernel_sample("spmm", 10_000);
+        }
+        flush_metrics();
+        drop(guard);
+        let lines = lines_of(&buf);
+        let m = lines
+            .iter()
+            .find(|l| l.get("kind").and_then(Value::as_str) == Some("metrics"))
+            .expect("metrics record");
+        let summaries = m.get("summaries").expect("summaries");
+        let sum_of = |key: &str| {
+            summaries.get(key).and_then(|s| s.get("sum")).and_then(Value::as_f64).unwrap_or(-1.0)
+        };
+        assert_eq!(sum_of("kernel.spmm.ns"), 14_000.0);
+        assert_eq!(sum_of("phase.arch_step.kernel.spmm.ns"), 1_000.0);
+        assert_eq!(sum_of("phase.weight_step.kernel.spmm.ns"), 3_000.0);
+        assert_eq!(sum_of("phase.weight_step.kernel.gemm.ns"), 500.0);
+        // The span_open record carries the phase tag for the profiler.
+        let tagged = lines.iter().any(|l| {
+            l.get("kind").and_then(Value::as_str) == Some("span_open")
+                && l.get("phase").and_then(Value::as_str) == Some("arch_step")
+        });
+        assert!(tagged, "span_open must carry the phase field");
     }
 
     #[test]

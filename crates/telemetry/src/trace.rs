@@ -463,6 +463,43 @@ mod tests {
     }
 
     #[test]
+    fn spans_without_alpha_rows_summarise_with_empty_search_views() {
+        // A train-only trace (spans + kernels, no search events) is valid;
+        // the search-facing accessors degrade to empty, not panic.
+        let text = recorded_trace(|| {
+            let _t = recorder::span("train");
+            recorder::kernel_sample("gemm", 800);
+            recorder::flush_metrics();
+        });
+        let s = summarize(&text).expect("span-only trace is valid");
+        assert_eq!(s.alpha_rows, 0);
+        assert!(s.epochs.is_empty());
+        assert_eq!(s.val_curve(), Vec::new());
+        assert_eq!(s.final_genotype(), None);
+        assert!(s.final_entropy.is_empty());
+        assert!(s.genotypes.is_empty());
+        assert_eq!(s.spans[0].name, "train");
+    }
+
+    #[test]
+    fn duplicate_epoch_events_are_rejected() {
+        // Two `search.epoch` records for the same epoch would make
+        // val_curve()/final_genotype() ambiguous; the validator treats a
+        // repeat as a monotonicity violation.
+        let text = recorded_trace(|| {
+            for _ in 0..2 {
+                recorder::event(
+                    Level::Info,
+                    "search.epoch",
+                    &[("epoch", Value::Int(3)), ("val_metric", Value::Num(0.5))],
+                );
+            }
+        });
+        let err = summarize(&text).expect_err("duplicate epoch 3 must fail");
+        assert!(err.contains("monotone"), "{err}");
+    }
+
+    #[test]
     fn truncated_trace_is_rejected() {
         let text = recorded_trace(|| {});
         let mut lines: Vec<&str> = text.lines().collect();

@@ -1,0 +1,403 @@
+//! The noise-aware perf regression gate behind `cargo xtask perf`.
+//!
+//! Inputs:
+//!
+//! * `results/BENCH_history.jsonl` — one line per bench run, appended by
+//!   the `kernels` / `search_smoke` binaries (schema `sane.bench.v1`).
+//! * `results/BENCH_baseline.json` — the committed reference (schema
+//!   `sane.bench.baseline.v1`): per-metric base values and relative
+//!   tolerances plus a global absolute floor.
+//!
+//! The gate takes the **median of the last `window` samples** of each
+//! baselined metric, so a single noisy run cannot fail CI, and flags a
+//! regression only when the median exceeds the base by *both* the
+//! relative tolerance and the absolute floor (sub-floor kernels finish in
+//! microseconds; a 2× blip there is scheduler noise, not a regression).
+//! Only time-shaped metrics are baselined (`.ms_*`, `.wall_ms`,
+//! `.ms_per_epoch`), where higher is always worse; ratio metrics such as
+//! speedups ride along in the history for trend analysis but are never
+//! gated — their healthy direction is machine-dependent, and the
+//! `kernels` bench already excludes oversubscribed thread configs from
+//! the history entirely.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use sane_telemetry::Value;
+
+/// History schema accepted by [`parse_history`].
+pub const HISTORY_SCHEMA: &str = "sane.bench.v1";
+/// Baseline schema emitted and accepted by this module.
+pub const BASELINE_SCHEMA: &str = "sane.bench.baseline.v1";
+
+/// Default number of trailing samples the median is taken over.
+pub const DEFAULT_WINDOW: usize = 5;
+/// Default per-metric relative tolerance (CI runners are noisy; the
+/// median already absorbs single-run spikes).
+pub const DEFAULT_REL_TOL: f64 = 0.5;
+/// Default absolute floor in milliseconds: a regression must also exceed
+/// the base by this much to count.
+pub const DEFAULT_ABS_FLOOR_MS: f64 = 0.05;
+
+/// One parsed history line.
+#[derive(Clone, Debug)]
+pub struct HistoryEntry {
+    pub bench: String,
+    pub preset: String,
+    pub metrics: BTreeMap<String, f64>,
+}
+
+/// One baselined metric: reference value and its relative tolerance.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BaselineMetric {
+    pub base: f64,
+    pub rel_tol: f64,
+}
+
+/// The committed reference the gate compares against.
+#[derive(Clone, Debug, Default)]
+pub struct Baseline {
+    pub preset: String,
+    pub window: usize,
+    pub abs_floor_ms: f64,
+    pub metrics: BTreeMap<String, BaselineMetric>,
+}
+
+/// Verdict for one baselined metric.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Verdict {
+    /// Median within tolerance of the base.
+    Ok { median: f64, base: f64 },
+    /// Median exceeds base by more than both thresholds.
+    Regression { median: f64, base: f64, limit: f64 },
+    /// Median at least `rel_tol` *below* base — worth re-seeding.
+    Improvement { median: f64, base: f64 },
+    /// No history samples for this metric (machine-dependent metrics may
+    /// legitimately be absent; this warns, it does not fail).
+    Missing,
+}
+
+/// The gate's full output: one verdict per baselined metric.
+#[derive(Clone, Debug, Default)]
+pub struct GateReport {
+    pub rows: Vec<(String, Verdict)>,
+}
+
+impl GateReport {
+    pub fn regressions(&self) -> usize {
+        self.rows.iter().filter(|(_, v)| matches!(v, Verdict::Regression { .. })).count()
+    }
+
+    pub fn missing(&self) -> usize {
+        self.rows.iter().filter(|(_, v)| matches!(v, Verdict::Missing)).count()
+    }
+
+    /// True when no baselined metric regressed.
+    pub fn passed(&self) -> bool {
+        self.regressions() == 0
+    }
+}
+
+impl fmt::Display for GateReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<40} {:>12} {:>12} {:>12}  verdict", "metric", "median", "base", "limit")?;
+        for (name, v) in &self.rows {
+            match v {
+                Verdict::Ok { median, base } => {
+                    writeln!(f, "{name:<40} {median:>12.4} {base:>12.4} {:>12}  ok", "-")?
+                }
+                Verdict::Regression { median, base, limit } => {
+                    writeln!(f, "{name:<40} {median:>12.4} {base:>12.4} {limit:>12.4}  REGRESSION")?
+                }
+                Verdict::Improvement { median, base } => {
+                    writeln!(f, "{name:<40} {median:>12.4} {base:>12.4} {:>12}  improvement", "-")?
+                }
+                Verdict::Missing => {
+                    writeln!(f, "{name:<40} {:>12} {:>12} {:>12}  missing (warn)", "-", "-", "-")?
+                }
+            }
+        }
+        write!(
+            f,
+            "{} metric(s) checked, {} regression(s), {} missing",
+            self.rows.len(),
+            self.regressions(),
+            self.missing()
+        )
+    }
+}
+
+/// Parses `BENCH_history.jsonl` text. Lines with other schemas are an
+/// error (the file is owned by this tooling); blank lines are skipped.
+pub fn parse_history(text: &str) -> Result<Vec<HistoryEntry>, String> {
+    let mut out = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec = Value::parse(line).map_err(|e| format!("history line {lineno}: {e}"))?;
+        let schema = rec.get("schema").and_then(Value::as_str).unwrap_or("");
+        if schema != HISTORY_SCHEMA {
+            return Err(format!("history line {lineno}: unknown schema `{schema}`"));
+        }
+        let metrics = rec
+            .get("metrics")
+            .and_then(Value::as_obj)
+            .ok_or_else(|| format!("history line {lineno}: missing metrics object"))?
+            .iter()
+            .filter_map(|(k, v)| Some((k.clone(), v.as_f64()?)))
+            .collect();
+        out.push(HistoryEntry {
+            bench: rec.get("bench").and_then(Value::as_str).unwrap_or("?").to_string(),
+            preset: rec.get("preset").and_then(Value::as_str).unwrap_or("?").to_string(),
+            metrics,
+        });
+    }
+    Ok(out)
+}
+
+/// Parses a committed `BENCH_baseline.json`.
+pub fn parse_baseline(text: &str) -> Result<Baseline, String> {
+    let rec = Value::parse(text).map_err(|e| format!("baseline: {e}"))?;
+    let schema = rec.get("schema").and_then(Value::as_str).unwrap_or("");
+    if schema != BASELINE_SCHEMA {
+        return Err(format!("baseline: unknown schema `{schema}` (want {BASELINE_SCHEMA})"));
+    }
+    let metrics = rec
+        .get("metrics")
+        .and_then(Value::as_obj)
+        .ok_or("baseline: missing metrics object")?
+        .iter()
+        .map(|(k, v)| {
+            let base = v
+                .get("base")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("baseline metric `{k}`: missing base"))?;
+            let rel_tol = v.get("rel_tol").and_then(Value::as_f64).unwrap_or(DEFAULT_REL_TOL);
+            Ok((k.clone(), BaselineMetric { base, rel_tol }))
+        })
+        .collect::<Result<BTreeMap<_, _>, String>>()?;
+    Ok(Baseline {
+        preset: rec.get("preset").and_then(Value::as_str).unwrap_or("quick").to_string(),
+        window: rec.get("window").and_then(Value::as_u64).unwrap_or(DEFAULT_WINDOW as u64) as usize,
+        abs_floor_ms: rec
+            .get("abs_floor_ms")
+            .and_then(Value::as_f64)
+            .unwrap_or(DEFAULT_ABS_FLOOR_MS),
+        metrics,
+    })
+}
+
+/// Serialises a baseline back to pretty-printable JSON text.
+pub fn baseline_to_json(b: &Baseline) -> String {
+    let metrics = b
+        .metrics
+        .iter()
+        .map(|(k, m)| {
+            (
+                k.clone(),
+                Value::Obj(vec![
+                    ("base".into(), Value::Num(m.base)),
+                    ("rel_tol".into(), Value::Num(m.rel_tol)),
+                ]),
+            )
+        })
+        .collect();
+    Value::Obj(vec![
+        ("schema".into(), Value::Str(BASELINE_SCHEMA.into())),
+        ("preset".into(), Value::Str(b.preset.clone())),
+        ("window".into(), Value::UInt(b.window as u64)),
+        ("abs_floor_ms".into(), Value::Num(b.abs_floor_ms)),
+        ("metrics".into(), Value::Obj(metrics)),
+    ])
+    .to_json()
+}
+
+/// True for metric keys the gate owns: time-shaped, higher-is-worse.
+pub fn gated_metric(key: &str) -> bool {
+    key.ends_with(".wall_ms") || key.ends_with(".ms_per_epoch") || key.contains(".ms_")
+}
+
+/// Median of the last `window` samples of `key` across matching-preset
+/// history entries, in append order.
+pub fn median_of_last(
+    history: &[HistoryEntry],
+    preset: &str,
+    key: &str,
+    window: usize,
+) -> Option<f64> {
+    let mut samples: Vec<f64> = history
+        .iter()
+        .filter(|e| e.preset == preset)
+        .filter_map(|e| e.metrics.get(key).copied())
+        .collect();
+    if samples.is_empty() || window == 0 {
+        return None;
+    }
+    let keep = samples.len().saturating_sub(window);
+    samples.drain(..keep);
+    samples.sort_by(f64::total_cmp);
+    let n = samples.len();
+    Some(if n % 2 == 1 { samples[n / 2] } else { (samples[n / 2 - 1] + samples[n / 2]) / 2.0 })
+}
+
+/// Runs the gate: every baselined metric is checked against the median of
+/// its recent history. Extra metrics in the history are ignored — the
+/// baseline is the contract.
+pub fn gate(history: &[HistoryEntry], baseline: &Baseline) -> GateReport {
+    let mut report = GateReport::default();
+    for (key, m) in &baseline.metrics {
+        let verdict = match median_of_last(history, &baseline.preset, key, baseline.window) {
+            None => Verdict::Missing,
+            Some(median) => {
+                let limit = m.base * (1.0 + m.rel_tol);
+                if median > limit && median - m.base > baseline.abs_floor_ms {
+                    Verdict::Regression { median, base: m.base, limit }
+                } else if median < m.base * (1.0 - m.rel_tol) {
+                    Verdict::Improvement { median, base: m.base }
+                } else {
+                    Verdict::Ok { median, base: m.base }
+                }
+            }
+        };
+        report.rows.push((key.clone(), verdict));
+    }
+    report
+}
+
+/// Builds a fresh baseline from history medians: every gated (time-shaped)
+/// metric present in the history gets its median as base with the default
+/// tolerance.
+pub fn seed_baseline(history: &[HistoryEntry], preset: &str, window: usize) -> Baseline {
+    let mut keys: Vec<String> = Vec::new();
+    for e in history.iter().filter(|e| e.preset == preset) {
+        for k in e.metrics.keys() {
+            if gated_metric(k) && !keys.contains(k) {
+                keys.push(k.clone());
+            }
+        }
+    }
+    let metrics = keys
+        .into_iter()
+        .filter_map(|k| {
+            let base = median_of_last(history, preset, &k, window)?;
+            Some((k, BaselineMetric { base, rel_tol: DEFAULT_REL_TOL }))
+        })
+        .collect();
+    Baseline { preset: preset.to_string(), window, abs_floor_ms: DEFAULT_ABS_FLOOR_MS, metrics }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(preset: &str, metrics: &[(&str, f64)]) -> HistoryEntry {
+        HistoryEntry {
+            bench: "kernels".into(),
+            preset: preset.into(),
+            metrics: metrics.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        }
+    }
+
+    fn baseline(metrics: &[(&str, f64, f64)]) -> Baseline {
+        Baseline {
+            preset: "quick".into(),
+            window: 5,
+            abs_floor_ms: DEFAULT_ABS_FLOOR_MS,
+            metrics: metrics
+                .iter()
+                .map(|(k, base, tol)| {
+                    (k.to_string(), BaselineMetric { base: *base, rel_tol: *tol })
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn synthetic_two_x_slowdown_fails_the_gate() {
+        // Base 1 ms, tolerance 35%: a genuine 2× slowdown across the
+        // whole window must regress (the ISSUE's acceptance criterion).
+        let base = baseline(&[("spmm_forward.ms_1t", 1.0, 0.35)]);
+        let history: Vec<HistoryEntry> =
+            (0..5).map(|_| entry("quick", &[("spmm_forward.ms_1t", 2.0)])).collect();
+        let report = gate(&history, &base);
+        assert!(!report.passed());
+        assert_eq!(report.regressions(), 1);
+        assert!(matches!(report.rows[0].1, Verdict::Regression { median, .. } if median == 2.0));
+    }
+
+    #[test]
+    fn single_noisy_spike_is_absorbed_by_the_median() {
+        let base = baseline(&[("spmm_forward.ms_1t", 1.0, 0.35)]);
+        // Four honest samples and one 5× outlier: median stays at 1.0.
+        let mut history: Vec<HistoryEntry> =
+            (0..4).map(|_| entry("quick", &[("spmm_forward.ms_1t", 1.0)])).collect();
+        history.push(entry("quick", &[("spmm_forward.ms_1t", 5.0)]));
+        let report = gate(&history, &base);
+        assert!(report.passed(), "{report}");
+    }
+
+    #[test]
+    fn sub_floor_regressions_do_not_fail() {
+        // A 3× slowdown on a 10 µs kernel is under the absolute floor:
+        // scheduler noise, not a regression.
+        let base = baseline(&[("tiny.ms_1t", 0.01, 0.35)]);
+        let history: Vec<HistoryEntry> =
+            (0..5).map(|_| entry("quick", &[("tiny.ms_1t", 0.03)])).collect();
+        assert!(gate(&history, &base).passed());
+    }
+
+    #[test]
+    fn missing_metrics_warn_but_pass() {
+        // Machine-dependent metrics (multi-thread timings on a 1-core
+        // runner) may be absent from the history entirely.
+        let base = baseline(&[("spmm_forward.ms_2t", 1.0, 0.35)]);
+        let history = vec![entry("quick", &[("spmm_forward.ms_1t", 1.0)])];
+        let report = gate(&history, &base);
+        assert!(report.passed());
+        assert_eq!(report.missing(), 1);
+    }
+
+    #[test]
+    fn gate_ignores_other_presets() {
+        let base = baseline(&[("spmm_forward.ms_1t", 1.0, 0.35)]);
+        // Slow paper-preset rows must not pollute the quick gate.
+        let mut history: Vec<HistoryEntry> =
+            (0..3).map(|_| entry("paper", &[("spmm_forward.ms_1t", 40.0)])).collect();
+        history.extend((0..3).map(|_| entry("quick", &[("spmm_forward.ms_1t", 1.0)])));
+        assert!(gate(&history, &base).passed());
+    }
+
+    #[test]
+    fn median_uses_only_the_trailing_window() {
+        let history: Vec<HistoryEntry> = (0..10)
+            .map(|i| entry("quick", &[("k.ms_1t", if i < 7 { 100.0 } else { 1.0 })]))
+            .collect();
+        // Window 3 sees only the three most recent (fast) samples.
+        assert_eq!(median_of_last(&history, "quick", "k.ms_1t", 3), Some(1.0));
+        assert_eq!(median_of_last(&history, "quick", "missing", 3), None);
+    }
+
+    #[test]
+    fn history_and_baseline_round_trip_through_json() {
+        let line = r#"{"schema":"sane.bench.v1","bench":"kernels","preset":"quick","unix_ms":1,"metrics":{"spmm_forward.ms_1t":1.25,"spmm_forward.speedup_2t":1.8}}"#;
+        let history = parse_history(line).expect("history parses");
+        assert_eq!(history.len(), 1);
+        assert_eq!(history[0].metrics.get("spmm_forward.ms_1t"), Some(&1.25));
+        assert!(parse_history("{\"schema\":\"bogus\"}").is_err());
+        assert!(parse_history("not json").is_err());
+
+        let seeded = seed_baseline(&history, "quick", 5);
+        // Speedups are not time-shaped: never baselined.
+        assert_eq!(seeded.metrics.len(), 1);
+        assert!(seeded.metrics.contains_key("spmm_forward.ms_1t"));
+        let back = parse_baseline(&baseline_to_json(&seeded)).expect("baseline round-trips");
+        assert_eq!(back.metrics, seeded.metrics);
+        assert_eq!(back.window, seeded.window);
+
+        // And a freshly seeded baseline always gates green on the history
+        // that produced it.
+        assert!(gate(&history, &back).passed());
+    }
+}
