@@ -1,0 +1,711 @@
+//! Kernel safety analysis: partition-plan proofs and a shadow write-set
+//! race detector for the parallel kernels.
+//!
+//! Every multi-threaded kernel in this crate partitions its output through
+//! the helpers in [`crate::parallel`]. Until this module existed, the
+//! safety of that partitioning — no two workers write the same output
+//! element, every element is written by somebody, chunks cut exactly at
+//! item boundaries, and workers reduce in a fixed order — rested on
+//! convention. A single off-by-one in a cut would corrupt a gradient
+//! without any test failing deterministically, and (worse for a DARTS
+//! search) could silently change which architecture wins.
+//!
+//! This module turns those conventions into machine-checked contracts:
+//!
+//! 1. **Partition plans.** Before spawning, a kernel materialises a
+//!    [`PartitionPlan`]: the item cuts per worker plus the exact output
+//!    range each worker is allowed to write. [`check_plan`] is a pure
+//!    function that proves the plan sound — monotone cuts spanning every
+//!    item, writes that are pairwise disjoint, gap-free from `0` to
+//!    `out_len`, aligned with the item boundaries (CSR row offsets,
+//!    segment offsets, row strides), and ordered so worker `w`'s output
+//!    precedes worker `w + 1`'s (the stable reduction order that makes
+//!    results bitwise identical at any thread count).
+//! 2. **Shadow write sets.** In check mode each worker records the output
+//!    interval it actually received into a [`ShadowLog`] — one slot per
+//!    worker, so recording is contention-free — and a post-join audit
+//!    turns any cross-thread overlap, or any drift between the plan and
+//!    what the split arithmetic really handed out, into a structured
+//!    [`ShadowFinding`] naming the kernel, the thread pair and the
+//!    overlapping range. It is a cheap, structured ThreadSanitizer for our
+//!    fixed kernel shapes.
+//!
+//! Checks run on every kernel invocation in debug builds, and in release
+//! builds when `SANE_CHECK_PLANS` is set (see [`checks_enabled`]). A
+//! violation is a logic error in the kernel, never a data error, so the
+//! response is loud: a structured telemetry event followed by a panic —
+//! silent corruption is the one outcome this module exists to rule out.
+
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// The contiguous output interval one worker is allowed to write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WriteRange {
+    /// Worker index (its position in the spawn order).
+    pub worker: usize,
+    /// First flat output index owned by this worker.
+    pub start: usize,
+    /// One past the last flat output index owned by this worker.
+    pub end: usize,
+}
+
+impl WriteRange {
+    /// Number of output elements covered.
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// True for a zero-length range (a worker whose items are all empty).
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+impl fmt::Display for WriteRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "worker {} -> [{}, {})", self.worker, self.start, self.end)
+    }
+}
+
+/// How one kernel invocation splits its output across workers.
+///
+/// Built by the helpers in [`crate::parallel`] immediately before
+/// spawning; [`check_plan`] proves it sound first.
+#[derive(Clone, Debug)]
+pub struct PartitionPlan {
+    /// Kernel the plan belongs to (e.g. `spmm`, `segment_sum`).
+    pub kernel: String,
+    /// Number of work items being partitioned (rows, CSR rows, segments).
+    pub items: usize,
+    /// Total flat length of the output buffer.
+    pub out_len: usize,
+    /// Item boundaries per worker: worker `w` computes items
+    /// `cuts[w]..cuts[w + 1]`. Length is `workers + 1`.
+    pub cuts: Vec<usize>,
+    /// Planned output interval per *active* worker (workers whose item
+    /// range is empty are skipped, matching the spawn loop).
+    pub writes: Vec<WriteRange>,
+}
+
+impl PartitionPlan {
+    /// Builds the plan implied by `cuts` and the item→output mapping
+    /// `out_offset` (flat index where item `i`'s output starts; must be
+    /// monotone with `out_offset(items) == out_len`).
+    pub fn from_cuts(
+        kernel: impl Into<String>,
+        items: usize,
+        cuts: Vec<usize>,
+        out_offset: &(dyn Fn(usize) -> usize + Sync),
+        out_len: usize,
+    ) -> Self {
+        let mut writes = Vec::with_capacity(cuts.len().saturating_sub(1));
+        for (worker, w) in cuts.windows(2).enumerate() {
+            let (start, end) = (w[0], w[1]);
+            if start == end {
+                continue;
+            }
+            writes.push(WriteRange { worker, start: out_offset(start), end: out_offset(end) });
+        }
+        Self { kernel: kernel.into(), items, out_len, cuts, writes }
+    }
+}
+
+/// Why a [`PartitionPlan`] failed verification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlanError {
+    /// The cut array is missing or too short to describe any worker.
+    NoCuts,
+    /// `cuts[0]` must be 0 so coverage starts at the first item.
+    BadFirstCut { got: usize },
+    /// The last cut must equal `items` so every item is assigned.
+    BadLastCut { got: usize, items: usize },
+    /// Cuts must be non-decreasing; a reversal double-assigns items.
+    NonMonotoneCuts { index: usize, prev: usize, next: usize },
+    /// A write range with `end < start`.
+    InvalidRange { write: WriteRange },
+    /// Writes are not in ascending worker order: the reduction order would
+    /// depend on spawn timing, breaking bitwise determinism.
+    UnstableOrder { prev_worker: usize, next_worker: usize },
+    /// Two workers' planned writes overlap — a write-write race.
+    WriteOverlap { a: WriteRange, b: WriteRange, start: usize, end: usize },
+    /// Output elements `[at, next_start)` belong to no worker.
+    CoverageGap { at: usize, next_start: usize },
+    /// The plan stops short of (or runs past) the output buffer.
+    CoverageEnd { covered: usize, out_len: usize },
+    /// A write range does not match the output boundary of its cut window
+    /// — the chunk would straddle an item (CSR row / segment) boundary.
+    MisalignedWrite { write: WriteRange, expected_start: usize, expected_end: usize },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::NoCuts => write!(f, "plan has no cuts"),
+            PlanError::BadFirstCut { got } => {
+                write!(f, "first cut must be 0, got {got}")
+            }
+            PlanError::BadLastCut { got, items } => {
+                write!(f, "last cut must equal items ({items}), got {got}")
+            }
+            PlanError::NonMonotoneCuts { index, prev, next } => {
+                write!(f, "cuts reverse at index {index}: {prev} -> {next}")
+            }
+            PlanError::InvalidRange { write } => {
+                write!(f, "invalid write range ({write})")
+            }
+            PlanError::UnstableOrder { prev_worker, next_worker } => write!(
+                f,
+                "writes out of worker order ({prev_worker} then {next_worker}): reduction order \
+                 would depend on spawn timing"
+            ),
+            PlanError::WriteOverlap { a, b, start, end } => write!(
+                f,
+                "write overlap on [{start}, {end}): {a} collides with {b} — cross-thread \
+                 write-write race"
+            ),
+            PlanError::CoverageGap { at, next_start } => {
+                write!(f, "coverage gap: output [{at}, {next_start}) is written by no worker")
+            }
+            PlanError::CoverageEnd { covered, out_len } => {
+                write!(f, "plan covers output up to {covered} but the buffer has {out_len}")
+            }
+            PlanError::MisalignedWrite { write, expected_start, expected_end } => write!(
+                f,
+                "misaligned write ({write}): its cut window maps to \
+                 [{expected_start}, {expected_end}) — chunk straddles an item boundary"
+            ),
+        }
+    }
+}
+
+/// Statically verifies a [`PartitionPlan`] before the kernel runs.
+///
+/// `out_offset` is the same item→flat-output mapping the kernel partitions
+/// with; the checker uses it to prove every write range lands exactly on
+/// item boundaries (for CSR kernels that means row-offset alignment).
+///
+/// The checks, in order: cuts span `0..=items` monotonically; writes are
+/// well-formed, in ascending worker order (stable reduction order),
+/// pairwise disjoint, and gap-free from `0` to `out_len`; and each write
+/// equals the output interval of its cut window.
+pub fn check_plan(
+    plan: &PartitionPlan,
+    out_offset: &(dyn Fn(usize) -> usize + Sync),
+) -> Result<(), PlanError> {
+    let cuts = &plan.cuts;
+    if cuts.len() < 2 {
+        return Err(PlanError::NoCuts);
+    }
+    if cuts[0] != 0 {
+        return Err(PlanError::BadFirstCut { got: cuts[0] });
+    }
+    let last = cuts[cuts.len() - 1];
+    if last != plan.items {
+        return Err(PlanError::BadLastCut { got: last, items: plan.items });
+    }
+    for (i, w) in cuts.windows(2).enumerate() {
+        if w[1] < w[0] {
+            return Err(PlanError::NonMonotoneCuts { index: i + 1, prev: w[0], next: w[1] });
+        }
+    }
+
+    // Stable reduction order first: writes must be listed in ascending
+    // worker order, independently of where their ranges land.
+    let mut prev_worker: Option<usize> = None;
+    for w in &plan.writes {
+        if w.end < w.start {
+            return Err(PlanError::InvalidRange { write: *w });
+        }
+        if let Some(p) = prev_worker {
+            if w.worker <= p {
+                return Err(PlanError::UnstableOrder { prev_worker: p, next_worker: w.worker });
+            }
+        }
+        prev_worker = Some(w.worker);
+    }
+
+    // Disjointness + coverage in one sweep: `cursor` is the first output
+    // index not yet owned. Zero-length writes (all-empty item windows) are
+    // legal and advance nothing.
+    let mut cursor = 0usize;
+    for w in &plan.writes {
+        if w.start < cursor {
+            let prev = plan.writes.iter().find(|o| o.worker != w.worker && o.end > w.start);
+            return Err(PlanError::WriteOverlap {
+                a: prev.copied().unwrap_or(*w),
+                b: *w,
+                start: w.start,
+                end: w.end.min(cursor),
+            });
+        }
+        if w.start > cursor {
+            return Err(PlanError::CoverageGap { at: cursor, next_start: w.start });
+        }
+        cursor = w.end;
+    }
+    if cursor != plan.out_len {
+        return Err(PlanError::CoverageEnd { covered: cursor, out_len: plan.out_len });
+    }
+
+    // Boundary alignment: write `k` must cover exactly the output of the
+    // `k`-th non-empty cut window.
+    let mut wi = 0usize;
+    for (worker, w) in cuts.windows(2).enumerate() {
+        let (start, end) = (w[0], w[1]);
+        if start == end {
+            continue;
+        }
+        let (exp_start, exp_end) = (out_offset(start), out_offset(end));
+        match plan.writes.get(wi) {
+            Some(write) if write.worker == worker => {
+                if write.start != exp_start || write.end != exp_end {
+                    return Err(PlanError::MisalignedWrite {
+                        write: *write,
+                        expected_start: exp_start,
+                        expected_end: exp_end,
+                    });
+                }
+            }
+            _ => {
+                return Err(PlanError::MisalignedWrite {
+                    write: WriteRange { worker, start: exp_start, end: exp_end },
+                    expected_start: exp_start,
+                    expected_end: exp_end,
+                });
+            }
+        }
+        wi += 1;
+    }
+    Ok(())
+}
+
+/// Whether kernel safety checks (plan verification + shadow write sets)
+/// run on this build.
+///
+/// Debug builds always check. Release builds check when the
+/// `SANE_CHECK_PLANS` environment variable is set to anything but `0` or
+/// the empty string; the flag is read once per process.
+pub fn checks_enabled() -> bool {
+    if cfg!(debug_assertions) {
+        return true;
+    }
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(|| {
+        std::env::var("SANE_CHECK_PLANS").is_ok_and(|v| !v.is_empty() && v.trim() != "0")
+    })
+}
+
+/// One observed violation from a shadow write-set audit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShadowFinding {
+    /// Two workers touched the same output interval — the write-write race
+    /// the partitioning exists to prevent.
+    Collision {
+        /// Kernel the colliding workers belong to.
+        kernel: String,
+        /// Lower-indexed worker of the pair.
+        worker_a: usize,
+        /// Higher-indexed worker of the pair.
+        worker_b: usize,
+        /// First overlapping flat output index.
+        start: usize,
+        /// One past the last overlapping flat output index.
+        end: usize,
+    },
+    /// A worker's observed write interval disagrees with the verified
+    /// plan (or a planned worker never reported) — the split arithmetic
+    /// drifted from the proof.
+    Drift {
+        /// Kernel whose plan drifted.
+        kernel: String,
+        /// Worker whose observation mismatched.
+        worker: usize,
+        /// The interval the verified plan assigned (`None`: unplanned).
+        planned: Option<(usize, usize)>,
+        /// The interval the worker reported (`None`: never reported).
+        observed: Option<(usize, usize)>,
+    },
+}
+
+impl ShadowFinding {
+    /// The kernel this finding implicates.
+    pub fn kernel(&self) -> &str {
+        match self {
+            ShadowFinding::Collision { kernel, .. } | ShadowFinding::Drift { kernel, .. } => kernel,
+        }
+    }
+}
+
+impl fmt::Display for ShadowFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShadowFinding::Collision { kernel, worker_a, worker_b, start, end } => write!(
+                f,
+                "shadow race in kernel `{kernel}`: workers {worker_a} and {worker_b} both \
+                 write output range [{start}, {end})"
+            ),
+            ShadowFinding::Drift { kernel, worker, planned, observed } => write!(
+                f,
+                "plan drift in kernel `{kernel}`: worker {worker} planned {planned:?} but \
+                 observed {observed:?}"
+            ),
+        }
+    }
+}
+
+/// Per-worker record of the output intervals actually handed out by one
+/// kernel invocation.
+///
+/// Each worker owns one slot and locks only it, so recording is
+/// contention-free; the post-join [`ShadowLog::audit`] is the only reader
+/// that crosses slots.
+pub struct ShadowLog {
+    kernel: String,
+    slots: Vec<Mutex<Vec<(usize, usize)>>>,
+}
+
+impl ShadowLog {
+    /// A log with one slot per worker for `kernel`.
+    pub fn new(kernel: impl Into<String>, workers: usize) -> Self {
+        Self {
+            kernel: kernel.into(),
+            slots: (0..workers).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+
+    /// Records that `worker` touched output indices `start..end`.
+    ///
+    /// # Panics
+    /// Panics if `worker` is out of range — recording for a worker the log
+    /// was not sized for is itself a partitioning bug.
+    pub fn record(&self, worker: usize, start: usize, end: usize) {
+        let mut slot = self.slots[worker].lock().unwrap_or_else(|p| p.into_inner());
+        slot.push((start, end));
+    }
+
+    /// All `(worker, start, end)` records, sorted by interval start.
+    fn collected(&self) -> Vec<(usize, usize, usize)> {
+        let mut all = Vec::new();
+        for (worker, slot) in self.slots.iter().enumerate() {
+            let slot = slot.lock().unwrap_or_else(|p| p.into_inner());
+            for &(s, e) in slot.iter() {
+                if e > s {
+                    all.push((worker, s, e));
+                }
+            }
+        }
+        all.sort_unstable_by_key(|&(w, s, e)| (s, e, w));
+        all
+    }
+
+    /// Cross-thread overlap audit: any two records from *different*
+    /// workers that intersect become a [`ShadowFinding::Collision`]. A
+    /// worker overlapping itself is fine — its chunk is its own.
+    pub fn audit(&self) -> Vec<ShadowFinding> {
+        let all = self.collected();
+        let mut findings = Vec::new();
+        // Sweep: compare each record against successors that start before
+        // it ends. Sorted by start, so the inner loop is short.
+        for (i, &(wa, _sa, ea)) in all.iter().enumerate() {
+            for &(wb, sb, eb) in &all[i + 1..] {
+                if sb >= ea {
+                    break;
+                }
+                if wa != wb {
+                    findings.push(ShadowFinding::Collision {
+                        kernel: self.kernel.clone(),
+                        worker_a: wa.min(wb),
+                        worker_b: wa.max(wb),
+                        start: sb,
+                        end: ea.min(eb),
+                    });
+                }
+            }
+        }
+        findings
+    }
+
+    /// [`ShadowLog::audit`] plus plan conformance: every worker's observed
+    /// union must equal its planned write range, and every planned worker
+    /// must have reported. Catches split arithmetic drifting from the
+    /// verified plan even when the drift stays (accidentally) disjoint.
+    pub fn audit_against(&self, plan: &PartitionPlan) -> Vec<ShadowFinding> {
+        let mut findings = self.audit();
+        for (worker, slot) in self.slots.iter().enumerate() {
+            let slot = slot.lock().unwrap_or_else(|p| p.into_inner());
+            let observed: Option<(usize, usize)> =
+                slot.iter().filter(|&&(s, e)| e > s).fold(None, |acc, &(s, e)| match acc {
+                    None => Some((s, e)),
+                    Some((a, b)) => Some((a.min(s), b.max(e))),
+                });
+            let planned = plan
+                .writes
+                .iter()
+                .find(|w| w.worker == worker && !w.is_empty())
+                .map(|w| (w.start, w.end));
+            if planned != observed {
+                findings.push(ShadowFinding::Drift {
+                    kernel: self.kernel.clone(),
+                    worker,
+                    planned,
+                    observed,
+                });
+            }
+        }
+        findings
+    }
+}
+
+/// Escalates safety findings: one structured telemetry event per finding,
+/// then a panic carrying every report. Called by the parallel helpers
+/// after a failed plan check or shadow audit — a finding means the kernel
+/// would have corrupted (or did corrupt) shared output, so continuing is
+/// never an option.
+///
+/// # Panics
+/// Always panics when `findings` is non-empty.
+pub(crate) fn deny_shadow(findings: &[ShadowFinding]) {
+    if findings.is_empty() {
+        return;
+    }
+    for finding in findings {
+        sane_telemetry::error(
+            "analysis.race",
+            &[("kernel", finding.kernel().into()), ("report", finding.to_string().into())],
+        );
+    }
+    let joined: Vec<String> = findings.iter().map(|f| f.to_string()).collect();
+    panic!("kernel safety audit failed:\n  {}", joined.join("\n  "));
+}
+
+/// Escalates a failed plan check. See [`deny_shadow`] for the policy.
+///
+/// # Panics
+/// Always panics.
+pub(crate) fn deny_plan(plan: &PartitionPlan, err: &PlanError) -> ! {
+    sane_telemetry::error(
+        "analysis.bad_plan",
+        &[("kernel", plan.kernel.as_str().into()), ("report", err.to_string().into())],
+    );
+    panic!("kernel `{}` produced an unsound partition plan: {err}", plan.kernel);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `out_offset` for a plain row-partitioned kernel with `n` columns.
+    fn rows_offset(n: usize) -> impl Fn(usize) -> usize + Sync {
+        move |i| i * n
+    }
+
+    fn good_plan() -> PartitionPlan {
+        // 10 items, 3 columns, cuts at 0/4/8/10.
+        PartitionPlan::from_cuts("gemm", 10, vec![0, 4, 8, 10], &rows_offset(3), 30)
+    }
+
+    #[test]
+    fn sound_plan_passes() {
+        let plan = good_plan();
+        assert_eq!(check_plan(&plan, &rows_offset(3)), Ok(()));
+        assert_eq!(plan.writes.len(), 3);
+        assert_eq!(plan.writes[1], WriteRange { worker: 1, start: 12, end: 24 });
+    }
+
+    #[test]
+    fn empty_windows_are_skipped_but_covered() {
+        // Worker 1 gets no items; coverage must still be seamless.
+        let plan = PartitionPlan::from_cuts("spmm", 6, vec![0, 3, 3, 6], &rows_offset(2), 12);
+        assert_eq!(plan.writes.len(), 2);
+        assert_eq!(check_plan(&plan, &rows_offset(2)), Ok(()));
+    }
+
+    #[test]
+    fn overlapping_writes_are_rejected() {
+        let mut plan = good_plan();
+        // Worker 1 reaches one row into worker 0's range.
+        plan.writes[1].start = 9;
+        let err = check_plan(&plan, &rows_offset(3)).expect_err("overlap must fail");
+        assert!(
+            matches!(err, PlanError::WriteOverlap { start: 9, .. }),
+            "expected WriteOverlap, got {err}"
+        );
+        assert!(err.to_string().contains("race"), "{err}");
+    }
+
+    #[test]
+    fn coverage_gap_is_rejected() {
+        let mut plan = good_plan();
+        // Worker 1 starts late: rows 12..15 belong to nobody.
+        plan.writes[1].start = 15;
+        let err = check_plan(&plan, &rows_offset(3)).expect_err("gap must fail");
+        assert_eq!(err, PlanError::CoverageGap { at: 12, next_start: 15 });
+    }
+
+    #[test]
+    fn short_coverage_is_rejected() {
+        let mut plan = good_plan();
+        plan.writes.pop();
+        let err = check_plan(&plan, &rows_offset(3)).expect_err("short plan must fail");
+        assert_eq!(err, PlanError::CoverageEnd { covered: 24, out_len: 30 });
+    }
+
+    #[test]
+    fn non_monotone_cuts_are_rejected() {
+        let mut plan = good_plan();
+        plan.cuts[2] = 2;
+        let err = check_plan(&plan, &rows_offset(3)).expect_err("reversed cuts must fail");
+        assert!(matches!(err, PlanError::NonMonotoneCuts { .. }), "{err}");
+    }
+
+    #[test]
+    fn cut_endpoints_are_checked() {
+        let mut plan = good_plan();
+        plan.cuts[0] = 1;
+        assert_eq!(check_plan(&plan, &rows_offset(3)), Err(PlanError::BadFirstCut { got: 1 }),);
+        let mut plan = good_plan();
+        *plan.cuts.last_mut().expect("cuts non-empty") = 9;
+        assert_eq!(
+            check_plan(&plan, &rows_offset(3)),
+            Err(PlanError::BadLastCut { got: 9, items: 10 }),
+        );
+    }
+
+    #[test]
+    fn unstable_worker_order_is_rejected() {
+        let mut plan = good_plan();
+        plan.writes.swap(0, 1);
+        let err = check_plan(&plan, &rows_offset(3)).expect_err("order must be stable");
+        assert!(matches!(err, PlanError::UnstableOrder { .. }), "{err}");
+    }
+
+    #[test]
+    fn misaligned_write_is_rejected() {
+        // Writes disjoint and covering, but shifted off the item boundary
+        // implied by a *different* out_offset (columns 3 vs cut mapping 5).
+        let plan = PartitionPlan {
+            kernel: "segment_sum".into(),
+            items: 10,
+            out_len: 30,
+            cuts: vec![0, 5, 10],
+            writes: vec![
+                WriteRange { worker: 0, start: 0, end: 12 },
+                WriteRange { worker: 1, start: 12, end: 30 },
+            ],
+        };
+        let err = check_plan(&plan, &rows_offset(3)).expect_err("straddling chunk must fail");
+        assert!(matches!(err, PlanError::MisalignedWrite { .. }), "{err}");
+    }
+
+    #[test]
+    fn zero_item_plan_is_sound() {
+        let plan = PartitionPlan::from_cuts("noop", 0, vec![0, 0], &rows_offset(4), 0);
+        assert_eq!(check_plan(&plan, &rows_offset(4)), Ok(()));
+    }
+
+    #[test]
+    fn shadow_audit_passes_disjoint_writes() {
+        let log = ShadowLog::new("spmm", 3);
+        log.record(0, 0, 10);
+        log.record(1, 10, 20);
+        log.record(2, 20, 24);
+        assert!(log.audit().is_empty());
+    }
+
+    #[test]
+    fn shadow_audit_catches_injected_overlapping_kernel() {
+        // The acceptance fixture: a (test-only) kernel whose workers 0 and
+        // 2 both write rows [8, 12) must produce a structured report
+        // naming the kernel and the exact overlapping range.
+        let log = ShadowLog::new("evil_overlap", 3);
+        log.record(0, 0, 12);
+        log.record(1, 12, 20);
+        log.record(2, 8, 28); // collides with both neighbours
+        let findings = log.audit();
+        assert!(
+            findings.contains(&ShadowFinding::Collision {
+                kernel: "evil_overlap".into(),
+                worker_a: 0,
+                worker_b: 2,
+                start: 8,
+                end: 12,
+            }),
+            "missing 0/2 collision: {findings:?}"
+        );
+        assert!(
+            findings.contains(&ShadowFinding::Collision {
+                kernel: "evil_overlap".into(),
+                worker_a: 1,
+                worker_b: 2,
+                start: 12,
+                end: 20,
+            }),
+            "missing 1/2 collision: {findings:?}"
+        );
+        let rendered = findings[0].to_string();
+        assert!(rendered.contains("evil_overlap"), "{rendered}");
+        assert!(rendered.contains("[8, 12)"), "{rendered}");
+    }
+
+    #[test]
+    fn shadow_same_worker_rewrites_are_not_races() {
+        let log = ShadowLog::new("segment_max", 2);
+        log.record(0, 0, 8);
+        log.record(0, 4, 8); // same worker touching its chunk twice
+        log.record(1, 8, 12);
+        assert!(log.audit().is_empty());
+    }
+
+    #[test]
+    fn shadow_audit_against_plan_catches_drift() {
+        let plan = PartitionPlan::from_cuts("gather_rows", 8, vec![0, 4, 8], &rows_offset(2), 16);
+        let log = ShadowLog::new("gather_rows", 2);
+        log.record(0, 0, 8);
+        log.record(1, 8, 14); // two elements short of its planned range
+        let findings = log.audit_against(&plan);
+        assert_eq!(
+            findings,
+            vec![ShadowFinding::Drift {
+                kernel: "gather_rows".into(),
+                worker: 1,
+                planned: Some((8, 16)),
+                observed: Some((8, 14)),
+            }]
+        );
+    }
+
+    #[test]
+    fn shadow_audit_against_plan_accepts_exact_conformance() {
+        let plan = good_plan();
+        let log = ShadowLog::new("gemm", 3);
+        for w in &plan.writes {
+            log.record(w.worker, w.start, w.end);
+        }
+        assert!(log.audit_against(&plan).is_empty());
+    }
+
+    #[test]
+    fn deny_shadow_is_silent_on_no_findings() {
+        deny_shadow(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shadow race in kernel `evil`")]
+    fn deny_shadow_panics_with_the_report() {
+        deny_shadow(&[ShadowFinding::Collision {
+            kernel: "evil".into(),
+            worker_a: 0,
+            worker_b: 1,
+            start: 3,
+            end: 7,
+        }]);
+    }
+
+    #[test]
+    fn checks_are_always_on_under_debug_assertions() {
+        if cfg!(debug_assertions) {
+            assert!(checks_enabled());
+        }
+    }
+}

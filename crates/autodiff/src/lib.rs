@@ -51,6 +51,7 @@ mod matrix;
 mod sparse;
 mod tape;
 
+pub mod analysis;
 pub mod audit;
 pub mod gradcheck;
 pub mod metrics;
@@ -68,6 +69,7 @@ pub mod ops {
     pub use graphops::Segments;
 }
 
+pub use analysis::{PartitionPlan, PlanError, ShadowFinding, ShadowLog, WriteRange};
 pub use audit::{Arity, FanStats, Finding, FindingKind, Severity, TapeReport};
 pub use matrix::Matrix;
 pub use ops::Segments;

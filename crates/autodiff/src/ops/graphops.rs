@@ -78,6 +78,25 @@ impl Segments {
     }
 }
 
+/// `balanced_cuts` invariants, asserted at the partition call sites: the
+/// offsets handed to [`parallel_ranges`] are the cumulative-weight array
+/// the load balancer cuts on, so they must be non-decreasing and their
+/// span must cover exactly the rows the kernel is about to process —
+/// otherwise a cut could land inside a segment and split one item across
+/// two workers.
+#[inline]
+fn debug_assert_partition(segs: &Segments, covered_rows: usize) {
+    debug_assert!(
+        segs.offsets().windows(2).all(|w| w[0] <= w[1]),
+        "segment offsets must be non-decreasing"
+    );
+    debug_assert_eq!(
+        segs.total_len(),
+        covered_rows,
+        "segments must cover exactly the partitioned rows"
+    );
+}
+
 /// Gathers rows of the input according to a fixed index list.
 struct GatherRowsOp {
     idx: Arc<Vec<u32>>,
@@ -130,6 +149,7 @@ impl Op for SegmentSumOp {
                 }
             }
         };
+        debug_assert_partition(segs, rows);
         parallel_ranges(
             segs.offsets(),
             &|s| segs.offsets()[s] * cols,
@@ -175,6 +195,7 @@ impl Op for SegmentMeanOp {
                 }
             }
         };
+        debug_assert_partition(segs, rows);
         parallel_ranges(
             segs.offsets(),
             &|s| segs.offsets()[s] * cols,
@@ -219,6 +240,7 @@ impl Op for SegmentMaxOp {
                 }
             }
         };
+        debug_assert_partition(segs, rows);
         parallel_ranges(
             segs.offsets(),
             &|s| segs.offsets()[s] * cols,
@@ -265,6 +287,7 @@ impl Op for SegmentSoftmaxOp {
                 }
             }
         };
+        debug_assert_partition(segs, out.rows());
         parallel_ranges(segs.offsets(), &|s| segs.offsets()[s], 3 * out.rows(), g.data_mut(), run);
         vec![Some(g)]
     }

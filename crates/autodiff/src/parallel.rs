@@ -21,10 +21,18 @@
 //! Worker threads never allocate: callers pre-split the output buffer and
 //! each worker writes only its own chunk, so the thread-local buffer pool
 //! ([`crate::pool`]) stays a calling-thread concern.
+//!
+//! Since PR 5 the invariants are *checked*, not just stated: every spawn
+//! goes through [`run_plan`]/[`run_plan_pair`], which in check mode (debug
+//! builds, or `SANE_CHECK_PLANS` in release) prove an explicit
+//! [`PartitionPlan`] sound before running and audit per-worker shadow
+//! write sets after the join — see [`crate::analysis`] for the contract.
 
 use std::cell::Cell;
 use std::ops::Range;
 use std::sync::OnceLock;
+
+use crate::analysis::{self, PartitionPlan, ShadowLog};
 
 /// Minimum number of scalar operations (multiply-adds, exps, copies)
 /// before a kernel bothers spawning threads. Spawning scoped threads costs
@@ -105,16 +113,42 @@ fn forced() -> bool {
     OVERRIDE.with(|o| o.get()).is_some()
 }
 
+thread_local! {
+    /// Name of the kernel currently executing on this thread, maintained
+    /// by [`timed`]. Safety reports from [`crate::analysis`] use it to
+    /// attribute a bad plan or a shadow race to the kernel that produced
+    /// it (nested kernels report the innermost name).
+    static CURRENT_KERNEL: Cell<&'static str> = const { Cell::new("") };
+}
+
+/// The kernel name the safety analysis should attribute findings to.
+pub(crate) fn current_kernel() -> &'static str {
+    let k = CURRENT_KERNEL.with(|c| c.get());
+    if k.is_empty() {
+        "unattributed"
+    } else {
+        k
+    }
+}
+
 /// Times one kernel invocation into the installed telemetry recorder's
-/// `kernel.<name>.ns` summary.
+/// `kernel.<name>.ns` summary, and labels the thread with the kernel name
+/// for the duration so safety findings are attributable.
 ///
 /// This is the workspace's single kernel-timing hook: every hot kernel —
 /// spmm, the segment reductions, GEMM, the tape's backward sweep — runs
 /// through it. The disabled path (no recorder on this thread, or the
-/// recorder built with `with_kernel_timing(false)`) is one thread-local
-/// read and no clock call, so the hook is safe to leave in release
+/// recorder built with `with_kernel_timing(false)`) is two thread-local
+/// accesses and no clock call, so the hook is safe to leave in release
 /// binaries.
 pub(crate) fn timed<R>(kernel: &'static str, f: impl FnOnce() -> R) -> R {
+    struct RestoreKernel(&'static str);
+    impl Drop for RestoreKernel {
+        fn drop(&mut self) {
+            CURRENT_KERNEL.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = RestoreKernel(CURRENT_KERNEL.with(|c| c.replace(kernel)));
     if !sane_telemetry::kernel_timing_enabled() {
         return f();
     }
@@ -122,6 +156,146 @@ pub(crate) fn timed<R>(kernel: &'static str, f: impl FnOnce() -> R) -> R {
     let out = f();
     sane_telemetry::kernel_sample(kernel, start.elapsed().as_nanos() as u64);
     out
+}
+
+/// Verifies `cuts` against the output mapping and, in check mode, returns
+/// the proven [`PartitionPlan`] plus a [`ShadowLog`] sized for it.
+///
+/// Returns `None` outside check mode (see [`analysis::checks_enabled`]) so
+/// the release fast path pays one cached boolean read and nothing else.
+///
+/// # Panics
+/// Panics (via [`analysis::deny_plan`]) if the plan fails verification —
+/// an unsound split is a kernel logic bug and must never reach the spawn.
+fn prove_plan(
+    label: String,
+    items: usize,
+    cuts: &[usize],
+    out_offset: &(dyn Fn(usize) -> usize + Sync),
+    out_len: usize,
+) -> Option<(PartitionPlan, ShadowLog)> {
+    if !analysis::checks_enabled() {
+        return None;
+    }
+    let plan = PartitionPlan::from_cuts(label, items, cuts.to_vec(), out_offset, out_len);
+    if let Err(err) = analysis::check_plan(&plan, out_offset) {
+        analysis::deny_plan(&plan, &err);
+    }
+    let shadow = ShadowLog::new(plan.kernel.clone(), cuts.len().saturating_sub(1));
+    Some((plan, shadow))
+}
+
+/// Spawns one scoped worker per non-empty cut window, handing worker `w`
+/// the output slice `out_offset(cuts[w])..out_offset(cuts[w + 1])`.
+///
+/// This is the single execution path behind [`parallel_rows`] and
+/// [`parallel_ranges`]: the same `cuts` array that the (check-mode) plan
+/// proof validated drives the actual `split_at_mut` partitioning, so the
+/// proof and the execution cannot drift apart silently — and in check mode
+/// each worker also records the interval it really received into the
+/// shadow log, which is audited against the plan after the join.
+fn run_plan<T: Send>(
+    items: usize,
+    cuts: &[usize],
+    out_offset: &(dyn Fn(usize) -> usize + Sync),
+    out: &mut [T],
+    run: impl Fn(Range<usize>, &mut [T]) + Sync,
+) {
+    let checked = prove_plan(current_kernel().to_string(), items, cuts, out_offset, out.len());
+    let shadow = checked.as_ref().map(|(_, s)| s);
+    std::thread::scope(|s| {
+        let mut rest = out;
+        let mut consumed = 0usize;
+        for (worker, w) in cuts.windows(2).enumerate() {
+            let (start, end) = (w[0], w[1]);
+            if start == end {
+                continue;
+            }
+            let stop = out_offset(end);
+            let (chunk, tail) = rest.split_at_mut(stop - consumed);
+            let chunk_start = consumed;
+            rest = tail;
+            consumed = stop;
+            let run = &run;
+            s.spawn(move || {
+                if let Some(log) = shadow {
+                    log.record(worker, chunk_start, chunk_start + chunk.len());
+                }
+                run(start..end, chunk)
+            });
+        }
+    });
+    if let Some((plan, log)) = &checked {
+        analysis::deny_shadow(&log.audit_against(plan));
+    }
+}
+
+/// Two-buffer variant of [`run_plan`]: one cut array drives both outputs,
+/// each with its own offset mapping, plan proof and shadow log.
+fn run_plan_pair<A: Send, B: Send>(
+    items: usize,
+    cuts: &[usize],
+    out_offset_a: &(dyn Fn(usize) -> usize + Sync),
+    out_offset_b: &(dyn Fn(usize) -> usize + Sync),
+    a: &mut [A],
+    b: &mut [B],
+    run: impl Fn(Range<usize>, &mut [A], &mut [B]) + Sync,
+) {
+    let kernel = current_kernel();
+    let checked_a = prove_plan(format!("{kernel}.a"), items, cuts, out_offset_a, a.len());
+    let checked_b = prove_plan(format!("{kernel}.b"), items, cuts, out_offset_b, b.len());
+    let shadow_a = checked_a.as_ref().map(|(_, s)| s);
+    let shadow_b = checked_b.as_ref().map(|(_, s)| s);
+    std::thread::scope(|s| {
+        let (mut rest_a, mut rest_b) = (a, b);
+        let (mut done_a, mut done_b) = (0usize, 0usize);
+        for (worker, w) in cuts.windows(2).enumerate() {
+            let (start, end) = (w[0], w[1]);
+            if start == end {
+                continue;
+            }
+            let (stop_a, stop_b) = (out_offset_a(end), out_offset_b(end));
+            let (ca, ta) = rest_a.split_at_mut(stop_a - done_a);
+            let (cb, tb) = rest_b.split_at_mut(stop_b - done_b);
+            let (ca_start, cb_start) = (done_a, done_b);
+            rest_a = ta;
+            rest_b = tb;
+            done_a = stop_a;
+            done_b = stop_b;
+            let run = &run;
+            s.spawn(move || {
+                if let Some(log) = shadow_a {
+                    log.record(worker, ca_start, ca_start + ca.len());
+                }
+                if let Some(log) = shadow_b {
+                    log.record(worker, cb_start, cb_start + cb.len());
+                }
+                run(start..end, ca, cb)
+            });
+        }
+    });
+    for (plan, log) in [&checked_a, &checked_b].into_iter().flatten() {
+        analysis::deny_shadow(&log.audit_against(plan));
+    }
+}
+
+/// Equal-size item cuts: `items` split into `workers` contiguous windows
+/// of `ceil(items / workers)` items (the last window may be short, and
+/// trailing workers may get empty windows). The row analogue of
+/// [`balanced_cuts`] for kernels whose items all weigh the same.
+fn even_cuts(items: usize, workers: usize) -> Vec<usize> {
+    let chunk = items.div_ceil(workers.max(1)).max(1);
+    let mut cuts = Vec::with_capacity(workers + 1);
+    let mut at = 0usize;
+    cuts.push(at);
+    while at < items {
+        at = (at + chunk).min(items);
+        cuts.push(at);
+    }
+    if cuts.len() < 2 {
+        cuts.push(items);
+    }
+    cuts
 }
 
 /// Splits the output rows of an `m x n` result into equal contiguous row
@@ -137,20 +311,14 @@ pub(crate) fn parallel_rows(
     out: &mut [f32],
     run: impl Fn(Range<usize>, &mut [f32]) + Sync,
 ) {
+    debug_assert_eq!(out.len(), m * n, "output must be exactly m x n");
     let workers = num_threads();
     if workers <= 1 || m < 2 || n == 0 || (!forced() && work < PAR_WORK_THRESHOLD) {
         run(0..m, out);
         return;
     }
-    let chunk_rows = m.div_ceil(workers);
-    std::thread::scope(|s| {
-        for (t, out_chunk) in out.chunks_mut(chunk_rows * n).enumerate() {
-            let start = t * chunk_rows;
-            let end = (start + out_chunk.len() / n).min(m);
-            let run = &run;
-            s.spawn(move || run(start..end, out_chunk));
-        }
-    });
+    let cuts = even_cuts(m, workers);
+    run_plan(m, &cuts, &|i| i * n, out, run);
 }
 
 /// Like [`parallel_rows`] but for kernels that fill *two* parallel output
@@ -164,22 +332,15 @@ pub(crate) fn parallel_rows_pair<A: Send, B: Send>(
     b: &mut [B],
     run: impl Fn(Range<usize>, &mut [A], &mut [B]) + Sync,
 ) {
+    debug_assert_eq!(a.len(), m * na, "output a must be exactly m x na");
+    debug_assert_eq!(b.len(), m * nb, "output b must be exactly m x nb");
     let workers = num_threads();
     if workers <= 1 || m < 2 || na == 0 || nb == 0 || (!forced() && work < PAR_WORK_THRESHOLD) {
         run(0..m, a, b);
         return;
     }
-    let chunk_rows = m.div_ceil(workers);
-    std::thread::scope(|s| {
-        for (t, (ac, bc)) in
-            a.chunks_mut(chunk_rows * na).zip(b.chunks_mut(chunk_rows * nb)).enumerate()
-        {
-            let start = t * chunk_rows;
-            let end = (start + ac.len() / na).min(m);
-            let run = &run;
-            s.spawn(move || run(start..end, ac, bc));
-        }
-    });
+    let cuts = even_cuts(m, workers);
+    run_plan_pair(m, &cuts, &|i| i * na, &|i| i * nb, a, b, run);
 }
 
 /// Computes contiguous item ranges (`cuts[w]..cuts[w + 1]` per worker)
@@ -187,11 +348,18 @@ pub(crate) fn parallel_rows_pair<A: Send, B: Send>(
 ///
 /// `offsets` is a monotone cumulative-weight array of length `items + 1`
 /// (a CSR `indptr`, or segment offsets): item `i` carries weight
-/// `offsets[i + 1] - offsets[i]`.
+/// `offsets[i + 1] - offsets[i]`. Degenerate inputs are handled, not
+/// assumed away: an empty or single-entry `offsets` (zero items) yields
+/// the trivial plan `[0, 0]`, and `workers > items` produces trailing
+/// empty windows that the spawn loop skips.
 fn balanced_cuts(offsets: &[usize], workers: usize) -> Vec<usize> {
+    if offsets.len() <= 1 {
+        return vec![0, 0];
+    }
+    debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offsets must be non-decreasing");
     let items = offsets.len() - 1;
     let total = offsets[items] - offsets[0];
-    let mut cuts = Vec::with_capacity(workers + 1);
+    let mut cuts = Vec::with_capacity(workers.max(1) + 1);
     cuts.push(0);
     for w in 1..workers {
         let target = offsets[0] + total * w / workers;
@@ -231,22 +399,7 @@ pub(crate) fn parallel_ranges<T: Send>(
         return;
     }
     let cuts = balanced_cuts(offsets, workers);
-    std::thread::scope(|s| {
-        let mut rest = out;
-        let mut consumed = 0usize;
-        for w in cuts.windows(2) {
-            let (start, end) = (w[0], w[1]);
-            if start == end {
-                continue;
-            }
-            let stop = out_offset(end);
-            let (chunk, tail) = rest.split_at_mut(stop - consumed);
-            rest = tail;
-            consumed = stop;
-            let run = &run;
-            s.spawn(move || run(start..end, chunk));
-        }
-    });
+    run_plan(items, &cuts, out_offset, out, run);
 }
 
 /// Two-buffer variant of [`parallel_ranges`] for kernels that fill a pair
@@ -271,25 +424,7 @@ pub(crate) fn parallel_ranges_pair<A: Send, B: Send>(
         return;
     }
     let cuts = balanced_cuts(offsets, workers);
-    std::thread::scope(|s| {
-        let (mut rest_a, mut rest_b) = (a, b);
-        let (mut done_a, mut done_b) = (0usize, 0usize);
-        for w in cuts.windows(2) {
-            let (start, end) = (w[0], w[1]);
-            if start == end {
-                continue;
-            }
-            let (stop_a, stop_b) = (out_offset_a(end), out_offset_b(end));
-            let (ca, ta) = rest_a.split_at_mut(stop_a - done_a);
-            let (cb, tb) = rest_b.split_at_mut(stop_b - done_b);
-            rest_a = ta;
-            rest_b = tb;
-            done_a = stop_a;
-            done_b = stop_b;
-            let run = &run;
-            s.spawn(move || run(start..end, ca, cb));
-        }
-    });
+    run_plan_pair(items, &cuts, out_offset_a, out_offset_b, a, b, run);
 }
 
 #[cfg(test)]
@@ -352,6 +487,141 @@ mod tests {
             assert_eq!(*cuts.last().expect("non-empty"), 6);
             assert!(cuts.windows(2).all(|w| w[0] <= w[1]), "{cuts:?}");
         }
+    }
+
+    /// Any cut array `balanced_cuts` produces must pass the plan checker
+    /// for a 1-column output (out_offset == offsets themselves).
+    fn assert_plan_sound(offsets: &[usize], cuts: Vec<usize>) {
+        let items = offsets.len().saturating_sub(1);
+        let base = offsets.first().copied().unwrap_or(0);
+        let off = move |i: usize| offsets.get(i).copied().unwrap_or(base) - base;
+        let out_len = off(items);
+        let plan = crate::analysis::PartitionPlan::from_cuts("test", items, cuts, &off, out_len);
+        assert_eq!(crate::analysis::check_plan(&plan, &off), Ok(()), "{plan:?}");
+    }
+
+    #[test]
+    fn balanced_cuts_degenerate_empty_offsets() {
+        assert_eq!(balanced_cuts(&[], 4), vec![0, 0]);
+        assert_eq!(balanced_cuts(&[7], 4), vec![0, 0]);
+    }
+
+    #[test]
+    fn balanced_cuts_degenerate_single_row() {
+        let offsets = [0usize, 5];
+        let cuts = balanced_cuts(&offsets, 4);
+        assert_eq!(cuts[0], 0);
+        assert_eq!(*cuts.last().expect("non-empty"), 1);
+        assert_plan_sound(&offsets, cuts);
+    }
+
+    #[test]
+    fn balanced_cuts_degenerate_more_workers_than_rows() {
+        let offsets = [0usize, 2, 3, 9];
+        let cuts = balanced_cuts(&offsets, 8);
+        assert_eq!(cuts.len(), 9);
+        assert_eq!(*cuts.last().expect("non-empty"), 3);
+        assert!(cuts.windows(2).all(|w| w[0] <= w[1]), "{cuts:?}");
+        assert_plan_sound(&offsets, cuts);
+    }
+
+    #[test]
+    fn balanced_cuts_degenerate_all_equal_offsets() {
+        // Zero total weight: every item is empty; the cuts must still
+        // cover all items without reversing.
+        let offsets = [3usize, 3, 3, 3];
+        let cuts = balanced_cuts(&offsets, 2);
+        assert_eq!(cuts[0], 0);
+        assert_eq!(*cuts.last().expect("non-empty"), 3);
+        assert!(cuts.windows(2).all(|w| w[0] <= w[1]), "{cuts:?}");
+        assert_plan_sound(&offsets, cuts);
+    }
+
+    #[test]
+    fn even_cuts_cover_items_for_any_worker_count() {
+        for items in [0usize, 1, 2, 7, 16] {
+            for workers in 1..6 {
+                let cuts = even_cuts(items, workers);
+                assert!(cuts.len() >= 2, "{items} items / {workers} workers: {cuts:?}");
+                assert_eq!(cuts[0], 0);
+                assert_eq!(*cuts.last().expect("non-empty"), items);
+                assert!(cuts.windows(2).all(|w| w[0] <= w[1]), "{cuts:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn forced_partitioning_passes_safety_checks() {
+        // Debug builds run the plan proof + shadow audit on every spawn;
+        // a clean pass here means the real split arithmetic conforms.
+        assert!(crate::analysis::checks_enabled() || !cfg!(debug_assertions));
+        let offsets = vec![0usize, 3, 3, 4, 10, 11];
+        let mut out = vec![0.0f32; 22];
+        with_threads(4, || {
+            parallel_ranges(&offsets, &|i| offsets[i] * 2, 0, &mut out, |items, chunk| {
+                let base = offsets[items.start] * 2;
+                for i in items {
+                    for e in offsets[i] * 2..offsets[i + 1] * 2 {
+                        chunk[e - base] = 1.0;
+                    }
+                }
+            });
+        });
+        assert!(out.iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn worker_pool_recycling_stays_thread_local() {
+        // Workers run on scoped threads with their own thread-local pools;
+        // a worker recycling or drawing buffers must neither leak into nor
+        // double-count in the calling thread's `PoolStats`.
+        crate::pool::reset();
+        let caller_before = crate::pool::stats();
+        let mut out = vec![0.0f32; 8];
+        with_threads(4, || {
+            parallel_rows(8, 1, 0, &mut out, |_, chunk| {
+                // Simulate a worker that (against policy) touches the pool:
+                // everything lands in the *worker's* pool, which dies with
+                // the scoped thread.
+                let m = crate::pool::zeros(4, 4);
+                crate::pool::put(m);
+                let stats = crate::pool::stats();
+                assert!(stats.consistent(), "worker-local stats inconsistent: {stats:?}");
+                assert_eq!(stats.misses, 1, "worker pool must start empty");
+                chunk.fill(1.0);
+            });
+        });
+        let caller_after = crate::pool::stats();
+        assert_eq!(
+            caller_after, caller_before,
+            "worker pool activity must not leak into the caller's stats"
+        );
+        assert!(caller_after.consistent());
+        crate::pool::reset();
+    }
+
+    #[test]
+    fn pool_stats_are_consistent_under_with_threads() {
+        crate::pool::reset();
+        for threads in [1usize, 2, 4] {
+            with_threads(threads, || {
+                let a = crate::pool::zeros(6, 2);
+                let b = crate::pool::clone_of(&a);
+                crate::pool::put(a);
+                crate::pool::put(b);
+            });
+            let stats = crate::pool::stats();
+            assert!(
+                stats.consistent(),
+                "caller stats inconsistent at {threads} threads: {stats:?}"
+            );
+        }
+        let stats = crate::pool::stats();
+        // Three rounds of two takes / two puts on the caller thread: all
+        // recycles must be visible here and balance against the holdings.
+        assert_eq!(stats.recycled, 6);
+        assert_eq!(stats.buffers as u64, stats.recycled - stats.hits);
+        crate::pool::reset();
     }
 
     #[test]

@@ -68,6 +68,17 @@ impl PoolStats {
         }
     }
 
+    /// Internal bookkeeping invariant: every buffer held by the pool
+    /// arrived through a recycle and leaves through a hit, so the live
+    /// buffer count must equal `recycled - hits` exactly. A violation
+    /// means a buffer leaked into or double-counted in the free lists —
+    /// the cross-thread failure mode the pool's thread-locality exists to
+    /// prevent. Checked by the parallel worker tests and cheap enough to
+    /// assert anywhere.
+    pub fn consistent(&self) -> bool {
+        self.recycled >= self.hits && self.buffers as u64 == self.recycled - self.hits
+    }
+
     /// Activity since an `earlier` snapshot: the counters become deltas,
     /// while `buffers`/`floats` stay absolute (they describe what the pool
     /// holds *now*, not what happened in between). This is how

@@ -226,6 +226,14 @@ impl Csr {
                 }
             }
         };
+        // `balanced_cuts` invariants at the call site: indptr is the
+        // cumulative-weight array, so it must be monotone and span every
+        // row, or the partitioner would cut inside a row's nonzeros.
+        debug_assert_eq!(self.indptr.len(), self.rows + 1, "indptr must have rows + 1 entries");
+        debug_assert!(
+            self.indptr.windows(2).all(|w| w[0] <= w[1]),
+            "indptr must be non-decreasing"
+        );
         parallel_ranges(&self.indptr, &|r| r * n, self.nnz() * n, out.data_mut(), run);
         out
     }

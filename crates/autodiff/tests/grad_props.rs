@@ -369,3 +369,25 @@ proptest! {
         prop_assert!(err < TOL, "rel err {err}");
     }
 }
+
+/// The leaf ops, pinned exactly rather than by finite differences:
+/// `param` is the one node that receives gradients, and `input` records a
+/// constant that must stay gradient-free while still feeding the graph.
+/// For `loss = sum(w ⊙ c)` the analytic gradient dloss/dw is exactly `c`.
+#[test]
+fn leaf_ops_input_and_param_route_gradients() {
+    let mut store = VarStore::new();
+    let p = store.add("w", input(7, 2, 3));
+    let constant = input(8, 2, 3);
+
+    let mut t = Tape::new(0);
+    let w = t.param(&store, p);
+    let c = t.input(Arc::new(constant.clone()));
+    let prod = t.mul(w, c);
+    let loss = t.sum_all(prod);
+    let grads = t.backward(loss);
+
+    let g = grads.get(p).expect("param leaf must receive a gradient");
+    assert_eq!(g.data(), constant.data(), "d sum(w*c)/dw must equal c bitwise");
+    assert_eq!(grads.iter().count(), 1, "the input constant must not appear among the gradients");
+}

@@ -1,0 +1,212 @@
+//! Cross-thread determinism gate: runs one full SANE search step (mixed
+//! forward + backward + α and w Adam updates) at 1/2/4/`hardware` worker
+//! threads and bitwise-compares the resulting
+//! [`sane_core::search::StepFingerprint`]s — loss, every gradient, every
+//! parameter and every α row. Any divergence fails the process (and CI).
+//!
+//! On mismatch the report attributes the divergence: each run records
+//! per-kernel telemetry samples (`kernel.<name>.ns`), and kernels whose
+//! sample counts differ from the serial reference are listed as suspects —
+//! a different invocation count means a different code path, which is
+//! exactly where a thread-count-dependent kernel hides.
+//!
+//! Emits `DETERMINISM.json`. Usage:
+//! `cargo run --release -p sane-bench --bin determinism -- --quick`
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use serde::{Serialize, Value};
+
+use sane_autodiff::parallel::{hardware_threads, with_threads};
+use sane_bench::HarnessArgs;
+use sane_core::prelude::*;
+use sane_core::search::{search_step_fingerprint, StepFingerprint};
+use sane_data::CitationConfig;
+use sane_gnn::Activation;
+
+#[derive(Serialize)]
+struct RunReport {
+    threads: usize,
+    /// Telemetry kernel-sample counts observed during this run.
+    kernel_counts: BTreeMap<String, u64>,
+}
+
+#[derive(Serialize)]
+struct Mismatch {
+    threads: usize,
+    /// Fingerprint sections that diverged from the 1-thread reference
+    /// (e.g. `loss`, `grad:layer0.gcn.w`, `alpha:node[1]`).
+    labels: Vec<String>,
+    /// Kernels whose telemetry sample count differs from the reference
+    /// run — the per-kernel attribution hint for the divergence.
+    suspect_kernels: Vec<String>,
+}
+
+#[derive(Serialize)]
+struct DeterminismReport {
+    preset: String,
+    threads: Vec<usize>,
+    available_parallelism: usize,
+    /// Scalars covered by each fingerprint (loss + grads + params + α).
+    fingerprint_scalars: usize,
+    passed: bool,
+    runs: Vec<RunReport>,
+    mismatches: Vec<Mismatch>,
+}
+
+/// Runs the probe under an installed recorder and returns the fingerprint
+/// plus the per-kernel sample counts from the flushed metrics record.
+fn probe(
+    task: &Task,
+    cfg: &SaneSearchConfig,
+    threads: usize,
+) -> (StepFingerprint, BTreeMap<String, u64>) {
+    let buf: sane_telemetry::MemoryBuffer = Rc::new(RefCell::new(String::new()));
+    let fp = {
+        let _guard = sane_telemetry::Recorder::new("determinism")
+            .with_memory(Rc::clone(&buf))
+            .with_kernel_timing(true)
+            .install();
+        let fp = with_threads(threads, || search_step_fingerprint(task, cfg));
+        sane_telemetry::flush_metrics();
+        fp
+    };
+    let counts = kernel_counts(&buf.borrow());
+    (fp, counts)
+}
+
+/// Object-field lookup on the workspace serde stub's `Value` tree.
+fn get<'a>(obj: &'a [(String, Value)], name: &str) -> Option<&'a Value> {
+    obj.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+/// Extracts `kernel.<name>.ns` sample counts from the last `metrics`
+/// record in a telemetry JSONL buffer.
+fn kernel_counts(jsonl: &str) -> BTreeMap<String, u64> {
+    let mut counts = BTreeMap::new();
+    for line in jsonl.lines() {
+        let Ok(rec) = serde_json::from_str::<Value>(line) else {
+            continue;
+        };
+        let Some(fields) = rec.as_obj() else {
+            continue;
+        };
+        if get(fields, "kind").and_then(Value::as_str) != Some("metrics") {
+            continue;
+        }
+        let Some(summaries) = get(fields, "summaries").and_then(Value::as_obj) else {
+            continue;
+        };
+        // Cumulative flushes: later records supersede earlier ones.
+        counts.clear();
+        for (name, summary) in summaries {
+            let Some(kernel) = name.strip_prefix("kernel.").and_then(|n| n.strip_suffix(".ns"))
+            else {
+                continue;
+            };
+            let Some(sfields) = summary.as_obj() else {
+                continue;
+            };
+            if let Some(Value::Num(count)) = get(sfields, "count") {
+                counts.insert(kernel.to_string(), *count as u64);
+            }
+        }
+    }
+    counts
+}
+
+fn suspect_kernels(
+    reference: &BTreeMap<String, u64>,
+    observed: &BTreeMap<String, u64>,
+) -> Vec<String> {
+    let mut suspects: Vec<String> = reference
+        .iter()
+        .filter(|(k, v)| observed.get(*k) != Some(v))
+        .map(|(k, _)| k.clone())
+        .collect();
+    suspects.extend(observed.keys().filter(|k| !reference.contains_key(*k)).cloned());
+    suspects.sort();
+    suspects.dedup();
+    suspects
+}
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let quick = args.scale.name == "quick";
+    let data_scale = if quick { 0.025 } else { 0.1 };
+    let ds = CitationConfig::cora().scaled(data_scale).with_seed(args.scale.seed).generate();
+    let task = Task::node(ds);
+    let cfg = SaneSearchConfig {
+        supernet: SupernetConfig {
+            k: 2,
+            hidden: if quick { 8 } else { 16 },
+            dropout: 0.2,
+            activation: Activation::Relu,
+            use_layer_agg: true,
+        },
+        epochs: 1,
+        seed: args.scale.seed,
+        ..Default::default()
+    };
+
+    let mut threads: Vec<usize> = vec![1, 2, 4, hardware_threads()];
+    threads.sort_unstable();
+    threads.dedup();
+    println!(
+        "determinism gate: preset={}, {} fingerprinted thread count(s), {} hardware threads",
+        args.scale.name,
+        threads.len(),
+        hardware_threads(),
+    );
+
+    let (reference, ref_counts) = probe(&task, &cfg, threads[0]);
+    println!(
+        "  {} scalars fingerprinted per step ({} kernels sampled)",
+        reference.num_scalars(),
+        ref_counts.len(),
+    );
+
+    let mut runs = vec![RunReport { threads: threads[0], kernel_counts: ref_counts.clone() }];
+    let mut mismatches = Vec::new();
+    for &t in &threads[1..] {
+        let (fp, counts) = probe(&task, &cfg, t);
+        let labels = reference.diff(&fp);
+        if labels.is_empty() {
+            println!("  {t} thread(s): bitwise identical to serial");
+        } else {
+            let suspects = suspect_kernels(&ref_counts, &counts);
+            println!(
+                "  {t} thread(s): DIVERGED on {} section(s): {:?} (suspect kernels: {:?})",
+                labels.len(),
+                &labels[..labels.len().min(8)],
+                suspects,
+            );
+            mismatches.push(Mismatch { threads: t, labels, suspect_kernels: suspects });
+        }
+        runs.push(RunReport { threads: t, kernel_counts: counts });
+    }
+
+    let report = DeterminismReport {
+        preset: args.scale.name.clone(),
+        threads,
+        available_parallelism: hardware_threads(),
+        fingerprint_scalars: reference.num_scalars(),
+        passed: mismatches.is_empty(),
+        runs,
+        mismatches,
+    };
+    std::fs::create_dir_all(&args.out_dir).expect("create results dir"); // lint:allow(expect)
+    let path = args.out_dir.join("DETERMINISM.json");
+    let json = serde_json::to_string_pretty(&report).expect("serialise report"); // lint:allow(expect)
+    std::fs::write(&path, json).expect("write determinism json"); // lint:allow(expect)
+    println!("[saved {}]", path.display());
+
+    assert!(
+        report.passed,
+        "search step is not bitwise deterministic across thread counts; see {}",
+        path.display()
+    );
+    println!("determinism gate passed: bitwise identical at every thread count");
+}

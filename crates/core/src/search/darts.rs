@@ -103,7 +103,7 @@ pub struct SaneSearchOutput {
 
 /// Which loss a gradient computation targets.
 #[derive(Copy, Clone, PartialEq, Eq)]
-enum Split {
+pub(crate) enum Split {
     Train,
     Val,
 }
@@ -265,7 +265,7 @@ fn eval_mixed_val(task: &Task, net: &Supernet, store: &VarStore) -> f64 {
 }
 
 /// Gradients of the fully-mixed supernet loss on one split.
-fn mixed_grads(
+pub(crate) fn mixed_grads(
     task: &Task,
     net: &Supernet,
     store: &VarStore,
@@ -280,7 +280,7 @@ fn mixed_grads(
 /// Records the fully-mixed supernet forward + loss on one split and returns
 /// the tape with the loss node, so callers can audit the tape as well as
 /// run backward.
-fn mixed_loss_tape(
+pub(crate) fn mixed_loss_tape(
     task: &Task,
     net: &Supernet,
     store: &VarStore,

@@ -2,6 +2,7 @@
 //! baseline the paper compares against.
 
 pub mod darts;
+pub mod determinism;
 pub mod evolution;
 pub mod graphnas;
 pub mod oracle;
@@ -12,6 +13,7 @@ pub mod trace;
 pub mod ws;
 
 pub use darts::{sane_search, SaneSearchConfig, SaneSearchOutput};
+pub use determinism::{search_step_fingerprint, StepFingerprint};
 pub use evolution::{evolution_search, EvolutionConfig};
 pub use graphnas::{train_graphnas_spec, GraphNasModel, GraphNasSharedPool};
 pub use oracle::GenomeOracle;

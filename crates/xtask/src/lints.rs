@@ -31,6 +31,18 @@
 //!   `// lint:allow(print)`.
 //! * `forbid-unsafe` — every first-party crate root must carry
 //!   `#![forbid(unsafe_code)]`.
+//! * `nondeterministic-iteration` — forbid iterating a `HashMap` /
+//!   `HashSet` in non-test library code: hash iteration order varies
+//!   between runs (and std versions), so anything emitted from such a loop
+//!   — telemetry records, report rows, partition work lists — breaks
+//!   reproducibility. Membership tests and lookups are fine; iterate a
+//!   `BTreeMap`/`BTreeSet` or a sorted `Vec` instead. Waivable with
+//!   `// lint:allow(nondeterministic-iteration)` when the loop provably
+//!   feeds an order-insensitive reduction.
+//!
+//! [`parse_sanitizer_log`] is not a source lint but shares the [`Finding`]
+//! shape: it scans Miri / ThreadSanitizer output fed to
+//! `xtask audit --sanitizer-report` for diagnostics.
 //!
 //! The needles below are assembled with `concat!` so this file does not
 //! itself contain the forbidden tokens and can be linted like any other
@@ -84,6 +96,26 @@ const PRINT_WAIVER: &str = concat!("lint:allow", "(print)");
 /// Crates whose library code may print: the telemetry sinks (console
 /// output is their entire job) and the xtask harness itself.
 const PRINT_HOMES: [&str; 2] = ["crates/telemetry/", "crates/xtask/"];
+/// Type needles that mark a binding as hash-ordered.
+const HASH_TYPE_NEEDLES: [&str; 4] = [
+    concat!("Hash", "Map<"),
+    concat!("Hash", "Set<"),
+    concat!("Hash", "Map::"),
+    concat!("Hash", "Set::"),
+];
+/// Method calls that iterate a collection in storage order.
+const ITER_METHOD_NEEDLES: [&str; 5] =
+    [".iter()", ".keys()", ".values()", ".into_iter()", ".drain("];
+const ITERATION_WAIVER: &str = concat!("lint:allow", "(nondeterministic-iteration)");
+/// Diagnostics that mark a sanitizer run as failed. Substring match per
+/// log line; the first hit per line wins so overlapping patterns (a TSan
+/// warning naming a data race) yield one finding, not two.
+const SANITIZER_PATTERNS: [&str; 4] = [
+    "error: Undefined Behavior",
+    "WARNING: ThreadSanitizer",
+    "data race",
+    "error: unsupported operation",
+];
 
 /// Splits one source line into (code, comment) at the first `//` that is
 /// not inside a string literal.
@@ -274,6 +306,141 @@ pub fn lint_raw_thread(file: &str, src: &str) -> Vec<Finding> {
     findings
 }
 
+/// The trailing identifier of `head`, e.g. `let mut counts` -> `counts`,
+/// `fn f(m` -> `m`. Empty when `head` does not end in an identifier.
+fn trailing_ident(head: &str) -> &str {
+    let head = head.trim_end();
+    let start =
+        head.rfind(|c: char| !(c.is_alphanumeric() || c == '_')).map(|i| i + 1).unwrap_or(0);
+    &head[start..]
+}
+
+/// Index of the last declaration separator in `head`: a `:` that is not
+/// part of a `::` path, or a `=` that is not part of `==`/`=>`/`<=` etc.
+fn last_decl_separator(head: &str) -> Option<usize> {
+    let b = head.as_bytes();
+    (0..b.len()).rev().find(|&i| {
+        let prev = i.checked_sub(1).map(|p| b[p]);
+        let next = b.get(i + 1).copied();
+        match b[i] {
+            b':' => prev != Some(b':') && next != Some(b':'),
+            b'=' => {
+                !matches!(prev, Some(b'=' | b'!' | b'<' | b'>' | b'+' | b'-' | b'*' | b'/'))
+                    && !matches!(next, Some(b'=' | b'>'))
+            }
+            _ => false,
+        }
+    })
+}
+
+/// Names bound to a hash-ordered collection in `lines`: `let` bindings,
+/// struct fields and fn args whose declaration line mentions a
+/// `HashMap`/`HashSet` type or constructor.
+fn hash_ordered_bindings(lines: &[String]) -> Vec<String> {
+    let mut names = Vec::new();
+    for line in lines {
+        let (code, _) = split_comment(line);
+        let Some(pos) = HASH_TYPE_NEEDLES.iter().filter_map(|n| code.find(n)).min() else {
+            continue;
+        };
+        // The identifier being declared sits just before the `:` (typed
+        // binding, field, arg) or `=` (inferred `let`) that precedes the
+        // type needle. A `::` path separator or `=>`/`==` is not a
+        // declaration separator, so those are skipped.
+        let head = &code[..pos];
+        let head = last_decl_separator(head).map(|i| &head[..i]).unwrap_or(head);
+        let name = trailing_ident(head);
+        if !name.is_empty()
+            && !matches!(name, "let" | "mut" | "pub" | "fn" | "use" | "super" | "std")
+            && !names.iter().any(|n| n == name)
+        {
+            names.push(name.to_string());
+        }
+    }
+    names
+}
+
+/// `true` when `code` contains `pat` delimited by non-identifier chars.
+fn mentions_ident(code: &str, pat: &str) -> bool {
+    let mut from = 0;
+    while let Some(i) = code[from..].find(pat) {
+        let start = from + i;
+        let end = start + pat.len();
+        let before_ok =
+            code[..start].chars().next_back().is_none_or(|c| !(c.is_alphanumeric() || c == '_'));
+        let after_ok =
+            code[end..].chars().next().is_none_or(|c| !(c.is_alphanumeric() || c == '_'));
+        if before_ok && after_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// Forbids iterating `HashMap`/`HashSet` bindings in non-test library
+/// code: hash iteration order is not deterministic across runs, so loops
+/// over it leak nondeterminism into anything they emit. Detection is
+/// declaration-driven — a binding declared with a hash type anywhere in
+/// the file is flagged wherever it is iterated (`.iter()`, `.keys()`,
+/// `.values()`, `.into_iter()`, `.drain(`, or as a bare `for .. in`
+/// operand). Membership tests and indexed lookups are untouched.
+pub fn lint_nondeterministic_iteration(file: &str, src: &str) -> LintOutcome {
+    let mut out = LintOutcome::default();
+    let lines = strip_test_code(src);
+    let names = hash_ordered_bindings(&lines);
+    if names.is_empty() {
+        return out;
+    }
+    for (idx, line) in lines.iter().enumerate() {
+        let (code, comment) = split_comment(line);
+        let hit = names.iter().find(|name| {
+            ITER_METHOD_NEEDLES.iter().any(|m| mentions_ident(code, &format!("{name}{m}")))
+                || (code.contains("for ")
+                    && [format!("in {name}"), format!("in &{name}"), format!("in &mut {name}")]
+                        .iter()
+                        .any(|p| mentions_ident(code, p)))
+        });
+        let Some(name) = hit else { continue };
+        let next_comment = lines.get(idx + 1).map(|l| l.trim()).filter(|l| l.starts_with("//"));
+        if comment.contains(ITERATION_WAIVER)
+            || next_comment.is_some_and(|c| c.contains(ITERATION_WAIVER))
+        {
+            out.waived += 1;
+        } else {
+            out.findings.push(Finding {
+                file: file.to_string(),
+                line: idx + 1,
+                lint: "nondeterministic-iteration",
+                message: format!(
+                    "`{name}` is hash-ordered and its iteration order varies between runs; \
+                     use a BTreeMap/BTreeSet or sort first, or waive with \
+                     `// {ITERATION_WAIVER}` if the loop feeds an order-insensitive reduction"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Scans a Miri / ThreadSanitizer log for diagnostics. Each matching line
+/// becomes a `sanitizer` finding, so `xtask audit --sanitizer-report`
+/// fails exactly when the sanitizer run surfaced UB or a data race.
+pub fn parse_sanitizer_log(file: &str, log: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (idx, line) in log.lines().enumerate() {
+        if SANITIZER_PATTERNS.iter().any(|p| line.contains(p)) {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: idx + 1,
+                lint: "sanitizer",
+                message: line.trim().to_string(),
+            });
+        }
+    }
+    findings
+}
+
 /// Extracts every op name registered via `fn name(&self) -> &'static str`
 /// from an autodiff source file, skipping `#[cfg(test)]` fixtures.
 ///
@@ -303,12 +470,11 @@ fn first_string_literal(line: &str) -> Option<String> {
     Some(rest[..end].to_string())
 }
 
-/// Ops that legitimately have no finite-difference test: leaf nodes with
-/// no backward rule of their own.
-const COVERAGE_EXEMPT: [&str; 2] = ["input", "param"];
-
 /// Cross-references registered op names against the gradcheck property
 /// suite: every op must appear as a `.{name}(` call in `grad_props_src`.
+/// There is no exemption list: even the leaf ops (`input`, `param`) must
+/// appear in the suite, pinning down that constants stay gradient-free
+/// and parameters receive exact gradients.
 pub fn lint_gradcheck_coverage(
     op_names: &[(String, String)],
     grad_props_file: &str,
@@ -316,9 +482,6 @@ pub fn lint_gradcheck_coverage(
 ) -> Vec<Finding> {
     let mut findings = Vec::new();
     for (file, name) in op_names {
-        if COVERAGE_EXEMPT.contains(&name.as_str()) {
-            continue;
-        }
         let call = format!(".{name}(");
         if !grad_props_src.contains(&call) {
             findings.push(Finding {
@@ -491,10 +654,140 @@ mod tests {
             ("ops/b.rs".to_string(), "mystery".to_string()),
             ("tape.rs".to_string(), "input".to_string()),
         ];
-        let tests = "fn case(t: &mut Tape) { let y = t.add(x, x); }";
+        let tests = "fn case(t: &mut Tape) { let c = t.input(m); let y = t.add(x, c); }";
         let findings = lint_gradcheck_coverage(&ops, "grad_props.rs", tests);
         assert_eq!(findings.len(), 1);
         assert!(findings[0].message.contains("mystery"));
+    }
+
+    #[test]
+    fn leaf_ops_are_not_exempt_from_coverage() {
+        // The former exemption list for `input`/`param` is gone: leaf ops
+        // without a case in the suite fail the lint like any other op.
+        let ops = vec![
+            ("tape.rs".to_string(), "input".to_string()),
+            ("tape.rs".to_string(), "param".to_string()),
+        ];
+        let findings = lint_gradcheck_coverage(&ops, "grad_props.rs", "fn case() {}");
+        assert_eq!(findings.len(), 2, "{findings:?}");
+    }
+
+    #[test]
+    fn hash_map_iteration_is_flagged() {
+        let src = concat!(
+            "use std::collections::Hash",
+            "Map;\n",
+            "fn emit(counts: &Hash",
+            "Map<String, u64>) {\n",
+            "    for (k, v) in counts.iter() {\n",
+            "        record(k, v);\n",
+            "    }\n",
+            "}\n",
+        );
+        let out = lint_nondeterministic_iteration("crates/core/src/report.rs", src);
+        assert_eq!(out.findings.len(), 1, "{:?}", out.findings);
+        assert_eq!(out.findings[0].lint, "nondeterministic-iteration");
+        assert_eq!(out.findings[0].line, 3);
+    }
+
+    #[test]
+    fn hash_set_for_loop_and_drain_are_flagged() {
+        let src = concat!(
+            "let mut seen = Hash",
+            "Set::new();\n",
+            "for id in &seen { push(id); }\n",
+            "let drained: Vec<_> = seen.drain().collect();\n",
+        );
+        let out = lint_nondeterministic_iteration("lib.rs", src);
+        assert_eq!(out.findings.len(), 2, "{:?}", out.findings);
+    }
+
+    #[test]
+    fn hash_membership_and_btree_iteration_are_fine() {
+        // Lookups on a hash map are order-free; BTreeMap iteration is
+        // deterministic. Neither may trip the lint.
+        let src = concat!(
+            "let mut cache: Hash",
+            "Map<u32, f32> = Hash",
+            "Map::new();\n",
+            "if cache.contains_key(&k) { return cache[&k]; }\n",
+            "let ordered = std::collections::BTreeMap::new();\n",
+            "for (k, v) in ordered.iter() { emit(k, v); }\n",
+        );
+        let out = lint_nondeterministic_iteration("lib.rs", src);
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+    }
+
+    #[test]
+    fn hash_iteration_waiver_and_test_modules_are_honoured() {
+        let waived = concat!(
+            "let total: u64 = counts.values().sum(); // ",
+            "lint:allow",
+            "(nondeterministic-iteration)\n",
+            "fn f(counts: &Hash",
+            "Map<String, u64>) {}\n",
+        );
+        let out = lint_nondeterministic_iteration("lib.rs", waived);
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+        assert_eq!(out.waived, 1);
+
+        let test_only = concat!(
+            "pub fn lib() {}\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    fn t(m: Hash",
+            "Map<u32, u32>) { for k in m.keys() { use_it(k); } }\n",
+            "}\n",
+        );
+        let out = lint_nondeterministic_iteration("lib.rs", test_only);
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+    }
+
+    #[test]
+    fn hash_binding_prefixes_do_not_confuse_the_lint() {
+        // `counts_sorted` is a different binding than the hash-ordered
+        // `counts`; identifier boundaries must be respected.
+        let src = concat!(
+            "let counts = Hash",
+            "Map::new();\n",
+            "let counts_sorted: Vec<_> = sorted(&counts);\n",
+            "for (k, v) in counts_sorted.iter() { emit(k, v); }\n",
+        );
+        let out = lint_nondeterministic_iteration("lib.rs", src);
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+    }
+
+    #[test]
+    fn qualified_hash_paths_still_bind_the_name() {
+        // `std::collections::HashSet` declarations must resolve to the
+        // binding name, not get lost behind the `::` path separators.
+        let src = concat!(
+            "let mut seen = std::collections::Hash",
+            "Set::new();\n",
+            "for g in seen.iter() { emit(g); }\n",
+        );
+        let out = lint_nondeterministic_iteration("lib.rs", src);
+        assert_eq!(out.findings.len(), 1, "{:?}", out.findings);
+        assert!(out.findings[0].message.contains("seen"));
+    }
+
+    #[test]
+    fn sanitizer_diagnostics_become_findings() {
+        let log = concat!(
+            "running 12 tests\n",
+            "test parallel::tests::rows ... ok\n",
+            "WARNING: ThreadSanitizer: data race (pid=421)\n",
+            "  Write of size 4 at 0x7b04 by thread T2:\n",
+            "error: Undefined Behavior: attempting a read under a protector\n",
+        );
+        let findings = parse_sanitizer_log("tsan.log", log);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings.iter().all(|f| f.lint == "sanitizer"));
+        assert_eq!(findings[0].line, 3);
+        assert_eq!(findings[1].line, 5);
+
+        let clean = "running 12 tests\ntest result: ok. 12 passed\n";
+        assert!(parse_sanitizer_log("miri.log", clean).is_empty());
     }
 
     #[test]

@@ -19,6 +19,16 @@
 //!   `results/BENCH_history.jsonl`), `--check` gates history medians
 //!   against `results/BENCH_baseline.json` and exits non-zero on a
 //!   regression, `--seed-baseline` recomputes the baseline from history.
+//! * `determinism` — the cross-thread determinism gate: drives the
+//!   `determinism` bench binary, which runs one full SANE search step at
+//!   1/2/4/`hardware` worker threads and bitwise-compares every loss,
+//!   gradient, parameter and α row (report: `results/DETERMINISM.json`).
+//!   `--quick` uses the small preset for CI.
+//!
+//! `audit` additionally accepts `--sanitizer-report <log>` (repeatable):
+//! each file is scanned for Miri / ThreadSanitizer diagnostics, which are
+//! folded into the findings so nightly sanitizer jobs gate through the
+//! same audit exit code.
 //!
 //! The vendored dependency stand-ins under `vendor/` are deliberately out
 //! of scope: they imitate external crates and are not held to this
@@ -33,8 +43,9 @@ use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
 
 use lints::{
-    extract_op_names, lint_forbid_unsafe, lint_gradcheck_coverage, lint_no_print, lint_raw_thread,
-    lint_unseeded_rng, lint_unwrap_expect, Finding,
+    extract_op_names, lint_forbid_unsafe, lint_gradcheck_coverage, lint_no_print,
+    lint_nondeterministic_iteration, lint_raw_thread, lint_unseeded_rng, lint_unwrap_expect,
+    parse_sanitizer_log, Finding,
 };
 
 /// First-party packages, used to scope the fmt/clippy drivers.
@@ -55,21 +66,25 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let root = workspace_root();
     match args.first().map(String::as_str) {
-        Some("audit") => audit(&root),
+        Some("audit") => audit(&root, &args[1..]),
         Some("fmt") => cargo_driver(&root, &["fmt", "--check"]),
         Some("clippy") => clippy(&root),
         Some("ci") => {
-            let steps = [audit(&root), cargo_driver(&root, &["fmt", "--check"]), clippy(&root)];
+            let steps =
+                [audit(&root, &[]), cargo_driver(&root, &["fmt", "--check"]), clippy(&root)];
             steps.into_iter().find(|c| *c != ExitCode::SUCCESS).unwrap_or(ExitCode::SUCCESS)
         }
         Some("trace-report") => trace_report(&root, args.get(1).map(String::as_str)),
         Some("profile") => profile_cmd(&root, &args[1..]),
         Some("perf") => perf_cmd(&root, &args[1..]),
+        Some("determinism") => determinism_cmd(&root, &args[1..]),
         _ => {
             eprintln!(
-                "usage: cargo run -p xtask -- <audit|fmt|clippy|ci|trace-report <file>|\
+                "usage: cargo run -p xtask -- <audit [--sanitizer-report <log>]|fmt|clippy|ci|\
+                 trace-report <file>|\
                  profile <file> [--min-attributed <frac>]|\
-                 perf [--quick] [--check] [--seed-baseline] [--runs <n>]>"
+                 perf [--quick] [--check] [--seed-baseline] [--runs <n>]|\
+                 determinism [--quick]>"
             );
             ExitCode::from(2)
         }
@@ -293,6 +308,39 @@ fn perf_cmd(root: &Path, args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The cross-thread determinism gate: runs the `determinism` bench binary
+/// (one full search step fingerprinted at 1/2/4/`hardware` worker
+/// threads), which exits non-zero — and therefore fails this command and
+/// CI — on any bitwise divergence. The structured report lands in
+/// `results/DETERMINISM.json`.
+fn determinism_cmd(root: &Path, args: &[String]) -> ExitCode {
+    let mut quick = false;
+    for arg in args {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            other => {
+                eprintln!("xtask determinism: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let mut cmd = Command::new(env!("CARGO"));
+    cmd.current_dir(root);
+    cmd.args(["run", "--release", "-p", "sane-bench", "--bin", "determinism", "--"]);
+    if quick {
+        cmd.arg("--quick");
+    }
+    cmd.arg("--out").arg(root.join("results"));
+    if run(cmd) != ExitCode::SUCCESS {
+        eprintln!(
+            "xtask determinism: search step is NOT bitwise deterministic across thread counts; \
+             see results/DETERMINISM.json for the diverging sections and suspect kernels"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 /// Validates a JSONL run trace and prints its summary. A malformed trace
 /// (parse error, non-monotone clock, unbalanced spans, invalid α rows…)
 /// exits non-zero so CI jobs fail on corrupted telemetry.
@@ -356,7 +404,30 @@ fn is_bin_target(rel: &Path) -> bool {
     comps.windows(2).any(|w| w[0] == "src" && w[1] == "bin")
 }
 
-fn audit(root: &Path) -> ExitCode {
+fn audit(root: &Path, args: &[String]) -> ExitCode {
+    let mut sanitizer_reports: Vec<PathBuf> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--sanitizer-report" => {
+                let Some(v) = it.next() else {
+                    eprintln!("xtask audit: --sanitizer-report needs a path");
+                    return ExitCode::from(2);
+                };
+                let p = Path::new(v);
+                sanitizer_reports.push(if p.is_absolute() {
+                    p.to_path_buf()
+                } else {
+                    root.join(p)
+                });
+            }
+            other => {
+                eprintln!("xtask audit: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
     // Crate source roots: every first-party crate plus the root package.
     let mut crate_dirs: Vec<PathBuf> = Vec::new();
     let Ok(entries) = std::fs::read_dir(root.join("crates")) else {
@@ -371,6 +442,7 @@ fn audit(root: &Path) -> ExitCode {
     let mut findings: Vec<Finding> = Vec::new();
     let mut waived_expect = 0usize;
     let mut waived_print = 0usize;
+    let mut waived_iteration = 0usize;
     let mut scanned = 0usize;
     let mut op_registry: Vec<(String, String)> = Vec::new();
 
@@ -397,6 +469,15 @@ fn audit(root: &Path) -> ExitCode {
 
             // unwrap/expect and raw prints: non-test library code only.
             let in_src = rel_crate.starts_with("src");
+
+            // Hash-order iteration in emitting (non-test src) paths breaks
+            // run-to-run reproducibility; bin drivers emit output too.
+            if in_src {
+                let out = lint_nondeterministic_iteration(&name, &src);
+                findings.extend(out.findings);
+                waived_iteration += out.waived;
+            }
+
             if in_src && !is_bin_target(rel_crate) {
                 let out = lint_unwrap_expect(&name, &src);
                 findings.extend(out.findings);
@@ -441,18 +522,34 @@ fn audit(root: &Path) -> ExitCode {
         });
     }
 
+    // Sanitizer logs (Miri / ThreadSanitizer) from nightly CI jobs are
+    // folded into the same findings stream, so one exit code gates both.
+    let mut sanitizer_findings = 0usize;
+    for report in &sanitizer_reports {
+        let name = report.strip_prefix(root).unwrap_or(report).display().to_string();
+        let log = read(report);
+        let parsed = parse_sanitizer_log(&name, &log);
+        sanitizer_findings += parsed.len();
+        findings.extend(parsed);
+    }
+
     for f in &findings {
         eprintln!("{f}");
     }
     eprintln!(
         "xtask audit: {} file(s), {} registered op(s), {} finding(s), {} waived site(s) \
-         ({} lint:allow(print), {} lint:allow(unwrap/expect))",
+         ({} lint:allow(print), {} lint:allow(unwrap/expect), \
+         {} lint:allow(nondeterministic-iteration)), 0 gradcheck-coverage exemption(s), \
+         {} sanitizer report(s) ({} sanitizer finding(s))",
         scanned,
         op_registry.len(),
         findings.len(),
-        waived_expect + waived_print,
+        waived_expect + waived_print + waived_iteration,
         waived_print,
-        waived_expect
+        waived_expect,
+        waived_iteration,
+        sanitizer_reports.len(),
+        sanitizer_findings
     );
     if findings.is_empty() {
         ExitCode::SUCCESS
