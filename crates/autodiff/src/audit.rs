@@ -36,6 +36,7 @@
 //! [`Op::arity`]: crate::tape::Op::arity
 //! [`Op::infer_shape`]: crate::tape::Op::infer_shape
 
+use crate::dataflow::{MemPlan, MemSummary};
 use crate::tape::{Gradients, Tape, Tensor, VarStore};
 
 /// Declared number of inputs an op consumes from the tape.
@@ -174,6 +175,9 @@ pub struct TapeReport {
     /// process-lifetime counters here, which accumulated across epochs
     /// and hid late-run regressions.
     pub pool: crate::pool::PoolStats,
+    /// Planned-vs-baseline peak residency from the dataflow memory plan;
+    /// `None` unless the report came from [`Tape::audit_with_memplan`].
+    pub mem: Option<MemSummary>,
 }
 
 impl TapeReport {
@@ -210,6 +214,9 @@ impl std::fmt::Display for TapeReport {
             },
         )?;
         writeln!(f, "  buffer pool: {}", self.pool)?;
+        if let Some(mem) = &self.mem {
+            writeln!(f, "  memory plan: {mem}")?;
+        }
         if self.findings.is_empty() {
             write!(f, "  clean: no findings")
         } else {
@@ -309,18 +316,11 @@ impl Tape {
             }
         }
 
-        // Pass 3: reachability from the loss (reverse DFS over inputs).
-        let mut reachable = vec![false; n];
-        let mut stack = vec![output.0];
-        reachable[output.0] = true;
-        while let Some(i) = stack.pop() {
-            for t in &self.node(i).inputs {
-                if !reachable[t.0] {
-                    reachable[t.0] = true;
-                    stack.push(t.0);
-                }
-            }
-        }
+        // Pass 3: reachability from the loss. This is the dataflow
+        // module's reachability — one implementation shared with the
+        // memory planner, so the dead-compute findings below and a
+        // [`MemPlan`]'s dead list cannot disagree.
+        let reachable = self.op_graph(Some(output)).reachable();
         let reachable_nodes = reachable.iter().filter(|&&r| r).count();
 
         let mut num_param_nodes = 0;
@@ -382,7 +382,27 @@ impl Tape {
             num_param_nodes,
             fan,
             pool: self.pool_activity(),
+            mem: None,
         }
+    }
+
+    /// [`Tape::audit`], extended with a verified dataflow memory plan:
+    /// the report gains planned-vs-baseline peak residency in
+    /// [`TapeReport::mem`] and the plan is returned for execution via
+    /// [`Tape::backward_measured`].
+    ///
+    /// # Panics
+    /// Panics if the generated plan fails [`crate::dataflow::check_memplan`]
+    /// (see [`Tape::memplan`]).
+    pub fn audit_with_memplan(
+        &self,
+        output: Tensor,
+        store: Option<&VarStore>,
+    ) -> (TapeReport, MemPlan) {
+        let mut report = self.audit(output, store);
+        let plan = self.memplan(output);
+        report.mem = Some(plan.summary());
+        (report, plan)
     }
 
     /// [`Tape::audit`], extended with a non-finite scan over a gradient set
@@ -531,6 +551,27 @@ mod tests {
         assert_eq!(f.len(), 1, "{report}");
         assert!(f[0].message.contains("w_frozen"), "{}", f[0].message);
         assert!(!report.has_errors(), "dead params are warnings, not errors");
+    }
+
+    /// The audit's dead-compute findings and the memory plan's dead list
+    /// come from one shared reachability pass; this fixture pins them to
+    /// each other so the two reports can never disagree.
+    #[test]
+    fn dead_compute_report_matches_memplan_dead_list() {
+        let mut tape = Tape::new(0);
+        let x = tape.constant(Matrix::from_vec(2, 2, vec![1.0; 4]));
+        let w1 = tape.relu(x);
+        let _w2 = tape.add_scalar(w1, 1.0); // dead chain of two ops
+        let loss = tape.sum_all(x);
+        let (report, plan) = tape.audit_with_memplan(loss, None);
+        let audit_dead: Vec<usize> = report
+            .of_kind(FindingKind::DeadCompute)
+            .map(|f| f.node.expect("dead-compute findings name a node")) // lint:allow(expect)
+            .collect();
+        assert_eq!(audit_dead, plan.dead, "{report}");
+        let mem = report.mem.expect("memplan audit fills the summary"); // lint:allow(expect)
+        assert_eq!(mem.dead_ops, 2);
+        assert!(format!("{report}").contains("memory plan:"), "{report}");
     }
 
     #[test]

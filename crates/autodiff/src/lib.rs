@@ -19,6 +19,12 @@
 //! * [`audit`] — static tape analysis: shape/arity checking against each
 //!   op's declared metadata, dead-compute and dead-parameter detection,
 //!   gradient-accumulation accounting and NaN/inf provenance.
+//! * [`dataflow`] — liveness/interference analysis over the recorded tape
+//!   and a verified memory-reuse plan ([`Tape::memplan`] /
+//!   [`Tape::backward_measured`]): every op declares what its backward
+//!   pass reads, the planner frees everything else as early as possible,
+//!   and an independent checker proves the plan before any executor
+//!   consumes it.
 //! * [`parallel`] — the one threading policy every dense/sparse/segment
 //!   kernel partitions through (`SANE_NUM_THREADS` to override).
 //! * [`pool`] — thread-local buffer pool; tape values and gradients are
@@ -53,6 +59,7 @@ mod tape;
 
 pub mod analysis;
 pub mod audit;
+pub mod dataflow;
 pub mod gradcheck;
 pub mod metrics;
 pub mod optim;
@@ -71,8 +78,9 @@ pub mod ops {
 
 pub use analysis::{PartitionPlan, PlanError, ShadowFinding, ShadowLog, WriteRange};
 pub use audit::{Arity, FanStats, Finding, FindingKind, Severity, TapeReport};
+pub use dataflow::{GradReads, InputReads, MemPlan, MemPlanError, MemSummary, OpGraph};
 pub use matrix::Matrix;
 pub use ops::Segments;
 pub use pool::PoolStats;
 pub use sparse::Csr;
-pub use tape::{glorot_init, uniform_init, Gradients, ParamId, Tape, Tensor, VarStore};
+pub use tape::{glorot_init, uniform_init, ExecStats, Gradients, ParamId, Tape, Tensor, VarStore};

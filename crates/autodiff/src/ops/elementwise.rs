@@ -5,6 +5,7 @@ use std::sync::Arc;
 use rand::Rng;
 
 use crate::audit::Arity;
+use crate::dataflow::GradReads;
 use crate::matrix::Matrix;
 use crate::pool;
 use crate::tape::{Op, Tape, Tensor};
@@ -49,6 +50,9 @@ impl Op for AddOp {
     fn infer_shape(&self, inputs: &[(usize, usize)]) -> InferredShape {
         infer_same_shape_binary(inputs)
     }
+    fn grad_reads(&self) -> GradReads {
+        GradReads::NONE
+    }
 }
 
 struct SubOp;
@@ -66,6 +70,9 @@ impl Op for SubOp {
     }
     fn infer_shape(&self, inputs: &[(usize, usize)]) -> InferredShape {
         infer_same_shape_binary(inputs)
+    }
+    fn grad_reads(&self) -> GradReads {
+        GradReads::NONE
     }
 }
 
@@ -91,6 +98,9 @@ impl Op for MulOp {
     fn infer_shape(&self, inputs: &[(usize, usize)]) -> InferredShape {
         infer_same_shape_binary(inputs)
     }
+    fn grad_reads(&self) -> GradReads {
+        GradReads::INPUTS_ONLY
+    }
 }
 
 struct ScaleOp(f32);
@@ -109,6 +119,9 @@ impl Op for ScaleOp {
     fn infer_shape(&self, inputs: &[(usize, usize)]) -> InferredShape {
         infer_unary_identity(inputs)
     }
+    fn grad_reads(&self) -> GradReads {
+        GradReads::NONE
+    }
 }
 
 struct AddScalarOp;
@@ -125,6 +138,9 @@ impl Op for AddScalarOp {
     fn infer_shape(&self, inputs: &[(usize, usize)]) -> InferredShape {
         infer_unary_identity(inputs)
     }
+    fn grad_reads(&self) -> GradReads {
+        GradReads::NONE
+    }
 }
 
 /// `a * s` where `s` is a `1 x 1` tensor (differentiable scalar gate).
@@ -139,6 +155,9 @@ impl Op for MulScalarTensorOp {
     }
     fn name(&self) -> &'static str {
         "mul_scalar_tensor"
+    }
+    fn grad_reads(&self) -> GradReads {
+        GradReads::INPUTS_ONLY
     }
     fn arity(&self) -> Arity {
         Arity::Exact(2)
@@ -171,6 +190,9 @@ impl Op for ReluOp {
     fn infer_shape(&self, inputs: &[(usize, usize)]) -> InferredShape {
         infer_unary_identity(inputs)
     }
+    fn grad_reads(&self) -> GradReads {
+        GradReads::OUT_ONLY
+    }
 }
 
 struct LeakyReluOp(f32);
@@ -192,6 +214,9 @@ impl Op for LeakyReluOp {
     }
     fn infer_shape(&self, inputs: &[(usize, usize)]) -> InferredShape {
         infer_unary_identity(inputs)
+    }
+    fn grad_reads(&self) -> GradReads {
+        GradReads::inputs_at(&[0])
     }
 }
 
@@ -216,6 +241,9 @@ impl Op for EluOp {
     fn infer_shape(&self, inputs: &[(usize, usize)]) -> InferredShape {
         infer_unary_identity(inputs)
     }
+    fn grad_reads(&self) -> GradReads {
+        GradReads::OUT_ONLY
+    }
 }
 
 struct TanhOp;
@@ -236,6 +264,9 @@ impl Op for TanhOp {
     fn infer_shape(&self, inputs: &[(usize, usize)]) -> InferredShape {
         infer_unary_identity(inputs)
     }
+    fn grad_reads(&self) -> GradReads {
+        GradReads::OUT_ONLY
+    }
 }
 
 struct SigmoidOp;
@@ -255,6 +286,9 @@ impl Op for SigmoidOp {
     }
     fn infer_shape(&self, inputs: &[(usize, usize)]) -> InferredShape {
         infer_unary_identity(inputs)
+    }
+    fn grad_reads(&self) -> GradReads {
+        GradReads::OUT_ONLY
     }
 }
 
@@ -283,6 +317,9 @@ impl Op for AbsOp {
     fn infer_shape(&self, inputs: &[(usize, usize)]) -> InferredShape {
         infer_unary_identity(inputs)
     }
+    fn grad_reads(&self) -> GradReads {
+        GradReads::inputs_at(&[0])
+    }
 }
 
 /// Inverted dropout; the mask (with `1/(1-p)` scaling baked in) is saved at
@@ -300,6 +337,9 @@ impl Op for DropoutOp {
     }
     fn name(&self) -> &'static str {
         "dropout"
+    }
+    fn grad_reads(&self) -> GradReads {
+        GradReads::NONE // the scaled mask is saved at forward time
     }
     fn arity(&self) -> Arity {
         Arity::Exact(1)

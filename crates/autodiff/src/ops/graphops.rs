@@ -15,6 +15,7 @@ use std::ops::Range;
 use std::sync::Arc;
 
 use crate::audit::Arity;
+use crate::dataflow::{GradReads, InputReads};
 use crate::matrix::Matrix;
 use crate::parallel::{parallel_ranges, parallel_ranges_pair, parallel_rows, parallel_rows_pair};
 use crate::pool;
@@ -109,7 +110,7 @@ impl Op for GatherRowsOp {
         let mut g = pool::zeros(rows, cols);
         for (o, &i) in self.idx.iter().enumerate() {
             let grow = grad.row(o);
-            let target = g.row_mut(i as usize);
+            let target = g.row_mut(i as usize); // u32 index widens losslessly // lint:allow(lossy-cast)
             for (t, &v) in target.iter_mut().zip(grow) {
                 *t += v;
             }
@@ -119,12 +120,16 @@ impl Op for GatherRowsOp {
     fn name(&self) -> &'static str {
         "gather_rows"
     }
+    fn grad_reads(&self) -> GradReads {
+        GradReads::inputs_at(&[0]) // shape of the scatter target
+    }
     fn arity(&self) -> Arity {
         Arity::Exact(1)
     }
     fn infer_shape(&self, inputs: &[(usize, usize)]) -> InferredShape {
         let (rows, cols) = inputs[0];
         if let Some(&bad) = self.idx.iter().find(|&&i| i as usize >= rows) {
+            // u32 index widens losslessly // lint:allow(lossy-cast)
             return Err(format!("index {bad} out of bounds for {rows} source rows"));
         }
         Ok(Some((self.idx.len(), cols)))
@@ -162,6 +167,9 @@ impl Op for SegmentSumOp {
     fn name(&self) -> &'static str {
         "segment_sum"
     }
+    fn grad_reads(&self) -> GradReads {
+        GradReads::inputs_at(&[0]) // shape of the scatter target
+    }
     fn arity(&self) -> Arity {
         Arity::Exact(1)
     }
@@ -185,7 +193,7 @@ impl Op for SegmentMeanOp {
                 if n == 0 {
                     continue;
                 }
-                let scale = 1.0 / n as f32;
+                let scale = 1.0 / n as f32; // count stays far below 2^24 // lint:allow(lossy-cast)
                 let grow = grad.row(s);
                 for e in segs.range(s) {
                     let r = e - base;
@@ -207,6 +215,9 @@ impl Op for SegmentMeanOp {
     }
     fn name(&self) -> &'static str {
         "segment_mean"
+    }
+    fn grad_reads(&self) -> GradReads {
+        GradReads::inputs_at(&[0]) // shape of the scatter target
     }
     fn arity(&self) -> Arity {
         Arity::Exact(1)
@@ -236,6 +247,7 @@ impl Op for SegmentMaxOp {
                     let w = winners[s * cols + c];
                     if w != u32::MAX {
                         chunk[(w as usize - base) * cols + c] += grad.get(s, c);
+                        // u32 index widens losslessly // lint:allow(lossy-cast)
                     }
                 }
             }
@@ -252,6 +264,10 @@ impl Op for SegmentMaxOp {
     }
     fn name(&self) -> &'static str {
         "segment_max"
+    }
+    fn grad_reads(&self) -> GradReads {
+        // `out.rows()` sizes the partition; inputs[0] only for its shape.
+        GradReads { out: true, inputs: InputReads::Only(&[0]) }
     }
     fn arity(&self) -> Arity {
         Arity::Exact(1)
@@ -293,6 +309,9 @@ impl Op for SegmentSoftmaxOp {
     }
     fn name(&self) -> &'static str {
         "segment_softmax"
+    }
+    fn grad_reads(&self) -> GradReads {
+        GradReads::OUT_ONLY
     }
     fn arity(&self) -> Arity {
         Arity::Exact(1)
@@ -342,6 +361,9 @@ impl Op for MulColBroadcastOp {
     fn name(&self) -> &'static str {
         "mul_col_broadcast"
     }
+    fn grad_reads(&self) -> GradReads {
+        GradReads::INPUTS_ONLY
+    }
     fn arity(&self) -> Arity {
         Arity::Exact(2)
     }
@@ -372,7 +394,7 @@ impl Tape {
         let av = self.value_arc(a);
         let rows = av.rows();
         assert!(
-            idx.iter().all(|&i| (i as usize) < rows),
+            idx.iter().all(|&i| (i as usize) < rows), // u32 index widens losslessly // lint:allow(lossy-cast)
             "gather_rows index out of bounds (source has {rows} rows)"
         );
         let cols = av.cols();
@@ -381,6 +403,7 @@ impl Tape {
             let run = |orange: Range<usize>, chunk: &mut [f32]| {
                 for (ri, o) in orange.enumerate() {
                     chunk[ri * cols..(ri + 1) * cols].copy_from_slice(av.row(idx[o] as usize));
+                    // u32 index widens losslessly // lint:allow(lossy-cast)
                 }
             };
             crate::parallel::timed("gather_rows", || {
@@ -446,7 +469,7 @@ impl Tape {
                         *o += v;
                     }
                 }
-                let scale = 1.0 / n as f32;
+                let scale = 1.0 / n as f32; // count stays far below 2^24 // lint:allow(lossy-cast)
                 for o in orow {
                     *o *= scale;
                 }
@@ -485,7 +508,7 @@ impl Tape {
                             let v = av.get(e, c);
                             if v > best {
                                 best = v;
-                                best_e = e as u32;
+                                best_e = e as u32; // edge ids fit the u32 CSR domain // lint:allow(lossy-cast)
                             }
                         }
                         ochunk[si * cols + c] = best;

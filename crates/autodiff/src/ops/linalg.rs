@@ -4,6 +4,7 @@
 use std::sync::Arc;
 
 use crate::audit::Arity;
+use crate::dataflow::GradReads;
 use crate::matrix::Matrix;
 use crate::pool;
 use crate::sparse::Csr;
@@ -21,6 +22,9 @@ impl Op for MatMulOp {
     }
     fn name(&self) -> &'static str {
         "matmul"
+    }
+    fn grad_reads(&self) -> GradReads {
+        GradReads::INPUTS_ONLY
     }
     fn arity(&self) -> Arity {
         Arity::Exact(2)
@@ -45,6 +49,9 @@ impl Op for SpmmOp {
     fn name(&self) -> &'static str {
         "spmm"
     }
+    fn grad_reads(&self) -> GradReads {
+        GradReads::NONE // the sparse operator is saved in the op
+    }
     fn arity(&self) -> Arity {
         Arity::Exact(1)
     }
@@ -67,6 +74,9 @@ impl Op for AddBiasOp {
     }
     fn name(&self) -> &'static str {
         "add_bias"
+    }
+    fn grad_reads(&self) -> GradReads {
+        GradReads::NONE
     }
     fn arity(&self) -> Arity {
         Arity::Exact(2)
@@ -102,6 +112,9 @@ impl Op for ConcatColsOp {
     }
     fn name(&self) -> &'static str {
         "concat_cols"
+    }
+    fn grad_reads(&self) -> GradReads {
+        GradReads::NONE // the column widths are saved at record time
     }
     fn arity(&self) -> Arity {
         Arity::AtLeast(1)
@@ -139,6 +152,9 @@ impl Op for SliceColsOp {
     fn name(&self) -> &'static str {
         "slice_cols"
     }
+    fn grad_reads(&self) -> GradReads {
+        GradReads::inputs_at(&[0]) // shape of the scatter target
+    }
     fn arity(&self) -> Arity {
         Arity::Exact(1)
     }
@@ -165,6 +181,9 @@ impl Op for RowSumOp {
     fn name(&self) -> &'static str {
         "row_sum"
     }
+    fn grad_reads(&self) -> GradReads {
+        GradReads::inputs_at(&[0]) // shape of the broadcast target
+    }
     fn arity(&self) -> Arity {
         Arity::Exact(1)
     }
@@ -182,6 +201,9 @@ impl Op for SumAllOp {
     fn name(&self) -> &'static str {
         "sum_all"
     }
+    fn grad_reads(&self) -> GradReads {
+        GradReads::inputs_at(&[0]) // shape of the broadcast target
+    }
     fn arity(&self) -> Arity {
         Arity::Exact(1)
     }
@@ -194,11 +216,14 @@ struct MeanAllOp;
 impl Op for MeanAllOp {
     fn backward(&self, _out: &Matrix, grad: &Matrix, inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
         let (rows, cols) = inputs[0].shape();
-        let n = (rows * cols) as f32;
+        let n = (rows * cols) as f32; // count stays far below 2^24 // lint:allow(lossy-cast)
         vec![Some(pool::full(rows, cols, grad.as_scalar() / n))]
     }
     fn name(&self) -> &'static str {
         "mean_all"
+    }
+    fn grad_reads(&self) -> GradReads {
+        GradReads::inputs_at(&[0]) // shape of the broadcast target
     }
     fn arity(&self) -> Arity {
         Arity::Exact(1)
@@ -226,6 +251,9 @@ impl Op for SoftmaxRowsOp {
     fn name(&self) -> &'static str {
         "softmax_rows"
     }
+    fn grad_reads(&self) -> GradReads {
+        GradReads::OUT_ONLY
+    }
     fn arity(&self) -> Arity {
         Arity::Exact(1)
     }
@@ -250,6 +278,9 @@ impl Op for LogSoftmaxRowsOp {
     fn name(&self) -> &'static str {
         "log_softmax_rows"
     }
+    fn grad_reads(&self) -> GradReads {
+        GradReads::OUT_ONLY
+    }
     fn arity(&self) -> Arity {
         Arity::Exact(1)
     }
@@ -269,12 +300,15 @@ impl Op for MaxStackOp {
         let mut grads: Vec<Matrix> =
             (0..inputs.len()).map(|_| pool::zeros(shape.0, shape.1)).collect();
         for (i, (&w, &g)) in self.winners.iter().zip(grad.data()).enumerate() {
-            grads[w as usize].data_mut()[i] = g;
+            grads[w as usize].data_mut()[i] = g; // u32 index widens losslessly // lint:allow(lossy-cast)
         }
         grads.into_iter().map(Some).collect()
     }
     fn name(&self) -> &'static str {
         "max_stack"
+    }
+    fn grad_reads(&self) -> GradReads {
+        GradReads::inputs_at(&[0]) // shape only; winners are saved
     }
     fn arity(&self) -> Arity {
         Arity::AtLeast(1)
@@ -422,7 +456,7 @@ impl Tape {
         for &t in parts {
             assert_eq!(self.value(t).shape(), shape, "max_stack shape mismatch");
         }
-        assert!(parts.len() <= u8::MAX as usize, "max_stack supports at most 255 tensors");
+        assert!(parts.len() <= u8::MAX as usize, "max_stack supports at most 255 tensors"); // constant widens losslessly // lint:allow(lossy-cast)
         let mut out = pool::clone_of(self.value(parts[0]));
         let mut winners = vec![0u8; out.len()];
         for (k, &t) in parts.iter().enumerate().skip(1) {
@@ -431,7 +465,7 @@ impl Tape {
                 let v = tv.data()[i];
                 if v > out.data()[i] {
                     out.data_mut()[i] = v;
-                    winners[i] = k as u8;
+                    winners[i] = k as u8; // guarded by the 255-tensor assert // lint:allow(lossy-cast)
                 }
             }
         }

@@ -8,6 +8,7 @@
 use std::sync::Arc;
 
 use crate::audit::Arity;
+use crate::dataflow::GradReads;
 use crate::matrix::Matrix;
 use crate::ops::linalg::softmax_rows_value;
 use crate::pool;
@@ -33,12 +34,12 @@ impl Drop for CrossEntropyOp {
 impl Op for CrossEntropyOp {
     fn backward(&self, _out: &Matrix, grad: &Matrix, inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
         let (n, c) = inputs[0].shape();
-        let scale = grad.as_scalar() / self.rows.len() as f32;
+        let scale = grad.as_scalar() / self.rows.len() as f32; // count stays far below 2^24 // lint:allow(lossy-cast)
         let mut g = pool::zeros(n, c);
         for (k, &r) in self.rows.iter().enumerate() {
-            let label = self.labels[r as usize] as usize;
+            let label = self.labels[r as usize] as usize; // u32 index widens losslessly // lint:allow(lossy-cast)
             let prow = self.probs.row(k);
-            let grow = g.row_mut(r as usize);
+            let grow = g.row_mut(r as usize); // u32 index widens losslessly // lint:allow(lossy-cast)
             for (j, (g, &p)) in grow.iter_mut().zip(prow).enumerate() {
                 let target = if j == label { 1.0 } else { 0.0 };
                 // Accumulate: `rows` may legally list a row more than once
@@ -51,6 +52,9 @@ impl Op for CrossEntropyOp {
     }
     fn name(&self) -> &'static str {
         "cross_entropy"
+    }
+    fn grad_reads(&self) -> GradReads {
+        GradReads::inputs_at(&[0]) // logits shape; probabilities are saved
     }
     fn arity(&self) -> Arity {
         Arity::Exact(1)
@@ -80,10 +84,10 @@ struct BceWithLogitsOp {
 impl Op for BceWithLogitsOp {
     fn backward(&self, _out: &Matrix, grad: &Matrix, inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
         let (n, c) = inputs[0].shape();
-        let scale = grad.as_scalar() / (self.rows.len() * c) as f32;
+        let scale = grad.as_scalar() / (self.rows.len() * c) as f32; // count stays far below 2^24 // lint:allow(lossy-cast)
         let mut g = pool::zeros(n, c);
         for &r in self.rows.iter() {
-            let r = r as usize;
+            let r = r as usize; // u32 index widens losslessly // lint:allow(lossy-cast)
             let xrow = inputs[0].row(r);
             let trow = self.targets.row(r);
             let grow = g.row_mut(r);
@@ -96,6 +100,9 @@ impl Op for BceWithLogitsOp {
     }
     fn name(&self) -> &'static str {
         "bce_with_logits"
+    }
+    fn grad_reads(&self) -> GradReads {
+        GradReads::inputs_at(&[0]) // re-derives sigmoids from the logits
     }
     fn arity(&self) -> Arity {
         Arity::Exact(1)
@@ -128,19 +135,19 @@ impl Tape {
         let (n, c) = self.value(logits).shape();
         assert!(!rows.is_empty(), "cross_entropy over an empty row subset");
         assert_eq!(labels.len(), n, "labels must cover every row of the logits");
-        assert!(rows.iter().all(|&r| (r as usize) < n), "row index out of bounds");
+        assert!(rows.iter().all(|&r| (r as usize) < n), "row index out of bounds"); // u32 index widens losslessly // lint:allow(lossy-cast)
         assert!(
-            rows.iter().all(|&r| (labels[r as usize] as usize) < c),
+            rows.iter().all(|&r| (labels[r as usize] as usize) < c), // u32 index widens losslessly // lint:allow(lossy-cast)
             "label out of range for {c} classes"
         );
         let selected = self.value(logits).gather_rows(rows);
         let probs = softmax_rows_value(&selected);
         let mut loss = 0.0;
         for (k, &r) in rows.iter().enumerate() {
-            let p = probs.get(k, labels[r as usize] as usize).max(1e-12);
+            let p = probs.get(k, labels[r as usize] as usize).max(1e-12); // u32 index widens losslessly // lint:allow(lossy-cast)
             loss -= p.ln();
         }
-        loss /= rows.len() as f32;
+        loss /= rows.len() as f32; // count stays far below 2^24 // lint:allow(lossy-cast)
         self.push_op(
             Matrix::scalar(loss),
             Box::new(CrossEntropyOp { labels: Arc::clone(labels), rows: Arc::clone(rows), probs }),
@@ -159,16 +166,16 @@ impl Tape {
         let (n, c) = self.value(logits).shape();
         assert!(!rows.is_empty(), "bce_with_logits over an empty row subset");
         assert_eq!(targets.shape(), (n, c), "target shape mismatch");
-        assert!(rows.iter().all(|&r| (r as usize) < n), "row index out of bounds");
+        assert!(rows.iter().all(|&r| (r as usize) < n), "row index out of bounds"); // u32 index widens losslessly // lint:allow(lossy-cast)
         let mut loss = 0.0;
         for &r in rows.iter() {
-            let r = r as usize;
+            let r = r as usize; // u32 index widens losslessly // lint:allow(lossy-cast)
             for (&x, &t) in self.value(logits).row(r).iter().zip(targets.row(r)) {
                 // Stable formulation: max(x,0) - x t + ln(1 + exp(-|x|)).
                 loss += x.max(0.0) - x * t + (1.0 + (-x.abs()).exp()).ln();
             }
         }
-        loss /= (rows.len() * c) as f32;
+        loss /= (rows.len() * c) as f32; // count stays far below 2^24 // lint:allow(lossy-cast)
         self.push_op(
             Matrix::scalar(loss),
             Box::new(BceWithLogitsOp { targets: Arc::clone(targets), rows: Arc::clone(rows) }),

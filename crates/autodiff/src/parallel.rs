@@ -154,7 +154,7 @@ pub(crate) fn timed<R>(kernel: &'static str, f: impl FnOnce() -> R) -> R {
     }
     let start = std::time::Instant::now();
     let out = f();
-    sane_telemetry::kernel_sample(kernel, start.elapsed().as_nanos() as u64);
+    sane_telemetry::kernel_sample(kernel, start.elapsed().as_nanos() as u64); // u64 nanoseconds overflow after 584 years // lint:allow(lossy-cast)
     out
 }
 

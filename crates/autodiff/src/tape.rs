@@ -17,6 +17,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::audit::Arity;
+use crate::dataflow::{GradReads, MemPlan};
 use crate::matrix::Matrix;
 use crate::pool;
 
@@ -65,6 +66,16 @@ pub(crate) trait Op: Send + Sync {
     /// shape is not determined by the inputs (leaf ops), or `Err` when the
     /// input shapes themselves are inconsistent with the op's contract.
     fn infer_shape(&self, inputs: &[(usize, usize)]) -> Result<Option<(usize, usize)>, String>;
+
+    /// Declared set of forward values (output / inputs, shapes included)
+    /// this op's [`Op::backward`] dereferences. The memory planner in
+    /// [`crate::dataflow`] releases values whose declared reads are all in
+    /// the past; the conservative default forfeits reuse but is always
+    /// safe. Overrides are guarded by the bitwise plan-vs-eager parity
+    /// test in the dataflow suite.
+    fn grad_reads(&self) -> GradReads {
+        GradReads::ALL
+    }
 }
 
 /// Leaf op for constants / external inputs: no gradient flows past it.
@@ -81,6 +92,9 @@ impl Op for InputOp {
     }
     fn infer_shape(&self, _: &[(usize, usize)]) -> Result<Option<(usize, usize)>, String> {
         Ok(None)
+    }
+    fn grad_reads(&self) -> GradReads {
+        GradReads::NONE // backward is never invoked on leaves
     }
 }
 
@@ -99,6 +113,9 @@ impl Op for ParamOp {
     }
     fn infer_shape(&self, _: &[(usize, usize)]) -> Result<Option<(usize, usize)>, String> {
         Ok(None)
+    }
+    fn grad_reads(&self) -> GradReads {
+        GradReads::NONE // backward is never invoked on leaves
     }
 }
 
@@ -302,6 +319,202 @@ impl Tape {
         }
         result
     }
+
+    /// Reverse sweep with memory instrumentation and, optionally,
+    /// plan-driven buffer release.
+    ///
+    /// With `plan: None` this is an instrumented [`Tape::backward`]: the
+    /// same sweep, plus exact accounting of resident bytes (all forward
+    /// values held by the tape, plus every gradient buffer in flight,
+    /// including accumulated parameter gradients). With a verified
+    /// [`MemPlan`], each non-pinned value is additionally *released* into
+    /// the [`crate::pool`] the moment its planned interval closes — values
+    /// dead before backward go first, the rest retire step by step — so
+    /// backward gradient buffers are drawn from memory the forward pass no
+    /// longer needs. Gradients are bitwise identical either way; the
+    /// dataflow test suite pins that.
+    ///
+    /// Releasing swaps the node's value for an empty matrix, so the tape
+    /// must not be read through [`Tape::value`] afterwards (dropping or
+    /// re-auditing it is fine). Values the caller still holds an `Arc` to
+    /// are skipped and keep counting as resident.
+    ///
+    /// # Panics
+    /// Panics if `output` is not `1 x 1`, or if `plan` does not cover this
+    /// tape's nodes.
+    pub fn backward_measured(
+        &mut self,
+        output: Tensor,
+        plan: Option<&MemPlan>,
+    ) -> (Gradients, ExecStats) {
+        assert_eq!(
+            self.value(output).shape(),
+            (1, 1),
+            "backward requires a scalar output, got {:?}",
+            self.value(output).shape()
+        );
+        let n = self.nodes.len();
+        if let Some(plan) = plan {
+            assert_eq!(plan.values.len(), n, "memory plan does not cover this tape");
+        }
+
+        // Planned release schedule: values whose last use predates the
+        // backward sweep go before it; a value last used at backward time
+        // `n + (n - 1 - j)` is released right after node j's step.
+        let mut release_now: Vec<usize> = Vec::new();
+        let mut release_after: Vec<Vec<usize>> = vec![Vec::new(); n];
+        if let Some(plan) = plan {
+            for (v, vp) in plan.values.iter().enumerate() {
+                if vp.pinned || vp.len == 0 {
+                    continue;
+                }
+                if vp.last_use < n {
+                    release_now.push(v);
+                } else if vp.last_use < 2 * n {
+                    release_after[2 * n - 1 - vp.last_use].push(v);
+                }
+            }
+        }
+
+        let baseline_value_bytes: usize = self.nodes.iter().map(|nd| nd.value.len() * 4).sum();
+        let mut value_bytes = baseline_value_bytes;
+        let mut grad_bytes = 0usize;
+        let mut released_values = 0usize;
+        let mut released_bytes = 0usize;
+        let mut peak = value_bytes;
+
+        let release = |tape: &mut Tape, v: usize| {
+            let husk = Arc::new(Matrix::from_vec(0, 0, Vec::new()));
+            let old = std::mem::replace(&mut tape.nodes[v].value, husk);
+            match Arc::try_unwrap(old) {
+                Ok(m) => {
+                    let bytes = m.len() * 4;
+                    pool::put(m);
+                    Some(bytes)
+                }
+                // The caller kept a handle; the buffer stays resident.
+                Err(arc) => {
+                    tape.nodes[v].value = arc;
+                    None
+                }
+            }
+        };
+        for &v in &release_now {
+            if let Some(bytes) = release(self, v) {
+                value_bytes -= bytes;
+                released_values += 1;
+                released_bytes += bytes;
+            }
+        }
+
+        let seed = Matrix::scalar(1.0);
+        let mut grads: Vec<Option<Matrix>> = (0..n).map(|_| None).collect();
+        grad_bytes += seed.len() * 4;
+        grads[output.0] = Some(seed);
+        peak = peak.max(value_bytes + grad_bytes);
+        let mut result = Gradients::default();
+
+        for i in (0..n).rev() {
+            if let Some(grad) = grads[i].take() {
+                let node = &self.nodes[i];
+                if let Some(pid) = node.param {
+                    // Merging into an existing accumulator recycles `grad`;
+                    // a fresh slot keeps it resident until the caller is
+                    // done with the gradient set.
+                    let existing = result.get(pid).is_some();
+                    let bytes = grad.len() * 4;
+                    result.accumulate(pid, grad);
+                    if existing {
+                        grad_bytes -= bytes;
+                    }
+                } else if node.inputs.is_empty() {
+                    grad_bytes -= grad.len() * 4;
+                    pool::put(grad);
+                } else {
+                    let input_vals: Vec<&Matrix> =
+                        node.inputs.iter().map(|t| &*self.nodes[t.0].value).collect();
+                    let input_grads = node.op.backward(&node.value, &grad, &input_vals);
+                    assert_eq!(
+                        input_grads.len(),
+                        node.inputs.len(),
+                        "op `{}` returned {} gradients for {} inputs",
+                        node.op.name(),
+                        input_grads.len(),
+                        node.inputs.len()
+                    );
+                    for (t, g) in node.inputs.iter().zip(input_grads) {
+                        let Some(g) = g else { continue };
+                        // Released inputs have lost their shape; the plan
+                        // remembers what was recorded.
+                        let expected = match plan {
+                            Some(p) => p.values[t.0].shape,
+                            None => self.nodes[t.0].value.shape(),
+                        };
+                        assert_eq!(
+                            g.shape(),
+                            expected,
+                            "op `{}` (node {i}) produced a gradient of the wrong \
+                             shape for input node {}",
+                            node.op.name(),
+                            t.0
+                        );
+                        match &mut grads[t.0] {
+                            Some(acc) => {
+                                acc.add_assign(&g);
+                                pool::put(g);
+                            }
+                            slot @ None => {
+                                grad_bytes += g.len() * 4;
+                                *slot = Some(g);
+                            }
+                        }
+                    }
+                    grad_bytes -= grad.len() * 4;
+                    pool::put(grad);
+                }
+            }
+            if plan.is_some() {
+                // Take the list to end the borrow of `release_after`
+                // before mutating `self`.
+                let due = std::mem::take(&mut release_after[i]);
+                for v in due {
+                    if let Some(bytes) = release(self, v) {
+                        value_bytes -= bytes;
+                        released_values += 1;
+                        released_bytes += bytes;
+                    }
+                }
+            }
+            peak = peak.max(value_bytes + grad_bytes);
+        }
+
+        if sane_telemetry::active() {
+            sane_telemetry::gauge_max("dataflow.actual_peak_bytes", peak as f64);
+            sane_telemetry::counter_add("dataflow.released_bytes", released_bytes as u64);
+        }
+        let stats = ExecStats {
+            peak_resident_bytes: peak,
+            baseline_value_bytes,
+            released_values,
+            released_bytes,
+        };
+        (result, stats)
+    }
+}
+
+/// Memory accounting from one [`Tape::backward_measured`] sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecStats {
+    /// Max over the sweep of (forward values still held) + (gradient
+    /// buffers in flight, including accumulated parameter gradients).
+    pub peak_resident_bytes: usize,
+    /// Bytes of forward values held when the sweep started — what an
+    /// unplanned tape keeps resident throughout.
+    pub baseline_value_bytes: usize,
+    /// Values released into the pool under the plan.
+    pub released_values: usize,
+    /// Bytes those releases returned to the pool.
+    pub released_bytes: usize,
 }
 
 /// Gradients of one backward sweep, keyed by [`ParamId`].

@@ -57,6 +57,19 @@ struct TelemetryOverhead {
 }
 
 #[derive(Serialize)]
+struct MemoryReport {
+    /// Static peak predicted by the verified memory plan.
+    planned_peak_mb: f64,
+    /// Measured peak of the instrumented sweep with no plan.
+    actual_baseline_peak_mb: f64,
+    /// Measured peak under plan-driven release.
+    actual_planned_peak_mb: f64,
+    reuse_ratio: f64,
+    slots: usize,
+    released_values: usize,
+}
+
+#[derive(Serialize)]
 struct BenchReport {
     preset: String,
     threads: Vec<usize>,
@@ -64,6 +77,8 @@ struct BenchReport {
     kernels: Vec<KernelResult>,
     pool: PoolReport,
     telemetry: TelemetryOverhead,
+    /// Dataflow memory plan for the `mixed_supernet_fwd_bwd` step.
+    memory: MemoryReport,
 }
 
 /// Times `f` at every worker count, checking each run's signature against
@@ -308,6 +323,46 @@ fn main() {
         telemetry.overhead_frac * 100.0
     );
 
+    // --- dataflow memory plan for the mixed step ----------------------------
+    // `Tape::memplan` proves the plan with `check_memplan` before
+    // returning it, so this section doubles as a fixture-scale soundness
+    // check on every bench run.
+    let build = || {
+        let mut tape = Tape::new(0);
+        let x = tape.input(Arc::clone(&t.data.features));
+        let logits = net.forward_mixed(&mut tape, &store, &t.ctx, x, true);
+        let loss = tape.cross_entropy(logits, &t.data.labels, &t.data.train);
+        (tape, loss)
+    };
+    let (tape, loss) = build();
+    let plan = tape.memplan(loss);
+    drop(tape);
+    let (mut tape, loss) = build();
+    let (grads, base_stats) = tape.backward_measured(loss, None);
+    grads.recycle();
+    drop(tape);
+    let (mut tape, loss) = build();
+    let (grads, plan_stats) = tape.backward_measured(loss, Some(&plan));
+    grads.recycle();
+    drop(tape);
+    const MIB: f64 = 1024.0 * 1024.0;
+    let memory = MemoryReport {
+        planned_peak_mb: plan.planned_peak_bytes as f64 / MIB,
+        actual_baseline_peak_mb: base_stats.peak_resident_bytes as f64 / MIB,
+        actual_planned_peak_mb: plan_stats.peak_resident_bytes as f64 / MIB,
+        reuse_ratio: plan.reuse_ratio,
+        slots: plan.slots.len(),
+        released_values: plan_stats.released_values,
+    };
+    println!(
+        "memory plan: peak {:.2} -> {:.2} MiB (planned {:.2}), {} slots, reuse x{:.2}",
+        memory.actual_baseline_peak_mb,
+        memory.actual_planned_peak_mb,
+        memory.planned_peak_mb,
+        memory.slots,
+        memory.reuse_ratio
+    );
+
     let report = BenchReport {
         preset: args.scale.name.clone(),
         threads: THREADS.to_vec(),
@@ -315,6 +370,7 @@ fn main() {
         kernels,
         pool: pool_report,
         telemetry,
+        memory,
     };
     std::fs::create_dir_all(&args.out_dir).expect("create results dir"); // lint:allow(expect)
     let path = args.out_dir.join("BENCH_kernels.json");
@@ -344,6 +400,8 @@ fn main() {
     }
     metrics.insert("pool.misses_per_step".into(), report.pool.misses_per_step);
     metrics.insert("telemetry.overhead_frac".into(), report.telemetry.overhead_frac);
+    metrics.insert("mixed_supernet_fwd_bwd.planned_peak_mb".into(), report.memory.planned_peak_mb);
+    metrics.insert("mixed_supernet_fwd_bwd.reuse_ratio".into(), report.memory.reuse_ratio);
     let hist = sane_bench::history::HistoryRecord::new("kernels", &report.preset, metrics);
     let hist_path = hist.append(&args.out_dir).expect("append bench history"); // lint:allow(expect)
     println!("[appended {}]", hist_path.display());

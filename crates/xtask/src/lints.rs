@@ -107,6 +107,22 @@ const HASH_TYPE_NEEDLES: [&str; 4] = [
 const ITER_METHOD_NEEDLES: [&str; 5] =
     [".iter()", ".keys()", ".values()", ".into_iter()", ".drain("];
 const ITERATION_WAIVER: &str = concat!("lint:allow", "(nondeterministic-iteration)");
+const LOSSY_CAST_WAIVER: &str = concat!("lint:allow", "(lossy-cast)");
+/// Cast targets flagged by the lossy-cast lint. An `as` cast between any
+/// two of these silently truncates, wraps, or rounds — `usize as f32`
+/// loses exactness above 2^24, the precision regime of large graphs.
+const NUMERIC_CAST_TYPES: [&str; 12] =
+    ["f32", "f64", "usize", "isize", "u8", "u16", "u32", "u64", "i8", "i16", "i32", "i64"];
+/// Directories whose every file is a numeric kernel path.
+const KERNEL_DIRS: [&str; 2] = ["crates/autodiff/src/ops/", "crates/gnn/src/agg/"];
+/// Individual kernel-path files outside those directories.
+const KERNEL_FILES: [&str; 5] = [
+    "crates/autodiff/src/matrix.rs",
+    "crates/autodiff/src/sparse.rs",
+    "crates/autodiff/src/parallel.rs",
+    "crates/gnn/src/layer_agg.rs",
+    "crates/gnn/src/pooling.rs",
+];
 /// Diagnostics that mark a sanitizer run as failed. Substring match per
 /// log line; the first hit per line wins so overlapping patterns (a TSan
 /// warning naming a data race) yield one finding, not two.
@@ -416,6 +432,69 @@ pub fn lint_nondeterministic_iteration(file: &str, src: &str) -> LintOutcome {
                     "`{name}` is hash-ordered and its iteration order varies between runs; \
                      use a BTreeMap/BTreeSet or sort first, or waive with \
                      `// {ITERATION_WAIVER}` if the loop feeds an order-insensitive reduction"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// True for files whose arithmetic runs inside hot numeric kernels —
+/// the op implementations, aggregators, and the sparse/dense/parallel
+/// primitives they call. Bookkeeping modules (tape, pool, optim,
+/// metrics, dataflow) are out of scope: their casts count bytes and
+/// indices, not graph-scale float data.
+pub fn is_kernel_path(file: &str) -> bool {
+    KERNEL_DIRS.iter().any(|d| file.starts_with(d)) || KERNEL_FILES.contains(&file)
+}
+
+/// Returns the target type of the first numeric `as` cast in a code
+/// fragment, honouring identifier boundaries so `as f32` matches but
+/// `as f32x8` (some hypothetical wider type) would not.
+fn numeric_cast_target(code: &str) -> Option<&'static str> {
+    let mut rest = code;
+    while let Some(pos) = rest.find(" as ") {
+        let after = &rest[pos + 4..];
+        for ty in NUMERIC_CAST_TYPES {
+            if let Some(tail) = after.strip_prefix(ty) {
+                let bounded = tail.chars().next().is_none_or(|c| !c.is_alphanumeric() && c != '_');
+                if bounded {
+                    return Some(ty);
+                }
+            }
+        }
+        rest = after;
+    }
+    None
+}
+
+/// Flags `as` casts to a numeric type in kernel-path files (see
+/// [`is_kernel_path`]): a silent `usize as f32` in an index-heavy kernel
+/// rounds exactly where dataflow analysis cannot see it. A deliberate
+/// site is waived with `// lint:allow(lossy-cast)` (trailing or on the
+/// next line) after checking the value range genuinely fits the target.
+pub fn lint_lossy_cast(file: &str, src: &str) -> LintOutcome {
+    let mut out = LintOutcome::default();
+    if !is_kernel_path(file) {
+        return out;
+    }
+    let lines = strip_test_code(src);
+    for (idx, line) in lines.iter().enumerate() {
+        let (code, comment) = split_comment(line);
+        let Some(ty) = numeric_cast_target(code) else { continue };
+        let next_comment = lines.get(idx + 1).map(|l| l.trim()).filter(|l| l.starts_with("//"));
+        if comment.contains(LOSSY_CAST_WAIVER)
+            || next_comment.is_some_and(|c| c.contains(LOSSY_CAST_WAIVER))
+        {
+            out.waived += 1;
+        } else {
+            out.findings.push(Finding {
+                file: file.to_string(),
+                line: idx + 1,
+                lint: "lossy-cast",
+                message: format!(
+                    "numeric `as {ty}` cast in a kernel path can silently truncate or round; \
+                     prove the range fits and waive with `// {LOSSY_CAST_WAIVER}`"
                 ),
             });
         }
@@ -841,5 +920,63 @@ mod tests {
     fn missing_forbid_unsafe_is_flagged() {
         assert_eq!(lint_forbid_unsafe("lib.rs", "pub fn f() {}\n").len(), 1);
         assert!(lint_forbid_unsafe("lib.rs", "#![forbid(unsafe_code)]\npub fn f() {}\n").is_empty());
+    }
+
+    #[test]
+    fn lossy_cast_in_kernel_path_is_flagged() {
+        let src = concat!("let w = 1.0 / (count", " as f32", ");\n");
+        let out = lint_lossy_cast("crates/autodiff/src/ops/loss.rs", src);
+        assert_eq!(out.findings.len(), 1);
+        assert_eq!(out.findings[0].lint, "lossy-cast");
+        assert_eq!(out.findings[0].line, 1);
+        // Bookkeeping modules and other crates are out of scope.
+        assert!(lint_lossy_cast("crates/autodiff/src/tape.rs", src).findings.is_empty());
+        assert!(lint_lossy_cast("crates/core/src/train.rs", src).findings.is_empty());
+    }
+
+    #[test]
+    fn lossy_cast_waiver_comments_and_tests_are_honoured() {
+        let waived = concat!(
+            "let n = rows",
+            " as f64",
+            "; // counts stay far below 2^53 // ",
+            "lint:allow",
+            "(lossy-cast)\n",
+        );
+        let out = lint_lossy_cast("crates/gnn/src/agg/gat.rs", waived);
+        assert!(out.findings.is_empty());
+        assert_eq!(out.waived, 1);
+
+        // Waiver on the continuation line (rustfmt wraps long comments).
+        let next_line =
+            concat!("let n = rows", " as f64", ";\n// ", "lint:allow", "(lossy-cast)\n",);
+        assert_eq!(lint_lossy_cast("crates/gnn/src/agg/gat.rs", next_line).waived, 1);
+
+        // Comment mentions and test modules do not count.
+        let comment = concat!("// never write idx", " as f32", " here\n");
+        assert!(lint_lossy_cast("crates/autodiff/src/sparse.rs", comment).findings.is_empty());
+        let test_only = concat!(
+            "pub fn lib() {}\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    fn t() -> f32 { 3usize",
+            " as f32",
+            " }\n",
+            "}\n",
+        );
+        assert!(lint_lossy_cast("crates/autodiff/src/matrix.rs", test_only).findings.is_empty());
+    }
+
+    #[test]
+    fn lossy_cast_requires_an_identifier_boundary() {
+        // A non-numeric cast target is not a finding.
+        let boxed = concat!("let b = v", " as Box<dyn Op>;\n");
+        assert!(lint_lossy_cast("crates/autodiff/src/ops/linalg.rs", boxed).findings.is_empty());
+        // `usize` inside a longer identifier does not match.
+        let ident = concat!("let x = y", " as usize_like;\n");
+        assert!(lint_lossy_cast("crates/autodiff/src/ops/linalg.rs", ident).findings.is_empty());
+        // A bare cast at end of line still matches.
+        let eol = concat!("let x = y", " as usize", "\n");
+        assert_eq!(lint_lossy_cast("crates/autodiff/src/ops/linalg.rs", eol).findings.len(), 1);
     }
 }

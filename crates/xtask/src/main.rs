@@ -24,6 +24,12 @@
 //!   1/2/4/`hardware` worker threads and bitwise-compares every loss,
 //!   gradient, parameter and α row (report: `results/DETERMINISM.json`).
 //!   `--quick` uses the small preset for CI.
+//! * `memplan` — the tape dataflow gate: drives the `memplan` bench
+//!   binary, which plans memory reuse for the supernet and
+//!   derived-architecture fixtures, proves each plan with the
+//!   independent verifier, and compares measured peak residency with
+//!   and without the plan (report: `results/MEMPLAN.json`).
+//!   `--quick` uses the small preset for CI.
 //!
 //! `audit` additionally accepts `--sanitizer-report <log>` (repeatable):
 //! each file is scanned for Miri / ThreadSanitizer diagnostics, which are
@@ -43,7 +49,7 @@ use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
 
 use lints::{
-    extract_op_names, lint_forbid_unsafe, lint_gradcheck_coverage, lint_no_print,
+    extract_op_names, lint_forbid_unsafe, lint_gradcheck_coverage, lint_lossy_cast, lint_no_print,
     lint_nondeterministic_iteration, lint_raw_thread, lint_unseeded_rng, lint_unwrap_expect,
     parse_sanitizer_log, Finding,
 };
@@ -78,13 +84,15 @@ fn main() -> ExitCode {
         Some("profile") => profile_cmd(&root, &args[1..]),
         Some("perf") => perf_cmd(&root, &args[1..]),
         Some("determinism") => determinism_cmd(&root, &args[1..]),
+        Some("memplan") => memplan_cmd(&root, &args[1..]),
         _ => {
             eprintln!(
                 "usage: cargo run -p xtask -- <audit [--sanitizer-report <log>]|fmt|clippy|ci|\
                  trace-report <file>|\
                  profile <file> [--min-attributed <frac>]|\
                  perf [--quick] [--check] [--seed-baseline] [--runs <n>]|\
-                 determinism [--quick]>"
+                 determinism [--quick]|\
+                 memplan [--quick]>"
             );
             ExitCode::from(2)
         }
@@ -341,6 +349,41 @@ fn determinism_cmd(root: &Path, args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The tape dataflow gate: runs the `memplan` bench binary, which plans
+/// memory reuse for the supernet and derived-architecture fixtures,
+/// proves every plan with the independent `check_memplan` verifier, and
+/// exits non-zero — failing this command and CI — when a plan is unsound,
+/// plan-driven gradients diverge bitwise from the eager sweep, or the
+/// plan fails to reduce measured peak residency. The structured report
+/// lands in `results/MEMPLAN.json`.
+fn memplan_cmd(root: &Path, args: &[String]) -> ExitCode {
+    let mut quick = false;
+    for arg in args {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            other => {
+                eprintln!("xtask memplan: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let mut cmd = Command::new(env!("CARGO"));
+    cmd.current_dir(root);
+    cmd.args(["run", "--release", "-p", "sane-bench", "--bin", "memplan", "--"]);
+    if quick {
+        cmd.arg("--quick");
+    }
+    cmd.arg("--out").arg(root.join("results"));
+    if run(cmd) != ExitCode::SUCCESS {
+        eprintln!(
+            "xtask memplan: memory plan rejected or ineffective; see results/MEMPLAN.json \
+             for per-phase verifier findings and peak-residency numbers"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 /// Validates a JSONL run trace and prints its summary. A malformed trace
 /// (parse error, non-monotone clock, unbalanced spans, invalid α rows…)
 /// exits non-zero so CI jobs fail on corrupted telemetry.
@@ -443,6 +486,7 @@ fn audit(root: &Path, args: &[String]) -> ExitCode {
     let mut waived_expect = 0usize;
     let mut waived_print = 0usize;
     let mut waived_iteration = 0usize;
+    let mut waived_cast = 0usize;
     let mut scanned = 0usize;
     let mut op_registry: Vec<(String, String)> = Vec::new();
 
@@ -476,6 +520,12 @@ fn audit(root: &Path, args: &[String]) -> ExitCode {
                 let out = lint_nondeterministic_iteration(&name, &src);
                 findings.extend(out.findings);
                 waived_iteration += out.waived;
+
+                // Numeric `as` casts in kernel paths silently round; the
+                // lint scopes itself to kernel files internally.
+                let out = lint_lossy_cast(&name, &src);
+                findings.extend(out.findings);
+                waived_cast += out.waived;
             }
 
             if in_src && !is_bin_target(rel_crate) {
@@ -539,15 +589,17 @@ fn audit(root: &Path, args: &[String]) -> ExitCode {
     eprintln!(
         "xtask audit: {} file(s), {} registered op(s), {} finding(s), {} waived site(s) \
          ({} lint:allow(print), {} lint:allow(unwrap/expect), \
-         {} lint:allow(nondeterministic-iteration)), 0 gradcheck-coverage exemption(s), \
+         {} lint:allow(nondeterministic-iteration), {} lint:allow(lossy-cast)), \
+         0 gradcheck-coverage exemption(s), \
          {} sanitizer report(s) ({} sanitizer finding(s))",
         scanned,
         op_registry.len(),
         findings.len(),
-        waived_expect + waived_print + waived_iteration,
+        waived_expect + waived_print + waived_iteration + waived_cast,
         waived_print,
         waived_expect,
         waived_iteration,
+        waived_cast,
         sanitizer_reports.len(),
         sanitizer_findings
     );

@@ -13,8 +13,9 @@
 //! regression only when the median exceeds the base by *both* the
 //! relative tolerance and the absolute floor (sub-floor kernels finish in
 //! microseconds; a 2× blip there is scheduler noise, not a regression).
-//! Only time-shaped metrics are baselined (`.ms_*`, `.wall_ms`,
-//! `.ms_per_epoch`), where higher is always worse; ratio metrics such as
+//! Only metrics where higher is always worse are baselined: time-shaped
+//! keys (`.ms_*`, `.wall_ms`, `.ms_per_epoch`) and the memory planner's
+//! `.peak_mb` keys; ratio metrics such as
 //! speedups ride along in the history for trend analysis but are never
 //! gated — their healthy direction is machine-dependent, and the
 //! `kernels` bench already excludes oversubscribed thread configs from
@@ -214,9 +215,15 @@ pub fn baseline_to_json(b: &Baseline) -> String {
     .to_json()
 }
 
-/// True for metric keys the gate owns: time-shaped, higher-is-worse.
+/// True for metric keys the gate owns: time-shaped or memory-shaped,
+/// higher-is-worse. `.peak_mb` entries come from the dataflow memory
+/// planner and are pure functions of the seeded fixture, so they gate
+/// with zero run-to-run noise.
 pub fn gated_metric(key: &str) -> bool {
-    key.ends_with(".wall_ms") || key.ends_with(".ms_per_epoch") || key.contains(".ms_")
+    key.ends_with(".wall_ms")
+        || key.ends_with(".ms_per_epoch")
+        || key.contains(".ms_")
+        || key.ends_with(".peak_mb")
 }
 
 /// Median of the last `window` samples of `key` across matching-preset
