@@ -996,6 +996,49 @@ mod tests {
         base_grads.recycle();
     }
 
+    /// The fused attention op declares the narrowest contract on the tape —
+    /// backward reads only the messages; scores, output and alpha never
+    /// survive as tape dependencies. Guard it the same way as the generic
+    /// fixture: plan-driven release must stay bitwise equal to eager, and
+    /// the planner must actually exploit the declaration by releasing
+    /// intermediates (the score chain) before the backward sweep ends.
+    #[test]
+    fn fused_segment_attention_contract_releases_scores_and_stays_bitwise() {
+        use crate::ops::Segments;
+        let build = || {
+            let segs = std::sync::Arc::new(Segments::from_lengths(&[5, 0, 7, 4]));
+            let total = segs.total_len();
+            let mut store = VarStore::new();
+            let pm = store.add("m", Matrix::from_fn(total, 8, |i, j| ((i * 5 + j) % 9) as f32 * 0.1));
+            let ps = store.add("s", Matrix::from_fn(total, 1, |i, _| (i % 7) as f32 * 0.2 - 0.5));
+            let mut tape = Tape::new(13);
+            let m = tape.param(&store, pm);
+            let s0 = tape.param(&store, ps);
+            let s1 = tape.tanh(s0); // an intermediate the planner can retire
+            let att = tape.segment_attention(s1, m, &segs);
+            let sq = tape.mul(att, att);
+            let loss = tape.mean_all(sq);
+            (tape, store, loss)
+        };
+        let (mut tape, store, loss) = build();
+        let eager = tape.backward(loss);
+        let plan = tape.memplan(loss);
+        let (planned, stats) = tape.backward_measured(loss, Some(&plan));
+        for id in store.ids() {
+            match (eager.get(id), planned.get(id)) {
+                (Some(a), Some(b)) => assert_eq!(a.data(), b.data(), "param {id:?} diverged"),
+                (None, None) => {}
+                _ => panic!("param {id:?}: one sweep produced a gradient, the other did not"),
+            }
+        }
+        assert!(
+            stats.released_values > 0,
+            "the score chain must be releasable under the fused op's GradReads"
+        );
+        eager.recycle();
+        planned.recycle();
+    }
+
     #[test]
     fn plans_are_deterministic() {
         let build = || {

@@ -27,6 +27,9 @@
 //!   consumes it.
 //! * [`parallel`] — the one threading policy every dense/sparse/segment
 //!   kernel partitions through (`SANE_NUM_THREADS` to override).
+//! * [`simd`] — pinned-reduction-order vectorized inner loops (8 fixed
+//!   `mul_add` lanes, fixed combine tree) with scalar reference paths
+//!   (`SANE_FORCE_SCALAR=1` or [`simd::with_scalar`] to select them).
 //! * [`pool`] — thread-local buffer pool; tape values and gradients are
 //!   recycled across steps so steady-state training allocates nothing.
 //!
@@ -65,6 +68,7 @@ pub mod metrics;
 pub mod optim;
 pub mod parallel;
 pub mod pool;
+pub mod simd;
 
 /// Differentiable operations recorded on a [`Tape`].
 pub mod ops {

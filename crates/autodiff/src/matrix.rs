@@ -254,18 +254,15 @@ impl Matrix {
     fn matmul_at_b_inner(&self, other: &Matrix, k: usize, m: usize, n: usize) -> Matrix {
         let mut out = crate::pool::zeros(m, n);
         // kᵗʰ row of A provides a rank-1 update: out[i,:] += A[k,i] * B[k,:].
+        // The k loop stays outermost and serial so every out element
+        // accumulates its terms in the same fixed order on every run.
+        let fl = crate::simd::flavour();
         for kk in 0..k {
             let arow = &self.data[kk * m..(kk + 1) * m];
             let brow = &other.data[kk * n..(kk + 1) * n];
             for i in 0..m {
-                let a = arow[i];
-                if a == 0.0 {
-                    continue;
-                }
                 let orow = &mut out.data[i * n..(i + 1) * n];
-                for j in 0..n {
-                    orow[j] += a * brow[j];
-                }
+                fl.axpy(arow[i], brow, orow);
             }
         }
         out
@@ -280,13 +277,16 @@ impl Matrix {
         );
         let (m, k, n) = (self.rows, self.cols, other.rows);
         crate::parallel::timed("gemm", || {
-            let mut out = crate::pool::zeros(m, n);
+            // Scratch: every cell is assigned by the dot below, unlike the
+            // accumulating `matmul`/`matmul_at_b` kernels which need zeros.
+            let mut out = crate::pool::scratch(m, n);
+            let fl = crate::simd::flavour();
             let run = |rows: std::ops::Range<usize>, out_chunk: &mut [f32]| {
                 for (ri, i) in rows.enumerate() {
                     let arow = &self.data[i * k..(i + 1) * k];
                     for j in 0..n {
                         let brow = &other.data[j * k..(j + 1) * k];
-                        out_chunk[ri * n + j] = dot(arow, brow);
+                        out_chunk[ri * n + j] = fl.dot(arow, brow);
                     }
                 }
             };
@@ -355,41 +355,22 @@ impl fmt::Debug for Matrix {
     }
 }
 
-#[inline]
-fn dot(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    // Four independent accumulators let the compiler vectorise without
-    // changing the (non-associative) f32 semantics observably for our scale.
-    let chunks = a.len() / 4;
-    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-    for i in 0..chunks {
-        let o = i * 4;
-        s0 += a[o] * b[o];
-        s1 += a[o + 1] * b[o + 1];
-        s2 += a[o + 2] * b[o + 2];
-        s3 += a[o + 3] * b[o + 3];
-    }
-    let mut s = s0 + s1 + s2 + s3;
-    for i in chunks * 4..a.len() {
-        s += a[i] * b[i];
-    }
-    s
-}
-
 /// GEMM with i-k-j loop order: the inner loop streams rows of `b` and `out`.
+///
+/// Each output row is owned by exactly one worker and accumulates its k
+/// terms serially through `simd::axpy`, so the reduction order per element
+/// is fixed regardless of thread count. There is deliberately no zero-skip
+/// on `av`: the data-dependent branch costs more than the multiplies it
+/// saves and blocks the 8-wide `mul_add` unrolling.
 fn gemm_ikj(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    let fl = crate::simd::flavour();
     let run = |rows: std::ops::Range<usize>, out_chunk: &mut [f32]| {
         for (ri, i) in rows.enumerate() {
             let arow = &a[i * k..(i + 1) * k];
             let orow = &mut out_chunk[ri * n..(ri + 1) * n];
             for (kk, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
                 let brow = &b[kk * n..(kk + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
-                }
+                fl.axpy(av, brow, orow);
             }
         }
     };

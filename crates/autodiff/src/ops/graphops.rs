@@ -108,11 +108,14 @@ impl Op for GatherRowsOp {
         // Scatter-add to arbitrary destination rows: different gather
         // indices may collide on one target row, so this stays serial.
         let mut g = pool::zeros(rows, cols);
-        for (o, &i) in self.idx.iter().enumerate() {
-            let grow = grad.row(o);
-            let target = g.row_mut(i as usize); // u32 index widens losslessly // lint:allow(lossy-cast)
-            for (t, &v) in target.iter_mut().zip(grow) {
-                *t += v;
+        if cols > 0 {
+            // The upstream gradient rows stream in order; only the
+            // destination rows jump, so walk `grad` as contiguous chunks.
+            for (grow, &i) in grad.data().chunks_exact(cols).zip(self.idx.iter()) {
+                let target = g.row_mut(i as usize); // u32 index widens losslessly // lint:allow(lossy-cast)
+                for (t, &v) in target.iter_mut().zip(grow) {
+                    *t += v;
+                }
             }
         }
         vec![Some(g)]
@@ -143,7 +146,9 @@ impl Op for SegmentSumOp {
     fn backward(&self, _out: &Matrix, grad: &Matrix, inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
         let (rows, cols) = inputs[0].shape();
         let segs = &self.segs;
-        let mut g = pool::zeros(rows, cols);
+        // Scratch, not zeros: the segments partition the rows, so every edge
+        // row is written exactly once by the broadcast below.
+        let mut g = pool::scratch(rows, cols);
         let run = |srange: Range<usize>, chunk: &mut [f32]| {
             let base = segs.offsets()[srange.start];
             for s in srange {
@@ -185,7 +190,9 @@ impl Op for SegmentMeanOp {
     fn backward(&self, _out: &Matrix, grad: &Matrix, inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
         let (rows, cols) = inputs[0].shape();
         let segs = &self.segs;
-        let mut g = pool::zeros(rows, cols);
+        // Scratch is safe despite the empty-segment `continue`: a segment
+        // with no edges owns no rows, so coverage of the buffer is complete.
+        let mut g = pool::scratch(rows, cols);
         let run = |srange: Range<usize>, chunk: &mut [f32]| {
             let base = segs.offsets()[srange.start];
             for s in srange {
@@ -291,7 +298,8 @@ struct SegmentSoftmaxOp {
 impl Op for SegmentSoftmaxOp {
     fn backward(&self, out: &Matrix, grad: &Matrix, _inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
         let segs = &self.segs;
-        let mut g = pool::zeros(out.rows(), 1);
+        // Scratch: every edge row of the score column is assigned below.
+        let mut g = pool::scratch(out.rows(), 1);
         let run = |srange: Range<usize>, chunk: &mut [f32]| {
             let base = segs.offsets()[srange.start];
             for s in srange {
@@ -331,6 +339,221 @@ impl Op for SegmentSoftmaxOp {
     }
 }
 
+/// Fused attention aggregation over one segment axis: softmax of an
+/// `E x 1` score column within each segment, immediately applied as row
+/// weights over `E x d` messages. One forward kernel, one backward kernel,
+/// no `alpha`/`exp` tensors on the tape.
+struct SegmentAttentionOp {
+    segs: Arc<Segments>,
+    /// Normalised attention weight per edge (`E x 1`), saved by the forward
+    /// pass. Op-private state, so the backward pass needs neither the scores
+    /// nor the output value — only the messages (declared in `grad_reads`).
+    alpha: Matrix,
+}
+impl Drop for SegmentAttentionOp {
+    fn drop(&mut self) {
+        // `alpha` is a pooled buffer living inside the op rather than as a
+        // node value, so tape teardown cannot see it; hand it back here to
+        // keep steady-state training steps allocation-free.
+        pool::put(std::mem::replace(&mut self.alpha, Matrix::from_vec(0, 0, Vec::new())));
+    }
+}
+impl Op for SegmentAttentionOp {
+    fn backward(&self, _out: &Matrix, grad: &Matrix, inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
+        let (rows, cols) = inputs[1].shape();
+        let msgs = inputs[1];
+        let segs = &self.segs;
+        let alpha = self.alpha.data();
+        // Scratch, not zeros: the first sweep below assigns every edge's
+        // score slot and message row exactly once (empty segments own no
+        // rows), so the ~3x-wide memset would be pure memory traffic.
+        let mut gs = pool::scratch(rows, 1);
+        let mut gm = pool::scratch(rows, cols);
+        // Per segment s with upstream row g = grad[s,:]:
+        //   d_alpha[e]   = <messages[e,:], g>
+        //   d_score[e]   = alpha[e] * (d_alpha[e] - Σ_e alpha[e]·d_alpha[e])
+        //   d_message[e] = alpha[e] * g
+        // Both gradients scatter only into the segment's own edge rows, so
+        // the pair partition at segment boundaries writes disjointly.
+        let fl = crate::simd::flavour();
+        let run = |srange: Range<usize>, mchunk: &mut [f32], schunk: &mut [f32]| {
+            let base = segs.offsets()[srange.start];
+            for s in srange {
+                let range = segs.range(s);
+                if range.is_empty() {
+                    continue;
+                }
+                let grow = grad.row(s);
+                let sseg = &mut schunk[range.start - base..range.end - base];
+                if cols == 0 {
+                    // Zero-width messages: every gradient dot is zero.
+                    sseg.fill(0.0);
+                    continue;
+                }
+                // One pass over the wide `E x d` rows: d_message is
+                // independent of the segment reduction, so only the narrow
+                // score column needs the second sweep once dot_s is known.
+                let mut dot_s = 0.0f32;
+                // Contiguous slabs for the segment's message rows and their
+                // gradient rows; `chunks_exact` avoids per-edge `row()` calls.
+                let seg_msgs = &msgs.data()[range.start * cols..range.end * cols];
+                let seg_gm =
+                    &mut mchunk[(range.start - base) * cols..(range.end - base) * cols];
+                let aseg_w = &alpha[range];
+                for (((mrow_src, mrow_dst), &a), slot) in seg_msgs
+                    .chunks_exact(cols)
+                    .zip(seg_gm.chunks_exact_mut(cols))
+                    .zip(aseg_w)
+                    .zip(sseg.iter_mut())
+                {
+                    let da = fl.dot_scale(mrow_src, grow, a, mrow_dst);
+                    *slot = da;
+                    dot_s += a * da;
+                }
+                for (slot, &a) in sseg.iter_mut().zip(aseg_w) {
+                    *slot = a * (*slot - dot_s);
+                }
+            }
+        };
+        debug_assert_partition(segs, rows);
+        parallel_ranges_pair(
+            segs.offsets(),
+            &|s| segs.offsets()[s] * cols,
+            &|s| segs.offsets()[s],
+            rows * (cols + 3),
+            gm.data_mut(),
+            gs.data_mut(),
+            run,
+        );
+        vec![Some(gs), Some(gm)]
+    }
+    fn name(&self) -> &'static str {
+        "segment_attention"
+    }
+    fn grad_reads(&self) -> GradReads {
+        // Scores and the output are never revisited: the saved alpha column
+        // carries everything the softmax backward needs. The planner may
+        // free both as soon as the forward pass is done.
+        GradReads { out: false, inputs: InputReads::Only(&[1]) }
+    }
+    fn arity(&self) -> Arity {
+        Arity::Exact(2)
+    }
+    fn infer_shape(&self, inputs: &[(usize, usize)]) -> InferredShape {
+        let (srows, scols) = inputs[0];
+        let (mrows, cols) = inputs[1];
+        if scols != 1 {
+            return Err(format!("expects an n x 1 score column, got {:?}", inputs[0]));
+        }
+        if srows != self.segs.total_len() || mrows != self.segs.total_len() {
+            return Err(format!(
+                "scores cover {srows} and messages {mrows} edges but segments cover {}",
+                self.segs.total_len()
+            ));
+        }
+        Ok(Some((self.segs.num_segments(), cols)))
+    }
+}
+
+/// [`SegmentAttentionOp`] with the message gather folded in: messages are
+/// rows of a node-level `N x d` tensor addressed through a fixed index
+/// list, so the `E x d` gathered plane never materialises — neither
+/// forward (rows are read straight from the source) nor backward (weighted
+/// gradient rows scatter straight into the `N x d` input gradient).
+struct GatherAttentionOp {
+    idx: Arc<Vec<u32>>,
+    segs: Arc<Segments>,
+    /// Normalised attention weight per edge (`E x 1`), saved by the
+    /// forward pass; pooled op-private state like [`SegmentAttentionOp`].
+    alpha: Matrix,
+}
+impl Drop for GatherAttentionOp {
+    fn drop(&mut self) {
+        pool::put(std::mem::replace(&mut self.alpha, Matrix::from_vec(0, 0, Vec::new())));
+    }
+}
+impl Op for GatherAttentionOp {
+    fn backward(&self, _out: &Matrix, grad: &Matrix, inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
+        let xv = inputs[1];
+        let (nrows, cols) = xv.shape();
+        let segs = &self.segs;
+        let alpha = self.alpha.data();
+        let total = segs.total_len();
+        // Scores are written exactly once per edge (scratch); the node
+        // gradient is a scatter-add over arbitrary destination rows, so it
+        // must start from zeros and, like `gather_rows`, stay serial —
+        // different edges may collide on one target row.
+        let mut gs = pool::scratch(total, 1);
+        let mut gx = pool::zeros(nrows, cols);
+        let fl = crate::simd::flavour();
+        let gs_data = gs.data_mut();
+        for s in 0..segs.num_segments() {
+            let range = segs.range(s);
+            if range.is_empty() {
+                continue;
+            }
+            let grow = grad.row(s);
+            let sseg = &mut gs_data[range.clone()];
+            if cols == 0 {
+                sseg.fill(0.0);
+                continue;
+            }
+            let aseg = &alpha[range.clone()];
+            let iseg = &self.idx[range];
+            // Same two sweeps as the materialised backward, with the same
+            // arithmetic order, so results are bitwise identical to
+            // `gather_rows` + `segment_attention`: the dot accumulation
+            // matches `dot_scale`, and the scatter adds `alpha * grad` per
+            // edge in global edge order (segments partition the edges in
+            // order, and the unfused scatter also walks edges in order).
+            let mut dot_s = 0.0f32;
+            for ((slot, &a), &i) in sseg.iter_mut().zip(aseg).zip(iseg) {
+                let da = fl.dot(xv.row(i as usize), grow); // lint:allow(lossy-cast)
+                *slot = da;
+                dot_s += a * da;
+            }
+            for ((slot, &a), &i) in sseg.iter_mut().zip(aseg).zip(iseg) {
+                *slot = a * (*slot - dot_s);
+                let target = gx.row_mut(i as usize); // lint:allow(lossy-cast)
+                for (t, &g) in target.iter_mut().zip(grow) {
+                    *t += a * g;
+                }
+            }
+        }
+        vec![Some(gs), Some(gx)]
+    }
+    fn name(&self) -> &'static str {
+        "gather_attention"
+    }
+    fn grad_reads(&self) -> GradReads {
+        // Like `segment_attention`, the saved alpha column replaces the
+        // scores and the output; only the node features are revisited.
+        GradReads { out: false, inputs: InputReads::Only(&[1]) }
+    }
+    fn arity(&self) -> Arity {
+        Arity::Exact(2)
+    }
+    fn infer_shape(&self, inputs: &[(usize, usize)]) -> InferredShape {
+        let (srows, scols) = inputs[0];
+        let (xrows, cols) = inputs[1];
+        if scols != 1 {
+            return Err(format!("expects an n x 1 score column, got {:?}", inputs[0]));
+        }
+        if srows != self.segs.total_len() || self.idx.len() != self.segs.total_len() {
+            return Err(format!(
+                "scores cover {srows} and indices {} edges but segments cover {}",
+                self.idx.len(),
+                self.segs.total_len()
+            ));
+        }
+        if let Some(&bad) = self.idx.iter().find(|&&i| i as usize >= xrows) {
+            // u32 index widens losslessly // lint:allow(lossy-cast)
+            return Err(format!("index {bad} out of bounds for {xrows} source rows"));
+        }
+        Ok(Some((self.segs.num_segments(), cols)))
+    }
+}
+
 /// Scales row `i` of an `n x c` tensor by the scalar `w[i]` of an `n x 1`
 /// tensor (attention weighting of gathered neighbor features).
 struct MulColBroadcastOp;
@@ -338,8 +561,9 @@ impl Op for MulColBroadcastOp {
     fn backward(&self, _out: &Matrix, grad: &Matrix, inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
         let (rows, cols) = inputs[0].shape();
         let (a, w) = (inputs[0], inputs[1]);
-        let mut ga = pool::zeros(rows, cols);
-        let mut gw = pool::zeros(rows, 1);
+        // Scratch: the row loop assigns every element of both planes.
+        let mut ga = pool::scratch(rows, cols);
+        let mut gw = pool::scratch(rows, 1);
         let run = |rrange: Range<usize>, ac: &mut [f32], wc: &mut [f32]| {
             let base = rrange.start;
             for r in rrange {
@@ -398,11 +622,13 @@ impl Tape {
             "gather_rows index out of bounds (source has {rows} rows)"
         );
         let cols = av.cols();
-        let mut out = pool::zeros(idx.len(), cols);
+        // Scratch: every output row is copied from the source (for
+        // `cols == 0` the buffer is zero-length, so the guard below is moot).
+        let mut out = pool::scratch(idx.len(), cols);
         if cols > 0 {
             let run = |orange: Range<usize>, chunk: &mut [f32]| {
-                for (ri, o) in orange.enumerate() {
-                    chunk[ri * cols..(ri + 1) * cols].copy_from_slice(av.row(idx[o] as usize));
+                for (dst, &i) in chunk.chunks_exact_mut(cols).zip(&idx[orange]) {
+                    dst.copy_from_slice(av.row(i as usize));
                     // u32 index widens losslessly // lint:allow(lossy-cast)
                 }
             };
@@ -430,12 +656,15 @@ impl Tape {
         let cols = av.cols();
         let mut out = pool::zeros(segs.num_segments(), cols);
         let run = |srange: Range<usize>, chunk: &mut [f32]| {
+            if cols == 0 {
+                return; // zero-width rows: nothing to reduce (and chunks_exact(0) is invalid)
+            }
             for (si, s) in srange.enumerate() {
                 let orow = &mut chunk[si * cols..(si + 1) * cols];
-                for e in segs.range(s) {
-                    for (o, &v) in orow.iter_mut().zip(av.row(e)) {
-                        *o += v;
-                    }
+                let r = segs.range(s);
+                // Segment rows are contiguous: stream the slab chunk-wise.
+                for erow in av.data()[r.start * cols..r.end * cols].chunks_exact(cols) {
+                    crate::simd::add_assign(erow, orow);
                 }
             }
         };
@@ -458,16 +687,18 @@ impl Tape {
         let cols = av.cols();
         let mut out = pool::zeros(segs.num_segments(), cols);
         let run = |srange: Range<usize>, chunk: &mut [f32]| {
+            if cols == 0 {
+                return; // zero-width rows: nothing to reduce (and chunks_exact(0) is invalid)
+            }
             for (si, s) in srange.enumerate() {
                 let n = segs.len_of(s);
                 if n == 0 {
                     continue;
                 }
                 let orow = &mut chunk[si * cols..(si + 1) * cols];
-                for e in segs.range(s) {
-                    for (o, &v) in orow.iter_mut().zip(av.row(e)) {
-                        *o += v;
-                    }
+                let r = segs.range(s);
+                for erow in av.data()[r.start * cols..r.end * cols].chunks_exact(cols) {
+                    crate::simd::add_assign(erow, orow);
                 }
                 let scale = 1.0 / n as f32; // count stays far below 2^24 // lint:allow(lossy-cast)
                 for o in orow {
@@ -573,22 +804,225 @@ impl Tape {
         self.push_op(out, Box::new(SegmentSoftmaxOp { segs: Arc::clone(segs) }), vec![scores])
     }
 
+    /// Fused attention aggregation: numerically-stable softmax over each
+    /// segment of the `E x 1` `scores` column, applied in the same kernel
+    /// as row weights over the `E x d` `messages` —
+    /// `out[s,:] = Σ_{e∈s} α[e] · messages[e,:]`.
+    ///
+    /// Replaces the `segment_softmax` → `mul_col_broadcast` → `segment_sum`
+    /// chain with one op: no `alpha`, `exp` or weighted `E x d`
+    /// intermediate ever lands on the tape, and the backward pass emits
+    /// both gradients in a single sweep. The normalised weights live in
+    /// op-private state, so the dataflow planner can retire the scores
+    /// right after this op runs (see the op's `GradReads`).
+    ///
+    /// The forward kernel writes two planes — the `num_segments x d` output
+    /// and the per-edge weight column — through the pair partition, which
+    /// proves and shadow-audits both write patterns at segment boundaries.
+    pub fn segment_attention(
+        &mut self,
+        scores: Tensor,
+        messages: Tensor,
+        segs: &Arc<Segments>,
+    ) -> Tensor {
+        self.check_segments(scores, segs, "segment_attention");
+        self.check_segments(messages, segs, "segment_attention");
+        assert_eq!(
+            self.value(scores).cols(),
+            1,
+            "segment_attention expects an n x 1 score column"
+        );
+        let sv = self.value_arc(scores);
+        let mv = self.value_arc(messages);
+        let cols = mv.cols();
+        // Both planes are scratch: every segment's output row is written
+        // below (empty segments explicitly zero-filled), and every edge's
+        // alpha slot is assigned by the softmax sweep.
+        let mut out = pool::scratch(segs.num_segments(), cols);
+        let mut alpha = pool::scratch(segs.total_len(), 1);
+        let fl = crate::simd::flavour();
+        let run = |srange: Range<usize>, ochunk: &mut [f32], achunk: &mut [f32]| {
+            let obase = srange.start;
+            let abase = segs.offsets()[srange.start];
+            for s in srange {
+                let range = segs.range(s);
+                if range.is_empty() {
+                    ochunk[(s - obase) * cols..(s - obase + 1) * cols].fill(0.0);
+                    continue;
+                }
+                let aseg = &mut achunk[range.start - abase..range.end - abase];
+                let seg_scores = &sv.data()[range.clone()];
+                let max = seg_scores.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+                for (a, &v) in aseg.iter_mut().zip(seg_scores) {
+                    *a = v - max;
+                }
+                fl.exp(aseg);
+                let mut sum = 0.0;
+                for &a in aseg.iter() {
+                    sum += a;
+                }
+                let inv = 1.0 / sum;
+                if cols == 0 {
+                    for a in aseg.iter_mut() {
+                        *a *= inv;
+                    }
+                    continue;
+                }
+                let orow = &mut ochunk[(s - obase) * cols..(s - obase + 1) * cols];
+                // The segment's message rows are contiguous, so iterate the
+                // slab with `chunks_exact` instead of per-edge `row()` calls
+                // — same order, same arithmetic, no per-row index math. The
+                // first edge *writes* its weighted row (`out` is scratch, so
+                // there is no zero to accumulate onto); the rest accumulate.
+                let seg_msgs = &mv.data()[range.start * cols..range.end * cols];
+                let mut edges = aseg.iter_mut().zip(seg_msgs.chunks_exact(cols));
+                if let Some((a, mrow)) = edges.next() {
+                    *a *= inv;
+                    crate::simd::scale(*a, mrow, orow);
+                }
+                for (a, mrow) in edges {
+                    *a *= inv;
+                    fl.axpy(*a, mrow, orow);
+                }
+            }
+        };
+        debug_assert_partition(segs, sv.rows());
+        crate::parallel::timed("segment_attention", || {
+            parallel_ranges_pair(
+                segs.offsets(),
+                &|s| s * cols,
+                &|s| segs.offsets()[s],
+                segs.total_len() * (cols + 3),
+                out.data_mut(),
+                alpha.data_mut(),
+                run,
+            )
+        });
+        self.push_op(
+            out,
+            Box::new(SegmentAttentionOp { segs: Arc::clone(segs), alpha }),
+            vec![scores, messages],
+        )
+    }
+
+    /// [`Tape::segment_attention`] with the message gather folded in:
+    /// `out[s,:] = Σ_{e∈s} α[e] · x[idx[e],:]` where `α` is the per-segment
+    /// softmax of `scores`. Equivalent to
+    /// `segment_attention(scores, gather_rows(x, idx), segs)` — bitwise, in
+    /// both values and gradients — but the `E x d` gathered plane never
+    /// exists: the forward pass reads source rows in place, and the
+    /// backward pass scatters `α[e] · grad[s,:]` straight into the node
+    /// gradient. For edge counts well above the node count this removes
+    /// the dominant memory streams of the attention step (the gather write,
+    /// its re-read, and the mirrored pair in the backward pass).
+    pub fn gather_attention(
+        &mut self,
+        scores: Tensor,
+        x: Tensor,
+        idx: &Arc<Vec<u32>>,
+        segs: &Arc<Segments>,
+    ) -> Tensor {
+        self.check_segments(scores, segs, "gather_attention");
+        assert_eq!(
+            self.value(scores).cols(),
+            1,
+            "gather_attention expects an n x 1 score column"
+        );
+        assert_eq!(
+            idx.len(),
+            segs.total_len(),
+            "gather_attention: {} indices but segments cover {} edges",
+            idx.len(),
+            segs.total_len()
+        );
+        let sv = self.value_arc(scores);
+        let xv = self.value_arc(x);
+        let nrows = xv.rows();
+        assert!(
+            idx.iter().all(|&i| (i as usize) < nrows), // u32 index widens losslessly // lint:allow(lossy-cast)
+            "gather_attention index out of bounds (source has {nrows} rows)"
+        );
+        let cols = xv.cols();
+        // Same scratch discipline and pair partition as `segment_attention`:
+        // every output row and every alpha slot is written below.
+        let mut out = pool::scratch(segs.num_segments(), cols);
+        let mut alpha = pool::scratch(segs.total_len(), 1);
+        let fl = crate::simd::flavour();
+        let run = |srange: Range<usize>, ochunk: &mut [f32], achunk: &mut [f32]| {
+            let obase = srange.start;
+            let abase = segs.offsets()[srange.start];
+            for s in srange {
+                let range = segs.range(s);
+                if range.is_empty() {
+                    ochunk[(s - obase) * cols..(s - obase + 1) * cols].fill(0.0);
+                    continue;
+                }
+                let aseg = &mut achunk[range.start - abase..range.end - abase];
+                let seg_scores = &sv.data()[range.clone()];
+                let max = seg_scores.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+                for (a, &v) in aseg.iter_mut().zip(seg_scores) {
+                    *a = v - max;
+                }
+                fl.exp(aseg);
+                let mut sum = 0.0;
+                for &a in aseg.iter() {
+                    sum += a;
+                }
+                let inv = 1.0 / sum;
+                if cols == 0 {
+                    for a in aseg.iter_mut() {
+                        *a *= inv;
+                    }
+                    continue;
+                }
+                let orow = &mut ochunk[(s - obase) * cols..(s - obase + 1) * cols];
+                // Message rows are read in place through the index list —
+                // same order and arithmetic as the materialised kernel, so
+                // the output is bitwise identical to gather + attention.
+                let mut edges = aseg.iter_mut().zip(&idx[range]);
+                if let Some((a, &i)) = edges.next() {
+                    *a *= inv;
+                    crate::simd::scale(*a, xv.row(i as usize), orow); // lint:allow(lossy-cast)
+                }
+                for (a, &i) in edges {
+                    *a *= inv;
+                    fl.axpy(*a, xv.row(i as usize), orow); // lint:allow(lossy-cast)
+                }
+            }
+        };
+        debug_assert_partition(segs, sv.rows());
+        crate::parallel::timed("gather_attention", || {
+            parallel_ranges_pair(
+                segs.offsets(),
+                &|s| s * cols,
+                &|s| segs.offsets()[s],
+                segs.total_len() * (cols + 3),
+                out.data_mut(),
+                alpha.data_mut(),
+                run,
+            )
+        });
+        self.push_op(
+            out,
+            Box::new(GatherAttentionOp { idx: Arc::clone(idx), segs: Arc::clone(segs), alpha }),
+            vec![scores, x],
+        )
+    }
+
     /// Row-wise scaling of an `n x c` tensor by an `n x 1` weight column.
     pub fn mul_col_broadcast(&mut self, a: Tensor, w: Tensor) -> Tensor {
         let av = self.value_arc(a);
         let wv = self.value_arc(w);
         let (rows, cols) = av.shape();
         assert_eq!(wv.shape(), (rows, 1), "weights must be {rows} x 1");
-        let mut out = pool::zeros(rows, cols);
+        // Scratch: every row is scaled into place (zero-length when cols == 0).
+        let mut out = pool::scratch(rows, cols);
         if cols > 0 {
             let run = |rrange: Range<usize>, chunk: &mut [f32]| {
                 let base = rrange.start;
                 for r in rrange {
-                    let scale = wv.get(r, 0);
                     let orow = &mut chunk[(r - base) * cols..(r - base + 1) * cols];
-                    for (o, &v) in orow.iter_mut().zip(av.row(r)) {
-                        *o = v * scale;
-                    }
+                    crate::simd::scale(wv.get(r, 0), av.row(r), orow);
                 }
             };
             crate::parallel::timed("mul_col_broadcast", || {
@@ -698,6 +1132,118 @@ mod tests {
         let p = tape.segment_softmax(x, &s);
         assert!(!tape.value(p).has_non_finite());
         assert!((tape.value(p).get(0, 0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn segment_attention_matches_unfused_chain() {
+        let mut store = VarStore::new();
+        let scores = store.add("s", Matrix::from_vec(5, 1, vec![0.3, -1.2, 0.0, 2.0, 0.7]));
+        let msgs = store.add(
+            "m",
+            Matrix::from_vec(5, 2, vec![1.0, 2.0, -3.0, 0.5, 4.0, -1.0, 0.25, 2.5, -0.5, 1.5]),
+        );
+        let s = segs(&[2, 0, 3]);
+
+        let mut fused = Tape::new(0);
+        let fs = fused.param(&store, scores);
+        let fm = fused.param(&store, msgs);
+        let fy = fused.segment_attention(fs, fm, &s);
+        let floss = fused.sum_all(fy);
+        let fg = fused.backward(floss);
+
+        let mut chain = Tape::new(0);
+        let cs = chain.param(&store, scores);
+        let cm = chain.param(&store, msgs);
+        let alpha = chain.segment_softmax(cs, &s);
+        let weighted = chain.mul_col_broadcast(cm, alpha);
+        let cy = chain.segment_sum(weighted, &s);
+        let closs = chain.sum_all(cy);
+        let cg = chain.backward(closs);
+
+        let fv = fused.value(fy);
+        let cv = chain.value(cy);
+        assert_eq!(fv.shape(), (3, 2));
+        for (a, b) in fv.data().iter().zip(cv.data()) {
+            assert!((a - b).abs() < 1e-5, "forward fused {a} vs chain {b}");
+        }
+        // Empty segment 1 stays a zero row.
+        assert_eq!(&fv.data()[2..4], &[0.0, 0.0]);
+        for p in [scores, msgs] {
+            let gf = fg.get(p).unwrap();
+            let gc = cg.get(p).unwrap();
+            for (a, b) in gf.data().iter().zip(gc.data()) {
+                assert!((a - b).abs() < 1e-5, "grad fused {a} vs chain {b}");
+            }
+        }
+    }
+
+    /// The gather-fused kernel promises *bitwise* agreement with the
+    /// materialised `gather_rows` + `segment_attention` composition, in both
+    /// the forward value and every gradient — the two paths run the same
+    /// arithmetic in the same order, only the addressing differs.
+    #[test]
+    fn gather_attention_is_bitwise_equal_to_gather_then_attention() {
+        let mut store = VarStore::new();
+        let x = store.add(
+            "x",
+            Matrix::from_fn(6, 3, |r, c| ((r * 3 + c) as f32 * 0.37).sin() * 2.0),
+        );
+        let sc = store.add("sc", Matrix::from_fn(7, 1, |r, _| ((r as f32) - 2.5) * 0.8));
+        // Repeated indices exercise the scatter-add collisions; segment
+        // lengths include an empty segment.
+        let idx = Arc::new(vec![0u32, 5, 2, 2, 4, 0, 1]);
+        let s = segs(&[3, 0, 2, 2]);
+
+        let mut fused = Tape::new(0);
+        let fs = fused.param(&store, sc);
+        let fx = fused.param(&store, x);
+        let fy = fused.gather_attention(fs, fx, &idx, &s);
+        let floss = fused.sum_all(fy);
+        let fg = fused.backward(floss);
+
+        let mut chain = Tape::new(0);
+        let cs = chain.param(&store, sc);
+        let cx = chain.param(&store, x);
+        let cm = chain.gather_rows(cx, &idx);
+        let cy = chain.segment_attention(cs, cm, &s);
+        let closs = chain.sum_all(cy);
+        let cg = chain.backward(closs);
+
+        assert_eq!(fused.value(fy).data(), chain.value(cy).data(), "forward values diverge");
+        for p in [sc, x] {
+            assert_eq!(
+                fg.get(p).unwrap().data(),
+                cg.get(p).unwrap().data(),
+                "gradient for {} diverges",
+                store.name(p)
+            );
+        }
+    }
+
+    #[test]
+    fn segment_attention_weights_are_normalised() {
+        // With all-ones messages every output row is exactly the segment's
+        // softmax mass, i.e. 1 for non-empty segments.
+        let mut tape = Tape::new(0);
+        let sc = tape.constant(Matrix::from_vec(4, 1, vec![5.0, -2.0, 0.0, 1.0]));
+        let ms = tape.constant(Matrix::full(4, 3, 1.0));
+        let s = segs(&[3, 1]);
+        let y = tape.segment_attention(sc, ms, &s);
+        for &v in tape.value(y).data() {
+            assert!((v - 1.0).abs() < 1e-6, "weights must sum to one, got {v}");
+        }
+    }
+
+    #[test]
+    fn segment_attention_handles_extreme_scores() {
+        let mut tape = Tape::new(0);
+        let sc = tape.constant(Matrix::from_vec(2, 1, vec![1000.0, -1000.0]));
+        let ms = tape.constant(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let s = segs(&[2]);
+        let y = tape.segment_attention(sc, ms, &s);
+        assert!(!tape.value(y).has_non_finite());
+        assert!((tape.value(y).get(0, 0) - 1.0).abs() < 1e-5);
+        assert!((tape.value(y).get(0, 1) - 2.0).abs() < 1e-5);
     }
 
     #[test]

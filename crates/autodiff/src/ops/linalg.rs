@@ -101,7 +101,8 @@ impl Op for ConcatColsOp {
         let mut grads = Vec::with_capacity(inputs.len());
         let mut offset = 0;
         for &w in &self.widths {
-            let mut g = pool::zeros(rows, w);
+            // Scratch: every row of each slice is copied from the gradient.
+            let mut g = pool::scratch(rows, w);
             for r in 0..rows {
                 g.row_mut(r).copy_from_slice(&grad.row(r)[offset..offset + w]);
             }
@@ -171,7 +172,8 @@ struct RowSumOp;
 impl Op for RowSumOp {
     fn backward(&self, _out: &Matrix, grad: &Matrix, inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
         let (rows, cols) = inputs[0].shape();
-        let mut g = pool::zeros(rows, cols);
+        // Scratch: every row is filled with its broadcast gradient.
+        let mut g = pool::scratch(rows, cols);
         for r in 0..rows {
             let gv = grad.get(r, 0);
             g.row_mut(r).fill(gv);
@@ -237,7 +239,8 @@ struct SoftmaxRowsOp;
 impl Op for SoftmaxRowsOp {
     fn backward(&self, out: &Matrix, grad: &Matrix, _inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
         // dX[r] = P[r] ⊙ (dY[r] - <dY[r], P[r]>)
-        let mut g = pool::zeros(out.rows(), out.cols());
+        // Scratch: the row loop assigns every element.
+        let mut g = pool::scratch(out.rows(), out.cols());
         for r in 0..out.rows() {
             let p = out.row(r);
             let dy = grad.row(r);
@@ -266,7 +269,8 @@ struct LogSoftmaxRowsOp;
 impl Op for LogSoftmaxRowsOp {
     fn backward(&self, out: &Matrix, grad: &Matrix, _inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
         // dX[r] = dY[r] - exp(out[r]) * sum(dY[r])
-        let mut g = pool::zeros(out.rows(), out.cols());
+        // Scratch: the row loop assigns every element.
+        let mut g = pool::scratch(out.rows(), out.cols());
         for r in 0..out.rows() {
             let sum: f32 = grad.row(r).iter().sum();
             for ((g, &o), &d) in g.row_mut(r).iter_mut().zip(out.row(r)).zip(grad.row(r)) {
@@ -388,7 +392,8 @@ impl Tape {
             })
             .collect();
         let total: usize = widths.iter().sum();
-        let mut out = pool::zeros(rows, total);
+        // Scratch: every row is assembled from the parts' rows in full.
+        let mut out = pool::scratch(rows, total);
         for r in 0..rows {
             let mut offset = 0;
             for (&t, &w) in parts.iter().zip(&widths) {
@@ -403,7 +408,8 @@ impl Tape {
     pub fn slice_cols(&mut self, a: Tensor, start: usize, end: usize) -> Tensor {
         let (rows, cols) = self.value(a).shape();
         assert!(start < end && end <= cols, "slice_cols {start}..{end} out of 0..{cols}");
-        let mut out = pool::zeros(rows, end - start);
+        // Scratch: every row is copied from the source slice.
+        let mut out = pool::scratch(rows, end - start);
         for r in 0..rows {
             out.row_mut(r).copy_from_slice(&self.value(a).row(r)[start..end]);
         }

@@ -203,6 +203,9 @@ fn run_plan<T: Send>(
 ) {
     let checked = prove_plan(current_kernel().to_string(), items, cuts, out_offset, out.len());
     let shadow = checked.as_ref().map(|(_, s)| s);
+    // Workers must compute exactly what the calling thread would have: the
+    // scalar/SIMD mode is part of that contract, so it rides along.
+    let scalar = crate::simd::scalar_forced();
     std::thread::scope(|s| {
         let mut rest = out;
         let mut consumed = 0usize;
@@ -221,7 +224,7 @@ fn run_plan<T: Send>(
                 if let Some(log) = shadow {
                     log.record(worker, chunk_start, chunk_start + chunk.len());
                 }
-                run(start..end, chunk)
+                crate::simd::with_mode(scalar, || run(start..end, chunk))
             });
         }
     });
@@ -246,6 +249,7 @@ fn run_plan_pair<A: Send, B: Send>(
     let checked_b = prove_plan(format!("{kernel}.b"), items, cuts, out_offset_b, b.len());
     let shadow_a = checked_a.as_ref().map(|(_, s)| s);
     let shadow_b = checked_b.as_ref().map(|(_, s)| s);
+    let scalar = crate::simd::scalar_forced();
     std::thread::scope(|s| {
         let (mut rest_a, mut rest_b) = (a, b);
         let (mut done_a, mut done_b) = (0usize, 0usize);
@@ -270,7 +274,7 @@ fn run_plan_pair<A: Send, B: Send>(
                 if let Some(log) = shadow_b {
                     log.record(worker, cb_start, cb_start + cb.len());
                 }
-                run(start..end, ca, cb)
+                crate::simd::with_mode(scalar, || run(start..end, ca, cb))
             });
         }
     });

@@ -178,6 +178,26 @@ pub(crate) fn zeros(rows: usize, cols: usize) -> Matrix {
     Matrix::from_vec(rows, cols, buf)
 }
 
+/// A `rows x cols` matrix with *unspecified contents* for overwrite-only
+/// kernels, drawn from this thread's pool.
+///
+/// Skipping the `fill(0.0)` of [`zeros`] matters on wide buffers that are
+/// about to be fully overwritten anyway (gather outputs, broadcast-style
+/// backward planes): the memset is pure memory traffic. The caller must
+/// write **every** element before any element is read — a partial write
+/// would expose stale floats from a recycled buffer, which is exactly the
+/// kind of history-dependent state the determinism contract forbids. Debug
+/// builds poison the buffer with NaN so a read-before-write (or a row left
+/// unwritten) surfaces as NaN in the test suites instead of silently
+/// reading recycled data; release builds skip the fill entirely.
+pub(crate) fn scratch(rows: usize, cols: usize) -> Matrix {
+    let mut buf = POOL.with(|p| p.borrow_mut().take(rows * cols));
+    if cfg!(debug_assertions) {
+        buf.fill(f32::NAN);
+    }
+    Matrix::from_vec(rows, cols, buf)
+}
+
 /// A `rows x cols` matrix filled with `value`, drawn from this thread's pool.
 pub(crate) fn full(rows: usize, cols: usize, value: f32) -> Matrix {
     let mut buf = POOL.with(|p| p.borrow_mut().take(rows * cols));
@@ -236,6 +256,24 @@ mod tests {
         let b = zeros(4, 3);
         assert_eq!(stats().hits, 1, "same-size request must reuse the buffer");
         assert!(b.data().iter().all(|&v| v == 0.0), "pooled zeros must be zeroed");
+        put(b);
+        reset();
+    }
+
+    #[test]
+    fn scratch_reuses_without_zeroing_and_poisons_in_debug() {
+        reset();
+        let mut a = zeros(4, 3);
+        a.data_mut().fill(3.25);
+        put(a);
+        let b = scratch(4, 3);
+        assert_eq!(stats().hits, 1, "scratch must draw from the free list");
+        if cfg!(debug_assertions) {
+            assert!(
+                b.data().iter().all(|v| v.is_nan()),
+                "debug scratch must be NaN-poisoned, not stale"
+            );
+        }
         put(b);
         reset();
     }

@@ -1,0 +1,457 @@
+//! Pinned-order vectorized inner loops for the hot kernels.
+//!
+//! The kernels with a *reduction* ([`dot`]) or a *fused rounding* choice
+//! ([`axpy`]) come in two flavours:
+//!
+//! * a **vectorized** path: `dot` uses eight fixed accumulator lanes fed
+//!   with [`f32::mul_add`] and combined in a fixed binary tree (scalar tail
+//!   folded in index order), so the reduction order is pinned by
+//!   construction and identical for every call with the same slice length,
+//!   regardless of thread count; `axpy` fuses the multiply-add to one
+//!   rounding per element. Both are written as plain loops the compiler
+//!   auto-vectorizes at full native width (the workspace builds with
+//!   `target-cpu=x86-64-v3`, so `mul_add` lowers to hardware FMA).
+//! * a **scalar reference** path that walks the slice once in index order
+//!   with plain `mul`/`add` (two roundings), kept for gradcheck, Miri, and
+//!   as the semantic ground truth the vectorized path is tested against.
+//!
+//! The two flavours are *not* bitwise equal to each other: `mul_add` rounds
+//! once where `a * b + c` rounds twice, and the 8-lane tree sums partial
+//! products in a different order than a left fold. That drift is deliberate
+//! and observable (see the `simd-lane-drift` case in the determinism bench);
+//! the determinism contract only requires that each flavour is bitwise
+//! reproducible across thread counts, which both are because the dispatch
+//! never depends on partition geometry.
+//!
+//! [`add_assign`] and [`scale`] have no flavour split at all: they are
+//! per-element ops with exactly one rounding and no order freedom, so the
+//! reference and the vectorized code are the same loop.
+//!
+//! Dispatch: the vectorized flavour is the default. Setting
+//! `SANE_FORCE_SCALAR` to anything but `0`/empty at process start forces the
+//! scalar references globally; [`with_scalar`] forces them for the current
+//! thread inside a closure (used by tests and the lane-drift probe so both
+//! flavours can run in one process). Hot kernels snapshot [`flavour()`]
+//! *once* per kernel call and reuse the copy in their inner loops — the
+//! thread-local read is cheap but not free at tens of thousands of calls
+//! per step.
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+const LANES: usize = 8;
+
+fn env_force_scalar() -> bool {
+    static FORCE: OnceLock<bool> = OnceLock::new();
+    *FORCE.get_or_init(|| {
+        std::env::var("SANE_FORCE_SCALAR")
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false)
+    })
+}
+
+thread_local! {
+    static SCALAR_OVERRIDE: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True when the scalar reference paths are active on this thread, either via
+/// the `SANE_FORCE_SCALAR` environment variable or a [`with_scalar`] scope.
+pub fn scalar_forced() -> bool {
+    SCALAR_OVERRIDE.with(|c| c.get()) || env_force_scalar()
+}
+
+/// The active kernel flavour, as a copyable token.
+///
+/// Kernels call [`flavour()`] once, outside their loops, and use the token's
+/// inherent [`dot`](Flavour::dot) / [`axpy`](Flavour::axpy) in the hot path:
+/// the mode check then costs one well-predicted branch per call instead of a
+/// thread-local read. Capturing the token in a parallel kernel's worker
+/// closure also pins the whole kernel to one flavour by construction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Flavour {
+    /// Pinned-lane `mul_add` kernels (the default).
+    Vector,
+    /// Index-order scalar reference kernels.
+    Reference,
+}
+
+/// Snapshot of the current thread's flavour (see [`scalar_forced`]).
+pub fn flavour() -> Flavour {
+    if scalar_forced() {
+        Flavour::Reference
+    } else {
+        Flavour::Vector
+    }
+}
+
+impl Flavour {
+    /// Dot product in this flavour (see [`dot`]).
+    #[inline]
+    pub fn dot(self, a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        match self {
+            Flavour::Vector => dot8(a, b),
+            Flavour::Reference => dot_scalar(a, b),
+        }
+    }
+
+    /// `out[j] += a * x[j]` in this flavour (see [`axpy`]).
+    #[inline]
+    pub fn axpy(self, a: f32, x: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(x.len(), out.len());
+        match self {
+            Flavour::Vector => axpy_vec(a, x, out),
+            Flavour::Reference => axpy_scalar(a, x, out),
+        }
+    }
+
+    /// Fused `(dot(x, y), out[j] = a * y[j])` in one pass — the attention
+    /// backward's per-edge pattern (gradient dot plus the weighted message
+    /// gradient, both over the same upstream row `y`).
+    ///
+    /// The reduction uses exactly the same pinned order as [`Flavour::dot`]
+    /// in each flavour, and the scale write is the same single-rounding
+    /// multiply as [`scale`], so fusing changes no results — it only
+    /// removes the second sweep over `y` and one call's loop overhead.
+    #[inline]
+    pub fn dot_scale(self, x: &[f32], y: &[f32], a: f32, out: &mut [f32]) -> f32 {
+        debug_assert_eq!(x.len(), y.len());
+        debug_assert_eq!(x.len(), out.len());
+        match self {
+            Flavour::Vector => dot_scale_vec(x, y, a, out),
+            Flavour::Reference => {
+                let mut acc = 0.0f32;
+                for ((&xv, &yv), o) in x.iter().zip(y).zip(out.iter_mut()) {
+                    acc += xv * yv;
+                    *o = a * yv;
+                }
+                acc
+            }
+        }
+    }
+
+    /// `x[j] = e^{x[j]}` in place, for softmax-style kernels.
+    ///
+    /// The vectorized flavour is a branch-free `2^n · p(f)` split (degree-6
+    /// polynomial on the reduced fraction, exponent applied through the
+    /// bit pattern) that the compiler turns into straight vector code —
+    /// relative error is under `1e-6` of [`f32::exp`], which the flavour
+    /// drift contract already covers. Inputs are clamped to `[-87, 88]`:
+    /// below that `e^x` underflows to zero anyway, above it the result
+    /// saturates near `f32::MAX` instead of producing infinity, which is
+    /// the behaviour the max-shifted softmax callers (`x ≤ 0`) never see.
+    /// The reference flavour calls [`f32::exp`] per element.
+    #[inline]
+    pub fn exp(self, xs: &mut [f32]) {
+        match self {
+            Flavour::Vector => exp_vec(xs),
+            Flavour::Reference => {
+                for v in xs {
+                    *v = v.exp();
+                }
+            }
+        }
+    }
+}
+
+/// Dot product with pinned reduction order.
+///
+/// Vectorized flavour: 8 fixed accumulator lanes (`acc[l]` sees elements
+/// `l, l+8, l+16, ...` via `mul_add`), combined in the fixed tree
+/// `((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))`, then the tail (`len % 8`
+/// elements) folded in index order with `mul_add`.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    flavour().dot(a, b)
+}
+
+/// `out[j] += a * x[j]` — one rounding per element (`mul_add`) in the
+/// vectorized flavour, two (`mul` then `add`) in the reference flavour.
+pub fn axpy(a: f32, x: &[f32], out: &mut [f32]) {
+    flavour().axpy(a, x, out)
+}
+
+/// `out[j] += x[j]`, the accumulation step of the segment-sum kernels.
+///
+/// No flavour split: one add per element in index order is the only
+/// possible evaluation, so reference and vectorized code coincide.
+pub fn add_assign(x: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(x.len(), out.len());
+    for (o, &v) in out.iter_mut().zip(x) {
+        *o += v;
+    }
+}
+
+/// `out[j] = a * x[j]` (overwrite, not accumulate).
+///
+/// No flavour split: one multiply per element, no order freedom.
+pub fn scale(a: f32, x: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(x.len(), out.len());
+    for (o, &v) in out.iter_mut().zip(x) {
+        *o = a * v;
+    }
+}
+
+/// Run `f` with the scalar reference paths forced on the current thread.
+///
+/// The override is thread-local so concurrent callers (test threads) stay
+/// independent, but it does follow the work into parallel kernels: the
+/// dispatcher in [`crate::parallel`] snapshots the calling thread's mode
+/// and re-applies it on every scoped worker, so a `with_scalar` scope
+/// covers the whole kernel at any thread count.
+pub fn with_scalar<R>(f: impl FnOnce() -> R) -> R {
+    with_mode(true, f)
+}
+
+/// Runs `f` with the thread-local override set to `scalar`. The parallel
+/// dispatcher uses this to hand the calling thread's mode to its scoped
+/// workers, so a [`with_scalar`] scope covers the whole kernel even when
+/// the work is split across threads.
+pub(crate) fn with_mode<R>(scalar: bool, f: impl FnOnce() -> R) -> R {
+    SCALAR_OVERRIDE.with(|c| {
+        let prev = c.replace(scalar);
+        let out = f();
+        c.set(prev);
+        out
+    })
+}
+
+/// Scalar reference: left fold in index order, two roundings per element.
+pub fn dot_scalar(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for (&x, &y) in a.iter().zip(b) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// Scalar reference for [`axpy`]: `mul` then `add`, two roundings.
+pub fn axpy_scalar(a: f32, x: &[f32], out: &mut [f32]) {
+    for (o, &v) in out.iter_mut().zip(x) {
+        *o += a * v;
+    }
+}
+
+fn dot8(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = [0.0f32; LANES];
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    for (xs, ys) in (&mut ca).zip(&mut cb) {
+        // The lane index is the constant here: lane `l` only ever sees
+        // elements congruent to `l` mod 8, so the per-lane reduction order is
+        // fixed no matter how the caller partitioned the surrounding work.
+        for l in 0..LANES {
+            acc[l] = xs[l].mul_add(ys[l], acc[l]);
+        }
+    }
+    let mut tree =
+        ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+    for (&x, &y) in ca.remainder().iter().zip(cb.remainder()) {
+        tree = x.mul_add(y, tree);
+    }
+    tree
+}
+
+fn axpy_vec(a: f32, x: &[f32], out: &mut [f32]) {
+    // Elementwise with no order freedom beyond the rounding choice: a plain
+    // zip the compiler turns into full-width FMA.
+    for (o, &v) in out.iter_mut().zip(x) {
+        *o = a.mul_add(v, *o);
+    }
+}
+
+fn dot_scale_vec(x: &[f32], y: &[f32], a: f32, out: &mut [f32]) -> f32 {
+    // Same 8-lane pinned-tree reduction as `dot8`, with the independent
+    // `a * y` write folded into the same pass over `y`.
+    let mut acc = [0.0f32; LANES];
+    let mut cx = x.chunks_exact(LANES);
+    let mut cy = y.chunks_exact(LANES);
+    let mut co = out.chunks_exact_mut(LANES);
+    for ((xs, ys), os) in (&mut cx).zip(&mut cy).zip(&mut co) {
+        for l in 0..LANES {
+            acc[l] = xs[l].mul_add(ys[l], acc[l]);
+            os[l] = a * ys[l];
+        }
+    }
+    let mut tree =
+        ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+    for ((&xv, &yv), o) in cx.remainder().iter().zip(cy.remainder()).zip(co.into_remainder()) {
+        tree = xv.mul_add(yv, tree);
+        *o = a * yv;
+    }
+    tree
+}
+
+fn exp_vec(xs: &mut [f32]) {
+    use std::f32::consts::{LN_2, LOG2_E};
+    for v in xs {
+        // e^x = 2^n · e^f with n = round(x·log2 e), f = x − n·ln 2, so f is
+        // in [−ln2/2, ln2/2] where the degree-6 Taylor series is accurate
+        // to ~2e-7 relative. Every step is a pure per-element function of
+        // the input, so the result is bitwise reproducible anywhere.
+        let x = (*v).clamp(-87.0, 88.0);
+        let n = (x * LOG2_E).round();
+        let f = (-n).mul_add(LN_2, x);
+        let p = f.mul_add(
+            f.mul_add(
+                f.mul_add(
+                    f.mul_add(
+                        f.mul_add(f.mul_add(1.0 / 720.0, 1.0 / 120.0), 1.0 / 24.0),
+                        1.0 / 6.0,
+                    ),
+                    0.5,
+                ),
+                1.0,
+            ),
+            1.0,
+        );
+        // 2^n through the exponent bits: n is an integer in [−126, 127]
+        // after the clamp, so the biased exponent stays in (0, 255).
+        let two_n = f32::from_bits((((n as i32) + 127) << 23) as u32); // in-range by the clamp above // lint:allow(lossy-cast)
+        *v = p * two_n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(n: usize, salt: f32) -> Vec<f32> {
+        (0..n)
+            .map(|i| ((i as f32) * 0.37 + salt).sin()) // lint:allow(lossy-cast)
+            .collect()
+    }
+
+    #[test]
+    fn dot8_matches_scalar_within_eps() {
+        for n in [0, 1, 7, 8, 9, 16, 31, 200] {
+            let a = seq(n, 0.1);
+            let b = seq(n, 1.9);
+            let v = dot8(&a, &b);
+            let s = dot_scalar(&a, &b);
+            let scale = 1.0f32.max(s.abs());
+            assert!(
+                (v - s).abs() <= 1e-4 * scale,
+                "n={n}: vectorized {v} vs scalar {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn dot8_is_bitwise_stable_across_calls() {
+        let a = seq(123, 0.3);
+        let b = seq(123, 2.7);
+        let first = dot8(&a, &b);
+        for _ in 0..8 {
+            assert_eq!(first.to_bits(), dot8(&a, &b).to_bits());
+        }
+    }
+
+    #[test]
+    fn axpy_flavours_match_within_eps() {
+        for n in [0, 3, 8, 17, 64] {
+            let x = seq(n, 0.5);
+            let mut v = seq(n, 4.2);
+            let mut s = v.clone();
+            axpy_vec(0.75, &x, &mut v);
+            axpy_scalar(0.75, &x, &mut s);
+            for (a, b) in v.iter().zip(&s) {
+                assert!((a - b).abs() <= 1e-6, "axpy n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn dot_scale_is_bitwise_identical_to_dot_plus_scale() {
+        for fl in [Flavour::Vector, Flavour::Reference] {
+            for n in [0, 1, 7, 8, 9, 31, 64] {
+                let x = seq(n, 0.4);
+                let y = seq(n, 3.1);
+                let mut fused_out = vec![0.0f32; n];
+                let fused_dot = fl.dot_scale(&x, &y, -0.6, &mut fused_out);
+                let mut plain_out = vec![0.0f32; n];
+                scale(-0.6, &y, &mut plain_out);
+                assert_eq!(fused_dot.to_bits(), fl.dot(&x, &y).to_bits(), "{fl:?} n={n}");
+                for (a, b) in fused_out.iter().zip(&plain_out) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{fl:?} n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn add_and_scale_have_no_flavour_drift() {
+        let x = seq(33, 0.8);
+        let mut a = seq(33, 2.2);
+        let mut b = a.clone();
+        add_assign(&x, &mut a);
+        with_scalar(|| add_assign(&x, &mut b));
+        for (p, q) in a.iter().zip(&b) {
+            assert_eq!(p.to_bits(), q.to_bits(), "add_assign is flavour-free");
+        }
+        scale(-1.25, &x, &mut a);
+        with_scalar(|| scale(-1.25, &x, &mut b));
+        for (p, q) in a.iter().zip(&b) {
+            assert_eq!(p.to_bits(), q.to_bits(), "scale is flavour-free");
+        }
+    }
+
+    #[test]
+    fn exp_vec_matches_libm_within_rel_eps() {
+        let mut xs: Vec<f32> = (-400..=80).map(|i| i as f32 * 0.217).collect(); // lint:allow(lossy-cast)
+        xs.extend([0.0, -0.0, f32::MIN_POSITIVE, -87.0, 1e-20]);
+        let expect: Vec<f32> = xs.iter().map(|&x| x.exp()).collect();
+        exp_vec(&mut xs);
+        for (&got, &want) in xs.iter().zip(&expect) {
+            let tol = 1e-6 * want.max(f32::MIN_POSITIVE);
+            assert!(
+                (got - want).abs() <= tol,
+                "exp_vec {got} vs libm {want}"
+            );
+        }
+        // Below the clamp the result saturates at e^-87 ~ 1.6e-38 — an
+        // effective zero for the max-shifted softmax weights that feed it.
+        let mut under = [-100.0f32, -2000.0];
+        exp_vec(&mut under);
+        for v in under {
+            assert!(v.is_finite() && (0.0..=1.7e-38).contains(&v), "underflow region: {v}");
+        }
+    }
+
+    #[test]
+    fn exp_vec_is_bitwise_stable_across_calls() {
+        let base: Vec<f32> = (0..97).map(|i| (i as f32 * 0.13).sin() * 40.0 - 30.0).collect(); // lint:allow(lossy-cast)
+        let mut first = base.clone();
+        exp_vec(&mut first);
+        for _ in 0..4 {
+            let mut again = base.clone();
+            exp_vec(&mut again);
+            for (a, b) in first.iter().zip(&again) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn with_scalar_routes_to_reference_paths() {
+        let a = seq(50, 0.2);
+        let b = seq(50, 1.1);
+        let forced = with_scalar(|| dot(&a, &b));
+        assert_eq!(forced.to_bits(), dot_scalar(&a, &b).to_bits());
+        assert!(!scalar_forced());
+        // Outside the scope the vectorized flavour is back (env permitting).
+        if !scalar_forced() {
+            assert_eq!(dot(&a, &b).to_bits(), dot8(&a, &b).to_bits());
+        }
+    }
+
+    #[test]
+    fn with_scalar_restores_previous_state_on_nesting() {
+        with_scalar(|| {
+            assert!(scalar_forced());
+            assert_eq!(flavour(), Flavour::Reference);
+            with_scalar(|| assert!(scalar_forced()));
+            assert!(scalar_forced());
+        });
+        assert_eq!(flavour(), Flavour::Vector);
+    }
+}

@@ -214,6 +214,7 @@ impl Csr {
         );
         let n = dense.cols();
         let mut out = pool::zeros(self.rows, n);
+        let fl = crate::simd::flavour();
         let run = |rows: std::ops::Range<usize>, chunk: &mut [f32]| {
             let base = rows.start;
             for r in rows {
@@ -221,10 +222,7 @@ impl Csr {
                 for k in self.indptr[r]..self.indptr[r + 1] {
                     let c = self.indices[k] as usize; // u32 index widens losslessly // lint:allow(lossy-cast)
                     let v = self.values[k];
-                    let drow = dense.row(c);
-                    for (o, &d) in orow.iter_mut().zip(drow) {
-                        *o += v * d;
-                    }
+                    fl.axpy(v, dense.row(c), orow);
                 }
             }
         };

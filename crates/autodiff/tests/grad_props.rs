@@ -351,6 +351,108 @@ proptest! {
     }
 
     #[test]
+    fn segment_attention_fused_score_grads(seed in 0u64..10_000, d in 1usize..4) {
+        // Fused softmax + weighted aggregation, gradient-checked w.r.t. the
+        // scores — the path through the op-private alpha column — on both
+        // the vectorized and the scalar reference kernels.
+        let idx = Arc::new(vec![0u32, 1, 1, 2, 0]);
+        let segs = Arc::new(Segments::from_lengths(&[2, 0, 2, 1]));
+        let feats = input(seed ^ 21, 3, d);
+        let case = move |t: &mut Tape, _: &VarStore, x: Tensor| {
+            let scores = t.gather_rows(x, &idx);
+            let f = t.constant(feats.clone());
+            let msgs = t.gather_rows(f, &idx);
+            let out = t.segment_attention(scores, msgs, &segs);
+            t.mean_all(out)
+        };
+        let err = check(seed, 3, 1, case.clone());
+        prop_assert!(err < TOL, "rel err {err} (vectorized)");
+        let err = sane_autodiff::simd::with_scalar(|| check(seed, 3, 1, case));
+        prop_assert!(err < TOL, "rel err {err} (scalar reference)");
+    }
+
+    #[test]
+    fn segment_attention_fused_message_grads(seed in 0u64..10_000, d in 1usize..4) {
+        // Same op, gradient-checked w.r.t. the message features.
+        let idx = Arc::new(vec![0u32, 1, 1, 2, 0, 2]);
+        let segs = Arc::new(Segments::from_lengths(&[2, 3, 1]));
+        let scores = input(seed ^ 22, 6, 1);
+        let case = move |t: &mut Tape, _: &VarStore, x: Tensor| {
+            let s = t.constant(scores.clone());
+            let msgs = t.gather_rows(x, &idx);
+            let out = t.segment_attention(s, msgs, &segs);
+            t.mean_all(out)
+        };
+        let err = check(seed, 3, d, case.clone());
+        prop_assert!(err < TOL, "rel err {err} (vectorized)");
+        let err = sane_autodiff::simd::with_scalar(|| check(seed, 3, d, case));
+        prop_assert!(err < TOL, "rel err {err} (scalar reference)");
+    }
+
+    #[test]
+    fn segment_attention_fused_grads_parallel(seed in 0u64..10_000, d in 1usize..4) {
+        // The fused op under forced 2- and 4-way parallel segment kernels.
+        let idx = Arc::new(vec![0u32, 1, 1, 2, 0, 2]);
+        let segs = Arc::new(Segments::from_lengths(&[2, 3, 1]));
+        let feats = input(seed ^ 23, 3, d);
+        for threads in [2usize, 4] {
+            let idx = Arc::clone(&idx);
+            let segs = Arc::clone(&segs);
+            let feats = feats.clone();
+            let err = with_threads(threads, || check(seed, 3, 1, move |t, _, x| {
+                let scores = t.gather_rows(x, &idx);
+                let f = t.constant(feats.clone());
+                let msgs = t.gather_rows(f, &idx);
+                let out = t.segment_attention(scores, msgs, &segs);
+                t.mean_all(out)
+            }));
+            prop_assert!(err < TOL, "rel err {err} at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn gather_attention_grads(seed in 0u64..10_000, d in 1usize..4) {
+        // The gather-fused attention op, gradient-checked w.r.t. the node
+        // features (the path through both the in-place row reads of the
+        // forward pass and the direct scatter of the backward pass), on the
+        // vectorized and scalar reference kernels. Repeated indices
+        // exercise scatter collisions.
+        let idx = Arc::new(vec![0u32, 1, 1, 2, 0, 2]);
+        let segs = Arc::new(Segments::from_lengths(&[2, 3, 1]));
+        let scores = input(seed ^ 24, 6, 1);
+        let case = move |t: &mut Tape, _: &VarStore, x: Tensor| {
+            let s = t.constant(scores.clone());
+            let out = t.gather_attention(s, x, &idx, &segs);
+            t.mean_all(out)
+        };
+        let err = check(seed, 3, d, case.clone());
+        prop_assert!(err < TOL, "rel err {err} (vectorized)");
+        let err = sane_autodiff::simd::with_scalar(|| check(seed, 3, d, case));
+        prop_assert!(err < TOL, "rel err {err} (scalar reference)");
+    }
+
+    #[test]
+    fn gather_attention_score_grads_parallel(seed in 0u64..10_000, d in 1usize..4) {
+        // Same op, gradient-checked w.r.t. the scores under forced 2- and
+        // 4-way parallel forward kernels (the backward scatter is serial).
+        let idx = Arc::new(vec![0u32, 1, 1, 2, 0]);
+        let segs = Arc::new(Segments::from_lengths(&[2, 0, 2, 1]));
+        let feats = input(seed ^ 25, 3, d);
+        for threads in [2usize, 4] {
+            let idx = Arc::clone(&idx);
+            let segs = Arc::clone(&segs);
+            let feats = feats.clone();
+            let err = with_threads(threads, || check(seed, 3, 1, move |t, _, x| {
+                let scores = t.gather_rows(x, &idx);
+                let f = t.constant(feats.clone());
+                let out = t.gather_attention(scores, f, &idx, &segs);
+                t.mean_all(out)
+            }));
+            prop_assert!(err < TOL, "rel err {err} at {threads} threads");
+        }
+    }
+
+    #[test]
     fn max_stack_and_segment_max_grads(seed in 0u64..10_000, cols in 1usize..4) {
         // Kinked ops: pick inputs with distinct values so perturbation
         // does not flip the argmax.
@@ -367,6 +469,63 @@ proptest! {
             t.sum_all(s)
         });
         prop_assert!(err < TOL, "rel err {err}");
+    }
+}
+
+/// Pins the vectorized kernels against the scalar reference paths: the
+/// 8-lane `mul_add` tree is allowed to round differently (that drift is
+/// what the `simd-lane-drift` determinism case observes), but it must stay
+/// within a tight relative bound of the scalar left-fold on every kernel
+/// the `simd` module backs — forward and backward.
+#[test]
+fn simd_kernels_stay_within_tolerance_of_scalar_reference() {
+    let idx = Arc::new(vec![0u32, 1, 1, 2, 0, 2, 3, 3]);
+    let segs = Arc::new(Segments::from_lengths(&[2, 3, 0, 3]));
+    let sparse = Arc::new(Csr::from_coo(
+        4,
+        4,
+        &[(0, 1, 0.7), (1, 0, -0.3), (1, 2, 1.1), (2, 3, 0.5), (3, 3, -0.9)],
+    ));
+    let feats = input(31, 4, 9); // odd width exercises the unroll tail
+    let weights = input(32, 9, 5);
+    let scores = input(33, 8, 1);
+
+    let run = |scalar: bool| {
+        let go = || {
+            let mut store = VarStore::new();
+            let p = store.add("w", weights.clone());
+            let mut t = Tape::new(0);
+            let x = t.constant(feats.clone());
+            let w = t.param(&store, p);
+            let h = t.matmul(x, w); // gemm_ikj; backward: matmul_at_b / matmul_a_bt
+            let prop = t.spmm(&sparse, h);
+            let msgs = t.gather_rows(prop, &idx);
+            let sc = t.constant(scores.clone());
+            let att = t.segment_attention(sc, msgs, &segs);
+            let pooled = t.segment_sum(msgs, &segs);
+            let combined = t.add(att, pooled);
+            let loss = t.mean_all(combined);
+            let grads = t.backward(loss);
+            let mut flat: Vec<f32> = t.value(combined).data().to_vec();
+            flat.extend_from_slice(grads.get(p).expect("param grad").data());
+            flat
+        };
+        if scalar {
+            sane_autodiff::simd::with_scalar(go)
+        } else {
+            go()
+        }
+    };
+
+    let vectorized = run(false);
+    let scalar = run(true);
+    assert_eq!(vectorized.len(), scalar.len());
+    for (i, (v, s)) in vectorized.iter().zip(&scalar).enumerate() {
+        let bound = 1e-4 * 1.0f32.max(s.abs());
+        assert!(
+            (v - s).abs() <= bound,
+            "element {i}: vectorized {v} drifted past tolerance from scalar reference {s}"
+        );
     }
 }
 

@@ -85,9 +85,15 @@ fn segment_pipeline(threads: usize) -> (Vec<f32>, Vec<f32>) {
         let alpha = tape.segment_softmax(scores, &segs);
         let weighted = tape.mul_col_broadcast(msgs, alpha);
         let satt = tape.segment_sum(weighted, &segs);
+        let scores2 = tape.gather_rows(sc, &idx);
+        let fused = tape.segment_attention(scores2, msgs, &segs);
+        let scores3 = tape.gather_rows(sc, &idx);
+        let gfused = tape.gather_attention(scores3, x, &idx, &segs);
         let t1 = tape.add(ssum, smean);
         let t2 = tape.add(smax, satt);
-        let out = tape.add(t1, t2);
+        let t3 = tape.add(t2, fused);
+        let t4 = tape.add(t3, gfused);
+        let out = tape.add(t1, t4);
         let fwd = tape.value(out).data().to_vec();
         let loss = tape.sum_all(out);
         let grads = tape.backward(loss);
@@ -124,6 +130,55 @@ fn segment_kernels_are_bitwise_equal_across_thread_counts() {
         let (fwd, grad) = segment_pipeline(threads);
         assert_bitwise_eq("segment forward", &fwd1, &fwd, threads);
         assert_bitwise_eq("segment backward", &grad1, &grad, threads);
+    }
+}
+
+/// The fused attention op and the SIMD-backed dense kernels, forward and
+/// backward, at every thread count — in both the vectorized and the
+/// scalar-reference mode. Each mode must be bitwise self-consistent across
+/// thread counts; the two modes are *not* compared to each other (their
+/// reduction orders legitimately differ — see the `simd-lane-drift`
+/// determinism case).
+#[test]
+fn fused_attention_and_simd_kernels_are_bitwise_equal_across_thread_counts() {
+    let pipeline = |threads: usize| {
+        with_threads(threads, || {
+            let segs = Arc::new(Segments::from_lengths(&[3, 0, 5, 2, 4, 1]));
+            let total = segs.total_len();
+            let mut store = VarStore::new();
+            let pm = store.add("m", seeded(41, total, 9));
+            let ps = store.add("s", seeded(42, total, 1));
+            let pw = store.add("w", seeded(43, 9, 6));
+            let mut tape = Tape::new(0);
+            let m = tape.param(&store, pm);
+            let s = tape.param(&store, ps);
+            let w = tape.param(&store, pw);
+            let att = tape.segment_attention(s, m, &segs);
+            let out = tape.matmul(att, w); // gemm fwd, at_b/a_bt in backward
+            let fwd = tape.value(out).data().to_vec();
+            let loss = tape.sum_all(out);
+            let grads = tape.backward(loss);
+            let mut g = grads.get(pm).unwrap().data().to_vec();
+            g.extend_from_slice(grads.get(ps).unwrap().data());
+            g.extend_from_slice(grads.get(pw).unwrap().data());
+            (fwd, g)
+        })
+    };
+    for scalar in [false, true] {
+        let mode = if scalar { "scalar" } else { "vectorized" };
+        let run = |threads: usize| {
+            if scalar {
+                sane_autodiff::simd::with_scalar(|| pipeline(threads))
+            } else {
+                pipeline(threads)
+            }
+        };
+        let (fwd1, grad1) = run(1);
+        for threads in THREADS {
+            let (fwd, grad) = run(threads);
+            assert_bitwise_eq(&format!("fused attention fwd ({mode})"), &fwd1, &fwd, threads);
+            assert_bitwise_eq(&format!("fused attention bwd ({mode})"), &grad1, &grad, threads);
+        }
     }
 }
 

@@ -10,6 +10,11 @@
 //! a different invocation count means a different code path, which is
 //! exactly where a thread-count-dependent kernel hides.
 //!
+//! A final `simd-lane-drift` case fingerprints the same step on the scalar
+//! reference kernels (`sane_autodiff::simd::with_scalar`, the in-process
+//! equivalent of `SANE_FORCE_SCALAR=1`) and *reports* — without gating —
+//! how many sections drift from the vectorized default.
+//!
 //! Emits `DETERMINISM.json`. Usage:
 //! `cargo run --release -p sane-bench --bin determinism -- --quick`
 
@@ -44,6 +49,24 @@ struct Mismatch {
     suspect_kernels: Vec<String>,
 }
 
+/// The `simd-lane-drift` case: the same step fingerprinted on the scalar
+/// reference kernels (as `SANE_FORCE_SCALAR=1` would select) against the
+/// vectorized default. Drift here is *reported, not gated* — the pinned
+/// 8-lane `mul_add` tree legitimately rounds differently than the scalar
+/// left fold; the determinism contract only binds each mode across thread
+/// counts. Keeping the drift observable stops the scalar path from rotting
+/// into something that silently computes a different function.
+#[derive(Serialize)]
+struct SimdLaneDrift {
+    /// Fingerprint sections where scalar and vectorized kernels differ
+    /// bitwise (expected to be most of them once a GEMM is involved).
+    drifted_sections: usize,
+    /// Total sections compared.
+    total_sections: usize,
+    /// First few drifted section labels, for eyeballing the report.
+    sample_labels: Vec<String>,
+}
+
 #[derive(Serialize)]
 struct DeterminismReport {
     preset: String,
@@ -54,6 +77,7 @@ struct DeterminismReport {
     passed: bool,
     runs: Vec<RunReport>,
     mismatches: Vec<Mismatch>,
+    simd_lane_drift: SimdLaneDrift,
 }
 
 /// Runs the probe under an installed recorder and returns the fingerprint
@@ -188,6 +212,20 @@ fn main() {
         runs.push(RunReport { threads: t, kernel_counts: counts });
     }
 
+    // simd-lane-drift case: scalar reference kernels vs the vectorized
+    // default, reported but never gated (see `SimdLaneDrift`).
+    let (scalar_fp, _) = sane_autodiff::simd::with_scalar(|| probe(&task, &cfg, threads[0]));
+    let drift_labels = reference.diff(&scalar_fp);
+    let simd_lane_drift = SimdLaneDrift {
+        drifted_sections: drift_labels.len(),
+        total_sections: reference.num_sections(),
+        sample_labels: drift_labels.iter().take(8).cloned().collect(),
+    };
+    println!(
+        "  simd-lane-drift: scalar reference differs on {}/{} section(s) (expected, not gated)",
+        simd_lane_drift.drifted_sections, simd_lane_drift.total_sections,
+    );
+
     let report = DeterminismReport {
         preset: args.scale.name.clone(),
         threads,
@@ -196,6 +234,7 @@ fn main() {
         passed: mismatches.is_empty(),
         runs,
         mismatches,
+        simd_lane_drift,
     };
     std::fs::create_dir_all(&args.out_dir).expect("create results dir"); // lint:allow(expect)
     let path = args.out_dir.join("DETERMINISM.json");

@@ -198,8 +198,33 @@ fn main() {
             sig
         },
     ));
+    // The production attention path: the fused op replaces the old
+    // gather → softmax → broadcast → segment_sum chain under the same
+    // metric name, so the perf history shows the fusion win directly. The
+    // message gather is folded into the op (as in the GAT/GeniePath
+    // aggregators); only the narrow score column is still gathered.
     kernels.push(bench_kernel(
         "segment_attention_fwd_bwd",
+        format!("fused gather+softmax+aggregate over {total} rows, {n} segments, d={d}"),
+        iters,
+        || {
+            let mut tape = Tape::new(0);
+            let x = tape.param(&seg_store, seg_p);
+            let sc = tape.param(&seg_store, seg_s);
+            let scores = tape.gather_rows(sc, &idx);
+            let out = tape.gather_attention(scores, x, &idx, &segs);
+            let loss = tape.sum_all(out);
+            let grads = tape.backward(loss);
+            let sig = grads.get(seg_p).map_or_else(Vec::new, |g| g.data().to_vec());
+            grads.recycle();
+            sig
+        },
+    ));
+    // The retired chain, kept benched so the fused-vs-unfused gap stays
+    // visible in every report (and regressions in the building blocks the
+    // chain still exercises are caught).
+    kernels.push(bench_kernel(
+        "segment_attention_unfused_fwd_bwd",
         format!("softmax+broadcast+sum over {total} rows, {n} segments, d={d}"),
         iters,
         || {

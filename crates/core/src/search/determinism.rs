@@ -80,6 +80,12 @@ impl StepFingerprint {
         out
     }
 
+    /// Total number of diffable sections: the loss plus one per gradient,
+    /// parameter, and α tensor — the denominator for drift reports.
+    pub fn num_sections(&self) -> usize {
+        1 + self.grads.len() + self.params.len() + self.alphas.len()
+    }
+
     /// Total number of fingerprinted scalars (gate report sizing).
     pub fn num_scalars(&self) -> usize {
         1 + [&self.grads, &self.params, &self.alphas]

@@ -178,10 +178,10 @@ impl NodeAggregator for GatAggregator {
                 tape.slice_cols(wh_all, hd * self.head_dim, (hd + 1) * self.head_dim)
             };
             let scores = self.edge_scores(tape, store, ctx, head, wh);
-            let alpha = tape.segment_softmax(scores, &layout.segments);
-            let messages = tape.gather_rows(wh, &layout.src);
-            let weighted = tape.mul_col_broadcast(messages, alpha);
-            head_outputs.push(tape.segment_sum(weighted, &layout.segments));
+            // Fused gather + softmax + weighted aggregation: one op instead
+            // of the gather → softmax → broadcast → segment_sum chain, so
+            // neither the per-edge messages nor alpha ever land on the tape.
+            head_outputs.push(tape.gather_attention(scores, wh, &layout.src, &layout.segments));
         }
         let combined =
             if head_outputs.len() == 1 { head_outputs[0] } else { tape.concat_cols(&head_outputs) };

@@ -60,10 +60,7 @@ impl NodeAggregator for GeniePathAggregator {
         let e_dst = tape.gather_rows(s_dst, &layout.dst);
         let raw = tape.add(e_src, e_dst);
         let scores = tape.tanh(raw);
-        let alpha = tape.segment_softmax(scores, &layout.segments);
-        let messages = tape.gather_rows(wh, &layout.src);
-        let weighted = tape.mul_col_broadcast(messages, alpha);
-        let agg = tape.segment_sum(weighted, &layout.segments);
+        let agg = tape.gather_attention(scores, wh, &layout.src, &layout.segments);
         let breadth = tape.tanh(agg);
 
         // --- Depth: LSTM-style gating with memory derived from the input. ---

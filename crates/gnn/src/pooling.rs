@@ -94,9 +94,10 @@ impl GraphPooling {
             PoolingKind::Attention => {
                 let a = tape.param(store, self.attn.expect("attention has a readout vector")); // lint:allow(expect)
                 let scores = tape.matmul(h, a);
-                let alpha = tape.segment_softmax(scores, &whole);
-                let weighted = tape.mul_col_broadcast(h, alpha);
-                tape.segment_sum(weighted, &whole)
+                // `h` plays the messages role directly: the whole graph is
+                // one segment, so the fused op is a softmax-weighted sum of
+                // all node rows.
+                tape.segment_attention(scores, h, &whole)
             }
         }
     }

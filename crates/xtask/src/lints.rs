@@ -116,10 +116,11 @@ const NUMERIC_CAST_TYPES: [&str; 12] =
 /// Directories whose every file is a numeric kernel path.
 const KERNEL_DIRS: [&str; 2] = ["crates/autodiff/src/ops/", "crates/gnn/src/agg/"];
 /// Individual kernel-path files outside those directories.
-const KERNEL_FILES: [&str; 5] = [
+const KERNEL_FILES: [&str; 6] = [
     "crates/autodiff/src/matrix.rs",
     "crates/autodiff/src/sparse.rs",
     "crates/autodiff/src/parallel.rs",
+    "crates/autodiff/src/simd.rs",
     "crates/gnn/src/layer_agg.rs",
     "crates/gnn/src/pooling.rs",
 ];

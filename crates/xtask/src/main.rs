@@ -22,8 +22,9 @@
 //! * `determinism` — the cross-thread determinism gate: drives the
 //!   `determinism` bench binary, which runs one full SANE search step at
 //!   1/2/4/`hardware` worker threads and bitwise-compares every loss,
-//!   gradient, parameter and α row (report: `results/DETERMINISM.json`).
-//!   `--quick` uses the small preset for CI.
+//!   gradient, parameter and α row (report: `results/DETERMINISM.json`),
+//!   plus a report-only `simd-lane-drift` case (scalar vs vectorized
+//!   kernels). `--quick` uses the small preset for CI.
 //! * `memplan` — the tape dataflow gate: drives the `memplan` bench
 //!   binary, which plans memory reuse for the supernet and
 //!   derived-architecture fixtures, proves each plan with the
@@ -319,8 +320,10 @@ fn perf_cmd(root: &Path, args: &[String]) -> ExitCode {
 /// The cross-thread determinism gate: runs the `determinism` bench binary
 /// (one full search step fingerprinted at 1/2/4/`hardware` worker
 /// threads), which exits non-zero — and therefore fails this command and
-/// CI — on any bitwise divergence. The structured report lands in
-/// `results/DETERMINISM.json`.
+/// CI — on any bitwise divergence. The binary also runs the report-only
+/// `simd-lane-drift` case (scalar reference kernels vs vectorized default;
+/// drift there is expected and never gates). The structured report lands
+/// in `results/DETERMINISM.json`.
 fn determinism_cmd(root: &Path, args: &[String]) -> ExitCode {
     let mut quick = false;
     for arg in args {
