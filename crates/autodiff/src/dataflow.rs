@@ -1009,7 +1009,8 @@ mod tests {
             let segs = std::sync::Arc::new(Segments::from_lengths(&[5, 0, 7, 4]));
             let total = segs.total_len();
             let mut store = VarStore::new();
-            let pm = store.add("m", Matrix::from_fn(total, 8, |i, j| ((i * 5 + j) % 9) as f32 * 0.1));
+            let pm =
+                store.add("m", Matrix::from_fn(total, 8, |i, j| ((i * 5 + j) % 9) as f32 * 0.1));
             let ps = store.add("s", Matrix::from_fn(total, 1, |i, _| (i % 7) as f32 * 0.2 - 0.5));
             let mut tape = Tape::new(13);
             let m = tape.param(&store, pm);

@@ -397,8 +397,7 @@ impl Op for SegmentAttentionOp {
                 // Contiguous slabs for the segment's message rows and their
                 // gradient rows; `chunks_exact` avoids per-edge `row()` calls.
                 let seg_msgs = &msgs.data()[range.start * cols..range.end * cols];
-                let seg_gm =
-                    &mut mchunk[(range.start - base) * cols..(range.end - base) * cols];
+                let seg_gm = &mut mchunk[(range.start - base) * cols..(range.end - base) * cols];
                 let aseg_w = &alpha[range];
                 for (((mrow_src, mrow_dst), &a), slot) in seg_msgs
                     .chunks_exact(cols)
@@ -827,11 +826,7 @@ impl Tape {
     ) -> Tensor {
         self.check_segments(scores, segs, "segment_attention");
         self.check_segments(messages, segs, "segment_attention");
-        assert_eq!(
-            self.value(scores).cols(),
-            1,
-            "segment_attention expects an n x 1 score column"
-        );
+        assert_eq!(self.value(scores).cols(), 1, "segment_attention expects an n x 1 score column");
         let sv = self.value_arc(scores);
         let mv = self.value_arc(messages);
         let cols = mv.cols();
@@ -923,11 +918,7 @@ impl Tape {
         segs: &Arc<Segments>,
     ) -> Tensor {
         self.check_segments(scores, segs, "gather_attention");
-        assert_eq!(
-            self.value(scores).cols(),
-            1,
-            "gather_attention expects an n x 1 score column"
-        );
+        assert_eq!(self.value(scores).cols(), 1, "gather_attention expects an n x 1 score column");
         assert_eq!(
             idx.len(),
             segs.total_len(),
@@ -1184,10 +1175,8 @@ mod tests {
     #[test]
     fn gather_attention_is_bitwise_equal_to_gather_then_attention() {
         let mut store = VarStore::new();
-        let x = store.add(
-            "x",
-            Matrix::from_fn(6, 3, |r, c| ((r * 3 + c) as f32 * 0.37).sin() * 2.0),
-        );
+        let x =
+            store.add("x", Matrix::from_fn(6, 3, |r, c| ((r * 3 + c) as f32 * 0.37).sin() * 2.0));
         let sc = store.add("sc", Matrix::from_fn(7, 1, |r, _| ((r as f32) - 2.5) * 0.8));
         // Repeated indices exercise the scatter-add collisions; segment
         // lengths include an empty segment.

@@ -201,15 +201,25 @@ fn run_plan<T: Send>(
     out: &mut [T],
     run: impl Fn(Range<usize>, &mut [T]) + Sync,
 ) {
-    let checked = prove_plan(current_kernel().to_string(), items, cuts, out_offset, out.len());
+    let kernel = current_kernel();
+    let checked = prove_plan(kernel.to_string(), items, cuts, out_offset, out.len());
     let shadow = checked.as_ref().map(|(_, s)| s);
     // Workers must compute exactly what the calling thread would have: the
     // scalar/SIMD mode is part of that contract, so it rides along.
     let scalar = crate::simd::scalar_forced();
+    let mut slice_ns = worker_slice_slots(cuts);
     std::thread::scope(|s| {
         let mut rest = out;
         let mut consumed = 0usize;
+        let mut ns_rest = slice_ns.as_mut_slice();
         for (worker, w) in cuts.windows(2).enumerate() {
+            let slot = match std::mem::take(&mut ns_rest).split_first_mut() {
+                Some((slot, tail)) => {
+                    ns_rest = tail;
+                    Some(slot)
+                }
+                None => None,
+            };
             let (start, end) = (w[0], w[1]);
             if start == end {
                 continue;
@@ -224,12 +234,54 @@ fn run_plan<T: Send>(
                 if let Some(log) = shadow {
                     log.record(worker, chunk_start, chunk_start + chunk.len());
                 }
-                crate::simd::with_mode(scalar, || run(start..end, chunk))
+                match slot {
+                    Some(slot) => {
+                        let t0 = std::time::Instant::now();
+                        crate::simd::with_mode(scalar, || run(start..end, chunk));
+                        *slot = t0.elapsed().as_nanos() as u64; // u64 nanoseconds overflow after 584 years // lint:allow(lossy-cast)
+                    }
+                    None => crate::simd::with_mode(scalar, || run(start..end, chunk)),
+                }
             });
         }
     });
+    book_worker_slices(kernel, &slice_ns);
     if let Some((plan, log)) = &checked {
         analysis::deny_shadow(&log.audit_against(plan));
+    }
+}
+
+/// One duration slot per partition window when the caller's recorder is
+/// sampling kernels, else empty (workers then skip the clock entirely).
+fn worker_slice_slots(cuts: &[usize]) -> Vec<u64> {
+    if sane_telemetry::kernel_timing_enabled() {
+        vec![0u64; cuts.len().saturating_sub(1)]
+    } else {
+        Vec::new()
+    }
+}
+
+/// Books the workers' slice durations into the run's
+/// `kernel.<name>.worker.ns` stream — separate from the caller-level
+/// `kernel.<name>.ns` sample [`timed`] records around the whole
+/// invocation, so worker slices never double-count kernel time.
+///
+/// Workers only stamp a pre-split slot each; the caller does the actual
+/// recording after the scope joins. Attaching every ~100µs-lived kernel
+/// worker to the run (the [`sane_telemetry::RecorderHandle::attach`]
+/// path long-lived workers use) costs more than the slice it would
+/// book, and the kernels bench gates that overhead budget in CI.
+fn book_worker_slices(kernel: &'static str, slice_ns: &[u64]) {
+    if slice_ns.is_empty() {
+        return;
+    }
+    let stream = format!("kernel.{kernel}.worker.ns");
+    for &ns in slice_ns {
+        // Zero marks a window the partition plan left empty: no worker
+        // was spawned for it, so there is no slice to book.
+        if ns > 0 {
+            sane_telemetry::record_latency(&stream, ns as f64); // f64 is exact below 2^53 ns ≈ 104 days // lint:allow(lossy-cast)
+        }
     }
 }
 
@@ -250,10 +302,19 @@ fn run_plan_pair<A: Send, B: Send>(
     let shadow_a = checked_a.as_ref().map(|(_, s)| s);
     let shadow_b = checked_b.as_ref().map(|(_, s)| s);
     let scalar = crate::simd::scalar_forced();
+    let mut slice_ns = worker_slice_slots(cuts);
     std::thread::scope(|s| {
         let (mut rest_a, mut rest_b) = (a, b);
         let (mut done_a, mut done_b) = (0usize, 0usize);
+        let mut ns_rest = slice_ns.as_mut_slice();
         for (worker, w) in cuts.windows(2).enumerate() {
+            let slot = match std::mem::take(&mut ns_rest).split_first_mut() {
+                Some((slot, tail)) => {
+                    ns_rest = tail;
+                    Some(slot)
+                }
+                None => None,
+            };
             let (start, end) = (w[0], w[1]);
             if start == end {
                 continue;
@@ -274,13 +335,43 @@ fn run_plan_pair<A: Send, B: Send>(
                 if let Some(log) = shadow_b {
                     log.record(worker, cb_start, cb_start + cb.len());
                 }
-                crate::simd::with_mode(scalar, || run(start..end, ca, cb))
+                match slot {
+                    Some(slot) => {
+                        let t0 = std::time::Instant::now();
+                        crate::simd::with_mode(scalar, || run(start..end, ca, cb));
+                        *slot = t0.elapsed().as_nanos() as u64; // u64 nanoseconds overflow after 584 years // lint:allow(lossy-cast)
+                    }
+                    None => crate::simd::with_mode(scalar, || run(start..end, ca, cb)),
+                }
             });
         }
     });
+    book_worker_slices(kernel, &slice_ns);
     for (plan, log) in [&checked_a, &checked_b].into_iter().flatten() {
         analysis::deny_shadow(&log.audit_against(plan));
     }
+}
+
+/// Runs `f(worker_index)` on `workers` scoped threads and joins them all.
+///
+/// This is the workspace's only general-purpose thread fan-out: higher
+/// layers (the `trials` bench's concurrent search trials, the
+/// multi-thread telemetry tests) go through it so `std::thread` stays
+/// confined to this module, as the `xtask` audit demands. Unlike the
+/// kernel helpers there is no output partitioning or plan proof — `f`
+/// owns its synchronisation (typically an atomic work queue plus a
+/// mutexed result vector). Telemetry is not attached automatically:
+/// callers that want worker records in a trace capture a
+/// `sane_telemetry::RecorderHandle` before the call and attach it inside
+/// `f` with their own labels. A panic in any worker propagates to the
+/// caller when the scope joins.
+pub fn run_workers(workers: usize, f: impl Fn(usize) + Sync) {
+    std::thread::scope(|s| {
+        for w in 0..workers {
+            let f = &f;
+            s.spawn(move || f(w));
+        }
+    });
 }
 
 /// Equal-size item cuts: `items` split into `workers` contiguous windows

@@ -44,9 +44,7 @@ const LANES: usize = 8;
 fn env_force_scalar() -> bool {
     static FORCE: OnceLock<bool> = OnceLock::new();
     *FORCE.get_or_init(|| {
-        std::env::var("SANE_FORCE_SCALAR")
-            .map(|v| !v.is_empty() && v != "0")
-            .unwrap_or(false)
+        std::env::var("SANE_FORCE_SCALAR").map(|v| !v.is_empty() && v != "0").unwrap_or(false)
     })
 }
 
@@ -329,10 +327,7 @@ mod tests {
             let v = dot8(&a, &b);
             let s = dot_scalar(&a, &b);
             let scale = 1.0f32.max(s.abs());
-            assert!(
-                (v - s).abs() <= 1e-4 * scale,
-                "n={n}: vectorized {v} vs scalar {s}"
-            );
+            assert!((v - s).abs() <= 1e-4 * scale, "n={n}: vectorized {v} vs scalar {s}");
         }
     }
 
@@ -403,10 +398,7 @@ mod tests {
         exp_vec(&mut xs);
         for (&got, &want) in xs.iter().zip(&expect) {
             let tol = 1e-6 * want.max(f32::MIN_POSITIVE);
-            assert!(
-                (got - want).abs() <= tol,
-                "exp_vec {got} vs libm {want}"
-            );
+            assert!((got - want).abs() <= tol, "exp_vec {got} vs libm {want}");
         }
         // Below the clamp the result saturates at e^-87 ~ 1.6e-38 — an
         // effective zero for the max-shifted softmax weights that feed it.

@@ -18,9 +18,7 @@
 //! Emits `DETERMINISM.json`. Usage:
 //! `cargo run --release -p sane-bench --bin determinism -- --quick`
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
 
 use serde::{Serialize, Value};
 
@@ -87,10 +85,10 @@ fn probe(
     cfg: &SaneSearchConfig,
     threads: usize,
 ) -> (StepFingerprint, BTreeMap<String, u64>) {
-    let buf: sane_telemetry::MemoryBuffer = Rc::new(RefCell::new(String::new()));
+    let buf = sane_telemetry::MemoryBuffer::default();
     let fp = {
         let _guard = sane_telemetry::Recorder::new("determinism")
-            .with_memory(Rc::clone(&buf))
+            .with_memory(buf.clone())
             .with_kernel_timing(true)
             .install();
         let fp = with_threads(threads, || search_step_fingerprint(task, cfg));

@@ -54,6 +54,13 @@ struct TelemetryOverhead {
     /// Relative slowdown of a full mixed-supernet step with the recorder
     /// installed and kernel timing on (acceptance budget: ≤ 5%).
     overhead_frac: f64,
+    ms_per_step_workers_off: f64,
+    ms_per_step_workers_on: f64,
+    /// Relative slowdown of the same step at 2 worker threads, where
+    /// every spawned worker attaches to the run and books its slice
+    /// sample (budget: ~2%; the `SANE_OVERHEAD_GATE` check allows ≤ 5%
+    /// for shared-runner timing noise).
+    worker_overhead_frac: f64,
 }
 
 #[derive(Serialize)]
@@ -314,32 +321,61 @@ fn main() {
     );
 
     // --- telemetry overhead: recorder + kernel timing vs bare ---------------
-    let overhead_steps = if quick { 12 } else { 40 };
-    for _ in 0..3 {
-        step(); // re-warm after the pool probe
-    }
-    let start = Instant::now();
-    for _ in 0..overhead_steps {
-        step();
-    }
-    let off = start.elapsed().as_secs_f64() * 1e3 / overhead_steps as f64;
-    let on = {
-        let _guard =
-            sane_telemetry::Recorder::new("overhead_probe").with_kernel_timing(true).install();
-        for _ in 0..3 {
-            step();
-        }
-        let start = Instant::now();
-        for _ in 0..overhead_steps {
-            step();
-        }
-        start.elapsed().as_secs_f64() * 1e3 / overhead_steps as f64
+    // The recorder-off and recorder-on phases are interleaved in rounds
+    // and the *median per-round ratio* reported: a single long phase is at
+    // the mercy of environment drift (thermal throttling, a noisy
+    // neighbour on a shared runner), which easily dwarfs a few-percent
+    // effect; back-to-back rounds see the same environment on both sides
+    // and the median discards the worst rounds entirely.
+    let rounds = if quick { 5 } else { 8 };
+    let steps_per_round = if quick { 3 } else { 5 };
+    let overhead_steps = rounds * steps_per_round;
+    let median = |mut xs: Vec<f64>| -> f64 {
+        xs.sort_by(f64::total_cmp);
+        (xs[(xs.len() - 1) / 2] + xs[xs.len() / 2]) / 2.0
     };
+    let probe = |run_name: &str| -> (f64, f64, f64, f64) {
+        let phase_ms = || {
+            let start = Instant::now();
+            for _ in 0..steps_per_round {
+                step();
+            }
+            start.elapsed().as_secs_f64() * 1e3 / steps_per_round as f64
+        };
+        phase_ms(); // re-warm after whatever ran before
+        let (mut offs, mut ons, mut ratios) = (Vec::new(), Vec::new(), Vec::new());
+        for _ in 0..rounds {
+            let off = phase_ms();
+            let on = {
+                let _guard =
+                    sane_telemetry::Recorder::new(run_name).with_kernel_timing(true).install();
+                phase_ms()
+            };
+            ratios.push(on / off);
+            offs.push(off);
+            ons.push(on);
+        }
+        // The best round bounds the *systematic* cost: measurement noise
+        // only ever adds time, so a budget violation would show in every
+        // round. The median is what gets reported and tracked.
+        let best = ratios.iter().copied().fold(f64::INFINITY, f64::min) - 1.0;
+        (median(offs), median(ons), median(ratios) - 1.0, best)
+    };
+    let (off, on, overhead_frac, overhead_frac_best) = probe("overhead_probe");
+    // Same probe at 2 worker threads: spawned kernel workers now stamp a
+    // slice duration the caller books into the run, so on−off isolates
+    // the cross-thread sampling cost on top of the spawn cost both sides
+    // pay.
+    let (workers_off, workers_on, worker_overhead_frac, worker_overhead_frac_best) =
+        with_threads(2, || probe("overhead_probe_workers"));
     let telemetry = TelemetryOverhead {
         steps: overhead_steps,
         ms_per_step_off: off,
         ms_per_step_on: on,
-        overhead_frac: on / off - 1.0,
+        overhead_frac,
+        ms_per_step_workers_off: workers_off,
+        ms_per_step_workers_on: workers_on,
+        worker_overhead_frac,
     };
     println!(
         "telemetry overhead: {:.3} ms/step off, {:.3} ms/step on ({:+.2}%)",
@@ -347,6 +383,27 @@ fn main() {
         telemetry.ms_per_step_on,
         telemetry.overhead_frac * 100.0
     );
+    println!(
+        "telemetry overhead @2 workers: {:.3} ms/step off, {:.3} ms/step on ({:+.2}%)",
+        telemetry.ms_per_step_workers_off,
+        telemetry.ms_per_step_workers_on,
+        telemetry.worker_overhead_frac * 100.0
+    );
+    if std::env::var_os("SANE_OVERHEAD_GATE").is_some_and(|v| v != "0") {
+        assert!(
+            overhead_frac_best <= 0.05,
+            "telemetry overhead exceeds the 5% gate in every round (best {:.2}%, median {:.2}%)",
+            overhead_frac_best * 100.0,
+            telemetry.overhead_frac * 100.0
+        );
+        assert!(
+            worker_overhead_frac_best <= 0.05,
+            "worker telemetry overhead exceeds the 5% gate in every round (best {:.2}%, median {:.2}%)",
+            worker_overhead_frac_best * 100.0,
+            telemetry.worker_overhead_frac * 100.0
+        );
+        println!("telemetry overhead gate: PASS (≤ 5% in the best round)");
+    }
 
     // --- dataflow memory plan for the mixed step ----------------------------
     // `Tape::memplan` proves the plan with `check_memplan` before
@@ -425,6 +482,7 @@ fn main() {
     }
     metrics.insert("pool.misses_per_step".into(), report.pool.misses_per_step);
     metrics.insert("telemetry.overhead_frac".into(), report.telemetry.overhead_frac);
+    metrics.insert("telemetry.worker_overhead_frac".into(), report.telemetry.worker_overhead_frac);
     metrics.insert("mixed_supernet_fwd_bwd.planned_peak_mb".into(), report.memory.planned_peak_mb);
     metrics.insert("mixed_supernet_fwd_bwd.reuse_ratio".into(), report.memory.reuse_ratio);
     let hist = sane_bench::history::HistoryRecord::new("kernels", &report.preset, metrics);

@@ -3,9 +3,6 @@
 //! search (α softmax rows, monotone epochs, final genotype), and tracing
 //! must not perturb the search itself.
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
 use sane_core::prelude::*;
 use sane_data::CitationConfig;
 use sane_telemetry as tel;
@@ -27,10 +24,10 @@ fn tiny_cfg() -> SaneSearchConfig {
 
 /// Runs one traced search, returning the raw JSONL text and the result.
 fn traced_search() -> (String, String) {
-    let buf: tel::MemoryBuffer = Rc::new(RefCell::new(String::new()));
+    let buf = tel::MemoryBuffer::default();
     let genotype = {
         let _guard = tel::Recorder::new("search_trace_test")
-            .with_memory(Rc::clone(&buf))
+            .with_memory(buf.clone())
             .with_kernel_timing(true)
             .install();
         sane_search(&tiny_task(), &tiny_cfg()).arch.describe()

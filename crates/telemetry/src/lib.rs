@@ -20,6 +20,17 @@
 //! `SANE_LOG` admits them (default: warnings and errors), so library
 //! warnings are never lost; spans and metrics become no-ops.
 //!
+//! ## Cross-thread recording
+//!
+//! One run's state is shared: the owning thread captures a `Send + Sync`
+//! [`RecorderHandle`] with [`handle`], and worker threads
+//! [`attach`](RecorderHandle::attach) it for a scope. Attached workers
+//! emit spans/events/samples into the same trace — records carry a
+//! `thread` field and worker root spans parent to the owner's span at
+//! capture time — while their metrics buffer thread-locally and merge on
+//! detach. [`snapshot::SnapshotExporter`] serialises the merged registry
+//! mid-run. See the recorder module docs for the full model.
+//!
 //! ## Span convention
 //!
 //! Spans nest `search → epoch → {arch_step, weight_step} → kernel`, named
@@ -29,17 +40,22 @@
 //!
 //! ## Record schema (one JSON object per line)
 //!
-//! | `kind`       | extra fields                                          |
-//! |--------------|-------------------------------------------------------|
-//! | `run_start`  | `run`                                                 |
-//! | `span_open`  | `id`, `name`, `parent?`, `fields?`                    |
-//! | `span_close` | `id`, `name`, `elapsed_ns`                            |
-//! | `event`      | `name`, `span?`, `fields` (event payload)             |
-//! | `metrics`    | `counters`, `gauges`, `summaries` (cumulative)        |
-//! | `run_end`    | `elapsed_ns`, `open_spans`                            |
+//! | `kind`       | extra fields                                            |
+//! |--------------|---------------------------------------------------------|
+//! | `run_start`  | `run`                                                   |
+//! | `span_open`  | `id`, `name`, `parent?`, `fields?`                      |
+//! | `span_close` | `id`, `name`, `elapsed_ns`                              |
+//! | `event`      | `name`, `span?`, `fields` (event payload)               |
+//! | `metrics`    | `counters`, `gauges`, `summaries`, `hists` (cumulative) |
+//! | `run_end`    | `elapsed_ns`, `open_spans`                              |
 //!
-//! Every record carries `t_ns` (monotone nanoseconds since install) and
-//! `level`. [`trace::summarize`] validates all of this strictly.
+//! Every record carries `t_ns` (monotone nanoseconds since install —
+//! also across attached workers: stamps are taken inside the writer
+//! lock) and `level`; records from attached workers additionally carry
+//! `thread`. `hists` entries expose `p50`/`p90`/`p99` quantiles and raw
+//! log-scale buckets for every latency stream. [`trace::summarize`]
+//! validates all of this strictly, including that a `span_open`'s
+//! `parent` refers to a span that is open at that point in the trace.
 
 #![forbid(unsafe_code)]
 
@@ -49,17 +65,19 @@ pub mod profile;
 mod recorder;
 pub mod report;
 mod sink;
+pub mod snapshot;
 pub mod trace;
 mod value;
 
 pub use level::Level;
-pub use metrics::{MetricSet, Summary};
+pub use metrics::{Histogram, MetricSet, Summary};
 pub use recorder::{
-    active, counter_add, enabled, event, flush_metrics, gauge_max, gauge_set, kernel_sample,
-    kernel_timing_enabled, phase_span, phase_span_with, record, span, span_with, Recorder,
-    RecorderGuard, SpanGuard,
+    active, counter_add, enabled, event, flush_metrics, gauge_max, gauge_set, handle,
+    kernel_sample, kernel_timing_enabled, phase_span, phase_span_with, record, record_latency,
+    span, span_with, Recorder, RecorderGuard, RecorderHandle, SpanGuard, WorkerGuard,
 };
 pub use sink::MemoryBuffer;
+pub use snapshot::SnapshotExporter;
 pub use value::Value;
 
 /// Emits an error event: the run's output is suspect.

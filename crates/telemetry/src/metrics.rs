@@ -1,29 +1,46 @@
-//! The recorder's metric registry: counters, gauges and kernel-timing
-//! histogram summaries.
+//! The recorder's metric registry: counters, gauges, summaries and
+//! log-bucketed latency histograms.
 //!
 //! Metrics accumulate silently on the active recorder and are written out
 //! as one `metrics` record per [`crate::flush_metrics`] call (the search
 //! and train loops flush once per run; benches flush per scenario). High
 //! rate sources — the kernel timing hooks in `sane_autodiff::parallel` —
 //! therefore cost a map update, not a trace record, per sample.
+//!
+//! Since the cross-thread recorder refactor every attached worker owns a
+//! private `MetricSet` buffer that is [`MetricSet::merge`]d into the run's
+//! shared registry on detach. Merging is commutative for counters, gauges
+//! (max), extremes and **histogram bucket counts**; only the floating
+//! `sum` fields depend on merge order (addition is not associative in
+//! f64), which is why determinism checks compare buckets, not sums.
 
 use std::collections::BTreeMap;
 
 use crate::value::Value;
 
-/// Summary statistics of one stream of samples (no buckets: the consumers
-/// of kernel timings want totals and extremes, and a fixed-bucket histogram
-/// would hard-code a nanosecond scale other metrics don't share).
+/// Summary statistics of one stream of samples.
+///
+/// Non-finite or negative samples would poison `min`/`max`/`sum` for the
+/// rest of the run, so they are skipped and counted in `dropped` instead
+/// (the recorder emits one `telemetry.bad_sample` warning per run).
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct Summary {
     pub count: u64,
     pub sum: f64,
     pub min: f64,
     pub max: f64,
+    /// NaN/negative samples rejected by [`Summary::record`].
+    pub dropped: u64,
 }
 
 impl Summary {
-    pub fn record(&mut self, v: f64) {
+    /// Records one sample; returns `false` (and counts it as dropped)
+    /// when the sample is NaN, infinite or negative.
+    pub fn record(&mut self, v: f64) -> bool {
+        if !v.is_finite() || v < 0.0 {
+            self.dropped += 1;
+            return false;
+        }
         if self.count == 0 {
             self.min = v;
             self.max = v;
@@ -33,6 +50,7 @@ impl Summary {
         }
         self.count += 1;
         self.sum += v;
+        true
     }
 
     /// Mean of the recorded samples (0 when empty).
@@ -44,6 +62,23 @@ impl Summary {
         }
     }
 
+    /// Folds another summary of the same stream into this one (worker
+    /// detach). Order-independent except for the f64 `sum`.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count > 0 {
+            if self.count == 0 {
+                self.min = other.min;
+                self.max = other.max;
+            } else {
+                self.min = self.min.min(other.min);
+                self.max = self.max.max(other.max);
+            }
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.dropped += other.dropped;
+    }
+
     fn to_value(self) -> Value {
         Value::Obj(vec![
             ("count".to_string(), Value::UInt(self.count)),
@@ -51,11 +86,191 @@ impl Summary {
             ("min".to_string(), Value::Num(self.min)),
             ("max".to_string(), Value::Num(self.max)),
             ("mean".to_string(), Value::Num(self.mean())),
+            ("dropped".to_string(), Value::UInt(self.dropped)),
         ])
     }
 }
 
-/// All metrics of one recorder.
+/// Sub-buckets per power-of-two octave: 8, so a bucket spans at most
+/// 1/8th of its octave and a quantile read off a bucket edge carries at
+/// most ~12.5% relative error.
+const SUB_BITS: u32 = 3;
+const SUBS: u64 = 1 << SUB_BITS;
+
+/// Log-bucketed latency histogram (HDR-style). Each power-of-two octave
+/// of the sample magnitude is split into [`SUBS`] linear sub-buckets, so
+/// bucketing a sample is a handful of integer ops with no configuration:
+/// the same histogram covers nanosecond kernels and second-long trials.
+/// Buckets are **unit-agnostic** pure magnitudes; callers record whatever
+/// unit the stream's name declares (`.ns` streams record nanoseconds).
+///
+/// Buckets hold sample *counts*, which makes cross-worker merges exact
+/// and order-independent — the property the multi-thread determinism
+/// tests rely on, and the reason workers ship buckets instead of raw
+/// sample vectors (bounded memory, commutative merge).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Histogram {
+    count: u64,
+    dropped: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    /// Sparse bucket index → sample count. Index 511 is the ceiling for
+    /// u64-range magnitudes (octave 63), so u16 never saturates.
+    buckets: BTreeMap<u16, u64>,
+}
+
+/// Bucket index of a magnitude: `octave * SUBS + sub` where `octave` is
+/// `floor(log2(v))` and `sub` the top [`SUB_BITS`] mantissa bits below
+/// the leading one. Samples below 1 share bucket 0.
+fn bucket_index(v: f64) -> u16 {
+    if v < 2.0 {
+        return 0;
+    }
+    let b = if v >= u64::MAX as f64 { u64::MAX } else { v as u64 };
+    let octave = 63 - u64::from(b.leading_zeros());
+    let sub = if octave <= u64::from(SUB_BITS) {
+        b - (1 << octave)
+    } else {
+        (b >> (octave - u64::from(SUB_BITS))) - SUBS
+    };
+    (octave * SUBS + sub) as u16
+}
+
+/// Exclusive upper edge of a bucket, computed in f64 (the top octaves
+/// would overflow u64).
+fn bucket_upper(idx: u16) -> f64 {
+    let octave = u64::from(idx) / SUBS;
+    let sub = u64::from(idx) % SUBS;
+    if octave <= u64::from(SUB_BITS) {
+        ((1 << octave) + sub + 1) as f64
+    } else {
+        (SUBS + sub + 1) as f64 * f64::exp2((octave - u64::from(SUB_BITS)) as f64)
+    }
+}
+
+impl Histogram {
+    /// Records one sample; returns `false` (and counts it as dropped)
+    /// when the sample is NaN, infinite or negative.
+    pub fn record(&mut self, v: f64) -> bool {
+        if !v.is_finite() || v < 0.0 {
+            self.dropped += 1;
+            return false;
+        }
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+        *self.buckets.entry(bucket_index(v)).or_insert(0) += 1;
+        true
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Sparse bucket table (index → count).
+    pub fn buckets(&self) -> &BTreeMap<u16, u64> {
+        &self.buckets
+    }
+
+    /// Estimated `q`-quantile: the upper edge of the bucket holding the
+    /// `ceil(q * count)`-th sample, clamped to the observed extremes
+    /// (so `quantile(1.0) == max` exactly). 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if q <= 0.0 {
+            return self.min;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (&idx, &n) in &self.buckets {
+            seen += n;
+            if seen >= target {
+                return bucket_upper(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds another histogram of the same stream into this one. Bucket
+    /// counts add exactly, so the merged buckets are identical for every
+    /// merge order; only `sum` is order-sensitive (f64 addition).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count > 0 {
+            if self.count == 0 {
+                self.min = other.min;
+                self.max = other.max;
+            } else {
+                self.min = self.min.min(other.min);
+                self.max = self.max.max(other.max);
+            }
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.dropped += other.dropped;
+        for (&idx, &n) in &other.buckets {
+            *self.buckets.entry(idx).or_insert(0) += n;
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("count".to_string(), Value::UInt(self.count)),
+            ("dropped".to_string(), Value::UInt(self.dropped)),
+            ("sum".to_string(), Value::Num(self.sum)),
+            ("min".to_string(), Value::Num(self.min)),
+            ("max".to_string(), Value::Num(self.max)),
+            ("p50".to_string(), Value::Num(self.quantile(0.5))),
+            ("p90".to_string(), Value::Num(self.quantile(0.9))),
+            ("p99".to_string(), Value::Num(self.quantile(0.99))),
+            (
+                "buckets".to_string(),
+                Value::Arr(
+                    self.buckets
+                        .iter()
+                        .map(|(&idx, &n)| {
+                            Value::Arr(vec![Value::UInt(u64::from(idx)), Value::UInt(n)])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// All metrics of one recorder (or of one attached worker's buffer).
 #[derive(Clone, Debug, Default)]
 pub struct MetricSet {
     counters: BTreeMap<String, u64>,
@@ -63,6 +278,9 @@ pub struct MetricSet {
     /// Kernel and span timing summaries, in the sample's own unit
     /// (nanoseconds for the autodiff hooks).
     summaries: BTreeMap<String, Summary>,
+    /// Latency histograms for the streams fed via [`MetricSet::record_latency`];
+    /// keys mirror `summaries` so readers can pair totals with quantiles.
+    hists: BTreeMap<String, Histogram>,
 }
 
 impl MetricSet {
@@ -94,19 +312,80 @@ impl MetricSet {
         }
     }
 
-    pub fn record(&mut self, name: &str, v: f64) {
+    /// Records one sample into a named summary; `false` when dropped.
+    pub fn record(&mut self, name: &str, v: f64) -> bool {
         match self.summaries.get_mut(name) {
             Some(s) => s.record(v),
             None => {
                 let mut s = Summary::default();
-                s.record(v);
+                let ok = s.record(v);
                 self.summaries.insert(name.to_string(), s);
+                ok
+            }
+        }
+    }
+
+    /// Records one latency sample into both the summary and the
+    /// histogram of `name`, so the stream reports totals *and*
+    /// p50/p90/p99; `false` when dropped.
+    pub fn record_latency(&mut self, name: &str, v: f64) -> bool {
+        let ok = self.record(name, v);
+        match self.hists.get_mut(name) {
+            Some(h) => {
+                h.record(v);
+            }
+            None => {
+                let mut h = Histogram::default();
+                h.record(v);
+                self.hists.insert(name.to_string(), h);
+            }
+        }
+        ok
+    }
+
+    /// Folds another metric set into this one (worker detach): counters
+    /// and histogram buckets add, summaries merge, gauges keep the max
+    /// (the only order-independent choice for concurrent writers).
+    pub fn merge(&mut self, other: MetricSet) {
+        for (k, v) in other.counters {
+            match self.counters.get_mut(&k) {
+                Some(c) => *c += v,
+                None => {
+                    self.counters.insert(k, v);
+                }
+            }
+        }
+        for (k, v) in other.gauges {
+            match self.gauges.get_mut(&k) {
+                Some(g) => *g = g.max(v),
+                None => {
+                    self.gauges.insert(k, v);
+                }
+            }
+        }
+        for (k, s) in other.summaries {
+            match self.summaries.get_mut(&k) {
+                Some(d) => d.merge(&s),
+                None => {
+                    self.summaries.insert(k, s);
+                }
+            }
+        }
+        for (k, h) in other.hists {
+            match self.hists.get_mut(&k) {
+                Some(d) => d.merge(&h),
+                None => {
+                    self.hists.insert(k, h);
+                }
             }
         }
     }
 
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.gauges.is_empty() && self.summaries.is_empty()
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.summaries.is_empty()
+            && self.hists.is_empty()
     }
 
     pub fn counters(&self) -> &BTreeMap<String, u64> {
@@ -119,6 +398,10 @@ impl MetricSet {
 
     pub fn summaries(&self) -> &BTreeMap<String, Summary> {
         &self.summaries
+    }
+
+    pub fn hists(&self) -> &BTreeMap<String, Histogram> {
+        &self.hists
     }
 
     /// The payload fields of a `metrics` trace record.
@@ -139,6 +422,10 @@ impl MetricSet {
                 Value::Obj(
                     self.summaries.iter().map(|(k, &s)| (k.clone(), s.to_value())).collect(),
                 ),
+            ),
+            (
+                "hists".to_string(),
+                Value::Obj(self.hists.iter().map(|(k, h)| (k.clone(), h.to_value())).collect()),
             ),
         ]
     }
@@ -176,10 +463,121 @@ mod tests {
     }
 
     #[test]
+    fn bad_samples_are_dropped_not_poisonous() {
+        let mut s = Summary::default();
+        assert!(s.record(2.0));
+        assert!(!s.record(f64::NAN));
+        assert!(!s.record(-1.0));
+        assert!(!s.record(f64::INFINITY));
+        assert!(s.record(4.0));
+        assert_eq!(s.count, 2);
+        assert_eq!(s.dropped, 3);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 4.0);
+
+        let mut h = Histogram::default();
+        assert!(h.record(2.0));
+        assert!(!h.record(f64::NAN));
+        assert!(!h.record(-3.0));
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.dropped(), 2);
+        assert_eq!(h.buckets().values().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_the_samples() {
+        let mut h = Histogram::default();
+        for i in 1..=1000u64 {
+            h.record(i as f64);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 1000.0);
+        // Log buckets guarantee at most 1/SUBS relative error upward.
+        let p50 = h.quantile(0.5);
+        assert!((500.0..=580.0).contains(&p50), "p50={p50}");
+        let p99 = h.quantile(0.99);
+        assert!((990.0..=1000.0 * 1.13).contains(&p99), "p99={p99}");
+        assert_eq!(h.quantile(1.0), 1000.0);
+        assert_eq!(h.quantile(0.0), h.min());
+        assert_eq!(Histogram::default().quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn histogram_bucket_edges_are_consistent() {
+        // Every sample's bucket upper edge must be >= the sample, and the
+        // index function must be monotone in the sample.
+        let mut prev_idx = 0u16;
+        for v in [0.0, 0.5, 1.0, 3.0, 8.0, 9.0, 100.0, 1e6, 1e12, 1e18] {
+            let idx = bucket_index(v);
+            assert!(idx >= prev_idx, "index not monotone at {v}");
+            assert!(bucket_upper(idx) > v || v < 2.0, "upper edge below sample at {v}");
+            prev_idx = idx;
+        }
+    }
+
+    #[test]
+    fn histogram_merge_is_order_independent_on_buckets() {
+        let chunks: Vec<Vec<f64>> =
+            vec![vec![10.0, 500.0, 3.0], vec![70_000.0, 12.0], vec![1e9, 2.0, 640.0]];
+        let mut whole = Histogram::default();
+        for v in chunks.iter().flatten() {
+            whole.record(*v);
+        }
+        // Merge the per-chunk histograms in two different orders.
+        let parts: Vec<Histogram> = chunks
+            .iter()
+            .map(|c| {
+                let mut h = Histogram::default();
+                for &v in c {
+                    h.record(v);
+                }
+                h
+            })
+            .collect();
+        let mut fwd = Histogram::default();
+        let mut rev = Histogram::default();
+        for p in &parts {
+            fwd.merge(p);
+        }
+        for p in parts.iter().rev() {
+            rev.merge(p);
+        }
+        assert_eq!(fwd.buckets(), whole.buckets());
+        assert_eq!(rev.buckets(), whole.buckets());
+        assert_eq!(fwd.count(), rev.count());
+        assert_eq!(fwd.min(), rev.min());
+        assert_eq!(fwd.max(), rev.max());
+    }
+
+    #[test]
+    fn metric_set_merge_combines_all_kinds() {
+        let mut a = MetricSet::default();
+        a.counter_add("n", 1);
+        a.gauge_max("peak", 5.0);
+        a.record("s", 1.0);
+        a.record_latency("lat", 100.0);
+        let mut b = MetricSet::default();
+        b.counter_add("n", 2);
+        b.gauge_max("peak", 9.0);
+        b.record("s", 3.0);
+        b.record_latency("lat", 900.0);
+        a.merge(b);
+        assert_eq!(a.counters()["n"], 3);
+        assert_eq!(a.gauges()["peak"], 9.0);
+        assert_eq!(a.summaries()["s"].count, 2);
+        let h = &a.hists()["lat"];
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), 100.0);
+        assert_eq!(h.max(), 900.0);
+    }
+
+    #[test]
     fn fields_serialise_to_json() {
         let mut m = MetricSet::default();
         m.counter_add("n", 1);
         m.record("k", 2.0);
+        m.record_latency("lat", 50.0);
         let obj = Value::Obj(m.to_fields().into_iter().collect());
         let text = obj.to_json();
         let back = Value::parse(&text).expect("parse");
@@ -191,5 +589,10 @@ mod tests {
                 .and_then(Value::as_f64),
             Some(2.0)
         );
+        let lat = back.get("hists").and_then(|h| h.get("lat")).expect("lat histogram");
+        assert_eq!(lat.get("count").and_then(Value::as_u64), Some(1));
+        assert!(lat.get("p99").and_then(Value::as_f64).is_some());
+        let buckets = lat.get("buckets").and_then(Value::as_arr).expect("buckets");
+        assert_eq!(buckets.len(), 1);
     }
 }

@@ -48,6 +48,11 @@ pub struct KernelStat {
     pub phase: Option<String>,
     pub count: u64,
     pub total_ns: u64,
+    /// Latency quantiles `(p50, p90, p99)` in nanoseconds, from the
+    /// stream's histogram. Phase rows read the per-phase histogram; the
+    /// remainder row only carries quantiles when *all* samples were
+    /// unphased (quantiles, unlike sums, cannot be subtracted).
+    pub quantiles: Option<(f64, f64, f64)>,
 }
 
 /// Per-phase / per-kernel attribution of one run trace.
@@ -310,6 +315,15 @@ fn apply_metrics(out: &mut Profile, rec: &Value) {
     out.peak_resident_bytes =
         rec.get("gauges").and_then(|g| g.get("tape.peak_resident_bytes")).and_then(Value::as_f64);
     out.kernels.clear();
+    // Histogram quantiles per full stream name, when the record has them.
+    let quantiles_of = |stream: &str| -> Option<(f64, f64, f64)> {
+        let h = rec.get("hists").and_then(|h| h.get(stream))?;
+        Some((
+            h.get("p50").and_then(Value::as_f64)?,
+            h.get("p90").and_then(Value::as_f64)?,
+            h.get("p99").and_then(Value::as_f64)?,
+        ))
+    };
     let Some(summaries) = rec.get("summaries").and_then(Value::as_obj) else { return };
     // First the phased rows, tracking how much of each kernel they cover.
     let mut phased: BTreeMap<String, (u64, u64)> = BTreeMap::new();
@@ -330,6 +344,7 @@ fn apply_metrics(out: &mut Profile, rec: &Value) {
             phase: Some(phase.to_string()),
             count,
             total_ns: ns,
+            quantiles: quantiles_of(key),
         });
     }
     // Then the per-kernel totals; whatever the phases did not cover is
@@ -349,6 +364,7 @@ fn apply_metrics(out: &mut Profile, rec: &Value) {
                 phase: None,
                 count: rest_count,
                 total_ns: rest_ns,
+                quantiles: if pc == 0 { quantiles_of(key) } else { None },
             });
         }
     }
@@ -403,7 +419,7 @@ impl fmt::Display for Profile {
         if !self.kernels.is_empty() {
             writeln!(f, "  {:<28} {:<16} {:>10} {:>12}", "kernel", "phase", "calls", "total ms")?;
             for k in &self.kernels {
-                writeln!(
+                write!(
                     f,
                     "  {:<28} {:<16} {:>10} {:>12.3}",
                     k.name,
@@ -411,6 +427,10 @@ impl fmt::Display for Profile {
                     k.count,
                     k.total_ns as f64 / 1e6
                 )?;
+                if let Some((p50, p90, p99)) = k.quantiles {
+                    write!(f, "  p50 {p50:>9.0} p90 {p90:>9.0} p99 {p99:>9.0} ns")?;
+                }
+                writeln!(f)?;
             }
         }
         if let Some(bytes) = self.peak_resident_bytes {
@@ -425,11 +445,10 @@ mod tests {
     use super::*;
     use crate::recorder::{self, Recorder};
     use crate::sink::MemoryBuffer;
-    use std::rc::Rc;
 
     fn recorded_trace(run: impl FnOnce()) -> String {
         let buf = MemoryBuffer::default();
-        let guard = Recorder::new("prof").with_memory(Rc::clone(&buf)).install();
+        let guard = Recorder::new("prof").with_memory(buf.clone()).install();
         run();
         drop(guard);
         let text = buf.borrow().clone();
@@ -508,6 +527,15 @@ mod tests {
         // The sample outside any phase is the remainder row.
         assert_eq!(get("spmm", None).total_ns, 50_000);
         assert_eq!(p.kernel_total_ns("spmm"), 2_650_000);
+        // Phase rows carry quantiles from the per-phase histogram; the
+        // remainder row does not (spmm also has phased samples).
+        let (p50, p90, p99) = get("spmm", Some("weight_step")).quantiles.expect("quantiles");
+        assert!((900_000.0..=900_000.0 * 1.13).contains(&p50), "p50={p50}");
+        assert!(p99 >= p90 && p90 >= p50);
+        assert!(get("spmm", None).quantiles.is_none());
+        // The rendering shows them.
+        let report = p.to_string();
+        assert!(report.contains("p99"), "{report}");
     }
 
     #[test]

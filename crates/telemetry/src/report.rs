@@ -315,14 +315,13 @@ mod tests {
     use crate::level::Level;
     use crate::recorder::{self, Recorder};
     use crate::sink::MemoryBuffer;
-    use std::rc::Rc;
 
     /// The shared fixture: a small synthetic search trace with drifting α
     /// rows, recorded through the real recorder so it is exactly what
     /// `trace::summarize` validates.
     fn fixture_trace() -> String {
         let buf = MemoryBuffer::default();
-        let guard = Recorder::new("fixture").with_memory(Rc::clone(&buf)).install();
+        let guard = Recorder::new("fixture").with_memory(buf.clone()).install();
         {
             let _search = recorder::span("search");
             for epoch in 0..4i64 {

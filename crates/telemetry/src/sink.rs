@@ -3,12 +3,16 @@
 //! Every record is rendered once by the recorder — a compact JSON line for
 //! machine consumers and a one-line human form — and each sink picks the
 //! rendering it wants, filtered by its own level.
+//!
+//! Sinks are `Send`: since the cross-thread recorder refactor the sink
+//! set lives behind the shared run state's write lock, and attached
+//! worker threads write through it.
 
-use std::cell::RefCell;
 use std::fs::File;
 use std::io::{BufWriter, Write};
+use std::ops::{Deref, DerefMut};
 use std::path::Path;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use crate::level::Level;
 
@@ -21,7 +25,7 @@ pub(crate) struct Rendered<'a> {
     pub pretty: &'a str,
 }
 
-pub(crate) trait Sink {
+pub(crate) trait Sink: Send {
     /// Most detailed level this sink wants.
     fn level(&self) -> Level;
 
@@ -86,8 +90,36 @@ impl Sink for ConsoleSink {
     fn flush(&mut self) {}
 }
 
-/// Shared handle to an in-memory JSONL buffer (tests).
-pub type MemoryBuffer = Rc<RefCell<String>>;
+/// Shared handle to an in-memory JSONL buffer (tests). Clones share one
+/// buffer; the lock is poison-tolerant so a panicking test thread cannot
+/// hide the trace recorded up to the panic.
+#[derive(Clone, Default)]
+pub struct MemoryBuffer(Arc<Mutex<String>>);
+
+/// Read/write access to the buffered trace text.
+pub struct MemoryBufferGuard<'a>(MutexGuard<'a, String>);
+
+impl Deref for MemoryBufferGuard<'_> {
+    type Target = String;
+
+    fn deref(&self) -> &String {
+        &self.0
+    }
+}
+
+impl DerefMut for MemoryBufferGuard<'_> {
+    fn deref_mut(&mut self) -> &mut String {
+        &mut self.0
+    }
+}
+
+impl MemoryBuffer {
+    /// Locks the buffer; named `borrow` for continuity with the
+    /// pre-cross-thread `Rc<RefCell<String>>` alias this type replaced.
+    pub fn borrow(&self) -> MemoryBufferGuard<'_> {
+        MemoryBufferGuard(self.0.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+}
 
 /// Collects JSON lines into a [`MemoryBuffer`] so tests can parse the
 /// trace a run produced without touching the filesystem.
@@ -108,7 +140,7 @@ impl Sink for MemorySink {
     }
 
     fn write(&mut self, rec: &Rendered<'_>) {
-        let mut buf = self.buf.borrow_mut();
+        let mut buf = self.buf.borrow();
         buf.push_str(rec.json);
         buf.push('\n');
     }

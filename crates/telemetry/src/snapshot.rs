@@ -1,0 +1,255 @@
+//! Live snapshot export: serialize a run's merged metrics registry while
+//! the run is still in flight, so a long search can be watched mid-run.
+//!
+//! A [`SnapshotExporter`] wraps a [`RecorderHandle`] and writes two
+//! renderings side by side on every export:
+//!
+//! * `SNAPSHOT_<run>.json` — the full registry (counters, gauges,
+//!   summaries, histograms with p50/p90/p99 and raw buckets) plus run
+//!   metadata, parseable with [`crate::Value`];
+//! * `SNAPSHOT_<run>.prom` — a Prometheus-style text rendering
+//!   (`sane_<metric>` gauges, `_total` counters, summaries/histograms as
+//!   `quantile`-labelled series with `_count`/`_sum`), scrapeable by any
+//!   Prometheus-compatible collector pointed at the file.
+//!
+//! The exporter is **cooperative**: it owns no thread (the workspace
+//! confines thread spawns to `sane_autodiff::parallel`). Call
+//! [`SnapshotExporter::tick`] from a run or trial loop — it exports at
+//! most once per configured interval — or [`SnapshotExporter::export`]
+//! for an unconditional write. Exports see the merged registry plus the
+//! calling thread's drained buffer; samples still buffered on *other*
+//! attached workers join once those workers detach, so a snapshot is a
+//! consistent lower bound, never a torn read.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use crate::metrics::{Histogram, MetricSet, Summary};
+use crate::recorder::RecorderHandle;
+use crate::value::Value;
+
+/// Periodic/on-demand exporter of one run's merged metrics registry.
+pub struct SnapshotExporter {
+    handle: RecorderHandle,
+    dir: PathBuf,
+    interval: Duration,
+    last: Option<Instant>,
+    exports: u64,
+}
+
+impl SnapshotExporter {
+    /// An exporter writing `SNAPSHOT_<run>.{json,prom}` into `dir` at
+    /// most once per second (see [`with_interval`](Self::with_interval)).
+    pub fn new(handle: RecorderHandle, dir: impl AsRef<Path>) -> Self {
+        Self {
+            handle,
+            dir: dir.as_ref().to_path_buf(),
+            interval: Duration::from_secs(1),
+            last: None,
+            exports: 0,
+        }
+    }
+
+    /// Sets the minimum time between [`tick`](Self::tick) exports.
+    pub fn with_interval(mut self, interval: Duration) -> Self {
+        self.interval = interval;
+        self
+    }
+
+    /// Number of completed exports.
+    pub fn exports(&self) -> u64 {
+        self.exports
+    }
+
+    /// Path of the JSON snapshot this exporter writes.
+    pub fn json_path(&self) -> PathBuf {
+        self.dir.join(format!("SNAPSHOT_{}.json", self.handle.run()))
+    }
+
+    /// Path of the Prometheus-style snapshot this exporter writes.
+    pub fn prom_path(&self) -> PathBuf {
+        self.dir.join(format!("SNAPSHOT_{}.prom", self.handle.run()))
+    }
+
+    /// Exports if at least the configured interval passed since the last
+    /// export (the first tick always exports). Returns whether a snapshot
+    /// was written. Errors are swallowed like sink write errors —
+    /// telemetry must never take down the run it observes — but a failed
+    /// write still counts as an attempt so a broken disk is not retried
+    /// every tick.
+    pub fn tick(&mut self) -> bool {
+        let due = match self.last {
+            None => true,
+            Some(last) => last.elapsed() >= self.interval,
+        };
+        if due {
+            let _ = self.export();
+        }
+        due
+    }
+
+    /// Unconditionally writes both snapshot files, returning their paths.
+    pub fn export(&mut self) -> std::io::Result<(PathBuf, PathBuf)> {
+        self.last = Some(Instant::now());
+        let metrics = self.handle.merged_metrics();
+        let t_ns = self.handle.elapsed_ns();
+        let attached = self.handle.attached();
+        std::fs::create_dir_all(&self.dir)?;
+        let json_path = self.json_path();
+        let prom_path = self.prom_path();
+        std::fs::write(&json_path, render_json(self.handle.run(), t_ns, attached, &metrics))?;
+        std::fs::write(&prom_path, render_prom(self.handle.run(), t_ns, attached, &metrics))?;
+        self.exports += 1;
+        Ok((json_path, prom_path))
+    }
+}
+
+/// The JSON snapshot document (schema `sane.snapshot.v1`).
+fn render_json(run: &str, t_ns: u64, attached: usize, metrics: &MetricSet) -> String {
+    let mut obj = vec![
+        ("schema".to_string(), Value::Str("sane.snapshot.v1".to_string())),
+        ("run".to_string(), Value::Str(run.to_string())),
+        ("t_ns".to_string(), Value::UInt(t_ns)),
+        ("attached_workers".to_string(), Value::UInt(attached as u64)),
+    ];
+    obj.extend(metrics.to_fields());
+    Value::Obj(obj).to_json()
+}
+
+/// Maps a metric name onto the Prometheus name charset: `[a-zA-Z0-9_]`,
+/// prefixed `sane_`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 5);
+    out.push_str("sane_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn prom_summary(out: &mut String, name: &str, s: &Summary) {
+    let base = prom_name(name);
+    let _ = writeln!(out, "# TYPE {base} summary");
+    let _ = writeln!(out, "{base}_count {}", s.count);
+    let _ = writeln!(out, "{base}_sum {}", s.sum);
+    let _ = writeln!(out, "{base}_min {}", s.min);
+    let _ = writeln!(out, "{base}_max {}", s.max);
+    if s.dropped > 0 {
+        let _ = writeln!(out, "{base}_dropped {}", s.dropped);
+    }
+}
+
+fn prom_hist(out: &mut String, name: &str, h: &Histogram) {
+    let base = prom_name(name);
+    let _ = writeln!(out, "# TYPE {base} summary");
+    for (q, label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+        let _ = writeln!(out, "{base}{{quantile=\"{label}\"}} {}", h.quantile(q));
+    }
+    let _ = writeln!(out, "{base}_count {}", h.count());
+    let _ = writeln!(out, "{base}_sum {}", h.sum());
+    let _ = writeln!(out, "{base}_max {}", h.max());
+    if h.dropped() > 0 {
+        let _ = writeln!(out, "{base}_dropped {}", h.dropped());
+    }
+}
+
+/// The Prometheus-style text rendering. Histogram streams supersede
+/// their twin summaries (same key via `record_latency`) so each series
+/// renders once; BTreeMap iteration keeps the output deterministic.
+fn render_prom(run: &str, t_ns: u64, attached: usize, metrics: &MetricSet) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# sane telemetry snapshot, run `{run}`");
+    let _ = writeln!(out, "# TYPE sane_run_elapsed_ns gauge");
+    let _ = writeln!(out, "sane_run_elapsed_ns {t_ns}");
+    let _ = writeln!(out, "# TYPE sane_attached_workers gauge");
+    let _ = writeln!(out, "sane_attached_workers {attached}");
+    for (name, v) in metrics.counters() {
+        let base = prom_name(name);
+        let _ = writeln!(out, "# TYPE {base}_total counter");
+        let _ = writeln!(out, "{base}_total {v}");
+    }
+    for (name, v) in metrics.gauges() {
+        let base = prom_name(name);
+        let _ = writeln!(out, "# TYPE {base} gauge");
+        let _ = writeln!(out, "{base} {v}");
+    }
+    for (name, s) in metrics.summaries() {
+        if metrics.hists().contains_key(name) {
+            continue;
+        }
+        prom_summary(&mut out, name, s);
+    }
+    for (name, h) in metrics.hists() {
+        prom_hist(&mut out, name, h);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{self, Recorder};
+
+    #[test]
+    fn snapshot_serialises_the_live_registry() {
+        let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/tmp")
+            .join(format!("sane_snap_{}", std::process::id()));
+        let guard = Recorder::new("snaptest").install();
+        recorder::counter_add("trials.done", 3);
+        recorder::gauge_set("queue.depth", 2.0);
+        recorder::record_latency("kernel.spmm.ns", 1_000.0);
+        recorder::record_latency("kernel.spmm.ns", 9_000.0);
+        let handle = recorder::handle().expect("active recorder");
+        let mut exporter =
+            SnapshotExporter::new(handle, &dir).with_interval(Duration::from_secs(3600));
+        let (json_path, prom_path) = exporter.export().expect("export");
+
+        let json = std::fs::read_to_string(&json_path).expect("json snapshot");
+        let doc = Value::parse(&json).expect("snapshot parses");
+        assert_eq!(doc.get("schema").and_then(Value::as_str), Some("sane.snapshot.v1"));
+        assert_eq!(doc.get("run").and_then(Value::as_str), Some("snaptest"));
+        assert_eq!(
+            doc.get("counters").and_then(|c| c.get("trials.done")).and_then(Value::as_u64),
+            Some(3)
+        );
+        let hist = doc.get("hists").and_then(|h| h.get("kernel.spmm.ns")).expect("spmm hist");
+        assert_eq!(hist.get("count").and_then(Value::as_u64), Some(2));
+        assert!(hist.get("p50").and_then(Value::as_f64).is_some());
+
+        let prom = std::fs::read_to_string(&prom_path).expect("prom snapshot");
+        assert!(prom.contains("sane_trials_done_total 3"), "{prom}");
+        assert!(prom.contains("sane_queue_depth 2"), "{prom}");
+        assert!(prom.contains("sane_kernel_spmm_ns{quantile=\"0.99\"}"), "{prom}");
+        assert!(prom.contains("sane_kernel_spmm_ns_count 2"), "{prom}");
+
+        // The interval gate: the first tick after an export waits.
+        assert!(!exporter.tick(), "tick inside the interval must not re-export");
+        assert_eq!(exporter.exports(), 1);
+
+        drop(guard);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn first_tick_exports_immediately() {
+        let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/tmp")
+            .join(format!("sane_snap_tick_{}", std::process::id()));
+        let guard = Recorder::new("ticktest").install();
+        recorder::counter_add("n", 1);
+        let handle = recorder::handle().expect("active recorder");
+        let mut exporter =
+            SnapshotExporter::new(handle, &dir).with_interval(Duration::from_secs(3600));
+        assert!(exporter.tick(), "first tick exports");
+        assert!(exporter.json_path().exists());
+        assert!(exporter.prom_path().exists());
+        drop(guard);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

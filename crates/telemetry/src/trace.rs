@@ -2,10 +2,14 @@
 //!
 //! This is what `cargo xtask trace-report <file>` runs, and what the
 //! search-trace tests assert against. [`summarize`] is strict on purpose:
-//! a trace with unparseable lines, backwards timestamps, unbalanced spans,
-//! non-monotone epochs or alpha rows that are not probability
-//! distributions is an **error**, so CI fails on a malformed trace instead
-//! of summarising garbage.
+//! a trace with unparseable lines, backwards timestamps, unbalanced or
+//! orphan-parented spans, inconsistent histogram buckets, non-monotone
+//! epochs or alpha rows that are not probability distributions is an
+//! **error**, so CI fails on a malformed trace instead of summarising
+//! garbage. The same checks cover multi-thread traces: attached workers
+//! write through the recorder's serialising lock, so `t_ns` stays
+//! monotone in file order and every worker span's `parent` must already
+//! be open when the worker opens it.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -19,6 +23,17 @@ pub struct SpanStat {
     pub name: String,
     pub count: u64,
     pub total_ns: u64,
+}
+
+/// Quantiles of one latency histogram from the last `metrics` record.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct HistStat {
+    pub count: u64,
+    pub dropped: u64,
+    pub p50: f64,
+    pub p90: f64,
+    pub p99: f64,
+    pub max: f64,
 }
 
 /// One `search.epoch` event, as far as the summary cares.
@@ -54,6 +69,11 @@ pub struct TraceSummary {
     /// Kernel timing summaries (`kernel.<name>.ns`) from the last
     /// `metrics` record: (name, count, total_ns, mean_ns).
     pub kernels: Vec<(String, u64, f64, f64)>,
+    /// Latency histogram quantiles from the last `metrics` record, keyed
+    /// by full stream name (`kernel.spmm.ns`, `span.trial.ns`, …).
+    pub hists: BTreeMap<String, HistStat>,
+    /// Distinct worker labels (`thread` fields) seen in the trace.
+    pub threads: Vec<String>,
 }
 
 impl TraceSummary {
@@ -92,6 +112,12 @@ pub fn summarize(text: &str) -> Result<TraceSummary, String> {
         let rec = Value::parse(line).map_err(|e| format!("line {lineno}: bad JSON: {e}"))?;
         out.records += 1;
 
+        if let Some(thread) = rec.get("thread").and_then(Value::as_str) {
+            if !out.threads.iter().any(|t| t == thread) {
+                out.threads.push(thread.to_string());
+            }
+        }
+
         let t_ns = rec
             .get("t_ns")
             .and_then(Value::as_u64)
@@ -123,6 +149,16 @@ pub fn summarize(text: &str) -> Result<TraceSummary, String> {
                     .and_then(Value::as_u64)
                     .ok_or_else(|| format!("line {lineno}: span_open without id"))?;
                 let name = rec.get("name").and_then(Value::as_str).unwrap_or("?").to_string();
+                // A span's parent must be open at open time: worker root
+                // spans parent to the owning thread's span, which stays
+                // open while workers run, so a miss means a broken link.
+                if let Some(parent) = rec.get("parent").and_then(Value::as_u64) {
+                    if !open_spans.contains_key(&parent) {
+                        return Err(format!(
+                            "line {lineno}: span id {id} has orphan parent {parent} (not open)"
+                        ));
+                    }
+                }
                 if open_spans.insert(id, name).is_some() {
                     return Err(format!("line {lineno}: span id {id} opened twice"));
                 }
@@ -169,6 +205,40 @@ pub fn summarize(text: &str) -> Result<TraceSummary, String> {
                         let sum = v.get("sum").and_then(Value::as_f64).unwrap_or(0.0);
                         let mean = v.get("mean").and_then(Value::as_f64).unwrap_or(0.0);
                         out.kernels.push((short.to_string(), count, sum, mean));
+                    }
+                }
+                out.hists.clear();
+                if let Some(kv) = rec.get("hists").and_then(Value::as_obj) {
+                    for (k, v) in kv {
+                        let count = v.get("count").and_then(Value::as_u64).unwrap_or(0);
+                        // Histograms must be internally consistent: the
+                        // bucket counts account for every kept sample.
+                        let bucket_total: u64 = v
+                            .get("buckets")
+                            .and_then(Value::as_arr)
+                            .map(|rows| {
+                                rows.iter()
+                                    .filter_map(|r| r.as_arr()?.get(1).and_then(Value::as_u64))
+                                    .sum()
+                            })
+                            .unwrap_or(0);
+                        if bucket_total != count {
+                            return Err(format!(
+                                "line {lineno}: histogram `{k}` buckets sum to {bucket_total}, \
+                                 count says {count}"
+                            ));
+                        }
+                        out.hists.insert(
+                            k.clone(),
+                            HistStat {
+                                count,
+                                dropped: v.get("dropped").and_then(Value::as_u64).unwrap_or(0),
+                                p50: v.get("p50").and_then(Value::as_f64).unwrap_or(0.0),
+                                p90: v.get("p90").and_then(Value::as_f64).unwrap_or(0.0),
+                                p99: v.get("p99").and_then(Value::as_f64).unwrap_or(0.0),
+                                max: v.get("max").and_then(Value::as_f64).unwrap_or(0.0),
+                            },
+                        );
                     }
                 }
             }
@@ -307,6 +377,9 @@ impl fmt::Display for TraceSummary {
                 )?;
             }
         }
+        if !self.threads.is_empty() {
+            writeln!(f, "  worker threads: {}", self.threads.join(", "))?;
+        }
         if let (Some(first), Some(last)) = (self.epochs.first(), self.epochs.last()) {
             write!(f, "  epochs {}..={}", first.epoch, last.epoch)?;
             if let Some(v) = last.val_metric {
@@ -346,13 +419,34 @@ impl fmt::Display for TraceSummary {
             let mut by_total: Vec<_> = self.kernels.clone();
             by_total.sort_by(|a, b| b.2.total_cmp(&a.2));
             for (name, count, sum, mean) in by_total {
-                writeln!(
+                write!(
                     f,
                     "    {:<28} {:>8}x {:>12.3} ms total {:>10.1} ns/call",
                     name,
                     count,
                     sum / 1e6,
                     mean
+                )?;
+                if let Some(h) = self.hists.get(&format!("kernel.{name}.ns")) {
+                    write!(f, "  p50 {:>9.0} p90 {:>9.0} p99 {:>9.0} ns", h.p50, h.p90, h.p99)?;
+                }
+                writeln!(f)?;
+            }
+        }
+        // Span latency streams with quantiles (per-trial spans etc.);
+        // kernel and per-phase streams already render via the profiler.
+        let other: Vec<(&String, &HistStat)> = self
+            .hists
+            .iter()
+            .filter(|(k, _)| !k.starts_with("kernel.") && !k.starts_with("phase."))
+            .collect();
+        if !other.is_empty() {
+            writeln!(f, "  latency quantiles:")?;
+            for (name, h) in other {
+                writeln!(
+                    f,
+                    "    {:<28} {:>8}x p50 {:>11.0} p90 {:>11.0} p99 {:>11.0} max {:>11.0} ns",
+                    name, h.count, h.p50, h.p90, h.p99, h.max
                 )?;
             }
         }
@@ -367,11 +461,10 @@ mod tests {
     use crate::recorder::{self, Recorder};
     use crate::sink::MemoryBuffer;
     use crate::value::Value;
-    use std::rc::Rc;
 
     fn recorded_trace(run: impl FnOnce()) -> String {
         let buf = MemoryBuffer::default();
-        let guard = Recorder::new("test").with_memory(Rc::clone(&buf)).install();
+        let guard = Recorder::new("test").with_memory(buf.clone()).install();
         run();
         drop(guard);
         let text = buf.borrow().clone();
@@ -497,6 +590,63 @@ mod tests {
         });
         let err = summarize(&text).expect_err("duplicate epoch 3 must fail");
         assert!(err.contains("monotone"), "{err}");
+    }
+
+    #[test]
+    fn histograms_surface_quantiles_and_validate_buckets() {
+        let text = recorded_trace(|| {
+            let _t = recorder::span("train");
+            for ns in [1_000u64, 2_000, 50_000] {
+                recorder::kernel_sample("spmm", ns);
+            }
+            recorder::flush_metrics();
+        });
+        let s = summarize(&text).expect("valid trace");
+        let h = s.hists.get("kernel.spmm.ns").expect("spmm histogram");
+        assert_eq!(h.count, 3);
+        assert_eq!(h.max, 50_000.0);
+        assert!(h.p50 >= 2_000.0 && h.p50 <= 2_000.0 * 1.13, "p50={}", h.p50);
+        assert!(h.p99 >= h.p90 && h.p90 >= h.p50);
+        let report = s.to_string();
+        assert!(report.contains("p99"), "{report}");
+
+        // A histogram whose buckets disagree with its count is malformed.
+        let broken = text.replace("\"count\":3", "\"count\":4");
+        let err = summarize(&broken).expect_err("inconsistent buckets must fail");
+        assert!(err.contains("buckets sum"), "{err}");
+    }
+
+    #[test]
+    fn worker_records_carry_thread_and_parent_links() {
+        let text = recorded_trace(|| {
+            let _root = recorder::span("root");
+            let h = recorder::handle().expect("active");
+            let _w = h.attach("w7");
+            let _trial = recorder::span("trial");
+        });
+        let s = summarize(&text).expect("worker trace validates");
+        assert_eq!(s.threads, vec!["w7".to_string()]);
+        assert!(s.spans.iter().any(|sp| sp.name == "trial"));
+    }
+
+    #[test]
+    fn orphan_span_parents_are_rejected() {
+        let text = recorded_trace(|| {
+            let _s = recorder::span("root");
+        });
+        // Rewrite the root span's parent to an id that was never opened.
+        let broken: Vec<String> = text
+            .lines()
+            .map(|l| {
+                if l.contains("span_open") {
+                    l.replace("\"name\":\"root\"", "\"name\":\"root\",\"parent\":999")
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect();
+        let err = summarize(&broken.join("\n")).expect_err("orphan parent must fail");
+        assert!(err.contains("orphan parent"), "{err}");
     }
 
     #[test]

@@ -38,7 +38,11 @@
 //!   reproducibility. Membership tests and lookups are fine; iterate a
 //!   `BTreeMap`/`BTreeSet` or a sorted `Vec` instead. Waivable with
 //!   `// lint:allow(nondeterministic-iteration)` when the loop provably
-//!   feeds an order-insensitive reduction.
+//!   feeds an order-insensitive reduction — except in the files listed in
+//!   [`ARTIFACT_RENDER_PATHS`], which render committed or CI-gated
+//!   artifacts (snapshot exports, trace summaries, merged metric
+//!   registries): there every loop ultimately feeds rendered output, no
+//!   reduction is order-insensitive, and the waiver is refused.
 //!
 //! [`parse_sanitizer_log`] is not a source lint but shares the [`Finding`]
 //! shape: it scans Miri / ThreadSanitizer output fed to
@@ -107,6 +111,29 @@ const HASH_TYPE_NEEDLES: [&str; 4] = [
 const ITER_METHOD_NEEDLES: [&str; 5] =
     [".iter()", ".keys()", ".values()", ".into_iter()", ".drain("];
 const ITERATION_WAIVER: &str = concat!("lint:allow", "(nondeterministic-iteration)");
+
+/// Files whose loops render committed or CI-gated artifacts: the merged
+/// metric registry and its JSON/Prometheus snapshot export, the trace
+/// summary/profile/dashboard renderers, and the perf-history records the
+/// baseline gate diffs. Hash-ordered iteration anywhere in these files is
+/// forbidden outright — `// lint:allow(nondeterministic-iteration)` is
+/// refused, because output that is diffed, gated or committed can never
+/// treat iteration order as an implementation detail.
+const ARTIFACT_RENDER_PATHS: [&str; 7] = [
+    "crates/telemetry/src/metrics.rs",
+    "crates/telemetry/src/snapshot.rs",
+    "crates/telemetry/src/trace.rs",
+    "crates/telemetry/src/profile.rs",
+    "crates/telemetry/src/report.rs",
+    "crates/bench/src/history.rs",
+    "crates/xtask/src/perf.rs",
+];
+
+/// True when `file` renders committed/gated artifacts and therefore gets
+/// no iteration-order waivers.
+fn renders_artifacts(file: &str) -> bool {
+    ARTIFACT_RENDER_PATHS.iter().any(|p| file == *p || file.ends_with(p))
+}
 const LOSSY_CAST_WAIVER: &str = concat!("lint:allow", "(lossy-cast)");
 /// Cast targets flagged by the lossy-cast lint. An `as` cast between any
 /// two of these silently truncates, wraps, or rounds — `usize as f32`
@@ -420,10 +447,20 @@ pub fn lint_nondeterministic_iteration(file: &str, src: &str) -> LintOutcome {
         });
         let Some(name) = hit else { continue };
         let next_comment = lines.get(idx + 1).map(|l| l.trim()).filter(|l| l.starts_with("//"));
-        if comment.contains(ITERATION_WAIVER)
-            || next_comment.is_some_and(|c| c.contains(ITERATION_WAIVER))
-        {
+        let waiver = comment.contains(ITERATION_WAIVER)
+            || next_comment.is_some_and(|c| c.contains(ITERATION_WAIVER));
+        if waiver && !renders_artifacts(file) {
             out.waived += 1;
+        } else if waiver {
+            out.findings.push(Finding {
+                file: file.to_string(),
+                line: idx + 1,
+                lint: "nondeterministic-iteration",
+                message: format!(
+                    "`{name}` is hash-ordered and this file renders committed/gated artifacts, \
+                     so the waiver is refused; iterate a BTreeMap/BTreeSet or sort first"
+                ),
+            });
         } else {
             out.findings.push(Finding {
                 file: file.to_string(),
@@ -821,6 +858,30 @@ mod tests {
         );
         let out = lint_nondeterministic_iteration("lib.rs", test_only);
         assert!(out.findings.is_empty(), "{:?}", out.findings);
+    }
+
+    #[test]
+    fn artifact_rendering_files_refuse_the_iteration_waiver() {
+        // The same waived line that passes in ordinary library code must
+        // still be a finding in a file that renders committed/gated
+        // artifacts: snapshot exports and merged registries have no
+        // order-insensitive loops.
+        let waived = concat!(
+            "let total: u64 = counts.values().sum(); // ",
+            "lint:allow",
+            "(nondeterministic-iteration)\n",
+            "fn f(counts: &Hash",
+            "Map<String, u64>) {}\n",
+        );
+        for file in ["crates/telemetry/src/snapshot.rs", "crates/telemetry/src/metrics.rs"] {
+            let out = lint_nondeterministic_iteration(file, waived);
+            assert_eq!(out.findings.len(), 1, "{file}: {:?}", out.findings);
+            assert!(out.findings[0].message.contains("waiver is refused"), "{:?}", out.findings);
+            assert_eq!(out.waived, 0);
+        }
+        let out = lint_nondeterministic_iteration("crates/core/src/train.rs", waived);
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+        assert_eq!(out.waived, 1);
     }
 
     #[test]

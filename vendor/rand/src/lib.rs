@@ -167,7 +167,14 @@ pub mod rngs {
     impl SeedableRng for StdRng {
         fn seed_from_u64(state: u64) -> Self {
             let mut sm = state;
-            Self { s: [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)] }
+            Self {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
         }
     }
 

@@ -32,7 +32,11 @@ pub trait SliceRandom {
 
     /// `amount` distinct elements in random order (all of them if the
     /// slice is shorter).
-    fn choose_multiple<R: RngCore>(&self, rng: &mut R, amount: usize) -> SliceChooseIter<'_, Self::Item>;
+    fn choose_multiple<R: RngCore>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> SliceChooseIter<'_, Self::Item>;
 }
 
 impl<T> SliceRandom for [T] {

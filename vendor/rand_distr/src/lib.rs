@@ -159,11 +159,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let d = Binomial::new(20, 0.3).unwrap();
         let n = 5_000;
-        let total: u64 = (0..n).map(|_| {
-            let v = d.sample(&mut rng);
-            assert!(v <= 20);
-            v
-        }).sum();
+        let total: u64 = (0..n)
+            .map(|_| {
+                let v = d.sample(&mut rng);
+                assert!(v <= 20);
+                v
+            })
+            .sum();
         let mean = total as f64 / n as f64;
         assert!((mean - 6.0).abs() < 0.3, "mean {mean}");
     }

@@ -182,10 +182,9 @@ impl<T: Serialize> Serialize for std::collections::BTreeMap<String, T> {
 impl<T: Deserialize> Deserialize for std::collections::BTreeMap<String, T> {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         match v {
-            Value::Obj(fields) => fields
-                .iter()
-                .map(|(k, val)| Ok((k.clone(), T::from_value(val)?)))
-                .collect(),
+            Value::Obj(fields) => {
+                fields.iter().map(|(k, val)| Ok((k.clone(), T::from_value(val)?))).collect()
+            }
             other => Err(DeError::new(format!("expected object, found {other:?}"))),
         }
     }

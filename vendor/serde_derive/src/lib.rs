@@ -141,7 +141,9 @@ fn parse_enum_variants(body: TokenStream) -> Vec<(String, usize)> {
                     i += 1;
                 }
                 Delimiter::Brace => {
-                    panic!("serde_derive stub does not support struct-like enum variants (`{name}`)")
+                    panic!(
+                        "serde_derive stub does not support struct-like enum variants (`{name}`)"
+                    )
                 }
                 _ => {}
             }
@@ -205,10 +207,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             for (v, arity) in &variants {
                 match arity {
                     0 => {
-                        let _ = write!(
-                            arms,
-                            "{name}::{v} => serde::Value::Str(\"{v}\".to_string()),"
-                        );
+                        let _ =
+                            write!(arms, "{name}::{v} => serde::Value::Str(\"{v}\".to_string()),");
                     }
                     1 => {
                         let _ = write!(

@@ -215,9 +215,8 @@ impl<'a> Parser<'a> {
         let mut s = String::new();
         loop {
             let rest = &self.bytes[self.pos..];
-            let mut chars = std::str::from_utf8(rest)
-                .map_err(|_| Error::new("non-utf8 string"))?
-                .chars();
+            let mut chars =
+                std::str::from_utf8(rest).map_err(|_| Error::new("non-utf8 string"))?.chars();
             match chars.next() {
                 None => return Err(Error::new("unterminated string")),
                 Some('"') => {
