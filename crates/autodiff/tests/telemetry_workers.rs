@@ -18,6 +18,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Barrier;
 
 use sane_autodiff::parallel::run_workers;
+use sane_telemetry::diff::{self, NoiseModel};
 use sane_telemetry::{trace, MemoryBuffer, Recorder, Value};
 
 #[test]
@@ -120,4 +121,69 @@ fn histogram_buckets_are_identical_across_1_2_4_workers() {
 
     assert_eq!(runs[0], runs[1], "1-worker and 2-worker bucket counts diverged");
     assert_eq!(runs[0], runs[2], "1-worker and 4-worker bucket counts diverged");
+}
+
+/// Records one span-free trace: `workers` attached threads race over an
+/// atomic queue of integer kernel stamps, each booking its share with
+/// [`sane_telemetry::kernel_sample`]. Only the merged metrics carry
+/// timing, so the resulting profile is a pure function of the stamp
+/// multiset — no wall-clock anywhere.
+fn record_kernel_trace(workers: usize, stamps: &[u64]) -> String {
+    let buf = MemoryBuffer::default();
+    let guard = Recorder::new("kernels")
+        .with_memory(buf.clone())
+        .with_kernel_timing(true)
+        .install();
+    let handle = sane_telemetry::handle().expect("recorder is installed");
+    let next = AtomicUsize::new(0);
+    run_workers(workers, |w| {
+        let _scope = handle.attach(format!("w{w}"));
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            let Some(ns) = stamps.get(i) else { break };
+            sane_telemetry::kernel_sample("spmm", *ns);
+        }
+    });
+    sane_telemetry::flush_metrics();
+    drop(guard);
+    let text = buf.borrow().clone();
+    text
+}
+
+#[test]
+fn attribution_is_bitwise_identical_across_1_2_4_worker_traces() {
+    // Fixed stamp multisets: the candidate's kernel runs exactly 2× the
+    // baseline's. Which worker books which stamp is racy by design — the
+    // diff and the attribution built from it must not care.
+    let base_stamps: Vec<u64> = (0..512u64).map(|i| 40_000 + (i * 977) % 30_000).collect();
+    let cand_stamps: Vec<u64> = base_stamps.iter().map(|ns| ns * 2).collect();
+
+    let base_prof = sane_telemetry::profile::profile(&record_kernel_trace(1, &base_stamps))
+        .expect("baseline trace profiles");
+    let noise = NoiseModel::from_window(&[2.0, 2.02, 1.98, 2.0, 2.0], 0.05);
+
+    let mut rendered: Vec<String> = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let cand_prof = sane_telemetry::profile::profile(&record_kernel_trace(
+            workers,
+            &cand_stamps,
+        ))
+        .expect("candidate trace profiles");
+        let d = diff::diff(&base_prof, &cand_prof);
+        let attr = diff::attribute(&d, "spmm_forward.ms_1t", (2.0, 1.0), noise, 8);
+
+        let top = attr.top().expect("the 2× kernel is a suspect");
+        assert_eq!(top.stack.last().map(String::as_str), Some("kernel:spmm"));
+        assert!(top.significant, "a 2× step dwarfs the fixture noise window");
+        let expected_ms = base_stamps.iter().sum::<u64>() as f64 / 1e6;
+        assert!(
+            (top.delta_ms - expected_ms).abs() < 1e-9,
+            "kernel delta is the injected slowdown: {} vs {expected_ms}",
+            top.delta_ms
+        );
+        rendered.push(attr.to_json().to_json());
+    }
+
+    assert_eq!(rendered[0], rendered[1], "1-worker and 2-worker attributions diverged");
+    assert_eq!(rendered[0], rendered[2], "1-worker and 4-worker attributions diverged");
 }

@@ -88,19 +88,24 @@ struct BenchReport {
     memory: MemoryReport,
 }
 
+/// One named bench scenario: the closure runs a full forward(+backward)
+/// pass and returns a bitwise signature. Scenarios are built once and
+/// reused by the timing loops and by the reference-trace pass.
+type Scenario<'a> = (&'static str, String, usize, Box<dyn FnMut() -> Vec<f32> + 'a>);
+
 /// Times `f` at every worker count, checking each run's signature against
 /// the 1-thread result bit-for-bit.
 fn bench_kernel(
     name: &str,
     shape: String,
     iters: usize,
-    mut f: impl FnMut() -> Vec<f32>,
+    f: &mut dyn FnMut() -> Vec<f32>,
 ) -> KernelResult {
-    let reference = with_threads(1, &mut f);
+    let reference = with_threads(1, &mut *f);
     let mut ms_per_iter = BTreeMap::new();
     let mut bitwise_equal = true;
     for &threads in &THREADS {
-        let sig = with_threads(threads, &mut f); // warm-up + correctness probe
+        let sig = with_threads(threads, &mut *f); // warm-up + correctness probe
         if sig.len() != reference.len()
             || sig.iter().zip(&reference).any(|(a, b)| a.to_bits() != b.to_bits())
         {
@@ -163,24 +168,12 @@ fn main() {
     );
     let mut kernels = Vec::new();
 
-    // --- raw sparse kernels -------------------------------------------------
+    // --- raw sparse kernel fixtures -----------------------------------------
     let a = Arc::new(random_csr(11, n, nnz));
     let h = uniform_init(n, d, 1.0, &mut rng);
     a.t(); // build the lazy transpose outside the timed region
-    kernels.push(bench_kernel(
-        "spmm_forward",
-        format!("{n}x{n} ({nnz} nnz) * {n}x{d}"),
-        iters,
-        || a.spmm(&h).data().to_vec(),
-    ));
-    kernels.push(bench_kernel(
-        "spmm_transpose",
-        format!("{n}x{n}^T ({nnz} nnz) * {n}x{d}"),
-        iters,
-        || a.t().spmm(&h).data().to_vec(),
-    ));
 
-    // --- segment kernels, forward + backward on a tape ----------------------
+    // --- segment kernel fixtures (forward + backward on a tape) -------------
     let lengths: Vec<usize> = (0..n).map(|_| rng.gen_range(0..2 * deg)).collect();
     let total: usize = lengths.iter().sum();
     let idx = Arc::new((0..total).map(|_| rng.gen_range(0..n as u32)).collect::<Vec<u32>>());
@@ -189,69 +182,7 @@ fn main() {
     let seg_p = seg_store.add("x", uniform_init(n, d, 1.0, &mut rng));
     let seg_s = seg_store.add("scores", uniform_init(n, 1, 1.0, &mut rng));
 
-    kernels.push(bench_kernel(
-        "segment_sum_fwd_bwd",
-        format!("{total} rows -> {n} segments, d={d}"),
-        iters,
-        || {
-            let mut tape = Tape::new(0);
-            let x = tape.param(&seg_store, seg_p);
-            let msgs = tape.gather_rows(x, &idx);
-            let s = tape.segment_sum(msgs, &segs);
-            let loss = tape.sum_all(s);
-            let grads = tape.backward(loss);
-            let sig = grads.get(seg_p).map_or_else(Vec::new, |g| g.data().to_vec());
-            grads.recycle();
-            sig
-        },
-    ));
-    // The production attention path: the fused op replaces the old
-    // gather → softmax → broadcast → segment_sum chain under the same
-    // metric name, so the perf history shows the fusion win directly. The
-    // message gather is folded into the op (as in the GAT/GeniePath
-    // aggregators); only the narrow score column is still gathered.
-    kernels.push(bench_kernel(
-        "segment_attention_fwd_bwd",
-        format!("fused gather+softmax+aggregate over {total} rows, {n} segments, d={d}"),
-        iters,
-        || {
-            let mut tape = Tape::new(0);
-            let x = tape.param(&seg_store, seg_p);
-            let sc = tape.param(&seg_store, seg_s);
-            let scores = tape.gather_rows(sc, &idx);
-            let out = tape.gather_attention(scores, x, &idx, &segs);
-            let loss = tape.sum_all(out);
-            let grads = tape.backward(loss);
-            let sig = grads.get(seg_p).map_or_else(Vec::new, |g| g.data().to_vec());
-            grads.recycle();
-            sig
-        },
-    ));
-    // The retired chain, kept benched so the fused-vs-unfused gap stays
-    // visible in every report (and regressions in the building blocks the
-    // chain still exercises are caught).
-    kernels.push(bench_kernel(
-        "segment_attention_unfused_fwd_bwd",
-        format!("softmax+broadcast+sum over {total} rows, {n} segments, d={d}"),
-        iters,
-        || {
-            let mut tape = Tape::new(0);
-            let x = tape.param(&seg_store, seg_p);
-            let sc = tape.param(&seg_store, seg_s);
-            let msgs = tape.gather_rows(x, &idx);
-            let scores = tape.gather_rows(sc, &idx);
-            let alpha = tape.segment_softmax(scores, &segs);
-            let weighted = tape.mul_col_broadcast(msgs, alpha);
-            let out = tape.segment_sum(weighted, &segs);
-            let loss = tape.sum_all(out);
-            let grads = tape.backward(loss);
-            let sig = grads.get(seg_p).map_or_else(Vec::new, |g| g.data().to_vec());
-            grads.recycle();
-            sig
-        },
-    ));
-
-    // --- fully-mixed supernet step (Eq. 3-5 forward + backward) -------------
+    // --- fully-mixed supernet fixtures (Eq. 3-5 forward + backward) ---------
     let data_scale = if quick { 0.05 } else { 0.25 };
     let ds = CitationConfig::cora().scaled(data_scale).with_seed(args.scale.seed).generate();
     let task = Task::node(ds);
@@ -265,26 +196,142 @@ fn main() {
     t.ctx.warm_backward();
     let first_w = net.weight_params()[0];
     let mixed_iters = iters.max(3) / 3 + 1;
-    kernels.push(bench_kernel(
-        "mixed_supernet_fwd_bwd",
-        format!(
-            "{} nodes, F={}, hidden={}, K=3",
-            t.ctx.num_nodes(),
-            task.feature_dim(),
-            if quick { 16 } else { 32 }
+
+    // Scenarios are built once and run twice: the timed loops below, then
+    // a scoped trace pass that records the reference trace the regression
+    // forensics diff against.
+    let seg_sum = || {
+        let mut tape = Tape::new(0);
+        let x = tape.param(&seg_store, seg_p);
+        let msgs = tape.gather_rows(x, &idx);
+        let s = tape.segment_sum(msgs, &segs);
+        let loss = tape.sum_all(s);
+        let grads = tape.backward(loss);
+        let sig = grads.get(seg_p).map_or_else(Vec::new, |g| g.data().to_vec());
+        grads.recycle();
+        sig
+    };
+    // The production attention path: the fused op replaces the old
+    // gather → softmax → broadcast → segment_sum chain under the same
+    // metric name, so the perf history shows the fusion win directly. The
+    // message gather is folded into the op (as in the GAT/GeniePath
+    // aggregators); only the narrow score column is still gathered.
+    let seg_attention = || {
+        let mut tape = Tape::new(0);
+        let x = tape.param(&seg_store, seg_p);
+        let sc = tape.param(&seg_store, seg_s);
+        let scores = tape.gather_rows(sc, &idx);
+        let out = tape.gather_attention(scores, x, &idx, &segs);
+        let loss = tape.sum_all(out);
+        let grads = tape.backward(loss);
+        let sig = grads.get(seg_p).map_or_else(Vec::new, |g| g.data().to_vec());
+        grads.recycle();
+        sig
+    };
+    // The retired chain, kept benched so the fused-vs-unfused gap stays
+    // visible in every report (and regressions in the building blocks the
+    // chain still exercises are caught).
+    let seg_attention_unfused = || {
+        let mut tape = Tape::new(0);
+        let x = tape.param(&seg_store, seg_p);
+        let sc = tape.param(&seg_store, seg_s);
+        let msgs = tape.gather_rows(x, &idx);
+        let scores = tape.gather_rows(sc, &idx);
+        let alpha = tape.segment_softmax(scores, &segs);
+        let weighted = tape.mul_col_broadcast(msgs, alpha);
+        let out = tape.segment_sum(weighted, &segs);
+        let loss = tape.sum_all(out);
+        let grads = tape.backward(loss);
+        let sig = grads.get(seg_p).map_or_else(Vec::new, |g| g.data().to_vec());
+        grads.recycle();
+        sig
+    };
+    let mixed_supernet = || {
+        let mut tape = Tape::new(0);
+        let x = tape.input(Arc::clone(&t.data.features));
+        let logits = net.forward_mixed(&mut tape, &store, &t.ctx, x, true);
+        let loss = tape.cross_entropy(logits, &t.data.labels, &t.data.train);
+        let grads = tape.backward(loss);
+        let sig = grads.get(first_w).map_or_else(Vec::new, |g| g.data().to_vec());
+        grads.recycle();
+        sig
+    };
+    let mut scenarios: Vec<Scenario> = vec![
+        (
+            "spmm_forward",
+            format!("{n}x{n} ({nnz} nnz) * {n}x{d}"),
+            iters,
+            Box::new(|| a.spmm(&h).data().to_vec()),
         ),
-        mixed_iters,
-        || {
-            let mut tape = Tape::new(0);
-            let x = tape.input(Arc::clone(&t.data.features));
-            let logits = net.forward_mixed(&mut tape, &store, &t.ctx, x, true);
-            let loss = tape.cross_entropy(logits, &t.data.labels, &t.data.train);
-            let grads = tape.backward(loss);
-            let sig = grads.get(first_w).map_or_else(Vec::new, |g| g.data().to_vec());
-            grads.recycle();
-            sig
-        },
-    ));
+        (
+            "spmm_transpose",
+            format!("{n}x{n}^T ({nnz} nnz) * {n}x{d}"),
+            iters,
+            Box::new(|| a.t().spmm(&h).data().to_vec()),
+        ),
+        (
+            "segment_sum_fwd_bwd",
+            format!("{total} rows -> {n} segments, d={d}"),
+            iters,
+            Box::new(seg_sum),
+        ),
+        (
+            "segment_attention_fwd_bwd",
+            format!("fused gather+softmax+aggregate over {total} rows, {n} segments, d={d}"),
+            iters,
+            Box::new(seg_attention),
+        ),
+        (
+            "segment_attention_unfused_fwd_bwd",
+            format!("softmax+broadcast+sum over {total} rows, {n} segments, d={d}"),
+            iters,
+            Box::new(seg_attention_unfused),
+        ),
+        (
+            "mixed_supernet_fwd_bwd",
+            format!(
+                "{} nodes, F={}, hidden={}, K=3",
+                t.ctx.num_nodes(),
+                task.feature_dim(),
+                if quick { 16 } else { 32 }
+            ),
+            mixed_iters,
+            Box::new(mixed_supernet),
+        ),
+    ];
+    for (name, shape, iters, f) in &mut scenarios {
+        kernels.push(bench_kernel(name, shape.clone(), *iters, f.as_mut()));
+    }
+
+    // --- reference trace for regression forensics ---------------------------
+    // A scoped pass *after* the timed loops: each scenario reruns a few
+    // iterations under a phase-tagged span with kernel timing on,
+    // streaming TRACE_kernels.jsonl. `xtask perf --explain` diffs this
+    // trace against the retained baseline copy when the gate fails; the
+    // timed loops above stay free of recorder overhead.
+    let trace_path = args.out_dir.join("TRACE_kernels.jsonl");
+    {
+        let trace_iters = if quick { 2 } else { 3 };
+        std::fs::create_dir_all(&args.out_dir).expect("create results dir"); // lint:allow(expect)
+        let recorder = sane_telemetry::Recorder::new("kernels")
+            .with_jsonl(&trace_path)
+            .expect("open kernels trace") // lint:allow(expect)
+            .with_kernel_timing(true);
+        let _guard = recorder.install();
+        let _bench = sane_telemetry::span("bench");
+        for (name, _shape, _iters, f) in &mut scenarios {
+            let _scenario = sane_telemetry::phase_span(name, name);
+            for _ in 0..trace_iters {
+                std::hint::black_box(f.as_mut()());
+            }
+        }
+        sane_telemetry::flush_metrics();
+    }
+    // A malformed reference trace would poison every future diff: fail
+    // the bench run immediately instead.
+    sane_telemetry::trace::summarize_file(&trace_path).expect("kernels trace validates"); // lint:allow(expect)
+    println!("\n[saved {}]", trace_path.display());
+    drop(scenarios);
 
     // --- buffer pool steady state -------------------------------------------
     let step = || {
@@ -481,8 +528,20 @@ fn main() {
         }
     }
     metrics.insert("pool.misses_per_step".into(), report.pool.misses_per_step);
-    metrics.insert("telemetry.overhead_frac".into(), report.telemetry.overhead_frac);
-    metrics.insert("telemetry.worker_overhead_frac".into(), report.telemetry.worker_overhead_frac);
+    // Overhead fractions are on−off deltas of two noisy timings and dip
+    // below zero when the "off" phase drew the slower rounds. A negative
+    // sample reads as nonsense in the history (overhead cannot be < 0)
+    // and drags window medians below any achievable value, so the tracked
+    // metric clamps at 0; the signed measurement is kept in a `_raw` side
+    // field for anyone auditing the probe itself.
+    metrics.insert("telemetry.overhead_frac".into(), report.telemetry.overhead_frac.max(0.0));
+    metrics.insert("telemetry.overhead_frac_raw".into(), report.telemetry.overhead_frac);
+    metrics.insert(
+        "telemetry.worker_overhead_frac".into(),
+        report.telemetry.worker_overhead_frac.max(0.0),
+    );
+    metrics
+        .insert("telemetry.worker_overhead_frac_raw".into(), report.telemetry.worker_overhead_frac);
     metrics.insert("mixed_supernet_fwd_bwd.planned_peak_mb".into(), report.memory.planned_peak_mb);
     metrics.insert("mixed_supernet_fwd_bwd.reuse_ratio".into(), report.memory.reuse_ratio);
     let hist = sane_bench::history::HistoryRecord::new("kernels", &report.preset, metrics);

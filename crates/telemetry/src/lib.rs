@@ -59,6 +59,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod diff;
 mod level;
 mod metrics;
 pub mod profile;
@@ -70,7 +71,7 @@ pub mod trace;
 mod value;
 
 pub use level::Level;
-pub use metrics::{Histogram, MetricSet, Summary};
+pub use metrics::{Histogram, MetricSet, Summary, QUANTILE_REL_ERROR};
 pub use recorder::{
     active, counter_add, enabled, event, flush_metrics, gauge_max, gauge_set, handle,
     kernel_sample, kernel_timing_enabled, phase_span, phase_span_with, record, record_latency,

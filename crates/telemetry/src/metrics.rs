@@ -97,6 +97,13 @@ impl Summary {
 const SUB_BITS: u32 = 3;
 const SUBS: u64 = 1 << SUB_BITS;
 
+/// Worst-case relative error of a quantile read back from the histogram:
+/// a bucket spans at most 1/[`SUBS`]th of its octave, so any value inside
+/// reads back within ~12.5% of its true magnitude. Consumers comparing
+/// quantiles across runs (the trace differ) treat shifts inside this band
+/// as bucket-resolution noise, not signal.
+pub const QUANTILE_REL_ERROR: f64 = 1.0 / SUBS as f64;
+
 /// Log-bucketed latency histogram (HDR-style). Each power-of-two octave
 /// of the sample magnitude is split into [`SUBS`] linear sub-buckets, so
 /// bucketing a sample is a handful of integer ops with no configuration:

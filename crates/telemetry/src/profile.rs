@@ -88,7 +88,7 @@ struct OpenSpan {
 /// into the flamegraph — grafting would count the inner kernels twice.
 const ENCLOSING_KERNELS: [&str; 1] = ["tape_backward"];
 
-fn graftable(kernel: &str) -> bool {
+pub(crate) fn graftable(kernel: &str) -> bool {
     !ENCLOSING_KERNELS.contains(&kernel)
 }
 
@@ -112,8 +112,26 @@ impl Profile {
         self.kernels.iter().filter(|k| k.name == kernel).map(|k| k.total_ns).sum()
     }
 
+    /// The stack path a `(phase, kernel)` row renders under in collapsed
+    /// output: the unambiguous phase-declaring span path plus a
+    /// `kernel:<name>` leaf, or a synthetic `phase:<tag>` root when the
+    /// phase was declared on several paths. The differ uses the same
+    /// convention so diffed kernel frames line up with single-run
+    /// flamegraphs.
+    pub fn kernel_stack(&self, k: &KernelStat) -> Vec<String> {
+        let mut stack = match k.phase.as_deref() {
+            Some(phase) => match self.graft_path(phase) {
+                Some(path) => path.to_vec(),
+                None => vec![format!("phase:{phase}")],
+            },
+            None => Vec::new(),
+        };
+        stack.push(format!("kernel:{}", k.name));
+        stack
+    }
+
     /// The single span path that declared `phase`, when unambiguous.
-    fn graft_path(&self, phase: &str) -> Option<&[String]> {
+    pub(crate) fn graft_path(&self, phase: &str) -> Option<&[String]> {
         match self.phase_paths.get(phase).map(Vec::as_slice) {
             Some([path]) => Some(path),
             _ => None,
@@ -121,7 +139,7 @@ impl Profile {
     }
 
     /// Kernel nanoseconds grafted under each span path (see module docs).
-    fn grafted_by_path(&self) -> BTreeMap<Vec<String>, u64> {
+    pub(crate) fn grafted_by_path(&self) -> BTreeMap<Vec<String>, u64> {
         let mut grafted: BTreeMap<Vec<String>, u64> = BTreeMap::new();
         for k in &self.kernels {
             let Some(phase) = k.phase.as_deref() else { continue };

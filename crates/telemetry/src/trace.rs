@@ -328,6 +328,33 @@ pub fn summarize_file(path: impl AsRef<Path>) -> Result<TraceSummary, String> {
     summarize(&text)
 }
 
+/// Recorded trace files (`TRACE_*.jsonl`) directly under `dir`, sorted by
+/// file name. Missing or unreadable directories yield an empty list — the
+/// callers' error paths list whatever is available.
+pub fn list_traces(dir: impl AsRef<Path>) -> Vec<std::path::PathBuf> {
+    let Ok(entries) = std::fs::read_dir(dir.as_ref()) else { return Vec::new() };
+    let mut out: Vec<std::path::PathBuf> = entries
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("TRACE_") && n.ends_with(".jsonl"))
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// The most recently modified trace file under `dir`, for tooling that
+/// defaults to "the run you just recorded". Ties (or filesystems without
+/// mtimes) fall back to name order, so the pick stays deterministic.
+pub fn newest_trace(dir: impl AsRef<Path>) -> Option<std::path::PathBuf> {
+    list_traces(dir)
+        .into_iter()
+        .max_by_key(|p| (std::fs::metadata(p).and_then(|m| m.modified()).ok(), p.clone()))
+}
+
 /// A `search.alpha` row must be a probability distribution: every entry
 /// finite in [0, 1], summing to 1 within 1e-3, with a finite non-negative
 /// entropy field.

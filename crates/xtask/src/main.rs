@@ -6,8 +6,9 @@
 //! * `clippy` — drive `cargo clippy -D warnings` over the first-party
 //!   crates (vendored stand-ins under `vendor/` are excluded).
 //! * `ci`     — `audit` + `fmt` + `clippy`, first failure wins.
-//! * `trace-report <TRACE.jsonl>` — validate and summarise a telemetry
-//!   run trace (see `sane_telemetry::trace`). Exits non-zero on a
+//! * `trace-report [TRACE.jsonl]` — validate and summarise a telemetry
+//!   run trace (see `sane_telemetry::trace`); with no argument the
+//!   newest `results/TRACE_*.jsonl` is picked. Exits non-zero on a
 //!   malformed trace, so CI can gate on trace integrity.
 //! * `profile <TRACE.jsonl>` — per-phase/per-kernel time attribution:
 //!   prints the attribution tables and writes the collapsed-stack
@@ -18,7 +19,16 @@
 //!   `--quick` reruns the `kernels`/`search_smoke` benches (appending to
 //!   `results/BENCH_history.jsonl`), `--check` gates history medians
 //!   against `results/BENCH_baseline.json` and exits non-zero on a
-//!   regression, `--seed-baseline` recomputes the baseline from history.
+//!   regression, `--seed-baseline` recomputes the baseline from history
+//!   (also retaining each bench's trace as `TRACE_<bench>_baseline.jsonl`
+//!   for future diffs), and `--explain` turns a gate failure into
+//!   forensics: each regressed metric's candidate trace is diffed
+//!   against the retained baseline trace and attributed to the hottest
+//!   changed subtree (`DIFF_<bench>.json`, `FLAMEDIFF_<bench>.txt`).
+//!   `perf trend` scans the history for step regressions that crept in
+//!   under the per-run tolerance (`results/TREND_report.json`);
+//!   `perf compact` trims the history to the last N entries per
+//!   (bench, preset).
 //! * `determinism` — the cross-thread determinism gate: drives the
 //!   `determinism` bench binary, which runs one full SANE search step at
 //!   1/2/4/`hardware` worker threads and bitwise-compares every loss,
@@ -43,13 +53,12 @@
 
 #![forbid(unsafe_code)]
 
-mod lints;
-mod perf;
-
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
 
-use lints::{
+use xtask::perf;
+
+use xtask::lints::{
     extract_op_names, lint_forbid_unsafe, lint_gradcheck_coverage, lint_lossy_cast, lint_no_print,
     lint_nondeterministic_iteration, lint_raw_thread, lint_unseeded_rng, lint_unwrap_expect,
     parse_sanitizer_log, Finding,
@@ -83,15 +92,21 @@ fn main() -> ExitCode {
         }
         Some("trace-report") => trace_report(&root, args.get(1).map(String::as_str)),
         Some("profile") => profile_cmd(&root, &args[1..]),
-        Some("perf") => perf_cmd(&root, &args[1..]),
+        Some("perf") => match args.get(1).map(String::as_str) {
+            Some("trend") => perf_trend_cmd(&root, &args[2..]),
+            Some("compact") => perf_compact_cmd(&root, &args[2..]),
+            _ => perf_cmd(&root, &args[1..]),
+        },
         Some("determinism") => determinism_cmd(&root, &args[1..]),
         Some("memplan") => memplan_cmd(&root, &args[1..]),
         _ => {
             eprintln!(
                 "usage: cargo run -p xtask -- <audit [--sanitizer-report <log>]|fmt|clippy|ci|\
-                 trace-report <file>|\
+                 trace-report [file]|\
                  profile <file> [--min-attributed <frac>]|\
-                 perf [--quick] [--check] [--seed-baseline] [--runs <n>]|\
+                 perf [--quick] [--check] [--explain] [--seed-baseline] [--runs <n>]|\
+                 perf trend [--window <n>]|\
+                 perf compact [--keep <n>]|\
                  determinism [--quick]|\
                  memplan [--quick]>"
             );
@@ -186,6 +201,7 @@ fn perf_cmd(root: &Path, args: &[String]) -> ExitCode {
     let mut quick = false;
     let mut check = false;
     let mut seed = false;
+    let mut explain = false;
     let mut runs = 1usize;
     let mut history_path = root.join("results").join("BENCH_history.jsonl");
     let mut baseline_path = root.join("results").join("BENCH_baseline.json");
@@ -203,6 +219,7 @@ fn perf_cmd(root: &Path, args: &[String]) -> ExitCode {
             "--quick" => quick = true,
             "--check" => check = true,
             "--seed-baseline" => seed = true,
+            "--explain" => explain = true,
             "--runs" => {
                 let Some(n) = it.next().and_then(|v| v.parse().ok()) else {
                     eprintln!("xtask perf: --runs needs a count");
@@ -274,6 +291,13 @@ fn perf_cmd(root: &Path, args: &[String]) -> ExitCode {
         history_path.display(),
         breakdown.join(", ")
     );
+    for (bench, preset, n) in perf::history_overflow(&history, perf::DEFAULT_HISTORY_CAP) {
+        eprintln!(
+            "xtask perf: WARNING: {n} history entries for ({bench}, {preset}) exceed the \
+             {} cap; trim with `cargo xtask perf compact`",
+            perf::DEFAULT_HISTORY_CAP
+        );
+    }
 
     if seed {
         let baseline = perf::seed_baseline(&history, "quick", perf::DEFAULT_WINDOW);
@@ -290,6 +314,25 @@ fn perf_cmd(root: &Path, args: &[String]) -> ExitCode {
             baseline.metrics.len(),
             baseline_path.display()
         );
+        // Retain the benches' freshest traces as the reference side of
+        // future `--explain` diffs, alongside the numeric baseline.
+        let results_dir = baseline_path.parent().unwrap_or(root);
+        let benches: std::collections::BTreeSet<&str> =
+            history.iter().map(|e| e.bench.as_str()).collect();
+        for bench in benches {
+            let cand = perf::candidate_trace_path(results_dir, bench);
+            if !cand.is_file() {
+                continue;
+            }
+            let kept = perf::baseline_trace_path(results_dir, bench);
+            match std::fs::copy(&cand, &kept) {
+                Ok(_) => println!("retained baseline trace -> {}", kept.display()),
+                Err(e) => {
+                    eprintln!("xtask perf: cannot retain {}: {e}", kept.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
         return ExitCode::SUCCESS;
     }
 
@@ -310,11 +353,164 @@ fn perf_cmd(root: &Path, args: &[String]) -> ExitCode {
     };
     let report = perf::gate(&history, &baseline);
     println!("{report}");
-    if check && !report.passed() {
+    let failed = !report.passed();
+    if failed && explain {
+        // Close the detect->explain loop: diff the candidate traces
+        // against the retained baselines and name the hottest suspects.
+        let results_dir = history_path.parent().unwrap_or(root);
+        match perf::explain(results_dir, &history, &baseline, &report) {
+            Ok(forensics) => {
+                for b in &forensics.benches {
+                    println!();
+                    println!("{}", b.diff);
+                    for a in &b.attributions {
+                        println!("{a}");
+                    }
+                    println!("[saved {}]", b.diff_path.display());
+                    println!("[saved {}]", b.flame_path.display());
+                }
+                for metric in &forensics.unmapped {
+                    eprintln!(
+                        "xtask perf: regressed metric `{metric}` appears in no history \
+                         entry; cannot map it to a bench trace"
+                    );
+                }
+            }
+            Err(e) => eprintln!("xtask perf: explain failed: {e}"),
+        }
+    } else if explain {
+        println!("gate passed; nothing to explain");
+    }
+    if check && failed {
         eprintln!("xtask perf: PERF REGRESSION against {}", baseline_path.display());
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+/// `xtask perf trend`: scan the accumulated history for step regressions
+/// that crept in under the per-run tolerance. Reports and writes
+/// `results/TREND_report.json`; informational by default (exit 0 even
+/// with changepoints) so CI can run it non-blocking — `--check` flips
+/// detected steps into a failure for local bisection workflows.
+fn perf_trend_cmd(root: &Path, args: &[String]) -> ExitCode {
+    let mut history_path = root.join("results").join("BENCH_history.jsonl");
+    let mut window = perf::DEFAULT_TREND_WINDOW;
+    let mut check = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--window" => {
+                let Some(n) = it.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("xtask perf trend: --window needs a count");
+                    return ExitCode::from(2);
+                };
+                window = n;
+            }
+            "--history" => {
+                let Some(v) = it.next() else {
+                    eprintln!("xtask perf trend: --history needs a path");
+                    return ExitCode::from(2);
+                };
+                let p = Path::new(v);
+                history_path = if p.is_absolute() { p.to_path_buf() } else { root.join(p) };
+            }
+            other => {
+                eprintln!("xtask perf trend: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let history_text = match std::fs::read_to_string(&history_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("xtask perf trend: cannot read {}: {e}", history_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let history = match perf::parse_history(&history_text) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("xtask perf trend: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = perf::trend(
+        &history,
+        window,
+        perf::DEFAULT_TREND_MIN_SHIFT,
+        perf::DEFAULT_TREND_MAD_MULT,
+        perf::DEFAULT_ABS_FLOOR_MS,
+    );
+    println!("{report}");
+    let out_path = history_path.parent().unwrap_or(root).join("TREND_report.json");
+    if let Err(e) = std::fs::write(&out_path, report.to_json().to_json()) {
+        eprintln!("xtask perf trend: cannot write {}: {e}", out_path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("[saved {}]", out_path.display());
+    if check && !report.changepoints.is_empty() {
+        eprintln!("xtask perf trend: {} changepoint(s) detected", report.changepoints.len());
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// `xtask perf compact`: trim the unboundedly-growing history to the last
+/// `--keep` entries per (bench, preset), in place.
+fn perf_compact_cmd(root: &Path, args: &[String]) -> ExitCode {
+    let mut history_path = root.join("results").join("BENCH_history.jsonl");
+    let mut keep = perf::DEFAULT_HISTORY_CAP;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--keep" => {
+                let Some(n) = it.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("xtask perf compact: --keep needs a count");
+                    return ExitCode::from(2);
+                };
+                keep = n;
+            }
+            "--history" => {
+                let Some(v) = it.next() else {
+                    eprintln!("xtask perf compact: --history needs a path");
+                    return ExitCode::from(2);
+                };
+                let p = Path::new(v);
+                history_path = if p.is_absolute() { p.to_path_buf() } else { root.join(p) };
+            }
+            other => {
+                eprintln!("xtask perf compact: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let text = match std::fs::read_to_string(&history_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("xtask perf compact: cannot read {}: {e}", history_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    match perf::compact_history(&text, keep) {
+        Ok((_, 0)) => {
+            println!("history already within {keep} entries per (bench, preset); nothing to drop");
+            ExitCode::SUCCESS
+        }
+        Ok((compacted, dropped)) => {
+            if let Err(e) = std::fs::write(&history_path, compacted) {
+                eprintln!("xtask perf compact: cannot write {}: {e}", history_path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("dropped {dropped} old entr(ies) from {}", history_path.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("xtask perf compact: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// The cross-thread determinism gate: runs the `determinism` bench binary
@@ -391,11 +587,48 @@ fn memplan_cmd(root: &Path, args: &[String]) -> ExitCode {
 /// (parse error, non-monotone clock, unbalanced spans, invalid α rows…)
 /// exits non-zero so CI jobs fail on corrupted telemetry.
 fn trace_report(root: &Path, arg: Option<&str>) -> ExitCode {
-    let Some(arg) = arg else {
-        eprintln!("usage: cargo run -p xtask -- trace-report <TRACE.jsonl>");
-        return ExitCode::from(2);
+    let results_dir = root.join("results");
+    let list_available = || {
+        let traces = sane_telemetry::trace::list_traces(&results_dir);
+        if traces.is_empty() {
+            eprintln!(
+                "xtask trace-report: no TRACE_*.jsonl under {}; record one with \
+                 `cargo xtask perf --quick`",
+                results_dir.display()
+            );
+        } else {
+            eprintln!("xtask trace-report: available traces:");
+            for t in traces {
+                eprintln!("  {}", t.display());
+            }
+        }
     };
-    let path = if Path::new(arg).is_absolute() { PathBuf::from(arg) } else { root.join(arg) };
+    let path = match arg {
+        Some(arg) => {
+            let p = Path::new(arg);
+            if p.is_absolute() {
+                p.to_path_buf()
+            } else {
+                root.join(p)
+            }
+        }
+        // No argument: the run you just recorded.
+        None => match sane_telemetry::trace::newest_trace(&results_dir) {
+            Some(p) => {
+                eprintln!("xtask trace-report: defaulting to newest trace {}", p.display());
+                p
+            }
+            None => {
+                list_available();
+                return ExitCode::from(2);
+            }
+        },
+    };
+    if !path.is_file() {
+        eprintln!("xtask trace-report: no such trace: {}", path.display());
+        list_available();
+        return ExitCode::FAILURE;
+    }
     match sane_telemetry::trace::summarize_file(&path) {
         Ok(summary) => {
             println!("{summary}");
