@@ -36,6 +36,7 @@
 //! [`Op::arity`]: crate::tape::Op::arity
 //! [`Op::infer_shape`]: crate::tape::Op::infer_shape
 
+use crate::absint::{AbsReport, AbsSummary};
 use crate::dataflow::{MemPlan, MemSummary};
 use crate::tape::{Gradients, Tape, Tensor, VarStore};
 
@@ -83,6 +84,13 @@ pub enum FindingKind {
     ArityMismatch,
     /// A node's recorded shapes contradict its op's shape-transfer function.
     ShapeMismatch,
+    /// A non-leaf op declined to infer its output shape (dynamic output
+    /// arity), so the shape pass could not check this node. Earlier
+    /// versions silently dropped the node, hiding the coverage gap.
+    ShapeUnknown,
+    /// The abstract interpreter found a node whose transfer function
+    /// rejected its inputs (see [`crate::absint`]).
+    AbsintViolation,
     /// A non-leaf node the loss does not depend on: wasted forward compute.
     DeadCompute,
     /// A parameter leaf the loss does not depend on: it will never train.
@@ -98,6 +106,8 @@ impl std::fmt::Display for FindingKind {
         let s = match self {
             FindingKind::ArityMismatch => "arity-mismatch",
             FindingKind::ShapeMismatch => "shape-mismatch",
+            FindingKind::ShapeUnknown => "shape-unknown",
+            FindingKind::AbsintViolation => "absint-violation",
             FindingKind::DeadCompute => "dead-compute",
             FindingKind::DeadParam => "dead-param",
             FindingKind::NonFiniteValue => "non-finite-value",
@@ -178,6 +188,9 @@ pub struct TapeReport {
     /// Planned-vs-baseline peak residency from the dataflow memory plan;
     /// `None` unless the report came from [`Tape::audit_with_memplan`].
     pub mem: Option<MemSummary>,
+    /// Abstract-interpretation summary (shape/interval/NaN analysis);
+    /// `None` unless the report came from [`Tape::audit_with_absint`].
+    pub absint: Option<AbsSummary>,
 }
 
 impl TapeReport {
@@ -216,6 +229,9 @@ impl std::fmt::Display for TapeReport {
         writeln!(f, "  buffer pool: {}", self.pool)?;
         if let Some(mem) = &self.mem {
             writeln!(f, "  memory plan: {mem}")?;
+        }
+        if let Some(absint) = &self.absint {
+            writeln!(f, "  abstract interpretation: {absint}")?;
         }
         if self.findings.is_empty() {
             write!(f, "  clean: no findings")
@@ -289,7 +305,23 @@ impl Tape {
                         });
                     }
                 }
-                Ok(None) => {}
+                // Leaves legitimately decline (they have no inputs to infer
+                // from); a non-leaf declining means the shape pass has a
+                // blind spot, which must be visible, not silently skipped.
+                Ok(None) => {
+                    if !shapes.is_empty() {
+                        findings.push(Finding {
+                            kind: FindingKind::ShapeUnknown,
+                            severity: Severity::Warning,
+                            node: Some(i),
+                            op: Some(op_name),
+                            message: format!(
+                                "op declined to infer an output shape from inputs \
+                                 {shapes:?}; this node is unchecked by the shape pass"
+                            ),
+                        });
+                    }
+                }
             }
         }
 
@@ -383,6 +415,7 @@ impl Tape {
             fan,
             pool: self.pool_activity(),
             mem: None,
+            absint: None,
         }
     }
 
@@ -403,6 +436,31 @@ impl Tape {
         let plan = self.memplan(output);
         report.mem = Some(plan.summary());
         (report, plan)
+    }
+
+    /// [`Tape::audit`], extended with the abstract interpreter: every
+    /// transfer-function violation becomes an [`FindingKind::AbsintViolation`]
+    /// error and the analysis summary lands in [`TapeReport::absint`]. The
+    /// full [`AbsReport`] is returned for callers that want per-value
+    /// domains (e.g. the graph-audit exporter).
+    pub fn audit_with_absint(
+        &self,
+        output: Tensor,
+        store: Option<&VarStore>,
+    ) -> (TapeReport, AbsReport) {
+        let mut report = self.audit(output, store);
+        let abs = self.absint();
+        for v in &abs.violations {
+            report.findings.push(Finding {
+                kind: FindingKind::AbsintViolation,
+                severity: Severity::Error,
+                node: Some(v.node),
+                op: Some(v.op),
+                message: v.message.clone(),
+            });
+        }
+        report.absint = Some(abs.summary());
+        (report, abs)
     }
 
     /// [`Tape::audit`], extended with a non-finite scan over a gradient set
@@ -515,6 +573,80 @@ mod tests {
         assert!(report.has_errors());
     }
 
+    /// Mutation test: a non-leaf op that declines to infer its output shape
+    /// must surface as a `shape-unknown` warning — earlier versions silently
+    /// dropped the node from the shape pass.
+    #[test]
+    fn dynamic_arity_op_is_reported_not_skipped() {
+        struct OpaqueOp;
+        impl Op for OpaqueOp {
+            fn backward(&self, _: &Matrix, grad: &Matrix, _: &[&Matrix]) -> Vec<Option<Matrix>> {
+                vec![Some(grad.clone())]
+            }
+            fn name(&self) -> &'static str {
+                "opaque"
+            }
+            fn arity(&self) -> Arity {
+                Arity::Exact(1)
+            }
+            fn infer_shape(
+                &self,
+                _inputs: &[(usize, usize)],
+            ) -> Result<Option<(usize, usize)>, String> {
+                // Dynamic output arity: refuses to commit to a shape.
+                Ok(None)
+            }
+        }
+
+        let mut tape = Tape::new(0);
+        let x = tape.constant(Matrix::from_vec(2, 3, vec![1.0; 6]));
+        let y = tape.push_op(Matrix::from_vec(4, 1, vec![1.0; 4]), Box::new(OpaqueOp), vec![x]);
+        let loss = tape.sum_all(y);
+        let report = tape.audit(loss, None);
+        let f: Vec<_> = report.of_kind(FindingKind::ShapeUnknown).collect();
+        assert_eq!(f.len(), 1, "{report}");
+        assert_eq!(f[0].node, Some(y.index()));
+        assert_eq!(f[0].op, Some("opaque"));
+        assert_eq!(f[0].severity, Severity::Warning);
+        // A warning, not an error: the tape is suspect but not provably broken.
+        assert!(!report.has_errors(), "{report}");
+        // Leaves (constants here) also return `Ok(None)` but must stay silent.
+        assert!(!report.findings.iter().any(|f| f.node == Some(x.index())));
+    }
+
+    /// `audit_with_absint` folds interpreter violations into the report as
+    /// errors and records the analysis summary.
+    #[test]
+    fn audit_with_absint_reports_transfer_violations() {
+        // Clean tape: summary present, no violations.
+        let (tape, store, loss) = small_loss_tape();
+        let (report, abs) = tape.audit_with_absint(loss, Some(&store));
+        assert!(report.is_clean(), "{report}");
+        assert!(abs.is_clean());
+        let summary = report.absint.expect("summary must be recorded");
+        assert_eq!(summary.analyzed, tape.len());
+        assert_eq!(summary.violations, 0);
+
+        // Corrupted tape: a matmul recorded with incompatible inner dims
+        // trips the transfer contract and must surface as an error finding.
+        let mut tape = Tape::new(0);
+        let a = tape.constant(Matrix::from_vec(2, 3, vec![1.0; 6]));
+        let b = tape.constant(Matrix::from_vec(2, 2, vec![1.0; 4]));
+        let bad = tape.push_op(
+            Matrix::from_vec(2, 2, vec![0.0; 4]),
+            Box::new(crate::ops::linalg::MatMulOp),
+            vec![a, b],
+        );
+        let loss = tape.sum_all(bad);
+        let (report, abs) = tape.audit_with_absint(loss, None);
+        assert!(!abs.is_clean());
+        let f: Vec<_> = report.of_kind(FindingKind::AbsintViolation).collect();
+        assert!(!f.is_empty(), "{report}");
+        assert_eq!(f[0].node, Some(bad.index()));
+        assert!(report.has_errors());
+        assert_eq!(report.absint.expect("summary").violations, abs.violations.len());
+    }
+
     /// Mutation test: an op recorded with the wrong number of inputs must
     /// produce an `ArityMismatch` error.
     #[test]
@@ -566,10 +698,10 @@ mod tests {
         let (report, plan) = tape.audit_with_memplan(loss, None);
         let audit_dead: Vec<usize> = report
             .of_kind(FindingKind::DeadCompute)
-            .map(|f| f.node.expect("dead-compute findings name a node")) // lint:allow(expect)
+            .map(|f| f.node.expect("dead-compute findings name a node")) // lint:allow(expect) -- dead-compute findings name a node
             .collect();
         assert_eq!(audit_dead, plan.dead, "{report}");
-        let mem = report.mem.expect("memplan audit fills the summary"); // lint:allow(expect)
+        let mem = report.mem.expect("memplan audit fills the summary"); // lint:allow(expect) -- memplan audit fills the summary
         assert_eq!(mem.dead_ops, 2);
         assert!(format!("{report}").contains("memory plan:"), "{report}");
     }

@@ -897,7 +897,7 @@ mod tests {
         let loss = tape.sum_all(b);
         let graph = tape.op_graph(Some(loss));
         let mut plan = plan_memory(&graph);
-        let s = plan.values[a.index()].slot.expect("a is slotted"); // lint:allow(expect)
+        let s = plan.values[a.index()].slot.expect("a is slotted"); // lint:allow(expect) -- a is slotted
         plan.slots[s] = 1;
         assert!(matches!(check_memplan(&graph, &plan), Err(MemPlanError::SlotTooSmall { .. })));
     }

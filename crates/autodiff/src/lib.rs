@@ -19,6 +19,12 @@
 //! * [`audit`] — static tape analysis: shape/arity checking against each
 //!   op's declared metadata, dead-compute and dead-parameter detection,
 //!   gradient-accumulation accounting and NaN/inf provenance.
+//! * [`absint`] — abstract interpretation over recorded tapes: per-value
+//!   shape (symbolic dims included), interval, sign and NaN/Inf-freedom
+//!   via per-op transfer functions ([`Tape::absint`]).
+//! * [`rewrite`] — graph-rewrite soundness: registered rewrites are
+//!   statically checked against their abstract obligations and must pass
+//!   a bitwise golden-equivalence harness at 1/2/4 worker threads.
 //! * [`dataflow`] — liveness/interference analysis over the recorded tape
 //!   and a verified memory-reuse plan ([`Tape::memplan`] /
 //!   [`Tape::backward_measured`]): every op declares what its backward
@@ -60,6 +66,7 @@ mod matrix;
 mod sparse;
 mod tape;
 
+pub mod absint;
 pub mod analysis;
 pub mod audit;
 pub mod dataflow;
@@ -68,6 +75,7 @@ pub mod metrics;
 pub mod optim;
 pub mod parallel;
 pub mod pool;
+pub mod rewrite;
 pub mod simd;
 
 /// Differentiable operations recorded on a [`Tape`].
@@ -80,11 +88,16 @@ pub mod ops {
     pub use graphops::Segments;
 }
 
+pub use absint::{AbsReport, AbsSummary, AbsVal, AbsViolation, Dim, Interval, Sign};
 pub use analysis::{PartitionPlan, PlanError, ShadowFinding, ShadowLog, WriteRange};
 pub use audit::{Arity, FanStats, Finding, FindingKind, Severity, TapeReport};
 pub use dataflow::{GradReads, InputReads, MemPlan, MemPlanError, MemSummary, OpGraph};
 pub use matrix::Matrix;
 pub use ops::Segments;
 pub use pool::PoolStats;
+pub use rewrite::{
+    builtin_rewrites, check_rewrite, golden_equivalence, Equivalence, Rewrite, RewriteCheck,
+    RewriteError,
+};
 pub use sparse::Csr;
 pub use tape::{glorot_init, uniform_init, ExecStats, Gradients, ParamId, Tape, Tensor, VarStore};

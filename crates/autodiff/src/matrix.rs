@@ -204,7 +204,7 @@ impl Matrix {
         if self.data.is_empty() {
             0.0
         } else {
-            self.sum() / self.data.len() as f32 // count stays far below 2^24 // lint:allow(lossy-cast)
+            self.sum() / self.data.len() as f32 // lint:allow(lossy-cast) -- count stays far below 2^24
         }
     }
 
@@ -332,7 +332,7 @@ impl Matrix {
     pub fn gather_rows(&self, idx: &[u32]) -> Matrix {
         let mut out = Matrix::zeros(idx.len(), self.cols);
         for (o, &i) in idx.iter().enumerate() {
-            out.row_mut(o).copy_from_slice(self.row(i as usize)); // u32 index widens losslessly // lint:allow(lossy-cast)
+            out.row_mut(o).copy_from_slice(self.row(i as usize)); // lint:allow(lossy-cast) -- u32 index widens losslessly
         }
         out
     }

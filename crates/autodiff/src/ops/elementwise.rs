@@ -4,6 +4,10 @@ use std::sync::Arc;
 
 use rand::Rng;
 
+use crate::absint::{
+    binary_elementwise, finite_arith, nan_free_addsub, nan_free_mul, require_compatible, AbsVal,
+    Dim, Interval,
+};
 use crate::audit::Arity;
 use crate::dataflow::GradReads;
 use crate::matrix::Matrix;
@@ -53,6 +57,11 @@ impl Op for AddOp {
     fn grad_reads(&self) -> GradReads {
         GradReads::NONE
     }
+    fn transfer(&self, inputs: &[AbsVal]) -> Result<AbsVal, String> {
+        let (a, b) = (&inputs[0], &inputs[1]);
+        let range = a.range.add(b.range);
+        binary_elementwise("add", a, b, range, nan_free_addsub(a, b), finite_arith(range, &[a, b]))
+    }
 }
 
 struct SubOp;
@@ -73,6 +82,11 @@ impl Op for SubOp {
     }
     fn grad_reads(&self) -> GradReads {
         GradReads::NONE
+    }
+    fn transfer(&self, inputs: &[AbsVal]) -> Result<AbsVal, String> {
+        let (a, b) = (&inputs[0], &inputs[1]);
+        let range = a.range.sub(b.range);
+        binary_elementwise("sub", a, b, range, nan_free_addsub(a, b), finite_arith(range, &[a, b]))
     }
 }
 
@@ -101,6 +115,11 @@ impl Op for MulOp {
     fn grad_reads(&self) -> GradReads {
         GradReads::INPUTS_ONLY
     }
+    fn transfer(&self, inputs: &[AbsVal]) -> Result<AbsVal, String> {
+        let (a, b) = (&inputs[0], &inputs[1]);
+        let range = a.range.mul(b.range);
+        binary_elementwise("mul", a, b, range, nan_free_mul(a, b), finite_arith(range, &[a, b]))
+    }
 }
 
 struct ScaleOp(f32);
@@ -122,9 +141,25 @@ impl Op for ScaleOp {
     fn grad_reads(&self) -> GradReads {
         GradReads::NONE
     }
+    fn transfer(&self, inputs: &[AbsVal]) -> Result<AbsVal, String> {
+        let a = &inputs[0];
+        let range = a.range.scale(self.0);
+        let (nan_free, inf_free) = if self.0 == 0.0 {
+            // 0 * inf is NaN; the surviving entries are exactly zero.
+            (a.nan_free && a.inf_free, true)
+        } else {
+            (
+                a.nan_free && self.0.is_finite(),
+                a.inf_free && self.0.is_finite() && range.is_finite(),
+            )
+        };
+        Ok(a.with_range(range, nan_free, inf_free))
+    }
 }
 
-struct AddScalarOp;
+/// `a + c`; the constant is kept so the abstract transfer can shift the
+/// interval (backward never needs it).
+struct AddScalarOp(f32);
 impl Op for AddScalarOp {
     fn backward(&self, _out: &Matrix, grad: &Matrix, _inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
         vec![Some(pool::clone_of(grad))]
@@ -140,6 +175,15 @@ impl Op for AddScalarOp {
     }
     fn grad_reads(&self) -> GradReads {
         GradReads::NONE
+    }
+    fn transfer(&self, inputs: &[AbsVal]) -> Result<AbsVal, String> {
+        let a = &inputs[0];
+        if self.0.is_nan() {
+            return Ok(AbsVal::top(a.rows, a.cols));
+        }
+        let range = a.range.add(Interval::point(self.0));
+        let nan_free = a.nan_free && (a.inf_free || self.0.is_finite());
+        Ok(a.with_range(range, nan_free, a.inf_free && range.is_finite()))
     }
 }
 
@@ -168,6 +212,19 @@ impl Op for MulScalarTensorOp {
         }
         Ok(Some(inputs[0]))
     }
+    fn transfer(&self, inputs: &[AbsVal]) -> Result<AbsVal, String> {
+        let (a, s) = (&inputs[0], &inputs[1]);
+        require_compatible("mul_scalar_tensor: scale rows", s.rows, Dim::Const(1))?;
+        require_compatible("mul_scalar_tensor: scale cols", s.cols, Dim::Const(1))?;
+        let range = a.range.mul(s.range);
+        Ok(AbsVal {
+            rows: a.rows,
+            cols: a.cols,
+            range,
+            nan_free: nan_free_mul(a, s),
+            inf_free: finite_arith(range, &[a, s]),
+        })
+    }
 }
 
 struct ReluOp;
@@ -193,6 +250,11 @@ impl Op for ReluOp {
     fn grad_reads(&self) -> GradReads {
         GradReads::OUT_ONLY
     }
+    fn transfer(&self, inputs: &[AbsVal]) -> Result<AbsVal, String> {
+        let a = &inputs[0];
+        let range = Interval::new(a.range.lo.max(0.0), a.range.hi.max(0.0));
+        Ok(a.with_range(range, a.nan_free, a.inf_free))
+    }
 }
 
 struct LeakyReluOp(f32);
@@ -217,6 +279,19 @@ impl Op for LeakyReluOp {
     }
     fn grad_reads(&self) -> GradReads {
         GradReads::inputs_at(&[0])
+    }
+    fn transfer(&self, inputs: &[AbsVal]) -> Result<AbsVal, String> {
+        let a = &inputs[0];
+        let slope = self.0;
+        if slope.is_nan() || slope < 0.0 {
+            // Negative or NaN slope: keep the shape, claim nothing.
+            return Ok(AbsVal::top(a.rows, a.cols));
+        }
+        let pos = Interval::new(a.range.lo.max(0.0), a.range.hi.max(0.0));
+        let neg = Interval::new(a.range.lo.min(0.0), a.range.hi.min(0.0)).scale(slope);
+        let range = pos.join(neg);
+        let nan_free = a.nan_free && (slope != 0.0 || a.inf_free);
+        Ok(a.with_range(range, nan_free, a.inf_free))
     }
 }
 
@@ -244,6 +319,15 @@ impl Op for EluOp {
     fn grad_reads(&self) -> GradReads {
         GradReads::OUT_ONLY
     }
+    fn transfer(&self, inputs: &[AbsVal]) -> Result<AbsVal, String> {
+        let a = &inputs[0];
+        let f = |x: f32| if x > 0.0 { x } else { x.exp() - 1.0 };
+        // Monotone: the image of [lo, hi] is [f(lo), f(hi)], bounded below
+        // by -1; only a +inf input keeps the output unbounded.
+        let range = Interval::new(f(a.range.lo), f(a.range.hi));
+        let inf_free = a.inf_free || a.range.hi <= 0.0;
+        Ok(a.with_range(range, a.nan_free, inf_free))
+    }
 }
 
 struct TanhOp;
@@ -267,6 +351,11 @@ impl Op for TanhOp {
     fn grad_reads(&self) -> GradReads {
         GradReads::OUT_ONLY
     }
+    fn transfer(&self, inputs: &[AbsVal]) -> Result<AbsVal, String> {
+        let a = &inputs[0];
+        let range = Interval::new(a.range.lo.tanh(), a.range.hi.tanh());
+        Ok(a.with_range(range, a.nan_free, true))
+    }
 }
 
 struct SigmoidOp;
@@ -289,6 +378,12 @@ impl Op for SigmoidOp {
     }
     fn grad_reads(&self) -> GradReads {
         GradReads::OUT_ONLY
+    }
+    fn transfer(&self, inputs: &[AbsVal]) -> Result<AbsVal, String> {
+        let a = &inputs[0];
+        let sig = |x: f32| 1.0 / (1.0 + (-x).exp());
+        let range = Interval::new(sig(a.range.lo), sig(a.range.hi));
+        Ok(a.with_range(range, a.nan_free, true))
     }
 }
 
@@ -320,6 +415,10 @@ impl Op for AbsOp {
     fn grad_reads(&self) -> GradReads {
         GradReads::inputs_at(&[0])
     }
+    fn transfer(&self, inputs: &[AbsVal]) -> Result<AbsVal, String> {
+        let a = &inputs[0];
+        Ok(a.with_range(a.range.abs(), a.nan_free, a.inf_free))
+    }
 }
 
 /// Inverted dropout; the mask (with `1/(1-p)` scaling baked in) is saved at
@@ -350,6 +449,22 @@ impl Op for DropoutOp {
             return Err(format!("saved mask has {} entries for a {r}x{c} input", self.mask.len()));
         }
         Ok(Some(inputs[0]))
+    }
+    fn transfer(&self, inputs: &[AbsVal]) -> Result<AbsVal, String> {
+        let a = &inputs[0];
+        if let (Some(r), Some(c)) = (a.rows.known(), a.cols.known()) {
+            if self.mask.len() != r * c {
+                return Err(format!(
+                    "saved mask has {} entries for a {r}x{c} input",
+                    self.mask.len()
+                ));
+            }
+        }
+        let mask_hi = self.mask.iter().fold(0.0f32, |m, &v| m.max(v));
+        let range = a.range.mul(Interval::new(0.0, mask_hi));
+        // Dropping an infinite entry is 0 * inf = NaN.
+        let nan_free = a.nan_free && a.inf_free;
+        Ok(a.with_range(range, nan_free, a.inf_free && range.is_finite()))
     }
 }
 
@@ -391,7 +506,7 @@ impl Tape {
     pub fn add_scalar(&mut self, a: Tensor, c: f32) -> Tensor {
         let mut out = pool::clone_of(self.value(a));
         out.map_inplace(|x| x + c);
-        self.push_op(out, Box::new(AddScalarOp), vec![a])
+        self.push_op(out, Box::new(AddScalarOp(c)), vec![a])
     }
 
     /// `a * s` where `s` is a differentiable `1 x 1` tensor. This is the

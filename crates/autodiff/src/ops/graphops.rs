@@ -14,6 +14,7 @@
 use std::ops::Range;
 use std::sync::Arc;
 
+use crate::absint::{finite_arith, nan_free_mul, require_compatible, AbsVal, Dim, Interval};
 use crate::audit::Arity;
 use crate::dataflow::{GradReads, InputReads};
 use crate::matrix::Matrix;
@@ -22,6 +23,47 @@ use crate::pool;
 use crate::tape::{Op, Tape, Tensor};
 
 type InferredShape = Result<Option<(usize, usize)>, String>;
+type Transferred = Result<AbsVal, String>;
+
+/// Segment-boundary invariant shared by every segment transfer: the input's
+/// row dim must be compatible with the total segmented length (the segments
+/// are sorted and covering by construction of [`Segments`]).
+fn require_segment_cover(what: &str, segs: &Segments, rows: Dim) -> Result<(), String> {
+    require_compatible(
+        &format!("{what}: input rows must cover the segmented elements"),
+        rows,
+        Dim::Const(segs.total_len()),
+    )
+}
+
+/// Shortest and longest segment, for interval bounds on segment sums.
+fn segment_len_bounds(segs: &Segments) -> (usize, usize) {
+    let mut min = usize::MAX;
+    let mut max = 0;
+    for s in 0..segs.num_segments() {
+        let n = segs.len_of(s);
+        min = min.min(n);
+        max = max.max(n);
+    }
+    if min == usize::MAX {
+        (0, 0)
+    } else {
+        (min, max)
+    }
+}
+
+/// Widens an interval outward by a relative margin — used by the fused
+/// attention transfers, whose convex-combination bound is exact only in
+/// real arithmetic (the kernel's `1/sum` reciprocal and vectorized `exp`
+/// can overshoot the hull by a few ulps).
+fn dilate(iv: Interval, rel: f32) -> Interval {
+    let w = rel * iv.lo.abs().max(iv.hi.abs());
+    if w.is_finite() {
+        Interval::new(iv.lo - w, iv.hi + w)
+    } else {
+        iv
+    }
+}
 
 /// Boundaries of contiguous segments over a length-`n` axis.
 ///
@@ -59,7 +101,7 @@ impl Segments {
 
     /// Total number of elements covered.
     pub fn total_len(&self) -> usize {
-        *self.offsets.last().expect("non-empty by construction") // lint:allow(expect)
+        *self.offsets.last().expect("non-empty by construction") // lint:allow(expect) -- non-empty by construction
     }
 
     /// The raw offset array (`num_segments + 1` entries).
@@ -112,7 +154,7 @@ impl Op for GatherRowsOp {
             // The upstream gradient rows stream in order; only the
             // destination rows jump, so walk `grad` as contiguous chunks.
             for (grow, &i) in grad.data().chunks_exact(cols).zip(self.idx.iter()) {
-                let target = g.row_mut(i as usize); // u32 index widens losslessly // lint:allow(lossy-cast)
+                let target = g.row_mut(i as usize); // lint:allow(lossy-cast) -- u32 index widens losslessly
                 for (t, &v) in target.iter_mut().zip(grow) {
                     *t += v;
                 }
@@ -132,10 +174,21 @@ impl Op for GatherRowsOp {
     fn infer_shape(&self, inputs: &[(usize, usize)]) -> InferredShape {
         let (rows, cols) = inputs[0];
         if let Some(&bad) = self.idx.iter().find(|&&i| i as usize >= rows) {
-            // u32 index widens losslessly // lint:allow(lossy-cast)
+            // lint:allow(lossy-cast) -- u32 index widens losslessly
             return Err(format!("index {bad} out of bounds for {rows} source rows"));
         }
         Ok(Some((self.idx.len(), cols)))
+    }
+    fn transfer(&self, inputs: &[AbsVal]) -> Transferred {
+        let a = &inputs[0];
+        if let Some(rows) = a.rows.known() {
+            if let Some(&bad) = self.idx.iter().find(|&&i| i as usize >= rows) {
+                // lint:allow(lossy-cast) -- u32 index widens losslessly
+                return Err(format!("gather_rows: index {bad} out of bounds for {rows} rows"));
+            }
+        }
+        // A gather permutes/duplicates rows: values pass through untouched.
+        Ok(AbsVal { rows: Dim::Const(self.idx.len()), ..*a })
     }
 }
 
@@ -181,6 +234,22 @@ impl Op for SegmentSumOp {
     fn infer_shape(&self, inputs: &[(usize, usize)]) -> InferredShape {
         infer_segment_reduce(&self.segs, inputs)
     }
+    fn transfer(&self, inputs: &[AbsVal]) -> Transferred {
+        let a = &inputs[0];
+        require_segment_cover("segment_sum", &self.segs, a.rows)?;
+        // A segment of n elements sums into n·[lo, hi]; n·lo and n·hi are
+        // monotone in n, so the two extreme lengths bound every segment
+        // (length 0 collapses to the zero row the kernel writes).
+        let (min_len, max_len) = segment_len_bounds(&self.segs);
+        let range = a.range.sum_of(Dim::Const(min_len)).join(a.range.sum_of(Dim::Const(max_len)));
+        Ok(AbsVal {
+            rows: Dim::Const(self.segs.num_segments()),
+            cols: a.cols,
+            range,
+            nan_free: a.nan_free && a.inf_free,
+            inf_free: finite_arith(range, &[a]),
+        })
+    }
 }
 
 struct SegmentMeanOp {
@@ -200,7 +269,7 @@ impl Op for SegmentMeanOp {
                 if n == 0 {
                     continue;
                 }
-                let scale = 1.0 / n as f32; // count stays far below 2^24 // lint:allow(lossy-cast)
+                let scale = 1.0 / n as f32; // lint:allow(lossy-cast) -- count stays far below 2^24
                 let grow = grad.row(s);
                 for e in segs.range(s) {
                     let r = e - base;
@@ -232,6 +301,27 @@ impl Op for SegmentMeanOp {
     fn infer_shape(&self, inputs: &[(usize, usize)]) -> InferredShape {
         infer_segment_reduce(&self.segs, inputs)
     }
+    fn transfer(&self, inputs: &[AbsVal]) -> Transferred {
+        let a = &inputs[0];
+        require_segment_cover("segment_mean", &self.segs, a.rows)?;
+        let (min_len, max_len) = segment_len_bounds(&self.segs);
+        // The kernel sums first and scales by 1/n after, so the mean stays
+        // in the input hull unless the sum overflows on the way.
+        let sum = a.range.sum_of(Dim::Const(max_len));
+        let lo = if sum.lo == f32::NEG_INFINITY { f32::NEG_INFINITY } else { a.range.lo };
+        let hi = if sum.hi == f32::INFINITY { f32::INFINITY } else { a.range.hi };
+        let mut range = Interval::new(lo, hi);
+        if min_len == 0 {
+            range = range.hull_with_zero();
+        }
+        Ok(AbsVal {
+            rows: Dim::Const(self.segs.num_segments()),
+            cols: a.cols,
+            range,
+            nan_free: a.nan_free && a.inf_free,
+            inf_free: a.inf_free && sum.is_finite(),
+        })
+    }
 }
 
 struct SegmentMaxOp {
@@ -254,7 +344,7 @@ impl Op for SegmentMaxOp {
                     let w = winners[s * cols + c];
                     if w != u32::MAX {
                         chunk[(w as usize - base) * cols + c] += grad.get(s, c);
-                        // u32 index widens losslessly // lint:allow(lossy-cast)
+                        // lint:allow(lossy-cast) -- u32 index widens losslessly
                     }
                 }
             }
@@ -288,6 +378,23 @@ impl Op for SegmentMaxOp {
             ));
         }
         Ok(Some((self.winners.len() / cols, cols)))
+    }
+    fn transfer(&self, inputs: &[AbsVal]) -> Transferred {
+        let a = &inputs[0];
+        require_segment_cover("segment_max", &self.segs, a.rows)?;
+        let (min_len, _) = segment_len_bounds(&self.segs);
+        let mut range = a.range;
+        if min_len == 0 {
+            // Empty segments produce a zero row, not a -inf max.
+            range = range.hull_with_zero();
+        }
+        Ok(AbsVal {
+            rows: Dim::Const(self.segs.num_segments()),
+            cols: a.cols,
+            range,
+            nan_free: a.nan_free,
+            inf_free: a.inf_free,
+        })
     }
 }
 
@@ -336,6 +443,24 @@ impl Op for SegmentSoftmaxOp {
             ));
         }
         Ok(Some(inputs[0]))
+    }
+    fn transfer(&self, inputs: &[AbsVal]) -> Transferred {
+        let a = &inputs[0];
+        require_compatible(
+            "segment_softmax: expects an n x 1 score column",
+            a.cols,
+            Dim::Const(1),
+        )?;
+        require_segment_cover("segment_softmax", &self.segs, a.rows)?;
+        // exp(x - max) ≤ 1 and the nonnegative partial sums dominate every
+        // term, so each weight lands in [0, 1] even in f32.
+        Ok(AbsVal {
+            rows: Dim::Const(self.segs.total_len()),
+            cols: Dim::Const(1),
+            range: Interval::new(0.0, 1.0),
+            nan_free: a.nan_free && a.inf_free,
+            inf_free: true,
+        })
     }
 }
 
@@ -452,6 +577,27 @@ impl Op for SegmentAttentionOp {
         }
         Ok(Some((self.segs.num_segments(), cols)))
     }
+    fn transfer(&self, inputs: &[AbsVal]) -> Transferred {
+        let (s, m) = (&inputs[0], &inputs[1]);
+        require_compatible(
+            "segment_attention: expects an n x 1 score column",
+            s.cols,
+            Dim::Const(1),
+        )?;
+        require_segment_cover("segment_attention scores", &self.segs, s.rows)?;
+        require_segment_cover("segment_attention messages", &self.segs, m.rows)?;
+        // Convex combination of message rows (empty segments give zero
+        // rows), dilated for the kernel's reciprocal-normalisation rounding.
+        let range = dilate(m.range.hull_with_zero(), 1e-4);
+        let clean = s.nan_free && s.inf_free && m.nan_free && m.inf_free;
+        Ok(AbsVal {
+            rows: Dim::Const(self.segs.num_segments()),
+            cols: m.cols,
+            range,
+            nan_free: clean,
+            inf_free: clean && range.is_finite(),
+        })
+    }
 }
 
 /// [`SegmentAttentionOp`] with the message gather folded in: messages are
@@ -507,13 +653,13 @@ impl Op for GatherAttentionOp {
             // order, and the unfused scatter also walks edges in order).
             let mut dot_s = 0.0f32;
             for ((slot, &a), &i) in sseg.iter_mut().zip(aseg).zip(iseg) {
-                let da = fl.dot(xv.row(i as usize), grow); // lint:allow(lossy-cast)
+                let da = fl.dot(xv.row(i as usize), grow); // lint:allow(lossy-cast) -- u32 row index widens losslessly into usize
                 *slot = da;
                 dot_s += a * da;
             }
             for ((slot, &a), &i) in sseg.iter_mut().zip(aseg).zip(iseg) {
                 *slot = a * (*slot - dot_s);
-                let target = gx.row_mut(i as usize); // lint:allow(lossy-cast)
+                let target = gx.row_mut(i as usize); // lint:allow(lossy-cast) -- u32 row index widens losslessly into usize
                 for (t, &g) in target.iter_mut().zip(grow) {
                     *t += a * g;
                 }
@@ -546,10 +692,45 @@ impl Op for GatherAttentionOp {
             ));
         }
         if let Some(&bad) = self.idx.iter().find(|&&i| i as usize >= xrows) {
-            // u32 index widens losslessly // lint:allow(lossy-cast)
+            // lint:allow(lossy-cast) -- u32 index widens losslessly
             return Err(format!("index {bad} out of bounds for {xrows} source rows"));
         }
         Ok(Some((self.segs.num_segments(), cols)))
+    }
+    fn transfer(&self, inputs: &[AbsVal]) -> Transferred {
+        let (s, x) = (&inputs[0], &inputs[1]);
+        require_compatible(
+            "gather_attention: expects an n x 1 score column",
+            s.cols,
+            Dim::Const(1),
+        )?;
+        require_segment_cover("gather_attention scores", &self.segs, s.rows)?;
+        if self.idx.len() != self.segs.total_len() {
+            return Err(format!(
+                "gather_attention: {} indices but segments cover {} edges",
+                self.idx.len(),
+                self.segs.total_len()
+            ));
+        }
+        if let Some(xrows) = x.rows.known() {
+            if let Some(&bad) = self.idx.iter().find(|&&i| i as usize >= xrows) {
+                // lint:allow(lossy-cast) -- u32 index widens losslessly
+                return Err(format!(
+                    "gather_attention: index {bad} out of bounds for {xrows} rows"
+                ));
+            }
+        }
+        // Same convex-combination bound as `segment_attention` — the gather
+        // only changes the addressing of the message rows.
+        let range = dilate(x.range.hull_with_zero(), 1e-4);
+        let clean = s.nan_free && s.inf_free && x.nan_free && x.inf_free;
+        Ok(AbsVal {
+            rows: Dim::Const(self.segs.num_segments()),
+            cols: x.cols,
+            range,
+            nan_free: clean,
+            inf_free: clean && range.is_finite(),
+        })
     }
 }
 
@@ -599,6 +780,23 @@ impl Op for MulColBroadcastOp {
         }
         Ok(Some(inputs[0]))
     }
+    fn transfer(&self, inputs: &[AbsVal]) -> Transferred {
+        let (a, w) = (&inputs[0], &inputs[1]);
+        require_compatible("mul_col_broadcast: weight rows must match the input", w.rows, a.rows)?;
+        require_compatible(
+            "mul_col_broadcast: weights must be a single column",
+            w.cols,
+            Dim::Const(1),
+        )?;
+        let range = a.range.mul(w.range);
+        Ok(AbsVal {
+            rows: a.rows.join2(w.rows),
+            cols: a.cols,
+            range,
+            nan_free: nan_free_mul(a, w),
+            inf_free: finite_arith(range, &[a, w]),
+        })
+    }
 }
 
 /// Shared shape transfer for segment reductions: the input covers every
@@ -617,7 +815,7 @@ impl Tape {
         let av = self.value_arc(a);
         let rows = av.rows();
         assert!(
-            idx.iter().all(|&i| (i as usize) < rows), // u32 index widens losslessly // lint:allow(lossy-cast)
+            idx.iter().all(|&i| (i as usize) < rows), // lint:allow(lossy-cast) -- u32 index widens losslessly
             "gather_rows index out of bounds (source has {rows} rows)"
         );
         let cols = av.cols();
@@ -628,7 +826,7 @@ impl Tape {
             let run = |orange: Range<usize>, chunk: &mut [f32]| {
                 for (dst, &i) in chunk.chunks_exact_mut(cols).zip(&idx[orange]) {
                     dst.copy_from_slice(av.row(i as usize));
-                    // u32 index widens losslessly // lint:allow(lossy-cast)
+                    // lint:allow(lossy-cast) -- u32 index widens losslessly
                 }
             };
             crate::parallel::timed("gather_rows", || {
@@ -699,7 +897,7 @@ impl Tape {
                 for erow in av.data()[r.start * cols..r.end * cols].chunks_exact(cols) {
                     crate::simd::add_assign(erow, orow);
                 }
-                let scale = 1.0 / n as f32; // count stays far below 2^24 // lint:allow(lossy-cast)
+                let scale = 1.0 / n as f32; // lint:allow(lossy-cast) -- count stays far below 2^24
                 for o in orow {
                     *o *= scale;
                 }
@@ -738,7 +936,7 @@ impl Tape {
                             let v = av.get(e, c);
                             if v > best {
                                 best = v;
-                                best_e = e as u32; // edge ids fit the u32 CSR domain // lint:allow(lossy-cast)
+                                best_e = e as u32; // lint:allow(lossy-cast) -- edge ids fit the u32 CSR domain
                             }
                         }
                         ochunk[si * cols + c] = best;
@@ -930,7 +1128,7 @@ impl Tape {
         let xv = self.value_arc(x);
         let nrows = xv.rows();
         assert!(
-            idx.iter().all(|&i| (i as usize) < nrows), // u32 index widens losslessly // lint:allow(lossy-cast)
+            idx.iter().all(|&i| (i as usize) < nrows), // lint:allow(lossy-cast) -- u32 index widens losslessly
             "gather_attention index out of bounds (source has {nrows} rows)"
         );
         let cols = xv.cols();
@@ -973,11 +1171,11 @@ impl Tape {
                 let mut edges = aseg.iter_mut().zip(&idx[range]);
                 if let Some((a, &i)) = edges.next() {
                     *a *= inv;
-                    crate::simd::scale(*a, xv.row(i as usize), orow); // lint:allow(lossy-cast)
+                    crate::simd::scale(*a, xv.row(i as usize), orow); // lint:allow(lossy-cast) -- u32 row index widens losslessly into usize
                 }
                 for (a, &i) in edges {
                     *a *= inv;
-                    fl.axpy(*a, xv.row(i as usize), orow); // lint:allow(lossy-cast)
+                    fl.axpy(*a, xv.row(i as usize), orow); // lint:allow(lossy-cast) -- u32 row index widens losslessly into usize
                 }
             }
         };

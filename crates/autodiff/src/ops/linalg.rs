@@ -3,6 +3,7 @@
 
 use std::sync::Arc;
 
+use crate::absint::{finite_arith, nan_free_addsub, require_compatible, AbsVal, Dim, Interval};
 use crate::audit::Arity;
 use crate::dataflow::GradReads;
 use crate::matrix::Matrix;
@@ -11,6 +12,17 @@ use crate::sparse::Csr;
 use crate::tape::{Op, Tape, Tensor};
 
 type InferredShape = Result<Option<(usize, usize)>, String>;
+type Transferred = Result<AbsVal, String>;
+
+/// Total element count as a [`Dim`]: concrete when both dims are, zero when
+/// either provably is.
+fn dim_product(r: Dim, c: Dim) -> Dim {
+    match (r.known(), c.known()) {
+        (Some(a), Some(b)) => Dim::Const(a * b),
+        (Some(0), _) | (_, Some(0)) => Dim::Const(0),
+        _ => Dim::Any,
+    }
+}
 
 pub(crate) struct MatMulOp;
 impl Op for MatMulOp {
@@ -35,6 +47,17 @@ impl Op for MatMulOp {
             return Err(format!("inner dimensions disagree: {k1} vs {k2}"));
         }
         Ok(Some((m, n)))
+    }
+    fn transfer(&self, inputs: &[AbsVal]) -> Transferred {
+        let (a, b) = (&inputs[0], &inputs[1]);
+        require_compatible("matmul: inner dimensions disagree", a.cols, b.rows)?;
+        // Each output element is a length-k dot of products from P.
+        let range = a.range.mul(b.range).sum_of(a.cols.join2(b.rows));
+        // Finite, NaN-free inputs can only overflow to inf (caught by the
+        // range); any input inf risks 0·inf or inf−inf inside the dot.
+        let nan_free = a.nan_free && b.nan_free && a.inf_free && b.inf_free;
+        let inf_free = finite_arith(range, &[a, b]);
+        Ok(AbsVal { rows: a.rows, cols: b.cols, range, nan_free, inf_free })
     }
 }
 
@@ -65,6 +88,30 @@ impl Op for SpmmOp {
         }
         Ok(Some((self.sparse.rows(), cols)))
     }
+    fn transfer(&self, inputs: &[AbsVal]) -> Transferred {
+        let b = &inputs[0];
+        require_compatible(
+            "spmm: dense rows must match sparse operator columns",
+            b.rows,
+            Dim::Const(self.sparse.cols()),
+        )?;
+        // The sparse values are saved in the op, so the product interval
+        // and the dot length (max row occupancy) are both concrete.
+        let vals = self.sparse.values();
+        let sv = vals.iter().fold(Interval::point(0.0), |acc, &v| {
+            if v.is_nan() {
+                Interval::TOP
+            } else {
+                acc.join(Interval::point(v))
+            }
+        });
+        let sparse_clean = vals.iter().all(|v| v.is_finite());
+        let max_nnz = self.sparse.indptr().windows(2).map(|w| w[1] - w[0]).max().unwrap_or(0);
+        let range = sv.mul(b.range).sum_of(Dim::Const(max_nnz));
+        let nan_free = b.nan_free && b.inf_free && sparse_clean;
+        let inf_free = b.inf_free && sparse_clean && range.is_finite();
+        Ok(AbsVal { rows: Dim::Const(self.sparse.rows()), cols: b.cols, range, nan_free, inf_free })
+    }
 }
 
 struct AddBiasOp;
@@ -89,6 +136,19 @@ impl Op for AddBiasOp {
             ));
         }
         Ok(Some(inputs[0]))
+    }
+    fn transfer(&self, inputs: &[AbsVal]) -> Transferred {
+        let (a, b) = (&inputs[0], &inputs[1]);
+        require_compatible("add_bias: bias must be a single row", b.rows, Dim::Const(1))?;
+        require_compatible("add_bias: bias width must match the input", b.cols, a.cols)?;
+        let range = a.range.add(b.range);
+        Ok(AbsVal {
+            rows: a.rows,
+            cols: a.cols.join2(b.cols),
+            range,
+            nan_free: nan_free_addsub(a, b),
+            inf_free: finite_arith(range, &[a, b]),
+        })
     }
 }
 
@@ -135,6 +195,33 @@ impl Op for ConcatColsOp {
         }
         Ok(Some((rows, self.widths.iter().sum())))
     }
+    fn transfer(&self, inputs: &[AbsVal]) -> Transferred {
+        if inputs.len() != self.widths.len() {
+            return Err(format!("saved {} widths for {} inputs", self.widths.len(), inputs.len()));
+        }
+        let mut rows = inputs[0].rows;
+        let mut range: Option<Interval> = None;
+        let mut nan_free = true;
+        let mut inf_free = true;
+        for (v, &w) in inputs.iter().zip(&self.widths) {
+            require_compatible("concat_cols: row counts disagree", v.rows, rows)?;
+            require_compatible("concat_cols: saved width mismatch", v.cols, Dim::Const(w))?;
+            rows = rows.join2(v.rows);
+            // A zero-width operand contributes no elements to the output.
+            if w > 0 {
+                range = Some(range.map_or(v.range, |r| r.join(v.range)));
+                nan_free &= v.nan_free;
+                inf_free &= v.inf_free;
+            }
+        }
+        Ok(AbsVal {
+            rows,
+            cols: Dim::Const(self.widths.iter().sum()),
+            range: range.unwrap_or(Interval::point(0.0)),
+            nan_free,
+            inf_free,
+        })
+    }
 }
 
 struct SliceColsOp {
@@ -166,6 +253,18 @@ impl Op for SliceColsOp {
         }
         Ok(Some((rows, self.end - self.start)))
     }
+    fn transfer(&self, inputs: &[AbsVal]) -> Transferred {
+        let a = &inputs[0];
+        if self.start >= self.end {
+            return Err(format!("slice {}..{} is empty", self.start, self.end));
+        }
+        if let Some(c) = a.cols.known() {
+            if self.end > c {
+                return Err(format!("slice {}..{} out of 0..{c}", self.start, self.end));
+            }
+        }
+        Ok(AbsVal { cols: Dim::Const(self.end - self.start), ..*a })
+    }
 }
 
 struct RowSumOp;
@@ -192,6 +291,17 @@ impl Op for RowSumOp {
     fn infer_shape(&self, inputs: &[(usize, usize)]) -> InferredShape {
         Ok(Some((inputs[0].0, 1)))
     }
+    fn transfer(&self, inputs: &[AbsVal]) -> Transferred {
+        let a = &inputs[0];
+        let range = a.range.sum_of(a.cols);
+        Ok(AbsVal {
+            rows: a.rows,
+            cols: Dim::Const(1),
+            range,
+            nan_free: a.nan_free && a.inf_free,
+            inf_free: finite_arith(range, &[a]),
+        })
+    }
 }
 
 struct SumAllOp;
@@ -212,13 +322,24 @@ impl Op for SumAllOp {
     fn infer_shape(&self, _: &[(usize, usize)]) -> InferredShape {
         Ok(Some((1, 1)))
     }
+    fn transfer(&self, inputs: &[AbsVal]) -> Transferred {
+        let a = &inputs[0];
+        let range = a.range.sum_of(dim_product(a.rows, a.cols));
+        Ok(AbsVal {
+            rows: Dim::Const(1),
+            cols: Dim::Const(1),
+            range,
+            nan_free: a.nan_free && a.inf_free,
+            inf_free: finite_arith(range, &[a]),
+        })
+    }
 }
 
 struct MeanAllOp;
 impl Op for MeanAllOp {
     fn backward(&self, _out: &Matrix, grad: &Matrix, inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
         let (rows, cols) = inputs[0].shape();
-        let n = (rows * cols) as f32; // count stays far below 2^24 // lint:allow(lossy-cast)
+        let n = (rows * cols) as f32; // lint:allow(lossy-cast) -- count stays far below 2^24
         vec![Some(pool::full(rows, cols, grad.as_scalar() / n))]
     }
     fn name(&self) -> &'static str {
@@ -232,6 +353,25 @@ impl Op for MeanAllOp {
     }
     fn infer_shape(&self, _: &[(usize, usize)]) -> InferredShape {
         Ok(Some((1, 1)))
+    }
+    fn transfer(&self, inputs: &[AbsVal]) -> Transferred {
+        let a = &inputs[0];
+        let count = dim_product(a.rows, a.cols);
+        // The kernel divides the (overflowable) sum by the count: the mean
+        // is in the input hull unless the sum escapes to ±inf first, and an
+        // empty matrix yields 0/0.
+        let sum = a.range.sum_of(count);
+        let lo = if sum.lo == f32::NEG_INFINITY { f32::NEG_INFINITY } else { a.range.lo };
+        let hi = if sum.hi == f32::INFINITY { f32::INFINITY } else { a.range.hi };
+        let range = Interval::new(lo, hi);
+        let nonempty = matches!(count.known(), Some(n) if n > 0);
+        Ok(AbsVal {
+            rows: Dim::Const(1),
+            cols: Dim::Const(1),
+            range,
+            nan_free: a.nan_free && a.inf_free && nonempty,
+            inf_free: a.inf_free && sum.is_finite(),
+        })
     }
 }
 
@@ -263,6 +403,13 @@ impl Op for SoftmaxRowsOp {
     fn infer_shape(&self, inputs: &[(usize, usize)]) -> InferredShape {
         Ok(Some(inputs[0]))
     }
+    fn transfer(&self, inputs: &[AbsVal]) -> Transferred {
+        let a = &inputs[0];
+        // Probabilities: exp(x - max)/sum with sum ≥ exp(0) = 1, so the
+        // output is in [0, 1] and never infinite; any input inf turns the
+        // max shift into inf - inf.
+        Ok(a.with_range(Interval::new(0.0, 1.0), a.nan_free && a.inf_free, true))
+    }
 }
 
 struct LogSoftmaxRowsOp;
@@ -291,6 +438,11 @@ impl Op for LogSoftmaxRowsOp {
     fn infer_shape(&self, inputs: &[(usize, usize)]) -> InferredShape {
         Ok(Some(inputs[0]))
     }
+    fn transfer(&self, inputs: &[AbsVal]) -> Transferred {
+        let a = &inputs[0];
+        // x - max - ln(sumexp) ≤ 0, but exp underflow makes -inf reachable.
+        Ok(a.with_range(Interval::new(f32::NEG_INFINITY, 0.0), a.nan_free && a.inf_free, false))
+    }
 }
 
 /// Elementwise max over `k` same-shaped tensors; the winner index per
@@ -304,7 +456,7 @@ impl Op for MaxStackOp {
         let mut grads: Vec<Matrix> =
             (0..inputs.len()).map(|_| pool::zeros(shape.0, shape.1)).collect();
         for (i, (&w, &g)) in self.winners.iter().zip(grad.data()).enumerate() {
-            grads[w as usize].data_mut()[i] = g; // u32 index widens losslessly // lint:allow(lossy-cast)
+            grads[w as usize].data_mut()[i] = g; // lint:allow(lossy-cast) -- u32 index widens losslessly
         }
         grads.into_iter().map(Some).collect()
     }
@@ -330,6 +482,34 @@ impl Op for MaxStackOp {
             ));
         }
         Ok(Some(shape))
+    }
+    fn transfer(&self, inputs: &[AbsVal]) -> Transferred {
+        let mut rows = inputs[0].rows;
+        let mut cols = inputs[0].cols;
+        for v in inputs {
+            require_compatible("max_stack: operand rows disagree", v.rows, rows)?;
+            require_compatible("max_stack: operand cols disagree", v.cols, cols)?;
+            rows = rows.join2(v.rows);
+            cols = cols.join2(v.cols);
+        }
+        if let (Some(r), Some(c)) = (rows.known(), cols.known()) {
+            if self.winners.len() != r * c {
+                return Err(format!(
+                    "saved {} winner indices for a {r}x{c} output",
+                    self.winners.len()
+                ));
+            }
+        }
+        // Elementwise max of k values, one from each operand interval.
+        let lo = inputs.iter().map(|v| v.range.lo).fold(f32::NEG_INFINITY, f32::max);
+        let hi = inputs.iter().map(|v| v.range.hi).fold(f32::NEG_INFINITY, f32::max);
+        Ok(AbsVal {
+            rows,
+            cols,
+            range: Interval::new(lo, hi),
+            nan_free: inputs.iter().all(|v| v.nan_free),
+            inf_free: inputs.iter().all(|v| v.inf_free),
+        })
     }
 }
 
@@ -462,7 +642,7 @@ impl Tape {
         for &t in parts {
             assert_eq!(self.value(t).shape(), shape, "max_stack shape mismatch");
         }
-        assert!(parts.len() <= u8::MAX as usize, "max_stack supports at most 255 tensors"); // constant widens losslessly // lint:allow(lossy-cast)
+        assert!(parts.len() <= u8::MAX as usize, "max_stack supports at most 255 tensors"); // lint:allow(lossy-cast) -- constant widens losslessly
         let mut out = pool::clone_of(self.value(parts[0]));
         let mut winners = vec![0u8; out.len()];
         for (k, &t) in parts.iter().enumerate().skip(1) {
@@ -471,7 +651,7 @@ impl Tape {
                 let v = tv.data()[i];
                 if v > out.data()[i] {
                     out.data_mut()[i] = v;
-                    winners[i] = k as u8; // guarded by the 255-tensor assert // lint:allow(lossy-cast)
+                    winners[i] = k as u8; // lint:allow(lossy-cast) -- guarded by the 255-tensor assert
                 }
             }
         }

@@ -7,6 +7,7 @@
 
 use std::sync::Arc;
 
+use crate::absint::{require_compatible, AbsVal, Dim, Interval};
 use crate::audit::Arity;
 use crate::dataflow::GradReads;
 use crate::matrix::Matrix;
@@ -15,6 +16,7 @@ use crate::pool;
 use crate::tape::{Op, Tape, Tensor};
 
 type InferredShape = Result<Option<(usize, usize)>, String>;
+type Transferred = Result<AbsVal, String>;
 
 /// Mean softmax cross-entropy over a subset of rows.
 struct CrossEntropyOp {
@@ -34,12 +36,12 @@ impl Drop for CrossEntropyOp {
 impl Op for CrossEntropyOp {
     fn backward(&self, _out: &Matrix, grad: &Matrix, inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
         let (n, c) = inputs[0].shape();
-        let scale = grad.as_scalar() / self.rows.len() as f32; // count stays far below 2^24 // lint:allow(lossy-cast)
+        let scale = grad.as_scalar() / self.rows.len() as f32; // lint:allow(lossy-cast) -- count stays far below 2^24
         let mut g = pool::zeros(n, c);
         for (k, &r) in self.rows.iter().enumerate() {
-            let label = self.labels[r as usize] as usize; // u32 index widens losslessly // lint:allow(lossy-cast)
+            let label = self.labels[r as usize] as usize; // lint:allow(lossy-cast) -- u32 index widens losslessly
             let prow = self.probs.row(k);
-            let grow = g.row_mut(r as usize); // u32 index widens losslessly // lint:allow(lossy-cast)
+            let grow = g.row_mut(r as usize); // lint:allow(lossy-cast) -- u32 index widens losslessly
             for (j, (g, &p)) in grow.iter_mut().zip(prow).enumerate() {
                 let target = if j == label { 1.0 } else { 0.0 };
                 // Accumulate: `rows` may legally list a row more than once
@@ -73,6 +75,42 @@ impl Op for CrossEntropyOp {
         }
         Ok(Some((1, 1)))
     }
+    fn transfer(&self, inputs: &[AbsVal]) -> Transferred {
+        let a = &inputs[0];
+        require_compatible(
+            "cross_entropy: one label per logit row",
+            a.rows,
+            Dim::Const(self.labels.len()),
+        )?;
+        if let Some(&r) = self.rows.iter().max() {
+            if r as usize >= self.labels.len() {
+                // lint:allow(lossy-cast) -- u32 row index widens losslessly into usize
+                return Err(format!(
+                    "cross_entropy: selected row {r} out of {} labelled rows",
+                    self.labels.len()
+                ));
+            }
+        }
+        if let Some(c) = a.cols.known() {
+            for &r in self.rows.iter() {
+                let label = self.labels[r as usize] as usize; // lint:allow(lossy-cast) -- u32 index widens losslessly
+                if label >= c {
+                    return Err(format!("cross_entropy: label {label} out of {c} classes"));
+                }
+            }
+        }
+        // Probabilities are clamped to ≥ 1e-12, so each row's loss lies in
+        // [0, -ln(1e-12)], and so does the mean.
+        let range = Interval::new(0.0, -(1e-12f32).ln());
+        let clean = a.nan_free && a.inf_free && !self.rows.is_empty();
+        Ok(AbsVal {
+            rows: Dim::Const(1),
+            cols: Dim::Const(1),
+            range,
+            nan_free: clean,
+            inf_free: clean,
+        })
+    }
 }
 
 /// Mean binary cross-entropy with logits over a subset of rows
@@ -84,10 +122,10 @@ struct BceWithLogitsOp {
 impl Op for BceWithLogitsOp {
     fn backward(&self, _out: &Matrix, grad: &Matrix, inputs: &[&Matrix]) -> Vec<Option<Matrix>> {
         let (n, c) = inputs[0].shape();
-        let scale = grad.as_scalar() / (self.rows.len() * c) as f32; // count stays far below 2^24 // lint:allow(lossy-cast)
+        let scale = grad.as_scalar() / (self.rows.len() * c) as f32; // lint:allow(lossy-cast) -- count stays far below 2^24
         let mut g = pool::zeros(n, c);
         for &r in self.rows.iter() {
-            let r = r as usize; // u32 index widens losslessly // lint:allow(lossy-cast)
+            let r = r as usize; // lint:allow(lossy-cast) -- u32 index widens losslessly
             let xrow = inputs[0].row(r);
             let trow = self.targets.row(r);
             let grow = g.row_mut(r);
@@ -117,6 +155,37 @@ impl Op for BceWithLogitsOp {
         }
         Ok(Some((1, 1)))
     }
+    fn transfer(&self, inputs: &[AbsVal]) -> Transferred {
+        let a = &inputs[0];
+        let (tr, tc) = self.targets.shape();
+        require_compatible("bce_with_logits: target rows", a.rows, Dim::Const(tr))?;
+        require_compatible("bce_with_logits: target cols", a.cols, Dim::Const(tc))?;
+        if let Some(&r) = self.rows.iter().max() {
+            if r as usize >= tr {
+                // lint:allow(lossy-cast) -- u32 row index widens losslessly into usize
+                return Err(format!("bce_with_logits: selected row {r} out of {tr} target rows"));
+            }
+        }
+        // Per element: max(x,0) - x·t + ln(1 + e^{-|x|}), the last term in
+        // [0, ln 2]; the mean over the selected rows stays in that hull
+        // unless the sum overflows first.
+        let t = AbsVal::from_matrix(&self.targets);
+        let per = Interval::new(a.range.lo.max(0.0), a.range.hi.max(0.0))
+            .add(a.range.mul(t.range).neg())
+            .add(Interval::new(0.0, std::f32::consts::LN_2));
+        let count = self.rows.len() * tc;
+        let sum = per.sum_of(Dim::Const(count));
+        let lo = if sum.lo == f32::NEG_INFINITY { f32::NEG_INFINITY } else { per.lo };
+        let hi = if sum.hi == f32::INFINITY { f32::INFINITY } else { per.hi };
+        let clean = a.nan_free && a.inf_free && t.nan_free && t.inf_free && count > 0;
+        Ok(AbsVal {
+            rows: Dim::Const(1),
+            cols: Dim::Const(1),
+            range: Interval::new(lo, hi),
+            nan_free: clean,
+            inf_free: clean && sum.is_finite(),
+        })
+    }
 }
 
 impl Tape {
@@ -135,19 +204,19 @@ impl Tape {
         let (n, c) = self.value(logits).shape();
         assert!(!rows.is_empty(), "cross_entropy over an empty row subset");
         assert_eq!(labels.len(), n, "labels must cover every row of the logits");
-        assert!(rows.iter().all(|&r| (r as usize) < n), "row index out of bounds"); // u32 index widens losslessly // lint:allow(lossy-cast)
+        assert!(rows.iter().all(|&r| (r as usize) < n), "row index out of bounds"); // lint:allow(lossy-cast) -- u32 index widens losslessly
         assert!(
-            rows.iter().all(|&r| (labels[r as usize] as usize) < c), // u32 index widens losslessly // lint:allow(lossy-cast)
+            rows.iter().all(|&r| (labels[r as usize] as usize) < c), // lint:allow(lossy-cast) -- u32 index widens losslessly
             "label out of range for {c} classes"
         );
         let selected = self.value(logits).gather_rows(rows);
         let probs = softmax_rows_value(&selected);
         let mut loss = 0.0;
         for (k, &r) in rows.iter().enumerate() {
-            let p = probs.get(k, labels[r as usize] as usize).max(1e-12); // u32 index widens losslessly // lint:allow(lossy-cast)
+            let p = probs.get(k, labels[r as usize] as usize).max(1e-12); // lint:allow(lossy-cast) -- u32 index widens losslessly
             loss -= p.ln();
         }
-        loss /= rows.len() as f32; // count stays far below 2^24 // lint:allow(lossy-cast)
+        loss /= rows.len() as f32; // lint:allow(lossy-cast) -- count stays far below 2^24
         self.push_op(
             Matrix::scalar(loss),
             Box::new(CrossEntropyOp { labels: Arc::clone(labels), rows: Arc::clone(rows), probs }),
@@ -166,16 +235,16 @@ impl Tape {
         let (n, c) = self.value(logits).shape();
         assert!(!rows.is_empty(), "bce_with_logits over an empty row subset");
         assert_eq!(targets.shape(), (n, c), "target shape mismatch");
-        assert!(rows.iter().all(|&r| (r as usize) < n), "row index out of bounds"); // u32 index widens losslessly // lint:allow(lossy-cast)
+        assert!(rows.iter().all(|&r| (r as usize) < n), "row index out of bounds"); // lint:allow(lossy-cast) -- u32 index widens losslessly
         let mut loss = 0.0;
         for &r in rows.iter() {
-            let r = r as usize; // u32 index widens losslessly // lint:allow(lossy-cast)
+            let r = r as usize; // lint:allow(lossy-cast) -- u32 index widens losslessly
             for (&x, &t) in self.value(logits).row(r).iter().zip(targets.row(r)) {
                 // Stable formulation: max(x,0) - x t + ln(1 + exp(-|x|)).
                 loss += x.max(0.0) - x * t + (1.0 + (-x.abs()).exp()).ln();
             }
         }
-        loss /= (rows.len() * c) as f32; // count stays far below 2^24 // lint:allow(lossy-cast)
+        loss /= (rows.len() * c) as f32; // lint:allow(lossy-cast) -- count stays far below 2^24
         self.push_op(
             Matrix::scalar(loss),
             Box::new(BceWithLogitsOp { targets: Arc::clone(targets), rows: Arc::clone(rows) }),

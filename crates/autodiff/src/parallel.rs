@@ -154,7 +154,7 @@ pub(crate) fn timed<R>(kernel: &'static str, f: impl FnOnce() -> R) -> R {
     }
     let start = std::time::Instant::now();
     let out = f();
-    sane_telemetry::kernel_sample(kernel, start.elapsed().as_nanos() as u64); // u64 nanoseconds overflow after 584 years // lint:allow(lossy-cast)
+    sane_telemetry::kernel_sample(kernel, start.elapsed().as_nanos() as u64); // lint:allow(lossy-cast) -- u64 nanoseconds overflow after 584 years
     out
 }
 
@@ -238,7 +238,7 @@ fn run_plan<T: Send>(
                     Some(slot) => {
                         let t0 = std::time::Instant::now();
                         crate::simd::with_mode(scalar, || run(start..end, chunk));
-                        *slot = t0.elapsed().as_nanos() as u64; // u64 nanoseconds overflow after 584 years // lint:allow(lossy-cast)
+                        *slot = t0.elapsed().as_nanos() as u64; // lint:allow(lossy-cast) -- u64 nanoseconds overflow after 584 years
                     }
                     None => crate::simd::with_mode(scalar, || run(start..end, chunk)),
                 }
@@ -280,7 +280,7 @@ fn book_worker_slices(kernel: &'static str, slice_ns: &[u64]) {
         // Zero marks a window the partition plan left empty: no worker
         // was spawned for it, so there is no slice to book.
         if ns > 0 {
-            sane_telemetry::record_latency(&stream, ns as f64); // f64 is exact below 2^53 ns ≈ 104 days // lint:allow(lossy-cast)
+            sane_telemetry::record_latency(&stream, ns as f64); // lint:allow(lossy-cast) -- f64 is exact below 2^53 ns ≈ 104 days
         }
     }
 }
@@ -339,7 +339,7 @@ fn run_plan_pair<A: Send, B: Send>(
                     Some(slot) => {
                         let t0 = std::time::Instant::now();
                         crate::simd::with_mode(scalar, || run(start..end, ca, cb));
-                        *slot = t0.elapsed().as_nanos() as u64; // u64 nanoseconds overflow after 584 years // lint:allow(lossy-cast)
+                        *slot = t0.elapsed().as_nanos() as u64; // lint:allow(lossy-cast) -- u64 nanoseconds overflow after 584 years
                     }
                     None => crate::simd::with_mode(scalar, || run(start..end, ca, cb)),
                 }

@@ -304,7 +304,7 @@ fn exp_vec(xs: &mut [f32]) {
         );
         // 2^n through the exponent bits: n is an integer in [−126, 127]
         // after the clamp, so the biased exponent stays in (0, 255).
-        let two_n = f32::from_bits((((n as i32) + 127) << 23) as u32); // in-range by the clamp above // lint:allow(lossy-cast)
+        let two_n = f32::from_bits((((n as i32) + 127) << 23) as u32); // lint:allow(lossy-cast) -- in-range by the clamp above
         *v = p * two_n;
     }
 }
@@ -315,7 +315,7 @@ mod tests {
 
     fn seq(n: usize, salt: f32) -> Vec<f32> {
         (0..n)
-            .map(|i| ((i as f32) * 0.37 + salt).sin()) // lint:allow(lossy-cast)
+            .map(|i| ((i as f32) * 0.37 + salt).sin()) // lint:allow(lossy-cast) -- small integer grid, exact in f32
             .collect()
     }
 
@@ -392,7 +392,7 @@ mod tests {
 
     #[test]
     fn exp_vec_matches_libm_within_rel_eps() {
-        let mut xs: Vec<f32> = (-400..=80).map(|i| i as f32 * 0.217).collect(); // lint:allow(lossy-cast)
+        let mut xs: Vec<f32> = (-400..=80).map(|i| i as f32 * 0.217).collect(); // lint:allow(lossy-cast) -- small integer grid, exact in f32
         xs.extend([0.0, -0.0, f32::MIN_POSITIVE, -87.0, 1e-20]);
         let expect: Vec<f32> = xs.iter().map(|&x| x.exp()).collect();
         exp_vec(&mut xs);
@@ -411,7 +411,7 @@ mod tests {
 
     #[test]
     fn exp_vec_is_bitwise_stable_across_calls() {
-        let base: Vec<f32> = (0..97).map(|i| (i as f32 * 0.13).sin() * 40.0 - 30.0).collect(); // lint:allow(lossy-cast)
+        let base: Vec<f32> = (0..97).map(|i| (i as f32 * 0.13).sin() * 40.0 - 30.0).collect(); // lint:allow(lossy-cast) -- small integer grid, exact in f32
         let mut first = base.clone();
         exp_vec(&mut first);
         for _ in 0..4 {

@@ -56,7 +56,7 @@ impl Csr {
     pub fn from_coo(rows: usize, cols: usize, triplets: &[(u32, u32, f32)]) -> Self {
         for &(r, c, _) in triplets {
             assert!(
-                (r as usize) < rows && (c as usize) < cols, // u32 index widens losslessly // lint:allow(lossy-cast)
+                (r as usize) < rows && (c as usize) < cols, // lint:allow(lossy-cast) -- u32 index widens losslessly
                 "coo entry ({r},{c}) out of bounds for {rows}x{cols}"
             );
         }
@@ -68,20 +68,20 @@ impl Csr {
         let mut values: Vec<f32> = Vec::with_capacity(sorted.len());
         for &(r, c, v) in &sorted {
             if let (Some(&last_c), true) = (indices.last(), indptr[r as usize + 1] > 0) {
-                // u32 index widens losslessly // lint:allow(lossy-cast)
+                // lint:allow(lossy-cast) -- u32 index widens losslessly
                 // Merge duplicates within the current row. `indptr[r+1] > 0`
                 // is what stops a duplicate column straddling a row boundary
                 // from merging into the previous row: the first entry of row
                 // `r` still sees `indptr[r+1] == 0`.
                 if indptr[r as usize + 1] == indices.len() && last_c == c {
-                    // u32 index widens losslessly // lint:allow(lossy-cast)
-                    *values.last_mut().expect("values parallel to indices") += v; // lint:allow(expect)
+                    // lint:allow(lossy-cast) -- u32 index widens losslessly
+                    *values.last_mut().expect("values parallel to indices") += v; // lint:allow(expect) -- values parallel to indices
                     continue;
                 }
             }
             indices.push(c);
             values.push(v);
-            indptr[r as usize + 1] = indices.len(); // u32 index widens losslessly // lint:allow(lossy-cast)
+            indptr[r as usize + 1] = indices.len(); // lint:allow(lossy-cast) -- u32 index widens losslessly
         }
         // Rows with no entries inherit the previous offset.
         for r in 1..=rows {
@@ -107,7 +107,7 @@ impl Csr {
         assert_eq!(indptr.len(), rows + 1, "indptr length");
         assert_eq!(indices.len(), values.len(), "indices/values length");
         assert_eq!(*indptr.last().unwrap_or(&0), indices.len(), "indptr terminator");
-        assert!(indices.iter().all(|&c| (c as usize) < cols), "column index out of bounds"); // u32 index widens losslessly // lint:allow(lossy-cast)
+        assert!(indices.iter().all(|&c| (c as usize) < cols), "column index out of bounds"); // lint:allow(lossy-cast) -- u32 index widens losslessly
         Self { rows, cols, indptr, indices, values, transpose: OnceLock::new() }
     }
 
@@ -115,7 +115,7 @@ impl Csr {
         let nnz = self.values.len();
         let mut indptr = vec![0usize; self.cols + 1];
         for &c in &self.indices {
-            indptr[c as usize + 1] += 1; // u32 index widens losslessly // lint:allow(lossy-cast)
+            indptr[c as usize + 1] += 1; // lint:allow(lossy-cast) -- u32 index widens losslessly
         }
         for i in 1..=self.cols {
             indptr[i] += indptr[i - 1];
@@ -125,9 +125,9 @@ impl Csr {
         let mut cursor = indptr.clone();
         for r in 0..self.rows {
             for k in self.indptr[r]..self.indptr[r + 1] {
-                let c = self.indices[k] as usize; // u32 index widens losslessly // lint:allow(lossy-cast)
+                let c = self.indices[k] as usize; // lint:allow(lossy-cast) -- u32 index widens losslessly
                 let pos = cursor[c];
-                indices[pos] = r as u32; // row count fits the u32 CSR domain // lint:allow(lossy-cast)
+                indices[pos] = r as u32; // lint:allow(lossy-cast) -- row count fits the u32 CSR domain
                 values[pos] = self.values[k];
                 cursor[c] += 1;
             }
@@ -220,7 +220,7 @@ impl Csr {
             for r in rows {
                 let orow = &mut chunk[(r - base) * n..(r - base + 1) * n];
                 for k in self.indptr[r]..self.indptr[r + 1] {
-                    let c = self.indices[k] as usize; // u32 index widens losslessly // lint:allow(lossy-cast)
+                    let c = self.indices[k] as usize; // lint:allow(lossy-cast) -- u32 index widens losslessly
                     let v = self.values[k];
                     fl.axpy(v, dense.row(c), orow);
                 }
@@ -244,7 +244,7 @@ impl Csr {
         for r in 0..self.rows {
             let (cols, vals) = self.row(r);
             for (&c, &v) in cols.iter().zip(vals) {
-                out.set(r, c as usize, out.get(r, c as usize) + v); // u32 index widens losslessly // lint:allow(lossy-cast)
+                out.set(r, c as usize, out.get(r, c as usize) + v); // lint:allow(lossy-cast) -- u32 index widens losslessly
             }
         }
         out

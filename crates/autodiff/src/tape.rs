@@ -16,6 +16,7 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::absint::{AbsVal, Dim};
 use crate::audit::Arity;
 use crate::dataflow::{GradReads, MemPlan};
 use crate::matrix::Matrix;
@@ -75,6 +76,30 @@ pub(crate) trait Op: Send + Sync {
     /// test in the dataflow suite.
     fn grad_reads(&self) -> GradReads {
         GradReads::ALL
+    }
+
+    /// Abstract transfer function for [`crate::absint`]: maps the abstract
+    /// values of the inputs to the abstract value of the output, or `Err`
+    /// when the inputs violate the op's contract (the abstract analogue of
+    /// [`Op::infer_shape`] returning `Err`).
+    ///
+    /// The conservative default derives the output shape from
+    /// [`Op::infer_shape`] when every input dim is concrete and claims
+    /// nothing about values. Overrides live next to each op's `grad_reads`
+    /// declaration and are property-checked in the absint suite: the
+    /// abstract result must over-approximate every concrete execution.
+    fn transfer(&self, inputs: &[AbsVal]) -> Result<AbsVal, String> {
+        let mut shapes = Vec::with_capacity(inputs.len());
+        for v in inputs {
+            match (v.rows.known(), v.cols.known()) {
+                (Some(r), Some(c)) => shapes.push((r, c)),
+                _ => return Ok(AbsVal::top(Dim::Any, Dim::Any)),
+            }
+        }
+        match self.infer_shape(&shapes)? {
+            Some((r, c)) => Ok(AbsVal::top(Dim::Const(r), Dim::Const(c))),
+            None => Ok(AbsVal::top(Dim::Any, Dim::Any)),
+        }
     }
 }
 

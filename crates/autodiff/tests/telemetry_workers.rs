@@ -130,10 +130,8 @@ fn histogram_buckets_are_identical_across_1_2_4_workers() {
 /// multiset — no wall-clock anywhere.
 fn record_kernel_trace(workers: usize, stamps: &[u64]) -> String {
     let buf = MemoryBuffer::default();
-    let guard = Recorder::new("kernels")
-        .with_memory(buf.clone())
-        .with_kernel_timing(true)
-        .install();
+    let guard =
+        Recorder::new("kernels").with_memory(buf.clone()).with_kernel_timing(true).install();
     let handle = sane_telemetry::handle().expect("recorder is installed");
     let next = AtomicUsize::new(0);
     run_workers(workers, |w| {
@@ -164,11 +162,9 @@ fn attribution_is_bitwise_identical_across_1_2_4_worker_traces() {
 
     let mut rendered: Vec<String> = Vec::new();
     for workers in [1usize, 2, 4] {
-        let cand_prof = sane_telemetry::profile::profile(&record_kernel_trace(
-            workers,
-            &cand_stamps,
-        ))
-        .expect("candidate trace profiles");
+        let cand_prof =
+            sane_telemetry::profile::profile(&record_kernel_trace(workers, &cand_stamps))
+                .expect("candidate trace profiles");
         let d = diff::diff(&base_prof, &cand_prof);
         let attr = diff::attribute(&d, "spmm_forward.ms_1t", (2.0, 1.0), noise, 8);
 

@@ -234,10 +234,10 @@ fn main() {
         mismatches,
         simd_lane_drift,
     };
-    std::fs::create_dir_all(&args.out_dir).expect("create results dir"); // lint:allow(expect)
+    std::fs::create_dir_all(&args.out_dir).expect("create results dir"); // lint:allow(expect) -- create results dir
     let path = args.out_dir.join("DETERMINISM.json");
-    let json = serde_json::to_string_pretty(&report).expect("serialise report"); // lint:allow(expect)
-    std::fs::write(&path, json).expect("write determinism json"); // lint:allow(expect)
+    let json = serde_json::to_string_pretty(&report).expect("serialise report"); // lint:allow(expect) -- serialise report
+    std::fs::write(&path, json).expect("write determinism json"); // lint:allow(expect) -- write determinism json
     println!("[saved {}]", path.display());
 
     assert!(

@@ -312,10 +312,10 @@ fn main() {
     let trace_path = args.out_dir.join("TRACE_kernels.jsonl");
     {
         let trace_iters = if quick { 2 } else { 3 };
-        std::fs::create_dir_all(&args.out_dir).expect("create results dir"); // lint:allow(expect)
+        std::fs::create_dir_all(&args.out_dir).expect("create results dir"); // lint:allow(expect) -- create results dir
         let recorder = sane_telemetry::Recorder::new("kernels")
             .with_jsonl(&trace_path)
-            .expect("open kernels trace") // lint:allow(expect)
+            .expect("open kernels trace") // lint:allow(expect) -- open kernels trace
             .with_kernel_timing(true);
         let _guard = recorder.install();
         let _bench = sane_telemetry::span("bench");
@@ -329,7 +329,7 @@ fn main() {
     }
     // A malformed reference trace would poison every future diff: fail
     // the bench run immediately instead.
-    sane_telemetry::trace::summarize_file(&trace_path).expect("kernels trace validates"); // lint:allow(expect)
+    sane_telemetry::trace::summarize_file(&trace_path).expect("kernels trace validates"); // lint:allow(expect) -- kernels trace validates
     println!("\n[saved {}]", trace_path.display());
     drop(scenarios);
 
@@ -501,10 +501,10 @@ fn main() {
         telemetry,
         memory,
     };
-    std::fs::create_dir_all(&args.out_dir).expect("create results dir"); // lint:allow(expect)
+    std::fs::create_dir_all(&args.out_dir).expect("create results dir"); // lint:allow(expect) -- create results dir
     let path = args.out_dir.join("BENCH_kernels.json");
-    let json = serde_json::to_string_pretty(&report).expect("serialise bench report"); // lint:allow(expect)
-    std::fs::write(&path, json).expect("write bench json"); // lint:allow(expect)
+    let json = serde_json::to_string_pretty(&report).expect("serialise bench report"); // lint:allow(expect) -- serialise bench report
+    std::fs::write(&path, json).expect("write bench json"); // lint:allow(expect) -- write bench json
     println!("[saved {}]", path.display());
 
     // Append to the perf trajectory. Only machine-comparable metrics go
@@ -545,7 +545,7 @@ fn main() {
     metrics.insert("mixed_supernet_fwd_bwd.planned_peak_mb".into(), report.memory.planned_peak_mb);
     metrics.insert("mixed_supernet_fwd_bwd.reuse_ratio".into(), report.memory.reuse_ratio);
     let hist = sane_bench::history::HistoryRecord::new("kernels", &report.preset, metrics);
-    let hist_path = hist.append(&args.out_dir).expect("append bench history"); // lint:allow(expect)
+    let hist_path = hist.append(&args.out_dir).expect("append bench history"); // lint:allow(expect) -- append bench history
     println!("[appended {}]", hist_path.display());
 
     assert!(

@@ -198,10 +198,10 @@ fn main() {
         preset: args.scale.name.clone(),
         phases: vec![supernet_phase, derived_phase],
     };
-    std::fs::create_dir_all(&args.out_dir).expect("create results dir"); // lint:allow(expect)
+    std::fs::create_dir_all(&args.out_dir).expect("create results dir"); // lint:allow(expect) -- create results dir
     let path = args.out_dir.join("MEMPLAN.json");
-    let json = serde_json::to_string_pretty(&report).expect("serialise memplan report"); // lint:allow(expect)
-    std::fs::write(&path, json).expect("write memplan json"); // lint:allow(expect)
+    let json = serde_json::to_string_pretty(&report).expect("serialise memplan report"); // lint:allow(expect) -- serialise memplan report
+    std::fs::write(&path, json).expect("write memplan json"); // lint:allow(expect) -- write memplan json
     println!("\n[saved {}]", path.display());
 
     // Append machine-comparable numbers to the perf trajectory: planned
@@ -213,7 +213,7 @@ fn main() {
         metrics.insert(format!("{}.reuse_ratio", p.name), p.reuse_ratio);
     }
     let hist = HistoryRecord::new("memplan", &report.preset, metrics);
-    let hist_path = hist.append(&args.out_dir).expect("append bench history"); // lint:allow(expect)
+    let hist_path = hist.append(&args.out_dir).expect("append bench history"); // lint:allow(expect) -- append bench history
     println!("[appended {}]", hist_path.display());
 
     let mut failed = false;

@@ -21,7 +21,7 @@ use sane_telemetry as tel;
 fn main() {
     let args = HarnessArgs::from_env();
     let quick = args.scale.name == "quick";
-    std::fs::create_dir_all(&args.out_dir).expect("create results dir"); // lint:allow(expect)
+    std::fs::create_dir_all(&args.out_dir).expect("create results dir"); // lint:allow(expect) -- create results dir
     let path = args.out_dir.join("TRACE_search_smoke.jsonl");
 
     let ds = CitationConfig::cora().scaled(0.05).with_seed(args.scale.seed).generate();
@@ -38,7 +38,7 @@ fn main() {
     {
         let recorder = tel::Recorder::new("search_smoke")
             .with_jsonl(&path)
-            .expect("open trace file") // lint:allow(expect)
+            .expect("open trace file") // lint:allow(expect) -- open trace file
             .with_console_env()
             .with_kernel_timing(true);
         let _guard = recorder.install();
@@ -49,7 +49,7 @@ fn main() {
 
     // The trace must round-trip through the validator, and its final
     // genotype must be the one the search returned.
-    let summary = tel::trace::summarize_file(&path).expect("valid run trace"); // lint:allow(expect)
+    let summary = tel::trace::summarize_file(&path).expect("valid run trace"); // lint:allow(expect) -- valid run trace
     assert_eq!(
         summary.final_genotype(),
         Some(genotype.as_str()),
@@ -59,25 +59,25 @@ fn main() {
     println!("[saved {}]", path.display());
 
     // Per-phase / per-kernel attribution + the collapsed-stack flamegraph.
-    let profile = tel::profile::profile_file(&path).expect("trace profiles"); // lint:allow(expect)
+    let profile = tel::profile::profile_file(&path).expect("trace profiles"); // lint:allow(expect) -- trace profiles
     let frac = profile.attributed_fraction();
     assert!(frac >= 0.90, "profiler only attributed {:.1}% of wall time", frac * 100.0);
     let collapsed = profile.to_collapsed();
-    tel::profile::parse_collapsed(&collapsed).expect("collapsed output round-trips"); // lint:allow(expect)
+    tel::profile::parse_collapsed(&collapsed).expect("collapsed output round-trips"); // lint:allow(expect) -- collapsed output round-trips
     let flame_path = args.out_dir.join("FLAME_search_smoke.txt");
-    std::fs::write(&flame_path, collapsed).expect("write flamegraph"); // lint:allow(expect)
+    std::fs::write(&flame_path, collapsed).expect("write flamegraph"); // lint:allow(expect) -- write flamegraph
     println!("{profile}");
     println!("[saved {}]", flame_path.display());
 
     // The search dashboard, checked against the validator's numbers.
-    let dash = tel::report::dashboard_file(&path).expect("trace dashboards"); // lint:allow(expect)
+    let dash = tel::report::dashboard_file(&path).expect("trace dashboards"); // lint:allow(expect) -- trace dashboards
     assert_eq!(
         dash.final_entropy, summary.final_entropy,
         "dashboard entropy diverged from trace::summarize"
     );
     assert_eq!(dash.val_curve, summary.val_curve(), "dashboard val curve diverged");
     let dash_path = args.out_dir.join("DASH_search_smoke.json");
-    std::fs::write(&dash_path, dash.to_json().to_json()).expect("write dashboard"); // lint:allow(expect)
+    std::fs::write(&dash_path, dash.to_json().to_json()).expect("write dashboard"); // lint:allow(expect) -- write dashboard
     println!("{}", dash.to_text());
     println!("[saved {}]", dash_path.display());
 
@@ -88,6 +88,6 @@ fn main() {
     metrics.insert("search.wall_ms".to_string(), wall_ms);
     metrics.insert("search.ms_per_epoch".to_string(), wall_ms / epochs);
     let hist = sane_bench::history::HistoryRecord::new("search_smoke", &args.scale.name, metrics);
-    let hist_path = hist.append(&args.out_dir).expect("append bench history"); // lint:allow(expect)
+    let hist_path = hist.append(&args.out_dir).expect("append bench history"); // lint:allow(expect) -- append bench history
     println!("[appended {}]", hist_path.display());
 }

@@ -33,7 +33,7 @@ use sane_telemetry as tel;
 
 /// Index of a node aggregator in the SANE space's `O_n` ordering.
 fn agg(kind: NodeAggKind) -> usize {
-    NodeAggKind::ALL.iter().position(|k| *k == kind).expect("kind in O_n") // lint:allow(expect)
+    NodeAggKind::ALL.iter().position(|k| *k == kind).expect("kind in O_n") // lint:allow(expect) -- kind in O_n
 }
 
 /// The trial genomes: the first two are pinned so the trace provably
@@ -64,7 +64,7 @@ fn trial_genomes(space: &SaneSpace, trials: usize, seed: u64) -> Vec<Vec<usize>>
 fn main() {
     let args = HarnessArgs::from_env();
     let quick = args.scale.name == "quick";
-    std::fs::create_dir_all(&args.out_dir).expect("create results dir"); // lint:allow(expect)
+    std::fs::create_dir_all(&args.out_dir).expect("create results dir"); // lint:allow(expect) -- create results dir
     let path = args.out_dir.join("TRACE_trials.jsonl");
 
     let ds = CitationConfig::cora().scaled(0.04).with_seed(args.scale.seed).generate();
@@ -86,12 +86,12 @@ fn main() {
     {
         let recorder = tel::Recorder::new("trials")
             .with_jsonl(&path)
-            .expect("open trace file") // lint:allow(expect)
+            .expect("open trace file") // lint:allow(expect) -- open trace file
             .with_console_env()
             .with_kernel_timing(true);
         let _guard = recorder.install();
         let root = tel::span("trials");
-        let handle = tel::handle().expect("recorder is installed"); // lint:allow(expect)
+        let handle = tel::handle().expect("recorder is installed"); // lint:allow(expect) -- recorder is installed
 
         let mut exporter = tel::SnapshotExporter::new(handle.clone(), &args.out_dir)
             .with_interval(Duration::from_millis(200));
@@ -140,7 +140,7 @@ fn main() {
 
         drop(root);
         let _ = exporter_slot;
-        let (json, prom) = exporter.export().expect("snapshot export"); // lint:allow(expect)
+        let (json, prom) = exporter.export().expect("snapshot export"); // lint:allow(expect) -- snapshot export
         println!("[saved {} and {}]", json.display(), prom.display());
         assert!(exporter.exports() >= 2, "expected a mid-run tick plus the final export");
     }
@@ -154,19 +154,19 @@ fn main() {
 
     // The trace must round-trip the strict validator (monotone stamps,
     // balanced spans, no orphan parents, consistent histogram buckets).
-    let summary = tel::trace::summarize_file(&path).expect("valid run trace"); // lint:allow(expect)
+    let summary = tel::trace::summarize_file(&path).expect("valid run trace"); // lint:allow(expect) -- valid run trace
     let mut threads = summary.threads.clone();
     threads.sort();
     assert_eq!(threads, ["trial-worker-0", "trial-worker-1"], "both workers wrote the trace");
 
     // Concurrency + parentage proof from file order: all first-wave trial
     // spans open (parented to the root span) before any trial closes.
-    let text = std::fs::read_to_string(&path).expect("re-read trace"); // lint:allow(expect)
+    let text = std::fs::read_to_string(&path).expect("re-read trace"); // lint:allow(expect) -- re-read trace
     let mut root_id = None;
     let mut open_before_first_close = 0usize;
     for line in text.lines() {
         if line.contains("\"kind\":\"span_open\"") && line.contains("\"name\":\"trials\"") {
-            let rest = line.split("\"id\":").nth(1).expect("span_open has an id"); // lint:allow(expect)
+            let rest = line.split("\"id\":").nth(1).expect("span_open has an id"); // lint:allow(expect) -- span_open has an id
             root_id = Some(rest.chars().take_while(char::is_ascii_digit).collect::<String>());
         }
         if line.contains("\"name\":\"trial\"") {
@@ -175,7 +175,7 @@ fn main() {
             }
             if line.contains("\"kind\":\"span_open\"") {
                 open_before_first_close += 1;
-                let root = root_id.as_deref().expect("root span opens first"); // lint:allow(expect)
+                let root = root_id.as_deref().expect("root span opens first"); // lint:allow(expect) -- root span opens first
                 assert!(
                     line.contains(&format!("\"parent\":{root}")),
                     "trial span must parent to the run's root span: {line}"
@@ -211,6 +211,6 @@ fn main() {
     metrics.insert("trials.count".to_string(), trials as f64);
     metrics.insert("trials.workers".to_string(), workers as f64);
     let hist = sane_bench::history::HistoryRecord::new("trials", &args.scale.name, metrics);
-    let hist_path = hist.append(&args.out_dir).expect("append bench history"); // lint:allow(expect)
+    let hist_path = hist.append(&args.out_dir).expect("append bench history"); // lint:allow(expect) -- append bench history
     println!("[appended {}]", hist_path.display());
 }

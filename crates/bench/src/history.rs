@@ -72,15 +72,15 @@ mod tests {
         let mut metrics = BTreeMap::new();
         metrics.insert("spmm.ms_1t".to_string(), 1.25);
         let rec = HistoryRecord::new("kernels", "quick", metrics.clone());
-        let path = rec.append(&dir).expect("append"); // lint:allow(expect)
+        let path = rec.append(&dir).expect("append"); // lint:allow(expect) -- append
         let rec2 = HistoryRecord::new("kernels", "quick", metrics);
-        rec2.append(&dir).expect("append"); // lint:allow(expect)
+        rec2.append(&dir).expect("append"); // lint:allow(expect) -- append
 
-        let text = std::fs::read_to_string(&path).expect("read"); // lint:allow(expect)
+        let text = std::fs::read_to_string(&path).expect("read"); // lint:allow(expect) -- read
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 2, "append accumulates, never truncates");
         for line in lines {
-            let back: HistoryRecord = serde_json::from_str(line).expect("line parses"); // lint:allow(expect)
+            let back: HistoryRecord = serde_json::from_str(line).expect("line parses"); // lint:allow(expect) -- line parses
             assert_eq!(back.schema, HISTORY_SCHEMA);
             assert_eq!(back.bench, "kernels");
             assert_eq!(back.metrics.get("spmm.ms_1t"), Some(&1.25));

@@ -103,7 +103,7 @@ pub fn human_baselines(task: &Task, scale: &BenchScale) -> Vec<MethodResult> {
                     best = Some((out.val_metric, v));
                 }
             }
-            let (_, winner) = best.expect("non-empty variant group"); // lint:allow(expect)
+            let (_, winner) = best.expect("non-empty variant group"); // lint:allow(expect) -- non-empty variant group
             let arch = Architecture::uniform(winner, k, layer_agg);
             let runs = repeated_test_metrics(task, &arch, &hyper, &cfg, scale.repeats);
             results.push(MethodResult {

@@ -188,7 +188,7 @@ fn stack_rows(tape: &mut Tape, rows: &[Tensor]) -> Tensor {
             None => placed,
         });
     }
-    acc.expect("rows is non-empty") // lint:allow(expect)
+    acc.expect("rows is non-empty") // lint:allow(expect) -- rows is non-empty
 }
 
 /// Configuration of the differentiable graph-classification search.
@@ -267,7 +267,7 @@ pub fn graphcls_search(task: &GraphClsTask, cfg: &GraphClsSearchConfig) -> Graph
                 None => scaled,
             });
         }
-        classifier.forward(tape, store, mixed.expect("O_p is non-empty")) // lint:allow(expect)
+        classifier.forward(tape, store, mixed.expect("O_p is non-empty")) // lint:allow(expect) -- O_p is non-empty
     };
 
     let batch_grads = |store: &VarStore, split: &[usize], seed: u64| {

@@ -435,7 +435,7 @@ fn best_path_by_val(
             best = Some((val, path));
         }
     }
-    net.path_architecture(&best.expect("samples >= 1").1) // lint:allow(expect)
+    net.path_architecture(&best.expect("samples >= 1").1) // lint:allow(expect) -- samples >= 1
 }
 
 /// Helper for tests and `NodeTask` consumers.

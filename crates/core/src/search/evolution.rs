@@ -65,9 +65,9 @@ pub fn evolution_search(
             .into_iter()
             .max_by(|&a, &b| {
                 population[a].1.partial_cmp(&population[b].1).expect("finite fitness")
-                // lint:allow(expect)
+                // lint:allow(expect) -- finite fitness
             })
-            .expect("non-empty tournament"); // lint:allow(expect)
+            .expect("non-empty tournament"); // lint:allow(expect) -- non-empty tournament
         let mut child = population[parent_idx].0.clone();
         space.mutate(&mut child, &mut rng);
         let fitness = oracle.evaluate(&child);

@@ -90,7 +90,7 @@ pub fn train_graphnas_spec(
 /// The maximum width used by the shared pool (the largest hidden size in
 /// the GraphNAS space).
 fn max_width() -> usize {
-    *GRAPHNAS_HIDDEN.iter().max().expect("non-empty") // lint:allow(expect)
+    *GRAPHNAS_HIDDEN.iter().max().expect("non-empty") // lint:allow(expect) -- non-empty
 }
 
 /// ENAS-style shared-weight pool over the GraphNAS space.
@@ -137,7 +137,7 @@ impl NodeModel for PoolView<'_> {
             let agg_idx = GRAPHNAS_AGGS
                 .iter()
                 .position(|&k| k == layer.agg)
-                .expect("spec aggregator belongs to the GraphNAS space"); // lint:allow(expect)
+                .expect("spec aggregator belongs to the GraphNAS space"); // lint:allow(expect) -- spec aggregator belongs to the GraphNAS space
             let h_in = tape.dropout(h, dropout);
             let full = self.aggs[l][agg_idx].forward(tape, store, ctx, h_in);
             let act_input =

@@ -88,9 +88,9 @@ impl Controller {
             .map(|row| {
                 row.iter()
                     .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits")) // lint:allow(expect)
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits")) // lint:allow(expect) -- finite logits
                     .map(|(i, _)| i)
-                    .expect("non-empty dim") // lint:allow(expect)
+                    .expect("non-empty dim") // lint:allow(expect) -- non-empty dim
             })
             .collect()
     }

@@ -91,7 +91,7 @@ pub fn tpe_search(space: &CategoricalSpace, oracle: &mut GenomeOracle<'_>, cfg: 
         } else {
             // Split observations by score quantile.
             let mut sorted: Vec<&(Vec<usize>, f64)> = history.iter().collect();
-            sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores")); // lint:allow(expect)
+            sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores")); // lint:allow(expect) -- finite scores
             let n_good =
                 ((sorted.len() as f64 * cfg.gamma).ceil() as usize).clamp(1, sorted.len() - 1);
             let good: Vec<&Vec<usize>> = sorted[..n_good].iter().map(|(g, _)| g).collect();

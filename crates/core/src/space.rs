@@ -127,14 +127,14 @@ impl SaneSpace {
                 panic!("architecture uses a non-O_n aggregator");
             };
             genome.push(NodeAggKind::ALL.iter().position(|k| k == kind).expect("kind in O_n"));
-            // lint:allow(expect)
+            // lint:allow(expect) -- kind in O_n
         }
         for skip in &arch.skips {
             genome.push(SkipOp::ALL.iter().position(|s| s == skip).expect("skip in O_s"));
-            // lint:allow(expect)
+            // lint:allow(expect) -- skip in O_s
         }
-        let la = arch.layer_agg.expect("SANE architectures have a layer aggregator"); // lint:allow(expect)
-        genome.push(LayerAggKind::ALL.iter().position(|l| *l == la).expect("layer agg in O_l")); // lint:allow(expect)
+        let la = arch.layer_agg.expect("SANE architectures have a layer aggregator"); // lint:allow(expect) -- SANE architectures have a layer aggregator
+        genome.push(LayerAggKind::ALL.iter().position(|l| *l == la).expect("layer agg in O_l")); // lint:allow(expect) -- layer agg in O_l
         genome
     }
 }

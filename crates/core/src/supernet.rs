@@ -207,7 +207,7 @@ impl Supernet {
                     None => scaled,
                 });
             }
-            h = self.cfg.activation.apply(tape, mixed.expect("O_n is non-empty")); // lint:allow(expect)
+            h = self.cfg.activation.apply(tape, mixed.expect("O_n is non-empty")); // lint:allow(expect) -- O_n is non-empty
             layer_outputs.push(h);
         }
 
@@ -224,7 +224,7 @@ impl Supernet {
                     tape.mul_scalar_tensor(t, w_id)
                 })
                 .collect();
-            let alpha_l = tape.param(store, self.alpha_layer.expect("layer agg enabled")); // lint:allow(expect)
+            let alpha_l = tape.param(store, self.alpha_layer.expect("layer agg enabled")); // lint:allow(expect) -- layer agg enabled
             let wl = tape.softmax_rows(alpha_l);
             let mut mixed: Option<Tensor> = None;
             for (j, (agg, proj)) in self.layer_aggs.iter().zip(&self.layer_projs).enumerate() {
@@ -237,9 +237,9 @@ impl Supernet {
                     None => scaled,
                 });
             }
-            mixed.expect("O_l is non-empty") // lint:allow(expect)
+            mixed.expect("O_l is non-empty") // lint:allow(expect) -- O_l is non-empty
         } else {
-            *layer_outputs.last().expect("at least one layer") // lint:allow(expect)
+            *layer_outputs.last().expect("at least one layer") // lint:allow(expect) -- at least one layer
         };
         let rep = tape.dropout(rep, dropout);
         self.classifier.forward(tape, store, rep)
@@ -277,7 +277,7 @@ impl Supernet {
             let z = agg.forward(tape, store, &contributions);
             self.layer_projs[path.layer].forward(tape, store, z)
         } else {
-            *layer_outputs.last().expect("at least one layer") // lint:allow(expect)
+            *layer_outputs.last().expect("at least one layer") // lint:allow(expect) -- at least one layer
         };
         let rep = tape.dropout(rep, dropout);
         self.classifier.forward(tape, store, rep)
@@ -333,13 +333,13 @@ impl Supernet {
                             let row = store.value(id).row(0);
                             row[0] - row[1]
                         };
-                        pref(a).partial_cmp(&pref(b)).expect("finite alphas") // lint:allow(expect)
+                        pref(a).partial_cmp(&pref(b)).expect("finite alphas") // lint:allow(expect) -- finite alphas
                     })
                     .map(|(l, _)| l)
-                    .expect("k >= 1"); // lint:allow(expect)
+                    .expect("k >= 1"); // lint:allow(expect) -- k >= 1
                 skips[best] = SkipOp::Identity;
             }
-            let layer = Some(LayerAggKind::ALL[argmax(self.alpha_layer.expect("enabled"))]); // lint:allow(expect)
+            let layer = Some(LayerAggKind::ALL[argmax(self.alpha_layer.expect("enabled"))]); // lint:allow(expect) -- enabled
             (skips, layer)
         } else {
             (vec![SkipOp::Identity; self.cfg.k], None)

@@ -82,7 +82,7 @@ impl AlignmentConfig {
 
     fn make_view(&self, latent: &Graph, embeddings: &Matrix, rng: &mut StdRng) -> (Graph, Matrix) {
         let n = self.num_entities;
-        let normal = Normal::new(0.0f32, 1.0).expect("valid normal"); // lint:allow(expect)
+        let normal = Normal::new(0.0f32, 1.0).expect("valid normal"); // lint:allow(expect) -- valid normal
                                                                       // Structure view: keep / add edges.
         let mut edges: Vec<(u32, u32)> = Vec::with_capacity(latent.num_edges());
         for (u, v) in latent.edges() {
@@ -116,7 +116,7 @@ impl AlignmentConfig {
     pub fn generate(&self) -> AlignmentDataset {
         let _span = sane_telemetry::span_with("data.generate", &[("dataset", "alignment".into())]);
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let normal = Normal::new(0.0f32, 1.0).expect("valid normal"); // lint:allow(expect)
+        let normal = Normal::new(0.0f32, 1.0).expect("valid normal"); // lint:allow(expect) -- valid normal
         let latent = preferential_attachment(self.num_entities, self.attachment, &mut rng);
         let embeddings =
             Matrix::from_fn(self.num_entities, self.feature_dim, |_, _| normal.sample(&mut rng));

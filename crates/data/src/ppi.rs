@@ -86,7 +86,7 @@ impl PpiConfig {
     pub fn generate(&self) -> MultiGraphDataset {
         let _span = sane_telemetry::span_with("data.generate", &[("dataset", "ppi".into())]);
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let normal = Normal::new(0.0f32, 1.0).expect("valid normal"); // lint:allow(expect)
+        let normal = Normal::new(0.0f32, 1.0).expect("valid normal"); // lint:allow(expect) -- valid normal
 
         // Global community pool, shared across graphs.
         let centroids: Vec<Vec<f32>> = (0..self.num_communities)

@@ -119,8 +119,8 @@ impl GatAggregator {
         let layout = &ctx.layout;
         match self.score {
             GatScore::Gat | GatScore::Sym | GatScore::Linear => {
-                let a_src = tape.param(store, head.a_src.expect("score family has a_src")); // lint:allow(expect)
-                let a_dst = tape.param(store, head.a_dst.expect("score family has a_dst")); // lint:allow(expect)
+                let a_src = tape.param(store, head.a_src.expect("score family has a_src")); // lint:allow(expect) -- score family has a_src
+                let a_dst = tape.param(store, head.a_dst.expect("score family has a_dst")); // lint:allow(expect) -- score family has a_dst
                                                                                             // Per-node scalar scores, gathered per edge — O(n) matmuls
                                                                                             // instead of O(edges).
                 let s_src = tape.matmul(wh, a_src);
@@ -150,9 +150,9 @@ impl GatAggregator {
                 tape.row_sum(prod)
             }
             GatScore::GenLinear => {
-                let gen_src = tape.param(store, head.gen_src.expect("gen-linear has gen_src")); // lint:allow(expect)
-                let gen_dst = tape.param(store, head.gen_dst.expect("gen-linear has gen_dst")); // lint:allow(expect)
-                let gen_out = tape.param(store, head.gen_out.expect("gen-linear has gen_out")); // lint:allow(expect)
+                let gen_src = tape.param(store, head.gen_src.expect("gen-linear has gen_src")); // lint:allow(expect) -- gen-linear has gen_src
+                let gen_dst = tape.param(store, head.gen_dst.expect("gen-linear has gen_dst")); // lint:allow(expect) -- gen-linear has gen_dst
+                let gen_out = tape.param(store, head.gen_out.expect("gen-linear has gen_out")); // lint:allow(expect) -- gen-linear has gen_out
                 let proj_src = tape.matmul(wh, gen_src);
                 let proj_dst = tape.matmul(wh, gen_dst);
                 let eu = tape.gather_rows(proj_src, &layout.src);

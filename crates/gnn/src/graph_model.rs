@@ -114,7 +114,7 @@ impl GraphClsModel {
                     .collect();
                 la.forward(tape, store, &contributions)
             }
-            None => *layer_outputs.last().expect("at least one layer"), // lint:allow(expect)
+            None => *layer_outputs.last().expect("at least one layer"), // lint:allow(expect) -- at least one layer
         };
         let pooled = self.pooling.forward(tape, store, rep);
         let pooled = tape.dropout(pooled, dropout);

@@ -155,7 +155,7 @@ impl LayerAggregator {
     }
 
     fn lstm_forward(&self, tape: &mut Tape, store: &VarStore, layers: &[Tensor]) -> Tensor {
-        let p = self.lstm.as_ref().expect("LSTM params exist for the Lstm kind"); // lint:allow(expect)
+        let p = self.lstm.as_ref().expect("LSTM params exist for the Lstm kind"); // lint:allow(expect) -- LSTM params exist for the Lstm kind
         let n = tape.value(layers[0]).rows();
         let d = self.dim;
         let wx = tape.param(store, p.wx);
@@ -199,7 +199,7 @@ impl LayerAggregator {
                 None => weighted,
             });
         }
-        out.expect("layers is non-empty") // lint:allow(expect)
+        out.expect("layers is non-empty") // lint:allow(expect) -- layers is non-empty
     }
 }
 

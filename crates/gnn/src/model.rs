@@ -233,7 +233,7 @@ impl GnnModel {
                     .collect();
                 la.forward(tape, store, &contributions)
             }
-            None => *layer_outputs.last().expect("at least one layer"), // lint:allow(expect)
+            None => *layer_outputs.last().expect("at least one layer"), // lint:allow(expect) -- at least one layer
         };
         let rep = tape.dropout(rep, dropout);
         self.classifier.forward(tape, store, rep)

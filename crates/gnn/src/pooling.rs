@@ -92,7 +92,7 @@ impl GraphPooling {
             PoolingKind::Mean => tape.segment_mean(h, &whole),
             PoolingKind::Max => tape.segment_max(h, &whole),
             PoolingKind::Attention => {
-                let a = tape.param(store, self.attn.expect("attention has a readout vector")); // lint:allow(expect)
+                let a = tape.param(store, self.attn.expect("attention has a readout vector")); // lint:allow(expect) -- attention has a readout vector
                 let scores = tape.matmul(h, a);
                 // `h` plays the messages role directly: the whole graph is
                 // one segment, so the fused op is a softmax-weighted sum of

@@ -1,0 +1,166 @@
+//! Checked graph rewrites for the GNN fused kernels.
+//!
+//! The fused attention kernels started life as plain tape methods with
+//! ad-hoc fused-vs-unfused tests. Here they are re-registered as *checked*
+//! rewrites against message-layout-shaped fixtures built from a real small
+//! graph: [`sane_autodiff::check_rewrite`] discharges the static
+//! shape/interval/NaN obligations via abstract interpretation, and
+//! [`sane_autodiff::golden_equivalence`] pins forward + gradient agreement
+//! at 1, 2 and 4 worker threads under the determinism contract.
+//!
+//! [`registry`] is the single source of truth consumed by the
+//! `xtask graph-audit` exporter and the nightly equivalence suite.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sane_autodiff::{
+    builtin_rewrites, AbsVal, Dim, Equivalence, Matrix, Rewrite, Segments, Tape, Tensor,
+};
+use sane_graph::{Graph, MessageLayout};
+
+fn sample(rng: &mut StdRng, rows: usize, cols: usize, lo: f32, hi: f32) -> Matrix {
+    Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| rng.gen_range(lo..=hi)).collect())
+}
+
+/// The neighborhood fixture for the GAT-shaped rewrite: a triangle with a
+/// pendant chain and one isolated node, so segment lengths range from 1
+/// (the isolated node's self-loop-only `Ñ(v)`) to 4.
+fn probe_layout() -> MessageLayout {
+    let g = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)]);
+    MessageLayout::build(&g)
+}
+
+/// GAT's fused neighborhood aggregation, shaped exactly like
+/// [`crate::agg::GatAggregator::forward`]: per-message attention scores
+/// plus projected node features aggregate into per-node outputs.
+///
+/// `gather_rows(wh, src) → segment_attention` fuses into
+/// `gather_attention`, which only changes *addressing* (rows are read from
+/// `wh` through `src` instead of from a materialised gather) — the
+/// arithmetic order is identical, so the equivalence stays bitwise.
+struct GatNeighborhoodFusion {
+    layout: MessageLayout,
+    cols: usize,
+}
+
+impl Rewrite for GatNeighborhoodFusion {
+    fn name(&self) -> &'static str {
+        "gat-neighborhood-fusion"
+    }
+    fn input_domains(&self) -> Vec<AbsVal> {
+        vec![
+            // Edge scores from a LeakyReLU'd projection: modest range.
+            AbsVal::finite(Dim::Sym("E"), Dim::Const(1), -4.0, 4.0),
+            // Projected features `wh` for every node.
+            AbsVal::finite(Dim::Sym("N"), Dim::Const(self.cols), -2.0, 2.0),
+        ]
+    }
+    fn sample_inputs(&self, seed: u64) -> Vec<Matrix> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let e = self.layout.segments.total_len();
+        let n = self.layout.num_nodes();
+        vec![sample(&mut rng, e, 1, -4.0, 4.0), sample(&mut rng, n, self.cols, -2.0, 2.0)]
+    }
+    fn original(&self, tape: &mut Tape, inputs: &[Tensor]) -> Tensor {
+        let gathered = tape.gather_rows(inputs[1], &self.layout.src);
+        tape.segment_attention(inputs[0], gathered, &self.layout.segments)
+    }
+    fn replacement(&self, tape: &mut Tape, inputs: &[Tensor]) -> Tensor {
+        tape.gather_attention(inputs[0], inputs[1], &self.layout.src, &self.layout.segments)
+    }
+}
+
+/// Attention pooling's fused readout, shaped exactly like
+/// [`crate::GraphPooling`] with [`crate::PoolingKind::Attention`]: the whole
+/// graph is one segment and the node features play the messages role.
+///
+/// The fused kernel normalises by multiplying with `1/sum` where the
+/// unfused `segment_softmax` divides, and uses the vectorized `exp` split —
+/// the arithmetic itself changes, so the rewrite declares the same
+/// approximate budget as the kernel's own fused-vs-unfused pin.
+struct PoolingAttentionFusion {
+    whole: Arc<Segments>,
+    cols: usize,
+}
+
+impl PoolingAttentionFusion {
+    fn new(nodes: usize, cols: usize) -> Self {
+        Self { whole: Arc::new(Segments::from_lengths(&[nodes])), cols }
+    }
+}
+
+impl Rewrite for PoolingAttentionFusion {
+    fn name(&self) -> &'static str {
+        "pooling-attention-fusion"
+    }
+    fn equivalence(&self) -> Equivalence {
+        Equivalence::Approximate { max_ulps: 256, atol: 1e-5 }
+    }
+    fn input_domains(&self) -> Vec<AbsVal> {
+        vec![
+            AbsVal::finite(Dim::Sym("N"), Dim::Const(1), -4.0, 4.0),
+            AbsVal::finite(Dim::Sym("N"), Dim::Const(self.cols), -2.0, 2.0),
+        ]
+    }
+    fn sample_inputs(&self, seed: u64) -> Vec<Matrix> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = self.whole.total_len();
+        vec![sample(&mut rng, n, 1, -4.0, 4.0), sample(&mut rng, n, self.cols, -2.0, 2.0)]
+    }
+    fn original(&self, tape: &mut Tape, inputs: &[Tensor]) -> Tensor {
+        let alpha = tape.segment_softmax(inputs[0], &self.whole);
+        let weighted = tape.mul_col_broadcast(inputs[1], alpha);
+        tape.segment_sum(weighted, &self.whole)
+    }
+    fn replacement(&self, tape: &mut Tape, inputs: &[Tensor]) -> Tensor {
+        tape.segment_attention(inputs[0], inputs[1], &self.whole)
+    }
+}
+
+/// Every rewrite the repo trusts: the autodiff built-ins plus the
+/// GNN-shaped fusions above. `xtask graph-audit` checks each entry's static
+/// obligations and golden equivalence; a rewrite that is not in this list
+/// is not a sanctioned transformation.
+pub fn registry() -> Vec<Box<dyn Rewrite>> {
+    let mut all = builtin_rewrites();
+    all.push(Box::new(GatNeighborhoodFusion { layout: probe_layout(), cols: 7 }));
+    all.push(Box::new(PoolingAttentionFusion::new(9, 5)));
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sane_autodiff::{check_rewrite, golden_equivalence};
+
+    #[test]
+    fn registry_contains_the_gnn_fusions() {
+        let names: Vec<&str> = registry().iter().map(|r| r.name()).collect();
+        assert!(names.contains(&"gat-neighborhood-fusion"), "{names:?}");
+        assert!(names.contains(&"pooling-attention-fusion"), "{names:?}");
+        // The autodiff built-ins ride along.
+        assert!(names.contains(&"segment-attention-fusion"), "{names:?}");
+    }
+
+    #[test]
+    fn registry_discharges_static_obligations() {
+        for rw in registry() {
+            if let Err(e) = check_rewrite(rw.as_ref()) {
+                panic!("{}: static obligations failed: {e}", rw.name());
+            }
+        }
+    }
+
+    #[test]
+    fn registry_is_golden_equivalent_across_threads() {
+        for rw in registry() {
+            for seed in [1, 42] {
+                if let Err(e) = golden_equivalence(rw.as_ref(), seed) {
+                    panic!("{} (seed {seed}): {e}", rw.name());
+                }
+            }
+        }
+    }
+}

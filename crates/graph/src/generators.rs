@@ -52,7 +52,7 @@ pub fn sbm(block_sizes: &[usize], p: &[Vec<f64>], rng: &mut StdRng) -> (Graph, V
             if pairs == 0 {
                 continue;
             }
-            let count = Binomial::new(pairs as u64, prob).expect("valid binomial").sample(rng); // lint:allow(expect)
+            let count = Binomial::new(pairs as u64, prob).expect("valid binomial").sample(rng); // lint:allow(expect) -- valid binomial
             for _ in 0..count {
                 let (u, v) = if i == j {
                     // Uniform unordered pair within the block.

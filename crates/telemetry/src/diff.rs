@@ -401,7 +401,11 @@ impl fmt::Display for TraceDiff {
             )?;
         }
         if changed.len() > SHOWN {
-            writeln!(f, "  ... {} more changed node(s) in the JSON artifact", changed.len() - SHOWN)?;
+            writeln!(
+                f,
+                "  ... {} more changed node(s) in the JSON artifact",
+                changed.len() - SHOWN
+            )?;
         }
         Ok(())
     }
@@ -515,10 +519,7 @@ impl Attribution {
             .collect();
         Value::Obj(vec![
             ("metric".to_string(), Value::Str(self.metric.clone())),
-            (
-                "scope".to_string(),
-                self.scope.clone().map(Value::Str).unwrap_or(Value::Null),
-            ),
+            ("scope".to_string(), self.scope.clone().map(Value::Str).unwrap_or(Value::Null)),
             ("median_ms".to_string(), Value::Num(self.median_ms)),
             ("base_ms".to_string(), Value::Num(self.base_ms)),
             (
@@ -568,8 +569,8 @@ impl fmt::Display for Attribution {
                 None => "new".to_string(),
             };
             let quant = match (s.p50_shift, s.p99_shift) {
-                (Some(p50), Some(p99)) if quantile_shift_significant(p50)
-                    || quantile_shift_significant(p99) =>
+                (Some(p50), Some(p99))
+                    if quantile_shift_significant(p50) || quantile_shift_significant(p99) =>
                 {
                     format!(", p50 {:+.0}% p99 {:+.0}%", p50 * 100.0, p99 * 100.0)
                 }
@@ -610,11 +611,8 @@ pub fn attribute(
     top: usize,
 ) -> Attribution {
     let scenario = metric.split('.').next().unwrap_or(metric);
-    let in_scope: Vec<&DiffNode> = d
-        .nodes
-        .iter()
-        .filter(|n| n.stack.iter().any(|fr| frame_matches(fr, scenario)))
-        .collect();
+    let in_scope: Vec<&DiffNode> =
+        d.nodes.iter().filter(|n| n.stack.iter().any(|fr| frame_matches(fr, scenario))).collect();
     let (scope, nodes) = if in_scope.is_empty() {
         (None, d.nodes.iter().collect::<Vec<_>>())
     } else {
@@ -642,9 +640,10 @@ pub fn attribute(
         })
         .collect();
     suspects.sort_by(|a, b| {
-        b.delta_ms.partial_cmp(&a.delta_ms).unwrap_or(std::cmp::Ordering::Equal).then_with(|| {
-            a.stack.cmp(&b.stack)
-        })
+        b.delta_ms
+            .partial_cmp(&a.delta_ms)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.stack.cmp(&b.stack))
     });
     suspects.truncate(top);
     Attribution {
@@ -711,8 +710,7 @@ mod tests {
             }
         }
         for (kernel, (count, sum)) in &totals {
-            let _ =
-                write!(summaries, r#""kernel.{kernel}.ns":{{"count":{count},"sum":{sum}.0}},"#);
+            let _ = write!(summaries, r#""kernel.{kernel}.ns":{{"count":{count},"sum":{sum}.0}},"#);
         }
         summaries.pop();
         hists.pop();
@@ -827,8 +825,7 @@ mod tests {
     #[test]
     fn one_sided_kernel_and_span_only_baseline() {
         // Baseline recorded spans but no kernel timing at all.
-        let base = profile(&synth("base", &[("bench", None, 900_000)], &[]))
-            .expect("valid trace");
+        let base = profile(&synth("base", &[("bench", None, 900_000)], &[])).expect("valid trace");
         let cand = profile(&base_trace()).expect("valid trace");
         let d = diff(&base, &cand);
         let k = node(&d, "kernel:spmm");

@@ -43,6 +43,10 @@
 //!   artifacts (snapshot exports, trace summaries, merged metric
 //!   registries): there every loop ultimately feeds rendered output, no
 //!   reduction is order-insensitive, and the waiver is refused.
+//! * `waiver-reason` — every `lint:allow(...)` waiver must carry a
+//!   `-- reason` suffix stating why the site is sound. Not waivable
+//!   per-site; `xtask audit --allow-unreasoned-waivers` disables it
+//!   globally for bulk migrations.
 //!
 //! [`parse_sanitizer_log`] is not a source lint but shares the [`Finding`]
 //! shape: it scans Miri / ThreadSanitizer output fed to
@@ -142,12 +146,17 @@ const NUMERIC_CAST_TYPES: [&str; 12] =
     ["f32", "f64", "usize", "isize", "u8", "u16", "u32", "u64", "i8", "i16", "i32", "i64"];
 /// Directories whose every file is a numeric kernel path.
 const KERNEL_DIRS: [&str; 2] = ["crates/autodiff/src/ops/", "crates/gnn/src/agg/"];
-/// Individual kernel-path files outside those directories.
-const KERNEL_FILES: [&str; 6] = [
+/// Individual kernel-path files outside those directories. The abstract
+/// interpreter and the rewrite harness are kernel paths from day one:
+/// their interval arithmetic and ULP comparisons are exactly the casts
+/// and orderings the lossy-cast and iteration lints exist to police.
+const KERNEL_FILES: [&str; 8] = [
     "crates/autodiff/src/matrix.rs",
     "crates/autodiff/src/sparse.rs",
     "crates/autodiff/src/parallel.rs",
     "crates/autodiff/src/simd.rs",
+    "crates/autodiff/src/absint.rs",
+    "crates/autodiff/src/rewrite.rs",
     "crates/gnn/src/layer_agg.rs",
     "crates/gnn/src/pooling.rs",
 ];
@@ -540,6 +549,59 @@ pub fn lint_lossy_cast(file: &str, src: &str) -> LintOutcome {
     out
 }
 
+const WAIVER_PREFIX: &str = concat!("lint:", "allow(");
+
+/// Requires every `lint:allow(...)` waiver to carry a `-- reason` suffix:
+///
+/// ```text
+/// // lint:allow(lossy-cast) -- nnz fits in f32's exact integer range
+/// ```
+///
+/// A waiver without its reason is a finding. The rationale used to live in
+/// free-form leading comments (or only in the author's head); the suffix
+/// form makes it greppable, keeps it attached when rustfmt rewraps, and
+/// lets reviewers audit every waived site with one search. This lint is
+/// itself not waivable per-site — a waiver of the waiver-reason lint is
+/// exactly the loophole it closes — and can only be disabled globally
+/// (`xtask audit --allow-unreasoned-waivers`, for bulk migrations).
+///
+/// Doc comments (`///`, `//!`) are skipped: they *mention* waiver syntax,
+/// they do not waive anything.
+pub fn lint_waiver_reason(file: &str, src: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (idx, line) in src.lines().enumerate() {
+        let (_, comment) = split_comment(line);
+        let trimmed = comment.trim_start();
+        if trimmed.starts_with("///") || trimmed.starts_with("//!") {
+            continue;
+        }
+        let mut rest = comment;
+        while let Some(pos) = rest.find(WAIVER_PREFIX) {
+            let after_open = &rest[pos + WAIVER_PREFIX.len()..];
+            let Some(close) = after_open.find(')') else { break };
+            let lint_name = &after_open[..close];
+            let tail = after_open[close + 1..].trim_start();
+            let reason_ok = tail
+                .strip_prefix("--")
+                .map(str::trim_start)
+                .is_some_and(|r| !r.is_empty() && !r.starts_with(WAIVER_PREFIX));
+            if !reason_ok {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: idx + 1,
+                    lint: "waiver-reason",
+                    message: format!(
+                        "`{WAIVER_PREFIX}{lint_name})` waiver has no reason; append \
+                         `-- <why this site is sound>`"
+                    ),
+                });
+            }
+            rest = &after_open[close + 1..];
+        }
+    }
+    findings
+}
+
 /// Scans a Miri / ThreadSanitizer log for diagnostics. Each matching line
 /// becomes a `sanitizer` finding, so `xtask audit --sanitizer-report`
 /// fails exactly when the sanitizer run surfaced UB or a data race.
@@ -561,13 +623,23 @@ pub fn parse_sanitizer_log(file: &str, log: &str) -> Vec<Finding> {
 /// Extracts every op name registered via `fn name(&self) -> &'static str`
 /// from an autodiff source file, skipping `#[cfg(test)]` fixtures.
 ///
-/// The string literal is expected on the declaration line or within the
+/// Only `impl Op for ...` blocks count: other traits share the `name`
+/// signature (the rewrite registry's `Rewrite::name`, for one), and their
+/// names are not ops to cross-reference against the gradcheck suite. The
+/// string literal is expected on the declaration line or within the
 /// following two lines (rustfmt puts it on the next line).
 pub fn extract_op_names(src: &str) -> Vec<String> {
     let lines = strip_test_code(src);
     let mut names = Vec::new();
+    let mut in_op_impl = false;
     for (idx, line) in lines.iter().enumerate() {
-        if !line.contains("fn name(&self) -> &'static str") {
+        let (code, _) = split_comment(line);
+        if code.contains("impl ") && code.contains(" for ") {
+            in_op_impl = code.contains(" Op for ");
+        } else if code.trim_start().starts_with("trait ") || code.contains(" trait ") {
+            in_op_impl = false;
+        }
+        if !in_op_impl || !line.contains("fn name(&self) -> &'static str") {
             continue;
         }
         for probe in lines.iter().skip(idx).take(3) {
@@ -758,6 +830,15 @@ mod tests {
     }
 
     #[test]
+    fn non_op_trait_names_are_not_registered() {
+        // `Rewrite::name` shares the signature but is not an op.
+        let src = "impl Rewrite for Fold {\n    fn name(&self) -> &'static str {\n        \
+                   \"zero-scale-fold\"\n    }\n}\nimpl Op for AddOp {\n    fn name(&self) -> \
+                   &'static str {\n        \"add\"\n    }\n}\n";
+        assert_eq!(extract_op_names(src), vec!["add".to_string()]);
+    }
+
+    #[test]
     fn test_fixture_ops_are_not_registered() {
         let src = "#[cfg(test)]\nmod tests {\n    impl Op for BrokenOp {\n        fn \
                    name(&self) -> &'static str {\n            \"broken\"\n        }\n    }\n}\n";
@@ -910,6 +991,76 @@ mod tests {
         let out = lint_nondeterministic_iteration("lib.rs", src);
         assert_eq!(out.findings.len(), 1, "{:?}", out.findings);
         assert!(out.findings[0].message.contains("seen"));
+    }
+
+    #[test]
+    fn waiver_without_reason_is_flagged() {
+        let bare = concat!("let v = x", ".expect", "(\"set\"); // ", "lint:allow", "(expect)\n");
+        let findings = lint_waiver_reason("lib.rs", bare);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].lint, "waiver-reason");
+        assert!(findings[0].message.contains("expect"));
+
+        // Leading free-form reasons do not count: the suffix form is the
+        // contract, so rationale stays attached to the waiver token.
+        let leading = concat!("// set by ctor // ", "lint:allow", "(expect)\n");
+        assert_eq!(lint_waiver_reason("lib.rs", leading).len(), 1);
+    }
+
+    #[test]
+    fn waiver_with_reason_suffix_passes() {
+        let src = concat!(
+            "let v = x",
+            ".expect",
+            "(\"set\"); // ",
+            "lint:allow",
+            "(expect) -- set by the constructor\n",
+        );
+        assert!(lint_waiver_reason("lib.rs", src).is_empty());
+        // Two waivers on one line each need their own reason.
+        let double = concat!(
+            "do_it(); // ",
+            "lint:allow",
+            "(expect) -- ctor invariant // ",
+            "lint:allow",
+            "(print) -- table output\n",
+        );
+        assert!(lint_waiver_reason("lib.rs", double).is_empty());
+        let half = concat!(
+            "do_it(); // ",
+            "lint:allow",
+            "(expect) -- ctor invariant // ",
+            "lint:allow",
+            "(print)\n",
+        );
+        assert_eq!(lint_waiver_reason("lib.rs", half).len(), 1);
+    }
+
+    #[test]
+    fn waiver_reason_skips_doc_comments_and_strings() {
+        // Doc comments mention the syntax without waiving anything.
+        let doc = concat!("/// waive with `// ", "lint:allow", "(unwrap)`\n");
+        assert!(lint_waiver_reason("lib.rs", doc).is_empty());
+        let moddoc = concat!("//! e.g. `// ", "lint:allow", "(print)`\n");
+        assert!(lint_waiver_reason("lib.rs", moddoc).is_empty());
+        // Inside a string literal: the lint messages themselves quote the
+        // waiver token; only comments count.
+        let in_str = concat!("let m = \"waive with ", "lint:allow", "(print)\";\n");
+        assert!(lint_waiver_reason("lib.rs", in_str).is_empty());
+        // An empty reason is no reason.
+        let empty = concat!("f(); // ", "lint:allow", "(unwrap) -- \n");
+        assert_eq!(lint_waiver_reason("lib.rs", empty).len(), 1);
+    }
+
+    #[test]
+    fn absint_and_rewrite_files_are_kernel_paths() {
+        // Day-one coverage: the abstract interpreter and the rewrite
+        // harness get the kernel-path lints like every numeric kernel.
+        assert!(is_kernel_path("crates/autodiff/src/absint.rs"));
+        assert!(is_kernel_path("crates/autodiff/src/rewrite.rs"));
+        let cast = concat!("let w = 1.0 / (count", " as f32", ");\n");
+        assert_eq!(lint_lossy_cast("crates/autodiff/src/absint.rs", cast).findings.len(), 1);
+        assert_eq!(lint_lossy_cast("crates/autodiff/src/rewrite.rs", cast).findings.len(), 1);
     }
 
     #[test]

@@ -41,6 +41,13 @@
 //!   independent verifier, and compares measured peak residency with
 //!   and without the plan (report: `results/MEMPLAN.json`).
 //!   `--quick` uses the small preset for CI.
+//! * `graph-audit` — the op-graph static-analysis gate: drives the
+//!   `graph_audit` bench binary, which runs the combined tape audit +
+//!   abstract interpreter over the supernet and derived fixtures,
+//!   discharges every registered rewrite's static and golden-equivalence
+//!   obligations, and self-tests the search pre-flight validator
+//!   (report: `results/GRAPH_AUDIT.json`). `--quick` uses the small
+//!   preset for CI.
 //!
 //! `audit` additionally accepts `--sanitizer-report <log>` (repeatable):
 //! each file is scanned for Miri / ThreadSanitizer diagnostics, which are
@@ -61,7 +68,7 @@ use xtask::perf;
 use xtask::lints::{
     extract_op_names, lint_forbid_unsafe, lint_gradcheck_coverage, lint_lossy_cast, lint_no_print,
     lint_nondeterministic_iteration, lint_raw_thread, lint_unseeded_rng, lint_unwrap_expect,
-    parse_sanitizer_log, Finding,
+    lint_waiver_reason, parse_sanitizer_log, Finding,
 };
 
 /// First-party packages, used to scope the fmt/clippy drivers.
@@ -99,16 +106,19 @@ fn main() -> ExitCode {
         },
         Some("determinism") => determinism_cmd(&root, &args[1..]),
         Some("memplan") => memplan_cmd(&root, &args[1..]),
+        Some("graph-audit") => graph_audit_cmd(&root, &args[1..]),
         _ => {
             eprintln!(
-                "usage: cargo run -p xtask -- <audit [--sanitizer-report <log>]|fmt|clippy|ci|\
+                "usage: cargo run -p xtask -- <audit [--sanitizer-report <log>] \
+                 [--allow-unreasoned-waivers]|fmt|clippy|ci|\
                  trace-report [file]|\
                  profile <file> [--min-attributed <frac>]|\
                  perf [--quick] [--check] [--explain] [--seed-baseline] [--runs <n>]|\
                  perf trend [--window <n>]|\
                  perf compact [--keep <n>]|\
                  determinism [--quick]|\
-                 memplan [--quick]>"
+                 memplan [--quick]|\
+                 graph-audit [--quick]>"
             );
             ExitCode::from(2)
         }
@@ -583,6 +593,41 @@ fn memplan_cmd(root: &Path, args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The op-graph static-analysis gate: drives the `graph_audit` bench
+/// binary, which runs the combined tape audit + abstract interpreter over
+/// the supernet and derived-architecture fixtures, discharges the static
+/// and golden-equivalence obligations of every registered rewrite, and
+/// self-tests the search pre-flight validator. Exits non-zero — failing
+/// this command and CI — on any violation. The structured report lands in
+/// `results/GRAPH_AUDIT.json`.
+fn graph_audit_cmd(root: &Path, args: &[String]) -> ExitCode {
+    let mut quick = false;
+    for arg in args {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            other => {
+                eprintln!("xtask graph-audit: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let mut cmd = Command::new(env!("CARGO"));
+    cmd.current_dir(root);
+    cmd.args(["run", "--release", "-p", "sane-bench", "--bin", "graph_audit", "--"]);
+    if quick {
+        cmd.arg("--quick");
+    }
+    cmd.arg("--out").arg(root.join("results"));
+    if run(cmd) != ExitCode::SUCCESS {
+        eprintln!(
+            "xtask graph-audit: static analysis or rewrite obligations failed; see \
+             results/GRAPH_AUDIT.json for per-phase findings and per-rewrite verdicts"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 /// Validates a JSONL run trace and prints its summary. A malformed trace
 /// (parse error, non-monotone clock, unbalanced spans, invalid α rows…)
 /// exits non-zero so CI jobs fail on corrupted telemetry.
@@ -685,9 +730,11 @@ fn is_bin_target(rel: &Path) -> bool {
 
 fn audit(root: &Path, args: &[String]) -> ExitCode {
     let mut sanitizer_reports: Vec<PathBuf> = Vec::new();
+    let mut allow_unreasoned_waivers = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--allow-unreasoned-waivers" => allow_unreasoned_waivers = true,
             "--sanitizer-report" => {
                 let Some(v) = it.next() else {
                     eprintln!("xtask audit: --sanitizer-report needs a path");
@@ -742,6 +789,13 @@ fn audit(root: &Path, args: &[String]) -> ExitCode {
 
             // Unseeded RNG is forbidden everywhere, tests included.
             findings.extend(lint_unseeded_rng(&name, &src));
+
+            // Every waiver must state its reason. Not waivable per-site;
+            // --allow-unreasoned-waivers turns it off globally for bulk
+            // migrations.
+            if !allow_unreasoned_waivers {
+                findings.extend(lint_waiver_reason(&name, &src));
+            }
 
             // Raw threading is forbidden outside the autodiff parallel
             // module, tests included.

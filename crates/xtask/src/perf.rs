@@ -681,8 +681,7 @@ pub fn explain(
         let attributions: Vec<Attribution> = regressed
             .iter()
             .map(|(metric, median, base)| {
-                let window =
-                    window_samples(history, &baseline.preset, metric, baseline.window);
+                let window = window_samples(history, &baseline.preset, metric, baseline.window);
                 let noise = NoiseModel::from_window(&window, baseline.abs_floor_ms);
                 diff::attribute(&d, metric, (*median, *base), noise, 8)
             })
@@ -697,13 +696,7 @@ pub fn explain(
         let flame_path = results_dir.join(format!("FLAMEDIFF_{bench}.txt"));
         std::fs::write(&flame_path, flame)
             .map_err(|e| format!("cannot write {}: {e}", flame_path.display()))?;
-        out.benches.push(BenchForensics {
-            bench,
-            diff: d,
-            attributions,
-            diff_path,
-            flame_path,
-        });
+        out.benches.push(BenchForensics { bench, diff: d, attributions, diff_path, flame_path });
     }
     Ok(out)
 }
@@ -830,8 +823,7 @@ mod tests {
     #[test]
     fn changepoint_flags_a_step_and_ignores_noise() {
         // 20 noisy samples at ~1 ms, then 20 at ~2 ms: one step.
-        let vals: Vec<f64> =
-            (0..40).map(|i| noisy(if i < 20 { 1.0 } else { 2.0 }, i)).collect();
+        let vals: Vec<f64> = (0..40).map(|i| noisy(if i < 20 { 1.0 } else { 2.0 }, i)).collect();
         let steps = detect_steps(
             &vals,
             DEFAULT_TREND_WINDOW,
@@ -857,8 +849,7 @@ mod tests {
         .is_empty());
 
         // Downward steps (improvements) never flag.
-        let down: Vec<f64> =
-            (0..40).map(|i| noisy(if i < 20 { 2.0 } else { 1.0 }, i)).collect();
+        let down: Vec<f64> = (0..40).map(|i| noisy(if i < 20 { 2.0 } else { 1.0 }, i)).collect();
         assert!(detect_steps(
             &down,
             DEFAULT_TREND_WINDOW,

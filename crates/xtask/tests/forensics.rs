@@ -15,8 +15,8 @@ use std::path::{Path, PathBuf};
 use sane_telemetry::diff::DIFF_SCHEMA;
 use sane_telemetry::Value;
 use xtask::perf::{
-    self, gate, parse_history, trend, Baseline, BaselineMetric, HistoryEntry,
-    DEFAULT_ABS_FLOOR_MS, DEFAULT_TREND_MAD_MULT, DEFAULT_TREND_MIN_SHIFT, DEFAULT_TREND_WINDOW,
+    self, gate, parse_history, trend, Baseline, BaselineMetric, HistoryEntry, DEFAULT_ABS_FLOOR_MS,
+    DEFAULT_TREND_MAD_MULT, DEFAULT_TREND_MIN_SHIFT, DEFAULT_TREND_WINDOW,
 };
 
 /// One synthetic kernel row: name, phase, count, summed ns, quantiles.
@@ -165,7 +165,9 @@ fn injected_kernel_slowdown_is_attributed_top_1() {
     // The untouched sibling kernel must not be a suspect at all: it is
     // outside the scenario scope and its delta is zero.
     assert!(
-        attr.suspects.iter().all(|s| s.stack.last().map(String::as_str) != Some("kernel:segment_sum")),
+        attr.suspects
+            .iter()
+            .all(|s| s.stack.last().map(String::as_str) != Some("kernel:segment_sum")),
         "unchanged sibling kernel must not appear: {attr}"
     );
 
